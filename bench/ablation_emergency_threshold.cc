@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Ablation: voltage-emergency threshold.
+ *
+ * The paper defines an emergency as noise beyond 10% of nominal Vdd
+ * (the line in Fig. 11). A tighter threshold makes PracVT override
+ * to all-on more often — better noise, slightly worse efficiency and
+ * thermals; a looser one converges to plain PracT. This sweep
+ * quantifies that trade-off.
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+#include "common/table.hh"
+
+using namespace tg;
+
+int
+main()
+{
+    bench::banner("ablation: emergency threshold",
+                  "PracVT on barnes vs threshold (paper uses 10% of "
+                  "Vdd)");
+
+    const auto &chip = bench::evaluationChip();
+    const auto &profile = workload::profileByName("barnes");
+
+    TextTable t({"threshold (%)", "overrides", "noise (%)",
+                 "emerg (%)", "Tmax (C)", "eta (%)"});
+    for (double frac : {0.06, 0.08, 0.10, 0.14, 0.20}) {
+        sim::SimConfig cfg;
+        cfg.pdnParams.emergencyFrac = frac;
+        sim::Simulation simulation(chip, cfg);
+        auto r = simulation.run(profile, core::PolicyKind::PracVT);
+        t.addRow({TextTable::num(frac * 100.0, 0),
+                  std::to_string(r.overrideCount),
+                  TextTable::num(r.maxNoiseFrac * 100.0, 1),
+                  TextTable::num(r.emergencyFrac * 100.0, 3),
+                  TextTable::num(r.maxTmax, 2),
+                  TextTable::num(r.avgEta * 100.0, 2)});
+    }
+    t.print(std::cout);
+    return 0;
+}

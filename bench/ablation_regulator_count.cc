@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Ablation: component-regulator count per domain.
+ *
+ * The paper's footnote 2 states its 96-regulator configuration was
+ * the largest its simulators could afford, and that a *lower*
+ * regulator count worsens both the thermal and the voltage-noise
+ * profile (each regulator then carries more current, dissipates more
+ * loss on one site, and supplies its load from farther away). This
+ * sweep varies the per-core/per-L3 regulator counts under OracT and
+ * all-on to show exactly that trend.
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+#include "common/table.hh"
+
+using namespace tg;
+
+int
+main()
+{
+    bench::banner("ablation: regulators per domain",
+                  "fewer component VRs -> worse thermal and noise "
+                  "(paper footnote 2)");
+
+    const auto &profile = workload::profileByName("fft");
+
+    TextTable t({"VRs/core", "VRs/L3", "total", "policy", "Tmax (C)",
+                 "gradient (C)", "noise (%)", "eta (%)"});
+    struct Cfg
+    {
+        int core;
+        int l3;
+    };
+    for (Cfg c : {Cfg{4, 2}, Cfg{6, 2}, Cfg{9, 3}, Cfg{12, 4}}) {
+        auto chip = floorplan::buildPower8ChipVariant(c.core, c.l3);
+        sim::Simulation simulation(chip, sim::SimConfig{});
+        for (auto kind :
+             {core::PolicyKind::AllOn, core::PolicyKind::OracT}) {
+            auto r = simulation.run(profile, kind);
+            t.addRow({std::to_string(c.core), std::to_string(c.l3),
+                      std::to_string(static_cast<int>(
+                          chip.plan.vrs().size())),
+                      core::policyName(kind),
+                      TextTable::num(r.maxTmax, 2),
+                      TextTable::num(r.maxGradient, 2),
+                      TextTable::num(r.maxNoiseFrac * 100.0, 1),
+                      TextTable::num(r.avgEta * 100.0, 2)});
+        }
+    }
+    t.print(std::cout);
+    return 0;
+}

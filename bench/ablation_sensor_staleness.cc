@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Ablation: thermal-sensor staleness.
+ *
+ * PracT's gap to OracT comes mostly from the 100 us sensor delay
+ * plus the prediction error of the linear model (paper Section 6.3).
+ * This sweep varies the sensor delay from ideal (0) to a whole
+ * decision interval and shows the practical policy degrading
+ * gracefully — the ranking-based selection tolerates stale inputs.
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+#include "common/table.hh"
+
+using namespace tg;
+
+int
+main()
+{
+    bench::banner("ablation: sensor staleness",
+                  "PracT on water_s vs sensor delay (paper assumes "
+                  "100 us)");
+
+    const auto &chip = bench::evaluationChip();
+    const auto &profile = workload::profileByName("water_s");
+
+    // The oracle reference.
+    {
+        sim::Simulation simulation(chip, sim::SimConfig{});
+        auto r = simulation.run(profile, core::PolicyKind::OracT);
+        std::printf("OracT reference: Tmax %.2f, gradient %.2f, "
+                    "noise %.1f%%\n\n",
+                    r.maxTmax, r.maxGradient,
+                    r.maxNoiseFrac * 100.0);
+    }
+
+    TextTable t({"delay (us)", "Tmax (C)", "gradient (C)",
+                 "noise (%)", "eta (%)"});
+    for (double us : {0.0, 50.0, 100.0, 250.0, 500.0, 1000.0}) {
+        sim::SimConfig cfg;
+        cfg.sensorParams.delay = us * 1e-6;
+        sim::Simulation simulation(chip, cfg);
+        auto r = simulation.run(profile, core::PolicyKind::PracT);
+        t.addRow({TextTable::num(us, 0), TextTable::num(r.maxTmax, 2),
+                  TextTable::num(r.maxGradient, 2),
+                  TextTable::num(r.maxNoiseFrac * 100.0, 1),
+                  TextTable::num(r.avgEta * 100.0, 2)});
+    }
+    t.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Shared helpers for the figure/table reproduction benches.
+ *
+ * Every bench binary regenerates one figure or table of the paper's
+ * evaluation: it prints a header naming the artefact, the series the
+ * paper plots, and (where the paper states one) the headline number
+ * the reproduction should be compared against.
+ */
+
+#ifndef TG_BENCH_BENCH_COMMON_HH
+#define TG_BENCH_BENCH_COMMON_HH
+
+#include <cstdio>
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "floorplan/power8.hh"
+#include "sim/simulation.hh"
+#include "sim/sweep.hh"
+#include "workload/profile.hh"
+
+namespace tg {
+namespace bench {
+
+/** Print the standard bench banner. */
+inline void
+banner(const std::string &artefact, const std::string &what)
+{
+    std::printf("=============================================="
+                "==============\n");
+    std::printf("ThermoGater reproduction — %s\n", artefact.c_str());
+    std::printf("%s\n", what.c_str());
+    std::printf("=============================================="
+                "==============\n");
+}
+
+/** The evaluation chip (paper Table 1 / Fig. 4), built once. */
+inline const floorplan::Chip &
+evaluationChip()
+{
+    static const floorplan::Chip chip = floorplan::buildPower8Chip();
+    return chip;
+}
+
+/** A shared FIVR-design simulation context for the benches. */
+inline sim::Simulation &
+evaluationSim()
+{
+    static sim::Simulation simulation(evaluationChip(), sim::SimConfig{});
+    return simulation;
+}
+
+} // namespace bench
+} // namespace tg
+
+#endif // TG_BENCH_BENCH_COMMON_HH

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Fig. 6: evolution of the total power demand and the cumulative
+ * active-regulator count (sum of the per-domain n_on) over the
+ * execution of lu_ncb — regulator activity closely tracks the
+ * temporal power-demand changes.
+ */
+
+#include <cmath>
+#include <iostream>
+
+#include "bench_common.hh"
+#include "common/table.hh"
+
+using namespace tg;
+
+int
+main()
+{
+    bench::banner("Fig. 6",
+                  "total power demand and #active regulators over "
+                  "time (lu_ncb, 8 threads, gated)");
+
+    auto &simulation = bench::evaluationSim();
+    sim::RecordOptions opts;
+    opts.timeSeries = true;
+    opts.noiseSamplesOverride = 0;
+    auto r = simulation.run(workload::profileByName("lu_ncb"),
+                            core::PolicyKind::OracT, opts);
+
+    TextTable t({"time (us)", "power (W)", "#active VRs"});
+    // Subsample the 10 us frames to keep the series printable.
+    for (std::size_t f = 0; f < r.timeUs.size(); f += 10)
+        t.addRow({TextTable::num(r.timeUs[f], 0),
+                  TextTable::num(r.totalPowerW[f], 1),
+                  TextTable::num(r.activeVrs[f], 0)});
+    t.print(std::cout);
+
+    // Quantify the tracking the figure shows: correlation between
+    // the power demand and the active count.
+    double mp = 0.0;
+    double ma = 0.0;
+    std::size_t n = r.timeUs.size();
+    for (std::size_t f = 0; f < n; ++f) {
+        mp += r.totalPowerW[f];
+        ma += r.activeVrs[f];
+    }
+    mp /= n;
+    ma /= n;
+    double num = 0.0;
+    double dp = 0.0;
+    double da = 0.0;
+    for (std::size_t f = 0; f < n; ++f) {
+        num += (r.totalPowerW[f] - mp) * (r.activeVrs[f] - ma);
+        dp += (r.totalPowerW[f] - mp) * (r.totalPowerW[f] - mp);
+        da += (r.activeVrs[f] - ma) * (r.activeVrs[f] - ma);
+    }
+    std::printf("\nmean power %.1f W, mean active %.1f of 96, "
+                "power<->activity correlation %.3f\n",
+                mp, ma, num / std::sqrt(dp * da));
+    return 0;
+}

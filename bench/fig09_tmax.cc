@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Fig. 9: maximum chip-wide temperature per benchmark under all
+ * eight schemes. Paper shape: all-on raises Tmax ~5.4 degC over
+ * off-chip; Naive does not help; OracT recovers ~1.2 degC from
+ * all-on; OracV is by far the hottest; Prac* track Orac* closely.
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+#include "common/table.hh"
+
+using namespace tg;
+
+int
+main()
+{
+    bench::banner("Fig. 9",
+                  "maximum chip-wide temperature (degC) per policy");
+
+    auto &simulation = bench::evaluationSim();
+    auto sweep = sim::runSweep(simulation, {}, {}, true);
+
+    std::vector<std::string> header = {"benchmark"};
+    for (auto k : sweep.policies)
+        header.push_back(core::policyName(k));
+    TextTable t(header);
+    for (const auto &b : sweep.benchmarks) {
+        std::vector<std::string> row = {b};
+        for (auto k : sweep.policies)
+            row.push_back(TextTable::num(sweep.at(b, k).maxTmax, 1));
+        t.addRow(std::move(row));
+    }
+    std::vector<std::string> avg = {"AVG"};
+    for (auto k : sweep.policies)
+        avg.push_back(TextTable::num(
+            sweep.average(k,
+                          [](const sim::RunResult &r) {
+                              return r.maxTmax;
+                          }),
+            1));
+    t.addRow(std::move(avg));
+    t.print(std::cout);
+
+    auto mean = [&](core::PolicyKind k) {
+        return sweep.average(
+            k, [](const sim::RunResult &r) { return r.maxTmax; });
+    };
+    std::printf("\nheadline deltas (avg): all-on vs off-chip %+0.2f "
+                "(paper +5.4); OracT vs all-on %+0.2f (paper -1.2); "
+                "Naive vs all-on %+0.2f (paper +1.1); OracV vs "
+                "all-on %+0.2f (paper +8.5); PracT vs OracT %+0.2f "
+                "(paper +0.5); PracVT vs OracT %+0.2f (paper +0.6)\n",
+                mean(core::PolicyKind::AllOn) -
+                    mean(core::PolicyKind::OffChip),
+                mean(core::PolicyKind::OracT) -
+                    mean(core::PolicyKind::AllOn),
+                mean(core::PolicyKind::Naive) -
+                    mean(core::PolicyKind::AllOn),
+                mean(core::PolicyKind::OracV) -
+                    mean(core::PolicyKind::AllOn),
+                mean(core::PolicyKind::PracT) -
+                    mean(core::PolicyKind::OracT),
+                mean(core::PolicyKind::PracVT) -
+                    mean(core::PolicyKind::OracT));
+    return 0;
+}

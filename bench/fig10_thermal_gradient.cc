@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Fig. 10: maximum thermal gradient (max spatial temperature
+ * difference) per benchmark under all eight schemes. Paper shape:
+ * all-on raises the gradient ~79% over off-chip; OracT trims ~11%
+ * from all-on; OracV roughly doubles it; PracT lands within ~3% of
+ * OracT.
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+#include "common/table.hh"
+
+using namespace tg;
+
+int
+main()
+{
+    bench::banner("Fig. 10",
+                  "maximum thermal gradient (degC) per policy");
+
+    auto &simulation = bench::evaluationSim();
+    auto sweep = sim::runSweep(simulation, {}, {}, true);
+
+    std::vector<std::string> header = {"benchmark"};
+    for (auto k : sweep.policies)
+        header.push_back(core::policyName(k));
+    TextTable t(header);
+    for (const auto &b : sweep.benchmarks) {
+        std::vector<std::string> row = {b};
+        for (auto k : sweep.policies)
+            row.push_back(
+                TextTable::num(sweep.at(b, k).maxGradient, 1));
+        t.addRow(std::move(row));
+    }
+    std::vector<std::string> avg = {"AVG"};
+    for (auto k : sweep.policies)
+        avg.push_back(TextTable::num(
+            sweep.average(k,
+                          [](const sim::RunResult &r) {
+                              return r.maxGradient;
+                          }),
+            1));
+    t.addRow(std::move(avg));
+    t.print(std::cout);
+
+    auto mean = [&](core::PolicyKind k) {
+        return sweep.average(
+            k, [](const sim::RunResult &r) { return r.maxGradient; });
+    };
+    double all_on = mean(core::PolicyKind::AllOn);
+    std::printf("\nheadline ratios (avg): all-on vs off-chip %+0.1f%% "
+                "(paper +79.4%%); Naive vs all-on %+0.1f%% (paper "
+                "+12.5%%); OracT vs all-on %+0.1f%% (paper -10.9%%); "
+                "OracV vs all-on %+0.1f%% (paper +96.3%%); PracT vs "
+                "OracT %+0.1f%% (paper +3%%)\n",
+                100.0 * (all_on / mean(core::PolicyKind::OffChip) -
+                         1.0),
+                100.0 * (mean(core::PolicyKind::Naive) / all_on - 1.0),
+                100.0 * (mean(core::PolicyKind::OracT) / all_on - 1.0),
+                100.0 * (mean(core::PolicyKind::OracV) / all_on - 1.0),
+                100.0 * (mean(core::PolicyKind::PracT) /
+                             mean(core::PolicyKind::OracT) -
+                         1.0));
+    return 0;
+}

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Fig. 11: maximum voltage noise (% of nominal Vdd) per benchmark
+ * under the six regulated schemes (off-chip has no on-chip PDN to
+ * perturb). Paper shape: thermal-only gating inflates the maximum
+ * noise ~79% over all-on; OracV stays within ~28%; the *VT policies
+ * converge back to the all-on profile; 10% of Vdd marks a voltage
+ * emergency.
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+#include "common/table.hh"
+
+using namespace tg;
+
+int
+main()
+{
+    bench::banner("Fig. 11",
+                  "maximum voltage noise (% of Vdd) per policy; "
+                  "emergency threshold = 10%");
+
+    auto &simulation = bench::evaluationSim();
+    std::vector<core::PolicyKind> policies = {
+        core::PolicyKind::OracT,  core::PolicyKind::OracV,
+        core::PolicyKind::OracVT, core::PolicyKind::PracT,
+        core::PolicyKind::PracVT, core::PolicyKind::AllOn,
+    };
+    auto sweep = sim::runSweep(simulation, {}, policies, true);
+
+    std::vector<std::string> header = {"benchmark"};
+    for (auto k : sweep.policies)
+        header.push_back(core::policyName(k));
+    TextTable t(header);
+    for (const auto &b : sweep.benchmarks) {
+        std::vector<std::string> row = {b};
+        for (auto k : sweep.policies)
+            row.push_back(TextTable::num(
+                sweep.at(b, k).maxNoiseFrac * 100.0, 1));
+        t.addRow(std::move(row));
+    }
+    auto metric = [](const sim::RunResult &r) {
+        return r.maxNoiseFrac * 100.0;
+    };
+    std::vector<std::string> mx = {"MAX"};
+    for (auto k : sweep.policies)
+        mx.push_back(TextTable::num(sweep.maximum(k, metric), 2));
+    t.addRow(std::move(mx));
+    std::vector<std::string> avg = {"AVG"};
+    for (auto k : sweep.policies)
+        avg.push_back(TextTable::num(sweep.average(k, metric), 2));
+    t.addRow(std::move(avg));
+    t.print(std::cout);
+
+    std::printf("\nheadline: OracT vs all-on %+0.1f%% relative "
+                "(paper +79.3%%); OracV vs all-on %+0.1f%% (paper "
+                "within +28.4%%); PracVT MAX %.2f%% vs all-on MAX "
+                "%.2f%% (paper 13.22%% vs 13.05%%)\n",
+                100.0 * (sweep.average(core::PolicyKind::OracT,
+                                       metric) /
+                             sweep.average(core::PolicyKind::AllOn,
+                                           metric) -
+                         1.0),
+                100.0 * (sweep.average(core::PolicyKind::OracV,
+                                       metric) /
+                             sweep.average(core::PolicyKind::AllOn,
+                                           metric) -
+                         1.0),
+                sweep.maximum(core::PolicyKind::PracVT, metric),
+                sweep.maximum(core::PolicyKind::AllOn, metric));
+    return 0;
+}

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Fig. 12: representative die heat maps at the frame where Tmax
+ * peaks during cholesky, under off-chip / all-on / OracT / OracV.
+ * Paper: off-chip peaks ~66 degC; all-on triggers LSU/EXU hotspots
+ * (~73 degC); OracT removes them; OracV pushes past 90 degC with the
+ * worst profile.
+ */
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "bench_common.hh"
+
+using namespace tg;
+
+namespace {
+
+/** Render a die grid as an ASCII heat map with a shared scale. */
+void
+renderMap(const sim::RunResult &r, double lo, double hi)
+{
+    static const char shades[] = " .:-=+*#%@";
+    std::printf("%s: Tmax %.1f degC at %s (t=%.0f us)\n",
+                core::policyName(r.policy), r.maxTmax,
+                r.hottestSpot.empty() ? "-" : r.hottestSpot.c_str(),
+                r.heatmapTimeUs);
+    for (int row = r.heatmapH - 1; row >= 0; --row) {
+        std::printf("  ");
+        for (int col = 0; col < r.heatmapW; ++col) {
+            double t = r.heatmap[static_cast<std::size_t>(
+                row * r.heatmapW + col)];
+            int idx = static_cast<int>(
+                std::floor((t - lo) / (hi - lo) * 9.999));
+            idx = std::clamp(idx, 0, 9);
+            std::printf("%c", shades[idx]);
+        }
+        std::printf("\n");
+    }
+    std::printf("\n");
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Fig. 12",
+                  "die heat maps at the Tmax frame (cholesky); "
+                  "shared scale, ' '=coolest '@'=hottest");
+
+    auto &simulation = bench::evaluationSim();
+    const auto &profile = workload::profileByName("chol");
+
+    std::vector<core::PolicyKind> kinds = {
+        core::PolicyKind::OffChip, core::PolicyKind::AllOn,
+        core::PolicyKind::OracT, core::PolicyKind::OracV};
+
+    std::vector<sim::RunResult> runs;
+    double lo = 1e9;
+    double hi = -1e9;
+    for (auto k : kinds) {
+        sim::RecordOptions opts;
+        opts.heatmap = true;
+        opts.noiseSamplesOverride = 0;
+        runs.push_back(simulation.run(profile, k, opts));
+        for (double t : runs.back().heatmap) {
+            lo = std::min(lo, t);
+            hi = std::max(hi, t);
+        }
+    }
+
+    std::printf("temperature scale: %.1f .. %.1f degC\n\n", lo, hi);
+    for (const auto &r : runs)
+        renderMap(r, lo, hi);
+
+    std::printf("paper anchors: off-chip ~66, all-on ~73 (LSU/EXU "
+                "hotspots), OracT ~71.2 (hotspots removed), OracV "
+                ">90 degC\n");
+    return 0;
+}

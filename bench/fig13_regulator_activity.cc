@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Fig. 13: per-regulator activity rate (fraction of execution time
+ * active) for the 72 core-domain VRs under OracT vs OracV (lu_ncb),
+ * binned by location: VRs over logic units vs over on-chip memory.
+ * Paper: OracT keeps the logic-side regulators off; OracV does the
+ * opposite.
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+#include "common/table.hh"
+
+using namespace tg;
+
+int
+main()
+{
+    bench::banner("Fig. 13",
+                  "VR activity rates, logic- vs memory-side "
+                  "(lu_ncb): OracT vs OracV");
+
+    auto &simulation = bench::evaluationSim();
+    const auto &chip = bench::evaluationChip();
+    const auto &profile = workload::profileByName("lu_ncb");
+
+    sim::RecordOptions opts;
+    opts.noiseSamplesOverride = 0;
+    auto orac_t =
+        simulation.run(profile, core::PolicyKind::OracT, opts);
+    auto orac_v =
+        simulation.run(profile, core::PolicyKind::OracV, opts);
+
+    TextTable t({"VR", "host", "side", "OracT (%)", "OracV (%)"});
+    double sum_t[2] = {0.0, 0.0};  // [logic, memory]
+    double sum_v[2] = {0.0, 0.0};
+    int count[2] = {0, 0};
+    const auto &vrs = chip.plan.vrs();
+    for (std::size_t v = 0; v < vrs.size(); ++v) {
+        const auto &dom = chip.plan.domains()[static_cast<std::size_t>(
+            vrs[v].domain)];
+        if (dom.kind != floorplan::DomainKind::Core)
+            continue;  // the figure covers the 72 core-domain VRs
+        int side = vrs[v].memorySide ? 1 : 0;
+        sum_t[side] += orac_t.vrActivity[v];
+        sum_v[side] += orac_v.vrActivity[v];
+        ++count[side];
+        const auto &host = chip.plan.blocks()[static_cast<std::size_t>(
+            vrs[v].hostBlock)];
+        t.addRow({vrs[v].name, floorplan::unitKindName(host.kind),
+                  vrs[v].memorySide ? "memory" : "logic",
+                  TextTable::num(orac_t.vrActivity[v] * 100.0, 0),
+                  TextTable::num(orac_v.vrActivity[v] * 100.0, 0)});
+    }
+    t.print(std::cout);
+
+    std::printf("\ngroup averages — logic-side (%d VRs): OracT "
+                "%.0f%%, OracV %.0f%%; memory-side (%d VRs): OracT "
+                "%.0f%%, OracV %.0f%%\n",
+                count[0], 100.0 * sum_t[0] / count[0],
+                100.0 * sum_v[0] / count[0], count[1],
+                100.0 * sum_t[1] / count[1],
+                100.0 * sum_v[1] / count[1]);
+    return 0;
+}

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * google-benchmark micro-benchmarks of the numerical kernels behind
+ * the reproduction: LU factorisation/back-substitution, the thermal
+ * RC step, the PDN transient cycle, and a full governor decision.
+ * These document what makes the figure sweeps affordable (factor
+ * once, back-substitute per step).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "common/matrix.hh"
+#include "common/rng.hh"
+#include "core/governor.hh"
+#include "floorplan/power8.hh"
+#include "pdn/domain_pdn.hh"
+#include "thermal/model.hh"
+#include "vreg/design.hh"
+#include "vreg/network.hh"
+#include "workload/cycles.hh"
+
+using namespace tg;
+
+namespace {
+
+Matrix
+randomSpd(std::size_t n, Rng &rng)
+{
+    Matrix a(n, n, 0.0);
+    for (std::size_t r = 0; r < n; ++r) {
+        for (std::size_t c = 0; c <= r; ++c) {
+            double v = rng.uniform(-1.0, 1.0);
+            a(r, c) = v;
+            a(c, r) = v;
+        }
+        a(r, r) += static_cast<double>(n);  // diagonally dominant
+    }
+    return a;
+}
+
+void
+BM_LuFactor(benchmark::State &state)
+{
+    std::size_t n = static_cast<std::size_t>(state.range(0));
+    Rng rng(7);
+    Matrix a = randomSpd(n, rng);
+    for (auto _ : state) {
+        LuSolver lu(a);
+        benchmark::DoNotOptimize(lu.size());
+    }
+}
+BENCHMARK(BM_LuFactor)->Arg(64)->Arg(256)->Arg(740);
+
+void
+BM_LuSolve(benchmark::State &state)
+{
+    std::size_t n = static_cast<std::size_t>(state.range(0));
+    Rng rng(7);
+    LuSolver lu(randomSpd(n, rng));
+    std::vector<double> b(n, 1.0);
+    for (auto _ : state) {
+        auto x = lu.solve(b);
+        benchmark::DoNotOptimize(x.data());
+    }
+}
+BENCHMARK(BM_LuSolve)->Arg(64)->Arg(256)->Arg(740);
+
+void
+BM_ThermalStep(benchmark::State &state)
+{
+    static const floorplan::Chip chip = floorplan::buildPower8Chip();
+    static const thermal::ThermalModel model(chip, {});
+    auto temps = model.uniformState(55.0);
+    std::vector<Watts> block(chip.plan.blocks().size(), 2.0);
+    std::vector<Watts> vr(chip.plan.vrs().size(), 0.15);
+    auto p = model.powerVector(block, vr);
+    for (auto _ : state) {
+        model.advance(temps, p);
+        benchmark::DoNotOptimize(temps.data());
+    }
+}
+BENCHMARK(BM_ThermalStep);
+
+void
+BM_PdnTransientWindow(benchmark::State &state)
+{
+    static const floorplan::Chip chip = floorplan::buildPower8Chip();
+    static pdn::DomainPdn dp(chip, 0, vreg::fivrDesign(), {});
+    std::vector<Watts> block(chip.plan.blocks().size(), 0.0);
+    for (int b : chip.plan.domains()[0].blocks)
+        block[static_cast<std::size_t>(b)] = 1.5;
+    auto base = dp.nodeCurrents(block);
+    Rng rng(11);
+    auto mult = workload::synthesizeCycleMultipliers(0.8, 600, rng);
+    std::vector<std::vector<Amperes>> window(
+        600, std::vector<Amperes>(base.size()));
+    for (std::size_t c = 0; c < 600; ++c)
+        for (std::size_t i = 0; i < base.size(); ++i)
+            window[c][i] = base[i] * mult[c];
+    for (auto _ : state) {
+        auto res = dp.transientWindow(window, 200);
+        benchmark::DoNotOptimize(res.maxNoiseFrac);
+    }
+}
+BENCHMARK(BM_PdnTransientWindow);
+
+void
+BM_GovernorDecision(benchmark::State &state)
+{
+    static const floorplan::Chip chip = floorplan::buildPower8Chip();
+    static pdn::DomainPdn dp(chip, 0, vreg::fivrDesign(), {});
+    static vreg::RegulatorNetwork net(vreg::fivrDesign(), 9);
+
+    core::Governor governor(core::PolicyKind::PracT, 16);
+    std::vector<double> thetas(9, 28.0);
+    core::PolicyToolkit kit;
+    kit.pdn = &dp;
+    kit.network = &net;
+    kit.thetas = &thetas;
+
+    core::DomainState st;
+    st.domain = 0;
+    st.demandNow = 7.0;
+    st.demandNext = 7.5;
+    st.vrTemps = {61, 62, 61.5, 64, 65, 64.5, 66, 67, 66.5};
+    st.vrLossNow = {0.18, 0.18, 0.18, 0.18, 0.18, 0, 0, 0, 0};
+    st.vrLossNextPerActive = 0.19;
+    st.nodeCurrents.assign(
+        static_cast<std::size_t>(dp.nodeCount()), 0.12);
+    st.didt = 0.5;
+
+    for (auto _ : state) {
+        auto d = governor.decide(st, kit, false);
+        benchmark::DoNotOptimize(d.active.data());
+        ++st.decision;
+    }
+}
+BENCHMARK(BM_GovernorDecision);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Build a custom chip with the floorplan API and govern it.
+ *
+ * ThermoGater is not tied to the paper's 8-core POWER8-like die: any
+ * floorplan with Vdd-domains and regulator sites works. This example
+ * assembles a little 2-core / 1-L3 asymmetric chip with 14 VRs,
+ * wires up the thermal model, PDNs and regulator networks by hand,
+ * and drives one governor decision per domain — the minimal "bring
+ * your own chip" integration.
+ */
+
+#include <cstdio>
+#include <numeric>
+
+#include "core/governor.hh"
+#include "core/thermal_predictor.hh"
+#include "floorplan/floorplan.hh"
+#include "floorplan/power8.hh"
+#include "pdn/domain_pdn.hh"
+#include "power/model.hh"
+#include "thermal/model.hh"
+#include "vreg/design.hh"
+#include "vreg/network.hh"
+
+using namespace tg;
+
+namespace {
+
+floorplan::Chip
+buildCustomChip()
+{
+    // A 12 x 8 mm die: two cores side by side on top of a shared L3.
+    floorplan::FloorplanBuilder b(12.0, 8.0);
+    int d_big = b.addDomain("big-core", floorplan::DomainKind::Core);
+    int d_small = b.addDomain("small-core",
+                              floorplan::DomainKind::Core);
+    int d_l3 = b.addDomain("l3", floorplan::DomainKind::L3);
+
+    // Big core: 7 x 5 mm with an L2 strip.
+    b.addBlock("big.exu", floorplan::UnitKind::Exu,
+               {0.0, 5.5, 3.5, 2.5}, d_big, 0);
+    b.addBlock("big.lsu", floorplan::UnitKind::Lsu,
+               {3.5, 5.5, 3.5, 2.5}, d_big, 0);
+    b.addBlock("big.ifu", floorplan::UnitKind::Ifu,
+               {0.0, 3.0, 3.5, 2.5}, d_big, 0);
+    b.addBlock("big.isu", floorplan::UnitKind::Isu,
+               {3.5, 3.0, 3.5, 2.5}, d_big, 0);
+
+    // Small core: 5 x 5 mm, two blocks only.
+    b.addBlock("small.exu", floorplan::UnitKind::Exu,
+               {7.0, 5.5, 5.0, 2.5}, d_small, 1);
+    b.addBlock("small.ifu", floorplan::UnitKind::Ifu,
+               {7.0, 3.0, 5.0, 2.5}, d_small, 1);
+
+    // Shared L3 across the bottom.
+    b.addBlock("l3", floorplan::UnitKind::L3, {0.0, 0.0, 12.0, 3.0},
+               d_l3);
+
+    // Regulator sites: 6 over the big core, 4 over the small one,
+    // 4 over the L3.
+    auto vr = [&](const char *name, double x, double y, int dom) {
+        b.addVr(name, {x - 0.1, y - 0.1, 0.2, 0.2}, dom);
+    };
+    vr("big.vr0", 1.2, 4.2, d_big);
+    vr("big.vr1", 3.5, 4.2, d_big);
+    vr("big.vr2", 5.8, 4.2, d_big);
+    vr("big.vr3", 1.2, 6.8, d_big);
+    vr("big.vr4", 3.5, 6.8, d_big);
+    vr("big.vr5", 5.8, 6.8, d_big);
+    vr("small.vr0", 8.2, 4.2, d_small);
+    vr("small.vr1", 10.8, 4.2, d_small);
+    vr("small.vr2", 8.2, 6.8, d_small);
+    vr("small.vr3", 10.8, 6.8, d_small);
+    vr("l3.vr0", 1.5, 1.5, d_l3);
+    vr("l3.vr1", 4.5, 1.5, d_l3);
+    vr("l3.vr2", 7.5, 1.5, d_l3);
+    vr("l3.vr3", 10.5, 1.5, d_l3);
+
+    floorplan::Chip chip;
+    chip.plan = b.build();
+    chip.params = floorplan::ChipParams{};
+    chip.params.cores = 2;
+    chip.params.areaMm2 = chip.plan.area();
+    chip.params.tdp = 40.0;
+    return chip;
+}
+
+} // namespace
+
+int
+main()
+{
+    auto chip = buildCustomChip();
+    std::printf("custom chip: %.0f mm^2, %zu blocks, %zu VRs, %zu "
+                "domains\n\n",
+                chip.plan.area(), chip.plan.blocks().size(),
+                chip.plan.vrs().size(), chip.plan.domains().size());
+
+    // Substrate models for the custom chip.
+    auto design = vreg::fivrDesign();
+    thermal::ThermalModel tm(chip, {});
+    power::PowerModel pm(chip);
+
+    // Steady thermal state for a busy big core and idle small core.
+    std::vector<Watts> block_power(chip.plan.blocks().size());
+    for (std::size_t b = 0; b < block_power.size(); ++b) {
+        double act =
+            chip.plan.blocks()[b].coreId == 0 ? 0.9 : 0.25;
+        block_power[b] = pm.peakDynamic(static_cast<int>(b)) * act;
+    }
+    std::vector<Watts> vr_loss(chip.plan.vrs().size(), 0.0);
+    auto temps = tm.steadyState(tm.powerVector(block_power, vr_loss));
+
+    // One governor decision per domain under PracT-style inputs.
+    core::Governor governor(core::PolicyKind::PracT,
+                            static_cast<int>(
+                                chip.plan.domains().size()));
+    for (const auto &dom : chip.plan.domains()) {
+        vreg::RegulatorNetwork net(design,
+                                   static_cast<int>(dom.vrs.size()));
+        net.setVout(chip.params.vdd);
+        pdn::DomainPdn dp(chip, dom.id, design, {});
+
+        core::DomainState st;
+        st.domain = dom.id;
+        st.demandNow = pm.domainCurrent(block_power, dom.id);
+        st.demandNext = st.demandNow;
+        st.didt = 0.5;
+        st.headroomVrs = 1;
+        for (int v : dom.vrs) {
+            st.vrTemps.push_back(tm.vrTemp(temps, v));
+            st.vrLossNow.push_back(0.0);
+        }
+        int non = net.requiredActive(st.demandNext);
+        st.vrLossNextPerActive =
+            net.evaluate(st.demandNext, non).plossTotal / non;
+        st.nodeCurrents = dp.nodeCurrents(block_power);
+
+        std::vector<double> thetas(dom.vrs.size(), 28.0);
+        core::PolicyToolkit kit;
+        kit.pdn = &dp;
+        kit.network = &net;
+        kit.thetas = &thetas;
+
+        auto d = governor.decide(st, kit, false);
+        std::printf("domain %-10s demand %5.2f A -> n_on %d of %zu, "
+                    "active {",
+                    dom.name.c_str(), st.demandNext, d.non,
+                    dom.vrs.size());
+        for (std::size_t i = 0; i < d.active.size(); ++i)
+            std::printf("%s%d", i ? "," : "", d.active[i]);
+        auto op = net.evaluate(st.demandNext,
+                               static_cast<int>(d.active.size()));
+        std::printf("} at eta %.1f%%\n", op.eta * 100.0);
+    }
+
+    std::printf("\nhottest spot: %.1f degC; gradient %.1f degC\n",
+                tm.maxDieTemp(temps), tm.gradient(temps));
+    return 0;
+}

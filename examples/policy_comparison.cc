@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Compare all eight gating schemes of the paper on one benchmark:
+ * the thermal / voltage-noise / efficiency trade-off of Section 6 in
+ * a single table.
+ *
+ *   ./policy_comparison [benchmark]      (default: fft)
+ */
+
+#include <iostream>
+
+#include "common/table.hh"
+#include "floorplan/power8.hh"
+#include "sim/simulation.hh"
+#include "workload/profile.hh"
+
+using namespace tg;
+
+int
+main(int argc, char **argv)
+{
+    const char *bench = argc > 1 ? argv[1] : "fft";
+
+    auto chip = floorplan::buildPower8Chip();
+    sim::Simulation simulation(chip, sim::SimConfig{});
+    const auto &profile = workload::profileByName(bench);
+
+    std::cout << "policy comparison on " << profile.name << " ("
+              << profile.fullName << ")\n\n";
+
+    TextTable t({"policy", "Tmax (C)", "gradient (C)", "noise (%)",
+                 "emerg (%)", "eta (%)", "VR loss (W)",
+                 "avg active"});
+    for (auto kind : core::allPolicyKinds()) {
+        auto r = simulation.run(profile, kind);
+        t.addRow({core::policyName(kind), TextTable::num(r.maxTmax, 1),
+                  TextTable::num(r.maxGradient, 1),
+                  TextTable::num(r.maxNoiseFrac * 100.0, 1),
+                  TextTable::num(r.emergencyFrac * 100.0, 3),
+                  TextTable::num(r.avgEta * 100.0, 1),
+                  TextTable::num(r.avgRegulatorLoss, 2),
+                  TextTable::num(r.avgActiveVrs, 1)});
+    }
+    t.print(std::cout);
+
+    std::cout << "\nreading guide: OracT/PracT minimise temperature "
+                 "but inflate noise;\nOracV does the opposite; "
+                 "OracVT/PracVT keep OracT's thermal profile while\n"
+                 "snapping emergency-prone domains to all-on "
+                 "(Section 6.2.4/6.3 of the paper).\n";
+    return 0;
+}

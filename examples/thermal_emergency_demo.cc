@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Why on-chip regulators are a thermal hazard (paper Section 2), in
+ * one runnable scenario: the same chip and workload, with power
+ * conversion off-chip vs. all 96 regulators active on-chip. The
+ * regulators' conversion loss (~4 W/mm^2 at their tiny footprint)
+ * creates localised hot spots that push the hottest regulator far
+ * above the silicon around it — and a gating governor (OracT) pulls
+ * most of that back.
+ */
+
+#include <cstdio>
+
+#include "floorplan/power8.hh"
+#include "sim/simulation.hh"
+#include "workload/profile.hh"
+
+using namespace tg;
+
+int
+main()
+{
+    auto chip = floorplan::buildPower8Chip();
+    sim::Simulation simulation(chip, sim::SimConfig{});
+    const auto &profile = workload::profileByName("chol");
+
+    sim::RecordOptions opts;
+    opts.noiseSamplesOverride = 0;
+
+    auto off = simulation.run(profile, core::PolicyKind::OffChip,
+                              opts);
+    auto on = simulation.run(profile, core::PolicyKind::AllOn, opts);
+    auto gated = simulation.run(profile, core::PolicyKind::OracT,
+                                opts);
+
+    // The paper's motivating arithmetic (Section 2): P_loss density
+    // at peak efficiency for the calibrated design.
+    const auto &design = simulation.design();
+    double i_pk = design.curve.peakCurrent();
+    double ploss =
+        design.curve.plossAt(chip.params.vdd, i_pk);
+    std::printf("one regulator at peak efficiency: %.2f W loss on "
+                "%.2f mm^2 = %.1f W/mm^2\n",
+                ploss, design.areaMm2, ploss / design.areaMm2);
+    std::printf("(air-cooling limit is ~1.5 W/mm^2 -> regulators are "
+                "thermally dangerous)\n\n");
+
+    std::printf("cholesky, mean chip power %.0f W:\n", on.meanPower);
+    std::printf("  off-chip regulation : Tmax %.1f degC at %-12s "
+                "gradient %.1f degC\n",
+                off.maxTmax, off.hottestSpot.c_str(),
+                off.maxGradient);
+    std::printf("  all 96 VRs on       : Tmax %.1f degC at %-12s "
+                "gradient %.1f degC\n",
+                on.maxTmax, on.hottestSpot.c_str(), on.maxGradient);
+    std::printf("  ThermoGater (OracT) : Tmax %.1f degC at %-12s "
+                "gradient %.1f degC\n",
+                gated.maxTmax, gated.hottestSpot.c_str(),
+                gated.maxGradient);
+
+    std::printf("\non-chip regulation costs %+.1f degC; "
+                "thermally-aware gating recovers %+.1f degC while "
+                "still converting at %.1f%% efficiency (all-on: "
+                "%.1f%%)\n",
+                on.maxTmax - off.maxTmax, gated.maxTmax - on.maxTmax,
+                gated.avgEta * 100.0, on.avgEta * 100.0);
+    return 0;
+}

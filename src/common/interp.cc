@@ -1,0 +1,66 @@
+#include "common/interp.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace tg {
+
+PiecewiseLinear::PiecewiseLinear(
+    std::vector<std::pair<double, double>> points, bool log_x)
+    : pts(std::move(points)), logX(log_x)
+{
+    TG_ASSERT(pts.size() >= 2, "curve needs at least two points");
+    std::sort(pts.begin(), pts.end());
+    if (logX) {
+        for (const auto &p : pts)
+            TG_ASSERT(p.first > 0.0, "log-x curve requires positive x");
+    }
+    for (std::size_t i = 1; i < pts.size(); ++i)
+        TG_ASSERT(pts[i].first > pts[i - 1].first,
+                  "curve x values must be distinct");
+}
+
+double
+PiecewiseLinear::axis(double x) const
+{
+    return logX ? std::log10(x) : x;
+}
+
+double
+PiecewiseLinear::operator()(double x) const
+{
+    if (x <= pts.front().first)
+        return pts.front().second;
+    if (x >= pts.back().first)
+        return pts.back().second;
+
+    auto it = std::lower_bound(
+        pts.begin(), pts.end(), x,
+        [](const auto &p, double v) { return p.first < v; });
+    const auto &hi = *it;
+    const auto &lo = *(it - 1);
+    double t = (axis(x) - axis(lo.first)) / (axis(hi.first) - axis(lo.first));
+    return lo.second + t * (hi.second - lo.second);
+}
+
+double
+PiecewiseLinear::argmax() const
+{
+    auto it = std::max_element(
+        pts.begin(), pts.end(),
+        [](const auto &a, const auto &b) { return a.second < b.second; });
+    return it->first;
+}
+
+double
+PiecewiseLinear::maxValue() const
+{
+    auto it = std::max_element(
+        pts.begin(), pts.end(),
+        [](const auto &a, const auto &b) { return a.second < b.second; });
+    return it->second;
+}
+
+} // namespace tg

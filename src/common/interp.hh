@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Piecewise-linear interpolation over (x, y) sample points, with an
+ * optional log10-x mode used for regulator efficiency curves whose
+ * natural axis is decades of output current (paper Figs. 1/2/5).
+ */
+
+#ifndef TG_COMMON_INTERP_HH
+#define TG_COMMON_INTERP_HH
+
+#include <utility>
+#include <vector>
+
+namespace tg {
+
+/**
+ * Piecewise-linear curve y(x) through a fixed set of sample points.
+ *
+ * Queries outside the sampled domain clamp to the end values, which is
+ * the right behaviour for efficiency curves (a regulator loaded below
+ * the lightest characterised point is no better than that point).
+ */
+class PiecewiseLinear
+{
+  public:
+    /**
+     * @param points   (x, y) samples; sorted by x internally
+     * @param log_x    interpolate against log10(x) instead of x
+     *                 (requires all x > 0)
+     */
+    explicit PiecewiseLinear(std::vector<std::pair<double, double>> points,
+                             bool log_x = false);
+
+    /** Evaluate the curve at x. */
+    double operator()(double x) const;
+
+    /** x of the sample with the largest y value. */
+    double argmax() const;
+
+    /** Largest sampled y value. */
+    double maxValue() const;
+
+    /** Sampled domain endpoints. */
+    double minX() const { return pts.front().first; }
+    double maxX() const { return pts.back().first; }
+
+  private:
+    std::vector<std::pair<double, double>> pts;
+    bool logX;
+
+    double axis(double x) const;
+};
+
+} // namespace tg
+
+#endif // TG_COMMON_INTERP_HH

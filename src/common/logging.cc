@@ -1,0 +1,16 @@
+#include "common/logging.hh"
+
+#include <cstdio>
+
+namespace tg {
+namespace detail {
+
+void
+emitLog(const char *level, const std::string &msg)
+{
+    std::fprintf(stderr, "[%s] %s\n", level, msg.c_str());
+    std::fflush(stderr);
+}
+
+} // namespace detail
+} // namespace tg

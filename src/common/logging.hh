@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Logging and error-reporting helpers in the gem5 idiom.
+ *
+ * panic() is for internal invariant violations (simulator bugs); it
+ * aborts. fatal() is for user errors (bad configuration, impossible
+ * parameters); it exits with an error code. warn() and inform() print
+ * status without stopping the simulation.
+ */
+
+#ifndef TG_COMMON_LOGGING_HH
+#define TG_COMMON_LOGGING_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace tg {
+
+namespace detail {
+
+/** Compose the final log line and emit it on stderr. */
+void emitLog(const char *level, const std::string &msg);
+
+/** Stream-concatenate an arbitrary argument pack into a string. */
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << std::forward<Args>(args));
+    return os.str();
+}
+
+} // namespace detail
+
+/**
+ * Report an internal invariant violation and abort.
+ *
+ * Call when something happens that should never happen regardless of
+ * user input, i.e. an actual bug in this library.
+ */
+template <typename... Args>
+[[noreturn]] void
+panic(Args &&...args)
+{
+    detail::emitLog("panic", detail::concat(std::forward<Args>(args)...));
+    std::abort();
+}
+
+/**
+ * Report an unrecoverable user error and exit(1).
+ *
+ * Call when the simulation cannot continue due to a condition that is
+ * the caller's fault (invalid configuration, inconsistent parameters).
+ */
+template <typename... Args>
+[[noreturn]] void
+fatal(Args &&...args)
+{
+    detail::emitLog("fatal", detail::concat(std::forward<Args>(args)...));
+    std::exit(1);
+}
+
+/** Warn about questionable but survivable conditions. */
+template <typename... Args>
+void
+warn(Args &&...args)
+{
+    detail::emitLog("warn", detail::concat(std::forward<Args>(args)...));
+}
+
+/** Print an informational status message. */
+template <typename... Args>
+void
+inform(Args &&...args)
+{
+    detail::emitLog("info", detail::concat(std::forward<Args>(args)...));
+}
+
+/**
+ * Check a library invariant; panics with location info when violated.
+ *
+ * Unlike assert(), stays active in release builds: the solvers here are
+ * numerical and silent corruption is worse than an abort.
+ */
+#define TG_ASSERT(cond, ...)                                            \
+    do {                                                                \
+        if (!(cond)) {                                                  \
+            ::tg::panic("assertion '", #cond, "' failed at ",           \
+                        __FILE__, ":", __LINE__, ": ", ##__VA_ARGS__);  \
+        }                                                               \
+    } while (0)
+
+} // namespace tg
+
+#endif // TG_COMMON_LOGGING_HH

@@ -1,0 +1,121 @@
+#include "common/stats.hh"
+
+#include <cmath>
+#include <limits>
+
+#include "common/logging.hh"
+
+namespace tg {
+
+void
+RunningStats::add(double x)
+{
+    if (n == 0) {
+        lo = hi = x;
+    } else {
+        if (x < lo) lo = x;
+        if (x > hi) hi = x;
+    }
+    ++n;
+    double delta = x - mu;
+    mu += delta / static_cast<double>(n);
+    m2 += delta * (x - mu);
+}
+
+double
+RunningStats::min() const
+{
+    return n ? lo : std::numeric_limits<double>::infinity();
+}
+
+double
+RunningStats::max() const
+{
+    return n ? hi : -std::numeric_limits<double>::infinity();
+}
+
+double
+RunningStats::variance() const
+{
+    return n > 1 ? m2 / static_cast<double>(n) : 0.0;
+}
+
+double
+RunningStats::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+double
+rSquared(const std::vector<double> &reference,
+         const std::vector<double> &predicted)
+{
+    TG_ASSERT(reference.size() == predicted.size(),
+              "R^2 needs equal-length series");
+    TG_ASSERT(!reference.empty(), "R^2 of empty series");
+
+    double mean = 0.0;
+    for (double r : reference)
+        mean += r;
+    mean /= static_cast<double>(reference.size());
+
+    double ss_res = 0.0;
+    double ss_tot = 0.0;
+    for (std::size_t i = 0; i < reference.size(); ++i) {
+        double e = reference[i] - predicted[i];
+        double d = reference[i] - mean;
+        ss_res += e * e;
+        ss_tot += d * d;
+    }
+    if (ss_tot == 0.0)
+        return ss_res == 0.0 ? 1.0 : 0.0;
+    return 1.0 - ss_res / ss_tot;
+}
+
+double
+fitSlopeThroughOrigin(const std::vector<double> &x,
+                      const std::vector<double> &y)
+{
+    TG_ASSERT(x.size() == y.size(), "slope fit needs equal-length series");
+    double sxy = 0.0;
+    double sxx = 0.0;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        sxy += x[i] * y[i];
+        sxx += x[i] * x[i];
+    }
+    if (sxx == 0.0)
+        return 0.0;
+    return sxy / sxx;
+}
+
+WmaForecaster::WmaForecaster(std::size_t depth) : depth(depth)
+{
+    TG_ASSERT(depth >= 1, "WMA window must be non-empty");
+}
+
+void
+WmaForecaster::observe(double x)
+{
+    history.push_back(x);
+    while (history.size() > depth)
+        history.pop_front();
+}
+
+double
+WmaForecaster::predict() const
+{
+    if (history.empty())
+        return 0.0;
+    // Most recent sample (back of the deque) gets the largest weight.
+    double num = 0.0;
+    double den = 0.0;
+    double w = 1.0;
+    for (double x : history) {
+        num += w * x;
+        den += w;
+        w += 1.0;
+    }
+    return num / den;
+}
+
+} // namespace tg

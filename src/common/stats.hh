@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Small statistics helpers shared across the simulator: running
+ * accumulators, coefficient of determination (paper Eqn. 3), weighted
+ * moving average forecasting (used by PracT), and least-squares slope
+ * fitting (used to extract the theta_i of paper Eqn. 2).
+ */
+
+#ifndef TG_COMMON_STATS_HH
+#define TG_COMMON_STATS_HH
+
+#include <cstddef>
+#include <deque>
+#include <vector>
+
+namespace tg {
+
+/**
+ * Running scalar accumulator: count, mean, min, max, variance
+ * (Welford's algorithm, numerically stable).
+ */
+class RunningStats
+{
+  public:
+    /** Fold one sample into the accumulator. */
+    void add(double x);
+
+    /** Number of samples folded in so far. */
+    std::size_t count() const { return n; }
+    /** Mean of the samples; 0 when empty. */
+    double mean() const { return n ? mu : 0.0; }
+    /** Smallest sample; +inf when empty. */
+    double min() const;
+    /** Largest sample; -inf when empty. */
+    double max() const;
+    /** Population variance; 0 with fewer than two samples. */
+    double variance() const;
+    /** Population standard deviation. */
+    double stddev() const;
+
+  private:
+    std::size_t n = 0;
+    double mu = 0.0;
+    double m2 = 0.0;
+    double lo = 0.0;
+    double hi = 0.0;
+};
+
+/**
+ * Coefficient of determination R^2 between a reference series and a
+ * prediction of it (paper Eqn. 3). Returns 1.0 for a perfect
+ * prediction; can be negative for predictions worse than the mean.
+ *
+ * @param reference ground-truth values (T_i,HotSpot in the paper)
+ * @param predicted model outputs (T_i,Prediction in the paper)
+ */
+double rSquared(const std::vector<double> &reference,
+                const std::vector<double> &predicted);
+
+/**
+ * Ordinary least-squares slope through the origin: finds theta
+ * minimising sum (y_i - theta * x_i)^2. Used to fit the per-regulator
+ * deltaT = theta * deltaP model of paper Eqn. 2.
+ */
+double fitSlopeThroughOrigin(const std::vector<double> &x,
+                             const std::vector<double> &y);
+
+/**
+ * Weighted moving average forecaster over a short history window.
+ *
+ * PracT uses a WMA over the last three decision points to anticipate
+ * the next power demand (paper Section 6.3, after [3]). Weights decay
+ * linearly: the most recent sample has weight `depth`, the oldest has
+ * weight 1.
+ */
+class WmaForecaster
+{
+  public:
+    /** @param depth history window length (the paper uses 3) */
+    explicit WmaForecaster(std::size_t depth = 3);
+
+    /** Record an observed value at the latest decision point. */
+    void observe(double x);
+
+    /**
+     * Forecast the next value. With no history returns 0; with a
+     * partial window uses whatever history exists.
+     */
+    double predict() const;
+
+    /** Drop all history. */
+    void reset() { history.clear(); }
+
+  private:
+    std::size_t depth;
+    std::deque<double> history;
+};
+
+} // namespace tg
+
+#endif // TG_COMMON_STATS_HH

@@ -1,0 +1,69 @@
+#include "common/table.hh"
+
+#include <iomanip>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace tg {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : head(std::move(header))
+{
+    TG_ASSERT(!head.empty(), "table needs at least one column");
+}
+
+void
+TextTable::addRow(std::vector<std::string> row)
+{
+    TG_ASSERT(row.size() == head.size(),
+              "row width ", row.size(), " != header width ", head.size());
+    rows.push_back(std::move(row));
+}
+
+std::string
+TextTable::num(double v, int precision)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << v;
+    return os.str();
+}
+
+void
+TextTable::print(std::ostream &os) const
+{
+    std::vector<std::size_t> width(head.size());
+    for (std::size_t c = 0; c < head.size(); ++c)
+        width[c] = head[c].size();
+    for (const auto &row : rows)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            width[c] = std::max(width[c], row[c].size());
+
+    auto emit = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            os << std::setw(static_cast<int>(width[c])) << row[c];
+            os << (c + 1 == row.size() ? "\n" : "  ");
+        }
+    };
+    emit(head);
+    std::size_t total = 2 * (head.size() - 1);
+    for (std::size_t w : width)
+        total += w;
+    os << std::string(total, '-') << "\n";
+    for (const auto &row : rows)
+        emit(row);
+}
+
+void
+TextTable::printCsv(std::ostream &os) const
+{
+    auto emit = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < row.size(); ++c)
+            os << row[c] << (c + 1 == row.size() ? "\n" : ",");
+    };
+    emit(head);
+    for (const auto &row : rows)
+        emit(row);
+}
+
+} // namespace tg

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Aligned text tables and CSV emission for the figure/table benches.
+ *
+ * Every bench binary reproduces one figure or table of the paper by
+ * printing its rows/series; TextTable keeps that output readable and
+ * uniform, and writeCsv() optionally persists the data for plotting.
+ */
+
+#ifndef TG_COMMON_TABLE_HH
+#define TG_COMMON_TABLE_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace tg {
+
+/** Simple aligned text table with a header row. */
+class TextTable
+{
+  public:
+    /** @param header column titles */
+    explicit TextTable(std::vector<std::string> header);
+
+    /** Append a row; must match the header width. */
+    void addRow(std::vector<std::string> row);
+
+    /** Convenience: format doubles with fixed precision. */
+    static std::string num(double v, int precision = 2);
+
+    /** Render with aligned columns to the stream. */
+    void print(std::ostream &os) const;
+
+    /** Render as comma-separated values to the stream. */
+    void printCsv(std::ostream &os) const;
+
+    /** Number of data rows. */
+    std::size_t size() const { return rows.size(); }
+
+  private:
+    std::vector<std::string> head;
+    std::vector<std::vector<std::string>> rows;
+};
+
+} // namespace tg
+
+#endif // TG_COMMON_TABLE_HH

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Unit conventions and physical constants used throughout the library.
+ *
+ * All quantities are SI unless a suffix says otherwise: seconds, watts,
+ * amperes, volts, metres, kelvin-equivalent degrees Celsius for
+ * temperatures (the solvers only ever use temperature differences plus
+ * a Celsius ambient, so Celsius is safe).
+ */
+
+#ifndef TG_COMMON_UNITS_HH
+#define TG_COMMON_UNITS_HH
+
+namespace tg {
+
+using Seconds = double;  //!< time [s]
+using Watts = double;    //!< power [W]
+using Amperes = double;  //!< current [A]
+using Volts = double;    //!< voltage [V]
+using Metres = double;   //!< length [m]
+using Celsius = double;  //!< temperature [deg C]
+
+/** Scale helpers for readability at call sites. */
+constexpr double kMilli = 1e-3;
+constexpr double kMicro = 1e-6;
+constexpr double kNano = 1e-9;
+constexpr double kKilo = 1e3;
+constexpr double kMega = 1e6;
+constexpr double kGiga = 1e9;
+
+/** Square millimetres to square metres. */
+constexpr double mm2ToM2(double mm2) { return mm2 * 1e-6; }
+/** Millimetres to metres. */
+constexpr double mmToM(double mm) { return mm * 1e-3; }
+
+} // namespace tg
+
+#endif // TG_COMMON_UNITS_HH

@@ -1,0 +1,61 @@
+#include "core/aging.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace tg {
+namespace core {
+
+AgingModel::AgingModel(int n_vrs, AgingParams params)
+    : prm(params), acc(static_cast<std::size_t>(n_vrs), 0.0)
+{
+    TG_ASSERT(n_vrs >= 1, "aging model needs regulators");
+    TG_ASSERT(prm.activationDelta > 0.0,
+              "activation delta must be positive");
+    TG_ASSERT(prm.idleStressFraction >= 0.0 &&
+                  prm.idleStressFraction <= 1.0,
+              "idle stress fraction outside [0, 1]");
+}
+
+void
+AgingModel::accumulate(int vr, Celsius t, bool active, Seconds dt)
+{
+    TG_ASSERT(dt >= 0.0, "negative time step");
+    double thermal =
+        std::exp2((t - prm.refTemp) / prm.activationDelta);
+    double stress = active ? 1.0 : prm.idleStressFraction;
+    acc.at(static_cast<std::size_t>(vr)) += dt * stress * thermal;
+}
+
+double
+AgingModel::damage(int vr) const
+{
+    return acc.at(static_cast<std::size_t>(vr));
+}
+
+double
+AgingModel::maxDamage() const
+{
+    return *std::max_element(acc.begin(), acc.end());
+}
+
+double
+AgingModel::meanDamage() const
+{
+    double sum = 0.0;
+    for (double d : acc)
+        sum += d;
+    return sum / static_cast<double>(acc.size());
+}
+
+double
+AgingModel::imbalance() const
+{
+    double mean = meanDamage();
+    return mean > 0.0 ? maxDamage() / mean : 1.0;
+}
+
+} // namespace core
+} // namespace tg

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Regulator wear-out (aging) accounting.
+ *
+ * The paper's discussion (Section 7) argues ThermoGater policies
+ * affect aging because per-regulator utilisation is not uniform —
+ * and that PracVT's tendency to park highly-utilised regulators in
+ * cooler regions may *balance* aging under wear-out mechanisms whose
+ * rate grows exponentially with temperature. This model makes that
+ * argument measurable: each regulator accumulates damage at a rate
+ * exponential in temperature (Arrhenius-style, doubling every
+ * `activationDelta` degC) and weighted by whether it is conducting
+ * (electromigration/BTI stress mostly under load). Damage is
+ * expressed in equivalent stress-seconds at the reference
+ * temperature, so a regulator held at refTemp, always on, ages by
+ * 1.0 per second.
+ */
+
+#ifndef TG_CORE_AGING_HH
+#define TG_CORE_AGING_HH
+
+#include <vector>
+
+#include "common/units.hh"
+
+namespace tg {
+namespace core {
+
+/** Wear-out rate parameters. */
+struct AgingParams
+{
+    Celsius refTemp = 55.0;        //!< rate = 1 at this temperature
+    Celsius activationDelta = 12.0; //!< degC per rate doubling
+    /** Stress rate of a gated (non-conducting) regulator relative
+     *  to an active one: BTI relaxes and EM stops without current,
+     *  but thermal cycling still contributes. */
+    double idleStressFraction = 0.2;
+};
+
+/** Per-regulator damage accumulator. */
+class AgingModel
+{
+  public:
+    explicit AgingModel(int n_vrs, AgingParams params = {});
+
+    /** Integrate `dt` seconds of stress for regulator `vr`. */
+    void accumulate(int vr, Celsius t, bool active, Seconds dt);
+
+    /** Accumulated damage of `vr` [equivalent seconds at refTemp]. */
+    double damage(int vr) const;
+
+    /** All damages, indexed like the regulator list. */
+    const std::vector<double> &damages() const { return acc; }
+
+    double maxDamage() const;
+    double meanDamage() const;
+
+    /**
+     * Aging imbalance: max over mean damage. 1.0 means perfectly
+     * balanced wear; large values mean a few regulators age much
+     * faster than the rest and bound the network's lifetime.
+     */
+    double imbalance() const;
+
+    const AgingParams &params() const { return prm; }
+
+  private:
+    AgingParams prm;
+    std::vector<double> acc;
+};
+
+} // namespace core
+} // namespace tg
+
+#endif // TG_CORE_AGING_HH

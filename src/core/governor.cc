@@ -1,0 +1,86 @@
+#include "core/governor.hh"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/logging.hh"
+
+namespace tg {
+namespace core {
+
+Governor::Governor(PolicyKind kind, int n_domains)
+    : policyKind(kind), policy(makePolicy(kind)),
+      onTime(static_cast<std::size_t>(n_domains)),
+      accounted(static_cast<std::size_t>(n_domains), 0.0)
+{
+    TG_ASSERT(n_domains >= 1, "need at least one domain");
+}
+
+Decision
+Governor::decide(const DomainState &state, const PolicyToolkit &kit,
+                 bool emergency_alert)
+{
+    ++decisions;
+    Decision d;
+    int n_vrs = static_cast<int>(state.vrTemps.size());
+
+    if (policyKind == PolicyKind::OffChip) {
+        d.non = 0;
+        return d;  // no on-chip regulators at all
+    }
+
+    TG_ASSERT(kit.network, "governor needs the regulator network");
+    d.non = std::min(kit.network->size(),
+                     kit.network->requiredActive(state.demandNext) +
+                         state.headroomVrs);
+
+    if (policyKind == PolicyKind::AllOn) {
+        d.active.resize(static_cast<std::size_t>(n_vrs));
+        std::iota(d.active.begin(), d.active.end(), 0);
+        return d;
+    }
+
+    if (hasEmergencyOverride(policyKind) && emergency_alert) {
+        // Voltage emergency ahead: this domain goes all-on until the
+        // next decision point (Section 6.2.4). Efficiency degrades
+        // for the interval, but emergencies are rare (Table 2).
+        d.active.resize(static_cast<std::size_t>(n_vrs));
+        std::iota(d.active.begin(), d.active.end(), 0);
+        d.overridden = true;
+        ++overrides;
+        return d;
+    }
+
+    d.active = policy->select(state, d.non, kit);
+    TG_ASSERT(static_cast<int>(d.active.size()) == d.non,
+              "policy returned ", d.active.size(),
+              " regulators, expected ", d.non);
+    return d;
+}
+
+void
+Governor::recordActivity(int domain, const std::vector<int> &active,
+                         int n_vrs, Seconds span)
+{
+    auto &dom = onTime.at(static_cast<std::size_t>(domain));
+    if (dom.empty())
+        dom.assign(static_cast<std::size_t>(n_vrs), 0.0);
+    TG_ASSERT(static_cast<int>(dom.size()) == n_vrs,
+              "inconsistent VR count for domain ", domain);
+    for (int vr : active)
+        dom.at(static_cast<std::size_t>(vr)) += span;
+    accounted.at(static_cast<std::size_t>(domain)) += span;
+}
+
+double
+Governor::activityRate(int domain, int vr) const
+{
+    const auto &dom = onTime.at(static_cast<std::size_t>(domain));
+    double total = accounted.at(static_cast<std::size_t>(domain));
+    if (dom.empty() || total <= 0.0)
+        return 0.0;
+    return dom.at(static_cast<std::size_t>(vr)) / total;
+}
+
+} // namespace core
+} // namespace tg

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * The ThermoGater governor (paper Fig. 3).
+ *
+ * Once per decision interval and per Vdd-domain the governor:
+ *  1. computes n_on, the active-regulator count that sustains peak
+ *     conversion efficiency for the anticipated demand (factor I of
+ *     Section 4);
+ *  2. asks the configured policy which n_on regulators to keep on
+ *     (factor II, thermal emergencies);
+ *  3. applies the voltage-emergency override for the *VT policies:
+ *     upon an (oracular or predicted) emergency alert the affected
+ *     domain switches to all-on until the next decision point,
+ *     trading a negligible efficiency loss for the best-case noise
+ *     profile (factor III, Section 6.2.4/6.3).
+ *
+ * It also keeps the per-regulator activity accounting behind Fig. 13.
+ */
+
+#ifndef TG_CORE_GOVERNOR_HH
+#define TG_CORE_GOVERNOR_HH
+
+#include <memory>
+#include <vector>
+
+#include "core/policy.hh"
+
+namespace tg {
+namespace core {
+
+/** Outcome of one per-domain gating decision. */
+struct Decision
+{
+    std::vector<int> active; //!< local VR indices kept on
+    int non = 0;             //!< efficiency-optimal active count
+    bool overridden = false; //!< all-on emergency override applied
+};
+
+/** Chip-level governor: one policy, per-domain decisions. */
+class Governor
+{
+  public:
+    /**
+     * @param kind      policy to govern with
+     * @param n_domains number of Vdd-domains on the chip
+     */
+    Governor(PolicyKind kind, int n_domains);
+
+    PolicyKind kind() const { return policyKind; }
+
+    /**
+     * Draw the gating decision for one domain.
+     *
+     * @param state           policy inputs (fidelity per policy kind)
+     * @param kit             domain handles (PDN, network, thetas)
+     * @param emergency_alert emergency expected in the next interval
+     *                        (only honoured by the *VT policies)
+     */
+    Decision decide(const DomainState &state, const PolicyToolkit &kit,
+                    bool emergency_alert);
+
+    /**
+     * Account `span` seconds of the given active set for Fig. 13's
+     * per-regulator activity rates.
+     */
+    void recordActivity(int domain, const std::vector<int> &active,
+                        int n_vrs, Seconds span);
+
+    /** Fraction of accounted time VR `vr` of `domain` was active. */
+    double activityRate(int domain, int vr) const;
+
+    /** Count of decisions that ended in an all-on override. */
+    long overrideCount() const { return overrides; }
+    /** Total decisions drawn. */
+    long decisionCount() const { return decisions; }
+
+  private:
+    PolicyKind policyKind;
+    std::unique_ptr<GatingPolicy> policy;
+    std::vector<std::vector<Seconds>> onTime;  //!< [domain][vr]
+    std::vector<Seconds> accounted;            //!< [domain]
+    long overrides = 0;
+    long decisions = 0;
+};
+
+} // namespace core
+} // namespace tg
+
+#endif // TG_CORE_GOVERNOR_HH

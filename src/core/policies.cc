@@ -1,0 +1,268 @@
+/**
+ * @file
+ * Implementations of the gating policies (paper Sections 6.2 and 6.3).
+ */
+
+#include "core/policy.hh"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/logging.hh"
+
+namespace tg {
+namespace core {
+
+const char *
+policyName(PolicyKind kind)
+{
+    switch (kind) {
+      case PolicyKind::OffChip: return "off-chip";
+      case PolicyKind::AllOn: return "all-on";
+      case PolicyKind::Naive: return "Naive";
+      case PolicyKind::OracT: return "OracT";
+      case PolicyKind::OracV: return "OracV";
+      case PolicyKind::OracVT: return "OracVT";
+      case PolicyKind::PracT: return "PracT";
+      case PolicyKind::PracVT: return "PracVT";
+    }
+    panic("unknown policy kind");
+}
+
+bool
+isOracular(PolicyKind kind)
+{
+    return kind == PolicyKind::OracT || kind == PolicyKind::OracV ||
+           kind == PolicyKind::OracVT;
+}
+
+bool
+hasEmergencyOverride(PolicyKind kind)
+{
+    return kind == PolicyKind::OracVT || kind == PolicyKind::PracVT;
+}
+
+bool
+isThermallyAware(PolicyKind kind)
+{
+    switch (kind) {
+      case PolicyKind::Naive:
+      case PolicyKind::OracT:
+      case PolicyKind::OracVT:
+      case PolicyKind::PracT:
+      case PolicyKind::PracVT:
+        return true;
+      default:
+        return false;
+    }
+}
+
+const std::vector<PolicyKind> &
+allPolicyKinds()
+{
+    static const std::vector<PolicyKind> kinds = {
+        PolicyKind::Naive,  PolicyKind::OracT,  PolicyKind::OracV,
+        PolicyKind::OracVT, PolicyKind::PracT,  PolicyKind::PracVT,
+        PolicyKind::AllOn,  PolicyKind::OffChip,
+    };
+    return kinds;
+}
+
+namespace {
+
+/** Indices 0..n-1 sorted ascending by the given key. */
+std::vector<int>
+sortedByKey(const std::vector<double> &key)
+{
+    std::vector<int> idx(key.size());
+    std::iota(idx.begin(), idx.end(), 0);
+    std::stable_sort(idx.begin(), idx.end(), [&](int a, int b) {
+        return key[static_cast<std::size_t>(a)] <
+               key[static_cast<std::size_t>(b)];
+    });
+    return idx;
+}
+
+/** Baseline: every regulator stays on all the time. */
+class AllOnPolicy : public GatingPolicy
+{
+  public:
+    std::vector<int>
+    select(const DomainState &state, int, const PolicyToolkit &) override
+    {
+        std::vector<int> all(state.vrTemps.size());
+        std::iota(all.begin(), all.end(), 0);
+        return all;
+    }
+
+    PolicyKind kind() const override { return PolicyKind::AllOn; }
+};
+
+/** Baseline: no on-chip regulation; selection is never consulted. */
+class OffChipPolicy : public GatingPolicy
+{
+  public:
+    std::vector<int>
+    select(const DomainState &, int, const PolicyToolkit &) override
+    {
+        return {};
+    }
+
+    PolicyKind kind() const override { return PolicyKind::OffChip; }
+};
+
+/**
+ * Naive thermally-aware gating (Section 6.2.1): keep the n_on
+ * *instantaneously* coolest regulators on, letting the hottest ones
+ * cool until the next decision point. The paper shows this
+ * back-fires: a just-gated (cool) regulator overshoots once it takes
+ * the load back, because the decision ignores the heating its
+ * activation causes.
+ */
+class NaivePolicy : public GatingPolicy
+{
+  public:
+    std::vector<int>
+    select(const DomainState &state, int non,
+           const PolicyToolkit &) override
+    {
+        TG_ASSERT(non >= 1 &&
+                      non <= static_cast<int>(state.vrTemps.size()),
+                  "bad n_on");
+        auto order = sortedByKey(state.vrTemps);
+        order.resize(static_cast<std::size_t>(non));
+        return order;
+    }
+
+    PolicyKind kind() const override { return PolicyKind::Naive; }
+};
+
+/**
+ * Predictive thermally-aware gating (Sections 6.2.2 and 6.3): rank
+ * regulators by *anticipated* temperature — the temperature each one
+ * would reach by the next decision point if kept active — and keep
+ * the n_on coolest-to-be. The anticipated temperature follows the
+ * linear model of Eqn. 2, deltaT_i = theta_i * deltaP_i, where
+ * deltaP_i is the change in the regulator's dissipated loss implied
+ * by the (known or forecast) demand change. OracT and PracT share
+ * this logic; they differ in the fidelity of the inputs the driver
+ * provides (exact vs. sensor temperatures, true future vs. WMA
+ * demand).
+ */
+class AnticipatedTempPolicy : public GatingPolicy
+{
+  public:
+    explicit AnticipatedTempPolicy(PolicyKind k) : myKind(k) {}
+
+    std::vector<int>
+    select(const DomainState &state, int non,
+           const PolicyToolkit &kit) override
+    {
+        std::size_t n = state.vrTemps.size();
+        TG_ASSERT(non >= 1 && non <= static_cast<int>(n), "bad n_on");
+        TG_ASSERT(kit.thetas && kit.thetas->size() == n,
+                  "anticipated-temperature policy needs thetas");
+        TG_ASSERT(state.vrLossNow.size() == n,
+                  "need per-VR loss for anticipation");
+
+        std::vector<double> anticipated(n);
+        for (std::size_t i = 0; i < n; ++i) {
+            double d_p =
+                state.vrLossNextPerActive - state.vrLossNow[i];
+            anticipated[i] =
+                state.vrTemps[i] + (*kit.thetas)[i] * d_p;
+        }
+        auto order = sortedByKey(anticipated);
+        order.resize(static_cast<std::size_t>(non));
+        return order;
+    }
+
+    PolicyKind kind() const override { return myKind; }
+
+  private:
+    PolicyKind myKind;
+};
+
+/**
+ * Voltage-noise-aware gating (Section 6.2.3): thermally oblivious;
+ * keeps the regulators physically closest to where the voltage noise
+ * peaks (the highest-current region, i.e. the logic units) active,
+ * exactly as the paper describes. The selection finds the node with
+ * the worst estimated droop under the anticipated load map and ranks
+ * regulators by their transfer resistance to it — which clusters the
+ * active set around the noise hot spot and is precisely what wrecks
+ * the thermal profile (Section 6.2.3, Fig. 12d).
+ */
+class NoiseAwarePolicy : public GatingPolicy
+{
+  public:
+    std::vector<int>
+    select(const DomainState &state, int non,
+           const PolicyToolkit &kit) override
+    {
+        int n = static_cast<int>(state.vrTemps.size());
+        TG_ASSERT(non >= 1 && non <= n, "bad n_on");
+        TG_ASSERT(kit.pdn, "noise-aware policy needs the domain PDN");
+        TG_ASSERT(static_cast<int>(state.nodeCurrents.size()) ==
+                      kit.pdn->nodeCount(),
+                  "node currents mismatch");
+
+        // Locate the noise peak: the node with the worst droop when
+        // every path matters equally (all-VR parallel estimate).
+        std::vector<int> all(static_cast<std::size_t>(n));
+        std::iota(all.begin(), all.end(), 0);
+        int worst_node = 0;
+        double worst = -1.0;
+        for (int j = 0; j < kit.pdn->nodeCount(); ++j) {
+            double inv = 0.0;
+            for (int k = 0; k < n; ++k)
+                inv += 1.0 / kit.pdn->transferResistance(j, k);
+            double droop =
+                state.nodeCurrents[static_cast<std::size_t>(j)] / inv;
+            if (droop > worst) {
+                worst = droop;
+                worst_node = j;
+            }
+        }
+
+        // Keep the n_on regulators best coupled to the peak.
+        std::vector<double> key(static_cast<std::size_t>(n));
+        for (int k = 0; k < n; ++k)
+            key[static_cast<std::size_t>(k)] =
+                kit.pdn->transferResistance(worst_node, k);
+        auto order = sortedByKey(key);
+        order.resize(static_cast<std::size_t>(non));
+        std::sort(order.begin(), order.end());
+        return order;
+    }
+
+    PolicyKind kind() const override { return PolicyKind::OracV; }
+};
+
+} // namespace
+
+std::unique_ptr<GatingPolicy>
+makePolicy(PolicyKind kind)
+{
+    switch (kind) {
+      case PolicyKind::OffChip:
+        return std::make_unique<OffChipPolicy>();
+      case PolicyKind::AllOn:
+        return std::make_unique<AllOnPolicy>();
+      case PolicyKind::Naive:
+        return std::make_unique<NaivePolicy>();
+      case PolicyKind::OracT:
+      case PolicyKind::OracVT:
+      case PolicyKind::PracT:
+      case PolicyKind::PracVT:
+        // The VT variants select like their T counterparts; the
+        // emergency override is applied by the governor on top.
+        return std::make_unique<AnticipatedTempPolicy>(kind);
+      case PolicyKind::OracV:
+        return std::make_unique<NoiseAwarePolicy>();
+    }
+    panic("unknown policy kind");
+}
+
+} // namespace core
+} // namespace tg

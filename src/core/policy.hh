@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Gating-policy interface and the policy kinds evaluated in the paper.
+ *
+ * Every policy answers the same question once per decision interval
+ * and per Vdd-domain: given that n_on regulators must be active to
+ * sustain peak conversion efficiency (paper Section 6.1), *which*
+ * n_on of the domain's regulators should they be (Section 6.2)?
+ *
+ * The oracular and practical variants of a policy share selection
+ * logic and differ only in input fidelity: Orac* receive exact
+ * temperatures and the true upcoming demand, Prac* receive stale
+ * sensor readings and a WMA forecast. The simulation driver prepares
+ * the inputs accordingly; the policy sees only a DomainState.
+ */
+
+#ifndef TG_CORE_POLICY_HH
+#define TG_CORE_POLICY_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/units.hh"
+#include "pdn/domain_pdn.hh"
+#include "vreg/network.hh"
+
+namespace tg {
+namespace core {
+
+/** The eight schemes of the paper's evaluation. */
+enum class PolicyKind
+{
+    OffChip, //!< baseline: no on-chip regulation at all
+    AllOn,   //!< baseline: all 96 VRs always active
+    Naive,   //!< thermally-aware greedy: n_on instantaneous-coolest
+    OracT,   //!< oracular predictive thermal-only (hottest-to-be off)
+    OracV,   //!< oracular voltage-noise-only (thermally oblivious)
+    OracVT,  //!< OracT + all-on override on (oracular) emergencies
+    PracT,   //!< practical OracT: sensors + WMA + theta model
+    PracVT,  //!< PracT + predictor-driven all-on override
+};
+
+/** Display name used in figures ("Naive", "OracT", ...). */
+const char *policyName(PolicyKind kind);
+
+/** True for the policies with perfect-information inputs. */
+bool isOracular(PolicyKind kind);
+
+/** True for the policies that react to voltage emergencies. */
+bool hasEmergencyOverride(PolicyKind kind);
+
+/** True when the policy needs the per-VR thermal inputs. */
+bool isThermallyAware(PolicyKind kind);
+
+/**
+ * Everything a policy may inspect when selecting regulators for one
+ * domain at one decision point. The driver fills the fields at the
+ * fidelity matching the policy kind.
+ */
+struct DomainState
+{
+    int domain = -1;         //!< Vdd-domain id
+    long decision = 0;       //!< decision-point index
+    Amperes demandNow = 0.0; //!< instantaneous load current [A]
+    Amperes demandNext = 0.0; //!< anticipated next-interval load [A]
+
+    /** Per local VR: temperature available to the policy [degC]. */
+    std::vector<Celsius> vrTemps;
+    /** Per local VR: conversion loss it dissipates right now [W]. */
+    std::vector<Watts> vrLossNow;
+    /** Anticipated per-VR loss if active next interval [W]. */
+    Watts vrLossNextPerActive = 0.0;
+
+    /** Extra active regulators beyond the efficiency optimum
+     *  (practical-policy headroom; 0 for oracular policies). */
+    int headroomVrs = 0;
+
+    /** Per-PDN-node load currents for noise estimation [A]. */
+    std::vector<Amperes> nodeCurrents;
+    /** Workload di/dt intensity in [0, 1]. */
+    double didt = 0.0;
+};
+
+/** Read-only helpers a policy may use. */
+struct PolicyToolkit
+{
+    const pdn::DomainPdn *pdn = nullptr;
+    const vreg::RegulatorNetwork *network = nullptr;
+    /** Fitted theta_i per local VR (Eqn. 2); empty when unused. */
+    const std::vector<double> *thetas = nullptr;
+};
+
+/**
+ * A regulator-selection policy (paper Section 6.2/6.3).
+ *
+ * select() returns exactly `non` local VR indices unless the policy
+ * is a baseline that ignores n_on (AllOn returns every VR).
+ */
+class GatingPolicy
+{
+  public:
+    virtual ~GatingPolicy() = default;
+
+    /** Select the active set for one domain at one decision point. */
+    virtual std::vector<int> select(const DomainState &state, int non,
+                                    const PolicyToolkit &kit) = 0;
+
+    /** The policy kind this instance implements. */
+    virtual PolicyKind kind() const = 0;
+
+    /** Figure label. */
+    std::string name() const { return policyName(kind()); }
+};
+
+/** Instantiate the selection logic for a policy kind. */
+std::unique_ptr<GatingPolicy> makePolicy(PolicyKind kind);
+
+/** All kinds in the paper's figure order. */
+const std::vector<PolicyKind> &allPolicyKinds();
+
+} // namespace core
+} // namespace tg
+
+#endif // TG_CORE_POLICY_HH

@@ -1,0 +1,69 @@
+#include "core/thermal_predictor.hh"
+
+#include "common/logging.hh"
+#include "common/stats.hh"
+
+namespace tg {
+namespace core {
+
+ThermalPredictor::ThermalPredictor(int n_vrs)
+    : thetas(static_cast<std::size_t>(n_vrs), 0.0),
+      sampleDp(static_cast<std::size_t>(n_vrs)),
+      sampleDt(static_cast<std::size_t>(n_vrs))
+{
+    TG_ASSERT(n_vrs >= 1, "predictor needs at least one regulator");
+}
+
+void
+ThermalPredictor::addSample(int vr, Watts d_p, Celsius d_t)
+{
+    sampleDp.at(static_cast<std::size_t>(vr)).push_back(d_p);
+    sampleDt.at(static_cast<std::size_t>(vr)).push_back(d_t);
+}
+
+void
+ThermalPredictor::fit()
+{
+    for (std::size_t i = 0; i < thetas.size(); ++i) {
+        if (sampleDp[i].empty()) {
+            warn("no profiling samples for regulator ", i,
+                 "; theta left at ", thetas[i]);
+            continue;
+        }
+        thetas[i] = fitSlopeThroughOrigin(sampleDp[i], sampleDt[i]);
+    }
+    fitted = true;
+}
+
+double
+ThermalPredictor::theta(int vr) const
+{
+    return thetas.at(static_cast<std::size_t>(vr));
+}
+
+void
+ThermalPredictor::setTheta(int vr, double theta)
+{
+    thetas.at(static_cast<std::size_t>(vr)) = theta;
+    fitted = true;
+}
+
+double
+ThermalPredictor::rSquared() const
+{
+    TG_ASSERT(fitted, "fit() must run before validation");
+    std::vector<double> reference;
+    std::vector<double> predicted;
+    for (std::size_t i = 0; i < thetas.size(); ++i) {
+        for (std::size_t s = 0; s < sampleDp[i].size(); ++s) {
+            reference.push_back(sampleDt[i][s]);
+            predicted.push_back(thetas[i] * sampleDp[i][s]);
+        }
+    }
+    if (reference.empty())
+        return 0.0;
+    return ::tg::rSquared(reference, predicted);
+}
+
+} // namespace core
+} // namespace tg

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Linear per-regulator thermal predictor (paper Eqn. 2).
+ *
+ * PracT predicts the temperature a regulator would reach by the next
+ * decision point as T + theta_i * deltaP_i, with one proportionality
+ * constant theta_i per regulator extracted from a profiling pass.
+ * The paper notes such linear models are generally poor for whole-
+ * chip thermal prediction (Skadron et al.) but highly accurate when
+ * confined to the tiny, fast-settling regulator nodes; it calibrates
+ * the thetas to keep the coefficient of determination R^2 (Eqn. 3)
+ * around 0.99, which the tests here reproduce against the full RC
+ * model.
+ */
+
+#ifndef TG_CORE_THERMAL_PREDICTOR_HH
+#define TG_CORE_THERMAL_PREDICTOR_HH
+
+#include <vector>
+
+#include "common/units.hh"
+
+namespace tg {
+namespace core {
+
+/** Fitted deltaT = theta * deltaP model, one theta per regulator. */
+class ThermalPredictor
+{
+  public:
+    /** @param n_vrs number of regulators covered */
+    explicit ThermalPredictor(int n_vrs);
+
+    /** Record one profiling observation for regulator `vr`. */
+    void addSample(int vr, Watts d_p, Celsius d_t);
+
+    /** Least-squares fit of theta_i from the recorded samples. */
+    void fit();
+
+    /** Fitted (or explicitly set) theta of regulator `vr` [degC/W]. */
+    double theta(int vr) const;
+
+    /** Override a theta (used by tests and calibration studies). */
+    void setTheta(int vr, double theta);
+
+    /** Anticipated temperature: t_now + theta_vr * d_p. */
+    Celsius
+    anticipate(int vr, Celsius t_now, Watts d_p) const
+    {
+        return t_now + theta(vr) * d_p;
+    }
+
+    /**
+     * Coefficient of determination (Eqn. 3) of the fitted model over
+     * the recorded profiling samples: compares predicted against
+     * observed next-point temperatures pooled across regulators,
+     * using a common baseline of 0 for the deltas' reference
+     * temperature (the samples are temperature *changes*, so the
+     * pooled R^2 is computed on the deltas).
+     */
+    double rSquared() const;
+
+    int size() const { return static_cast<int>(thetas.size()); }
+
+  private:
+    std::vector<double> thetas;
+    std::vector<std::vector<Watts>> sampleDp;
+    std::vector<std::vector<Celsius>> sampleDt;
+    bool fitted = false;
+};
+
+} // namespace core
+} // namespace tg
+
+#endif // TG_CORE_THERMAL_PREDICTOR_HH

@@ -1,0 +1,197 @@
+#include "floorplan/floorplan.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace tg {
+namespace floorplan {
+
+const char *
+unitKindName(UnitKind kind)
+{
+    switch (kind) {
+      case UnitKind::Ifu: return "IFU";
+      case UnitKind::Isu: return "ISU";
+      case UnitKind::Exu: return "EXU";
+      case UnitKind::Lsu: return "LSU";
+      case UnitKind::L2: return "L2";
+      case UnitKind::L3: return "L3";
+      case UnitKind::Noc: return "NOC";
+      case UnitKind::Mc: return "MC";
+    }
+    panic("unknown unit kind");
+}
+
+bool
+isLogicUnit(UnitKind kind)
+{
+    switch (kind) {
+      case UnitKind::Ifu:
+      case UnitKind::Isu:
+      case UnitKind::Exu:
+      case UnitKind::Lsu:
+        return true;
+      case UnitKind::L2:
+      case UnitKind::L3:
+      case UnitKind::Noc:
+      case UnitKind::Mc:
+        return false;
+    }
+    panic("unknown unit kind");
+}
+
+int
+Floorplan::blockIndex(const std::string &name) const
+{
+    for (std::size_t i = 0; i < blockList.size(); ++i)
+        if (blockList[i].name == name)
+            return static_cast<int>(i);
+    fatal("no block named '", name, "' in floorplan");
+}
+
+int
+Floorplan::blockAt(double x, double y) const
+{
+    for (std::size_t i = 0; i < blockList.size(); ++i)
+        if (blockList[i].rect.contains(x, y))
+            return static_cast<int>(i);
+    return -1;
+}
+
+std::vector<int>
+Floorplan::blocksOfKind(UnitKind kind) const
+{
+    std::vector<int> out;
+    for (std::size_t i = 0; i < blockList.size(); ++i)
+        if (blockList[i].kind == kind)
+            out.push_back(static_cast<int>(i));
+    return out;
+}
+
+double
+Floorplan::blockArea() const
+{
+    double a = 0.0;
+    for (const auto &b : blockList)
+        a += b.rect.area();
+    return a;
+}
+
+FloorplanBuilder::FloorplanBuilder(double width, double height)
+{
+    TG_ASSERT(width > 0.0 && height > 0.0, "die must have positive area");
+    fp.dieW = width;
+    fp.dieH = height;
+}
+
+int
+FloorplanBuilder::addBlock(const std::string &name, UnitKind kind,
+                           Rect rect, int domain, int core_id)
+{
+    Block b;
+    b.name = name;
+    b.kind = kind;
+    b.rect = rect;
+    b.domain = domain;
+    b.coreId = core_id;
+    fp.blockList.push_back(std::move(b));
+    return static_cast<int>(fp.blockList.size() - 1);
+}
+
+int
+FloorplanBuilder::addVr(const std::string &name, Rect rect, int domain)
+{
+    VrSite vr;
+    vr.name = name;
+    vr.rect = rect;
+    vr.domain = domain;
+    fp.vrList.push_back(std::move(vr));
+    return static_cast<int>(fp.vrList.size() - 1);
+}
+
+int
+FloorplanBuilder::addDomain(const std::string &name, DomainKind kind)
+{
+    VddDomain d;
+    d.id = static_cast<int>(fp.domainList.size());
+    d.kind = kind;
+    d.name = name;
+    fp.domainList.push_back(std::move(d));
+    return fp.domainList.back().id;
+}
+
+Floorplan
+FloorplanBuilder::build()
+{
+    auto inside = [&](const Rect &r) {
+        const double eps = 1e-9;
+        return r.x >= -eps && r.y >= -eps &&
+               r.x + r.w <= fp.dieW + eps && r.y + r.h <= fp.dieH + eps;
+    };
+
+    for (const auto &b : fp.blockList) {
+        if (!inside(b.rect))
+            fatal("block '", b.name, "' extends beyond the die");
+        if (b.rect.area() <= 0.0)
+            fatal("block '", b.name, "' has non-positive area");
+    }
+    for (std::size_t i = 0; i < fp.blockList.size(); ++i) {
+        for (std::size_t j = i + 1; j < fp.blockList.size(); ++j) {
+            if (fp.blockList[i].rect.overlaps(fp.blockList[j].rect))
+                fatal("blocks '", fp.blockList[i].name, "' and '",
+                      fp.blockList[j].name, "' overlap");
+        }
+    }
+
+    // Resolve VR host blocks and side classification.
+    for (auto &vr : fp.vrList) {
+        if (!inside(vr.rect))
+            fatal("VR '", vr.name, "' extends beyond the die");
+        int host = fp.blockAt(vr.rect.cx(), vr.rect.cy());
+        if (host < 0)
+            fatal("VR '", vr.name, "' sits on no block");
+        const Block &hb = fp.blockList[static_cast<std::size_t>(host)];
+        if (vr.domain >= 0 && hb.domain != vr.domain)
+            fatal("VR '", vr.name, "' sits over block '", hb.name,
+                  "' of a different Vdd-domain");
+        vr.hostBlock = host;
+        vr.memorySide = !isLogicUnit(hb.kind);
+    }
+
+    // Derive domain membership.
+    for (auto &d : fp.domainList) {
+        d.blocks.clear();
+        d.vrs.clear();
+    }
+    auto domain_ok = [&](int dom, const std::string &who) {
+        if (dom < 0)
+            return false;  // unregulated
+        if (dom >= static_cast<int>(fp.domainList.size()))
+            fatal("'", who, "' references undeclared domain ", dom);
+        return true;
+    };
+    for (std::size_t i = 0; i < fp.blockList.size(); ++i) {
+        const Block &b = fp.blockList[i];
+        if (domain_ok(b.domain, b.name))
+            fp.domainList[static_cast<std::size_t>(b.domain)]
+                .blocks.push_back(static_cast<int>(i));
+    }
+    for (std::size_t i = 0; i < fp.vrList.size(); ++i) {
+        const VrSite &vr = fp.vrList[i];
+        if (domain_ok(vr.domain, vr.name))
+            fp.domainList[static_cast<std::size_t>(vr.domain)]
+                .vrs.push_back(static_cast<int>(i));
+    }
+    for (const auto &d : fp.domainList) {
+        if (d.blocks.empty())
+            fatal("Vdd-domain '", d.name, "' has no blocks");
+        if (d.vrs.empty())
+            fatal("Vdd-domain '", d.name, "' has no regulators");
+    }
+
+    return std::move(fp);
+}
+
+} // namespace floorplan
+} // namespace tg

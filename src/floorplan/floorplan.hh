@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Chip floorplan model: functional blocks, on-chip voltage-regulator
+ * (VR) sites, and Vdd-domain membership (paper Fig. 4).
+ *
+ * Functional blocks tile the die without overlap. VR sites are tiny
+ * (0.04 mm^2) overlay squares that sit on top of whatever block owns
+ * the silicon underneath them; the thermal model gives each VR its own
+ * low-mass node attached to the die cell below it, so the overlay does
+ * not double-count area.
+ */
+
+#ifndef TG_FLOORPLAN_FLOORPLAN_HH
+#define TG_FLOORPLAN_FLOORPLAN_HH
+
+#include <string>
+#include <vector>
+
+#include "floorplan/geometry.hh"
+
+namespace tg {
+namespace floorplan {
+
+/** Functional unit categories appearing on the die. */
+enum class UnitKind
+{
+    Ifu,  //!< instruction fetch unit (incl. L1-I)
+    Isu,  //!< instruction scheduling unit
+    Exu,  //!< execution unit
+    Lsu,  //!< load/store unit (incl. L1-D)
+    L2,   //!< private L2 cache
+    L3,   //!< shared L3 bank
+    Noc,  //!< network-on-chip
+    Mc,   //!< memory controller
+};
+
+/** Human-readable name for a unit kind. */
+const char *unitKindName(UnitKind kind);
+
+/** True for power-hungry logic units, false for memory/uncore. */
+bool isLogicUnit(UnitKind kind);
+
+/** A functional block occupying die area. */
+struct Block
+{
+    std::string name;   //!< unique name, e.g. "core3.exu"
+    UnitKind kind;      //!< functional category
+    Rect rect;          //!< placement [mm]
+    int domain = -1;    //!< Vdd-domain id, -1 if unregulated
+    int coreId = -1;    //!< owning core, -1 for uncore blocks
+};
+
+/** An on-chip voltage regulator site. */
+struct VrSite
+{
+    std::string name;      //!< unique name, e.g. "core3.vr5"
+    Rect rect;             //!< placement [mm], 0.2 x 0.2 by default
+    int domain = -1;       //!< Vdd-domain this VR supplies
+    int hostBlock = -1;    //!< index of the block underneath the site
+    bool memorySide = false; //!< true when the site sits over memory
+};
+
+/** Category of a Vdd-domain (paper Section 5). */
+enum class DomainKind
+{
+    Core,  //!< one core plus its private L2 (9 VRs)
+    L3,    //!< one L3 bank (3 VRs)
+};
+
+/** A Vdd-domain: the blocks it feeds and the VRs that feed it. */
+struct VddDomain
+{
+    int id = -1;
+    DomainKind kind = DomainKind::Core;
+    std::string name;
+    std::vector<int> blocks;  //!< indices into Floorplan::blocks()
+    std::vector<int> vrs;     //!< indices into Floorplan::vrs()
+};
+
+/**
+ * Immutable floorplan: die outline, blocks, VR sites, domains.
+ *
+ * Built via FloorplanBuilder (or the canned buildPower8Chip()), then
+ * validated: blocks must tile the die without overlap, every VR must
+ * sit on a block of its own domain's silicon, and every domain must
+ * have at least one VR.
+ */
+class Floorplan
+{
+  public:
+    /** Die width [mm]. */
+    double width() const { return dieW; }
+    /** Die height [mm]. */
+    double height() const { return dieH; }
+    /** Die area [mm^2]. */
+    double area() const { return dieW * dieH; }
+
+    const std::vector<Block> &blocks() const { return blockList; }
+    const std::vector<VrSite> &vrs() const { return vrList; }
+    const std::vector<VddDomain> &domains() const { return domainList; }
+
+    /** Index of the named block; fatals when absent. */
+    int blockIndex(const std::string &name) const;
+
+    /** Index of the block containing the point, or -1. */
+    int blockAt(double x, double y) const;
+
+    /** Indices of all blocks with the given kind. */
+    std::vector<int> blocksOfKind(UnitKind kind) const;
+
+    /** Sum of block areas [mm^2] (excludes VR overlay). */
+    double blockArea() const;
+
+  private:
+    friend class FloorplanBuilder;
+
+    double dieW = 0.0;
+    double dieH = 0.0;
+    std::vector<Block> blockList;
+    std::vector<VrSite> vrList;
+    std::vector<VddDomain> domainList;
+};
+
+/** Incremental construction + validation of a Floorplan. */
+class FloorplanBuilder
+{
+  public:
+    /** @param width/height die extent [mm] */
+    FloorplanBuilder(double width, double height);
+
+    /** Add a functional block; returns its index. */
+    int addBlock(const std::string &name, UnitKind kind, Rect rect,
+                 int domain, int core_id = -1);
+
+    /** Add a VR site; host block and memory-side flag are derived. */
+    int addVr(const std::string &name, Rect rect, int domain);
+
+    /** Declare a Vdd-domain; block/VR membership is derived. */
+    int addDomain(const std::string &name, DomainKind kind);
+
+    /**
+     * Validate and return the finished floorplan. Fatals on block
+     * overlap, out-of-die placement, VRs over foreign domains, or
+     * empty domains.
+     */
+    Floorplan build();
+
+  private:
+    Floorplan fp;
+};
+
+} // namespace floorplan
+} // namespace tg
+
+#endif // TG_FLOORPLAN_FLOORPLAN_HH

@@ -1,0 +1,17 @@
+#include "floorplan/geometry.hh"
+
+#include <cmath>
+
+namespace tg {
+namespace floorplan {
+
+double
+Rect::centreDistance(const Rect &o) const
+{
+    double dx = cx() - o.cx();
+    double dy = cy() - o.cy();
+    return std::sqrt(dx * dx + dy * dy);
+}
+
+} // namespace floorplan
+} // namespace tg

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Planar geometry primitives for floorplans. All coordinates are in
+ * millimetres with the origin at the chip's lower-left corner.
+ */
+
+#ifndef TG_FLOORPLAN_GEOMETRY_HH
+#define TG_FLOORPLAN_GEOMETRY_HH
+
+namespace tg {
+namespace floorplan {
+
+/** Axis-aligned rectangle: lower-left corner plus extent, in mm. */
+struct Rect
+{
+    double x = 0.0;  //!< lower-left x [mm]
+    double y = 0.0;  //!< lower-left y [mm]
+    double w = 0.0;  //!< width [mm]
+    double h = 0.0;  //!< height [mm]
+
+    /** Area in mm^2. */
+    double area() const { return w * h; }
+
+    /** Centre x coordinate. */
+    double cx() const { return x + 0.5 * w; }
+    /** Centre y coordinate. */
+    double cy() const { return y + 0.5 * h; }
+
+    /** True when the point (px, py) lies inside (closed lower/left). */
+    bool
+    contains(double px, double py) const
+    {
+        return px >= x && px < x + w && py >= y && py < y + h;
+    }
+
+    /** True when the two rectangles overlap with positive area. */
+    bool
+    overlaps(const Rect &o) const
+    {
+        return x < o.x + o.w && o.x < x + w && y < o.y + o.h &&
+               o.y < y + h;
+    }
+
+    /** Euclidean distance between rectangle centres [mm]. */
+    double centreDistance(const Rect &o) const;
+};
+
+} // namespace floorplan
+} // namespace tg
+
+#endif // TG_FLOORPLAN_GEOMETRY_HH

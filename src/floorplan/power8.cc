@@ -1,0 +1,190 @@
+#include "floorplan/power8.hh"
+
+#include <string>
+
+#include "common/logging.hh"
+
+namespace tg {
+namespace floorplan {
+
+namespace {
+
+constexpr double kVrEdge = 0.2;  // VR site edge [mm] => 0.04 mm^2
+
+/**
+ * Place one core's internal blocks (Fig. 4a) at origin (ox, oy) with
+ * extent (w, h): L2 across the bottom, IFU/LSU in the middle row,
+ * ISU/EXU on top.
+ */
+void
+addCoreBlocks(FloorplanBuilder &b, const std::string &prefix, double ox,
+              double oy, double w, double h, int domain, int core_id)
+{
+    double l2_h = 0.40 * h;
+    double mid_h = 0.30 * h;
+    double top_h = h - l2_h - mid_h;
+    double half_w = 0.5 * w;
+
+    b.addBlock(prefix + ".l2", UnitKind::L2, {ox, oy, w, l2_h}, domain,
+               core_id);
+    b.addBlock(prefix + ".ifu", UnitKind::Ifu,
+               {ox, oy + l2_h, half_w, mid_h}, domain, core_id);
+    b.addBlock(prefix + ".lsu", UnitKind::Lsu,
+               {ox + half_w, oy + l2_h, half_w, mid_h}, domain, core_id);
+    b.addBlock(prefix + ".isu", UnitKind::Isu,
+               {ox, oy + l2_h + mid_h, half_w, top_h}, domain, core_id);
+    b.addBlock(prefix + ".exu", UnitKind::Exu,
+               {ox + half_w, oy + l2_h + mid_h, half_w, top_h}, domain,
+               core_id);
+}
+
+/**
+ * Place `count` VR sites over a core's footprint on a near-square
+ * lattice (3x3 for the default 9).
+ */
+void
+addCoreVrs(FloorplanBuilder &b, const std::string &prefix, double ox,
+           double oy, double w, double h, int domain, int count = 9)
+{
+    int cols = 1;
+    while (cols * cols < count)
+        ++cols;
+    int rows = (count + cols - 1) / cols;
+    int id = 0;
+    for (int ry = 0; ry < rows && id < count; ++ry) {
+        int in_row = std::min(cols, count - ry * cols);
+        for (int rx = 0; rx < in_row; ++rx) {
+            double cx = ox + w * (2 * rx + 1) / (2.0 * in_row);
+            double cy = oy + h * (2 * ry + 1) / (2.0 * rows);
+            b.addVr(prefix + ".vr" + std::to_string(id++),
+                    {cx - 0.5 * kVrEdge, cy - 0.5 * kVrEdge, kVrEdge,
+                     kVrEdge},
+                    domain);
+        }
+    }
+}
+
+/** Place a row of `count` VR sites across an L3 bank. */
+void
+addL3Vrs(FloorplanBuilder &b, const std::string &prefix, double ox,
+         double oy, double w, double h, int domain, int count = 3)
+{
+    for (int rx = 0; rx < count; ++rx) {
+        double cx = ox + w * (2 * rx + 1) / (2.0 * count);
+        double cy = oy + 0.5 * h;
+        b.addVr(prefix + ".vr" + std::to_string(rx),
+                {cx - 0.5 * kVrEdge, cy - 0.5 * kVrEdge, kVrEdge,
+                 kVrEdge},
+                domain);
+    }
+}
+
+} // namespace
+
+Chip
+buildPower8Chip()
+{
+    Chip chip = buildPower8ChipVariant(9, 3);
+    TG_ASSERT(chip.plan.vrs().size() == 96, "expected 96 VR sites");
+    TG_ASSERT(chip.plan.domains().size() == 16, "expected 16 domains");
+    return chip;
+}
+
+Chip
+buildPower8ChipVariant(int vrs_per_core, int vrs_per_l3)
+{
+    if (vrs_per_core < 1 || vrs_per_l3 < 1)
+        fatal("need at least one VR per domain");
+    const double die = 21.0;      // 21 x 21 mm = 441 mm^2
+    const double core_w = die / 4.0;
+    const double core_h = 7.0;
+    const double mc_w = 1.5;
+    const double noc_h = 0.5;
+    const double band_y = core_h;            // middle band: [7, 14)
+    const double band_h = die - 2 * core_h;  // 7 mm
+    const double l3_h = 0.5 * (band_h - noc_h);
+    const double l3_w = (die - 2 * mc_w) / 4.0;
+
+    FloorplanBuilder b(die, die);
+
+    // Declare the 16 Vdd-domains: 8 core + 8 L3 (paper Section 5).
+    for (int c = 0; c < 8; ++c)
+        b.addDomain("core" + std::to_string(c), DomainKind::Core);
+    for (int k = 0; k < 8; ++k)
+        b.addDomain("l3b" + std::to_string(k), DomainKind::L3);
+
+    // Cores: 4 along the bottom edge, 4 along the top edge.
+    for (int c = 0; c < 8; ++c) {
+        bool top = c >= 4;
+        double ox = core_w * (c % 4);
+        double oy = top ? die - core_h : 0.0;
+        std::string prefix = "core" + std::to_string(c);
+        addCoreBlocks(b, prefix, ox, oy, core_w, core_h, c, c);
+        addCoreVrs(b, prefix, ox, oy, core_w, core_h, c,
+                   vrs_per_core);
+    }
+
+    // Middle band: MCs at the die edges, L3 banks in two rows with the
+    // NoC spine between them.
+    b.addBlock("mc0", UnitKind::Mc, {0.0, band_y, mc_w, band_h}, -1);
+    b.addBlock("mc1", UnitKind::Mc, {die - mc_w, band_y, mc_w, band_h},
+               -1);
+    b.addBlock("noc", UnitKind::Noc,
+               {mc_w, band_y + l3_h, die - 2 * mc_w, noc_h}, -1);
+
+    for (int k = 0; k < 8; ++k) {
+        bool upper = k >= 4;
+        double ox = mc_w + l3_w * (k % 4);
+        double oy = upper ? band_y + l3_h + noc_h : band_y;
+        std::string prefix = "l3b" + std::to_string(k);
+        int domain = 8 + k;
+        b.addBlock(prefix, UnitKind::L3, {ox, oy, l3_w, l3_h}, domain);
+        addL3Vrs(b, prefix, ox, oy, l3_w, l3_h, domain, vrs_per_l3);
+    }
+
+    Chip chip;
+    chip.plan = b.build();
+    chip.params = ChipParams{};
+    return chip;
+}
+
+Chip
+buildMiniChip(int n_cores)
+{
+    if (n_cores < 1 || n_cores > 4)
+        fatal("buildMiniChip supports 1..4 cores, got ", n_cores);
+
+    const double core_w = 5.25;
+    const double core_h = 7.0;
+    const double l3_h = 3.0;
+    const double die_w = core_w * n_cores;
+    const double die_h = core_h + l3_h;
+
+    FloorplanBuilder b(die_w, die_h);
+    for (int c = 0; c < n_cores; ++c)
+        b.addDomain("core" + std::to_string(c), DomainKind::Core);
+    for (int k = 0; k < n_cores; ++k)
+        b.addDomain("l3b" + std::to_string(k), DomainKind::L3);
+
+    for (int c = 0; c < n_cores; ++c) {
+        double ox = core_w * c;
+        std::string prefix = "core" + std::to_string(c);
+        addCoreBlocks(b, prefix, ox, l3_h, core_w, core_h, c, c);
+        addCoreVrs(b, prefix, ox, l3_h, core_w, core_h, c);
+        std::string l3p = "l3b" + std::to_string(c);
+        b.addBlock(l3p, UnitKind::L3, {ox, 0.0, core_w, l3_h},
+                   n_cores + c);
+        addL3Vrs(b, l3p, ox, 0.0, core_w, l3_h, n_cores + c);
+    }
+
+    Chip chip;
+    chip.plan = b.build();
+    chip.params = ChipParams{};
+    chip.params.cores = n_cores;
+    chip.params.areaMm2 = die_w * die_h;
+    chip.params.tdp = 150.0 * chip.params.areaMm2 / 441.0;
+    return chip;
+}
+
+} // namespace floorplan
+} // namespace tg

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Canned chip models. buildPower8Chip() reproduces the evaluation
+ * platform of the paper (Table 1 + Fig. 4): an 8-core POWER8-like die,
+ * 441 mm^2 at 22 nm, 16 Vdd-domains (one per core + private L2, one
+ * per L3 bank) and 96 distributed VR sites (9 per core domain, 3 per
+ * L3 domain), uniformly placed. buildMiniChip() is a scaled-down
+ * variant used by fast unit tests.
+ */
+
+#ifndef TG_FLOORPLAN_POWER8_HH
+#define TG_FLOORPLAN_POWER8_HH
+
+#include "common/units.hh"
+#include "floorplan/floorplan.hh"
+
+namespace tg {
+namespace floorplan {
+
+/** Technology / chip-level parameters (paper Table 1). */
+struct ChipParams
+{
+    double technologyNm = 22.0;   //!< technology node [nm]
+    double frequencyHz = 4.0e9;   //!< clock frequency [Hz]
+    Watts tdp = 150.0;            //!< thermal design power [W]
+    Volts vdd = 1.03;             //!< nominal supply voltage [V]
+    double areaMm2 = 441.0;       //!< die area [mm^2]
+    int cores = 8;                //!< core count
+    int issueWidth = 8;           //!< per-core issue width
+};
+
+/** A floorplan together with its chip-level parameters. */
+struct Chip
+{
+    Floorplan plan;
+    ChipParams params;
+};
+
+/**
+ * Build the paper's 8-core evaluation chip.
+ *
+ * 21 x 21 mm die; four cores along the top edge, four along the
+ * bottom; the middle band holds two memory controllers at the die
+ * edges, a horizontal NoC spine, and eight L3 banks. Each core domain
+ * carries a 3 x 3 grid of VR sites (the bottom row sits over the L2
+ * => memory-side); each L3 domain carries 3 VR sites. NoC and MCs
+ * are supplied off-chip (unregulated, domain -1).
+ */
+Chip buildPower8Chip();
+
+/**
+ * Variant of the evaluation chip with a different regulator count
+ * per domain (used by the regulator-count ablation; the paper's
+ * footnote 2 argues a lower component-regulator count worsens both
+ * the thermal and the voltage-noise profile). Core-domain VRs are
+ * placed on a near-square lattice, L3-domain VRs in a row.
+ *
+ * @param vrs_per_core component VRs per core domain (>= 1)
+ * @param vrs_per_l3   component VRs per L3-bank domain (>= 1)
+ */
+Chip buildPower8ChipVariant(int vrs_per_core, int vrs_per_l3);
+
+/**
+ * Build a reduced chip for fast tests: `n_cores` cores (1..4) in one
+ * row plus one L3 bank per core below it, same per-domain VR counts
+ * as the full chip.
+ */
+Chip buildMiniChip(int n_cores);
+
+} // namespace floorplan
+} // namespace tg
+
+#endif // TG_FLOORPLAN_POWER8_HH

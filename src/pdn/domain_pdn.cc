@@ -1,0 +1,415 @@
+#include "pdn/domain_pdn.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/logging.hh"
+
+namespace tg {
+namespace pdn {
+
+DomainPdn::DomainPdn(const floorplan::Chip &chip, int domain,
+                     const vreg::VrDesign &design, PdnParams params,
+                     std::vector<floorplan::Rect> custom_vr_sites)
+    : chipRef(chip), domain(domain), design(design), prm(params),
+      vrSites(std::move(custom_vr_sites))
+{
+    const auto &domains = chip.plan.domains();
+    if (domain < 0 || domain >= static_cast<int>(domains.size()))
+        fatal("bad domain id ", domain);
+    const auto &dom = domains[static_cast<std::size_t>(domain)];
+    if (vrSites.empty()) {
+        for (int v : dom.vrs)
+            vrSites.push_back(
+                chip.plan.vrs()[static_cast<std::size_t>(v)].rect);
+    } else if (vrSites.size() != dom.vrs.size()) {
+        fatal("custom VR site count ", vrSites.size(),
+              " != domain VR count ", dom.vrs.size());
+    }
+    buildTopology();
+    buildTransferResistances();
+    // Default: everything on.
+    std::vector<int> all(vrNodes.size());
+    for (std::size_t i = 0; i < all.size(); ++i)
+        all[i] = static_cast<int>(i);
+    setActive(all);
+}
+
+void
+DomainPdn::buildTopology()
+{
+    const auto &plan = chipRef.plan;
+    const auto &dom =
+        plan.domains()[static_cast<std::size_t>(domain)];
+
+    // Domain bounding box [mm].
+    double x0 = std::numeric_limits<double>::infinity();
+    double y0 = x0;
+    double x1 = -x0;
+    double y1 = -x0;
+    for (int b : dom.blocks) {
+        const auto &r = plan.blocks()[static_cast<std::size_t>(b)].rect;
+        x0 = std::min(x0, r.x);
+        y0 = std::min(y0, r.y);
+        x1 = std::max(x1, r.x + r.w);
+        y1 = std::max(y1, r.y + r.h);
+    }
+    originX = x0;
+    originY = y0;
+    pitchMm = prm.nodePitch * 1e3;
+    gridW = std::max(2, static_cast<int>(std::round((x1 - x0) /
+                                                    pitchMm)));
+    gridH = std::max(2, static_cast<int>(std::round((y1 - y0) /
+                                                    pitchMm)));
+    nNodes = gridW * gridH;
+    cellW = (x1 - x0) / gridW;  // actual pitch after rounding
+    cellH = (y1 - y0) / gridH;
+    double cell_w = cellW;
+    double cell_h = cellH;
+
+    auto node_at = [&](int r, int c) { return r * gridW + c; };
+
+    // R-mesh conductances.
+    gGrid = Matrix(static_cast<std::size_t>(nNodes),
+                   static_cast<std::size_t>(nNodes), 0.0);
+    auto couple = [&](int a, int b, double cond) {
+        std::size_t ua = static_cast<std::size_t>(a);
+        std::size_t ub = static_cast<std::size_t>(b);
+        gGrid(ua, ua) += cond;
+        gGrid(ub, ub) += cond;
+        gGrid(ua, ub) -= cond;
+        gGrid(ub, ua) -= cond;
+    };
+    for (int r = 0; r < gridH; ++r) {
+        for (int c = 0; c < gridW; ++c) {
+            if (c + 1 < gridW)
+                couple(node_at(r, c), node_at(r, c + 1),
+                       (cell_w / cell_h) / prm.sheetResistance);
+            if (r + 1 < gridH)
+                couple(node_at(r, c), node_at(r + 1, c),
+                       (cell_h / cell_w) / prm.sheetResistance);
+        }
+    }
+
+    // Decap per node.
+    decap.assign(static_cast<std::size_t>(nNodes),
+                 prm.decapPerMm2 * cell_w * cell_h);
+
+    // Attach each of the domain's VRs to the nearest mesh node.
+    vrNodes.clear();
+    for (const auto &site : vrSites) {
+        int c = std::clamp(
+            static_cast<int>((site.cx() - originX) / cell_w), 0,
+            gridW - 1);
+        int r = std::clamp(
+            static_cast<int>((site.cy() - originY) / cell_h), 0,
+            gridH - 1);
+        vrNodes.push_back(node_at(r, c));
+    }
+
+    // Per-VR loop inductance: output inductance plus grid loop
+    // inductance growing with the distance to the logic centroid
+    // (the domain's current hot spot).
+    {
+        double cx = 0.0;
+        double cy = 0.0;
+        double wsum = 0.0;
+        for (int b : dom.blocks) {
+            const auto &blk = plan.blocks()[static_cast<std::size_t>(b)];
+            if (!floorplan::isLogicUnit(blk.kind))
+                continue;
+            double w = blk.rect.area();
+            cx += w * blk.rect.cx();
+            cy += w * blk.rect.cy();
+            wsum += w;
+        }
+        if (wsum == 0.0) {
+            // Memory-only domain (L3 bank): centre of the domain box.
+            cx = originX + 0.5 * gridW * cell_w;
+            cy = originY + 0.5 * gridH * cell_h;
+        } else {
+            cx /= wsum;
+            cy /= wsum;
+        }
+        vrLoopL.clear();
+        for (const auto &site : vrSites) {
+            double dx = (site.cx() - cx) * 1e-3;
+            double dy = (site.cy() - cy) * 1e-3;
+            double dist = std::sqrt(dx * dx + dy * dy);
+            vrLoopL.push_back(design.outputInductance +
+                              prm.gridInductancePerM * dist);
+        }
+    }
+
+    // Map each domain block onto mesh nodes by rectangle overlap.
+    blockNodes.assign(plan.blocks().size(), {});
+    loadNode.assign(static_cast<std::size_t>(nNodes), false);
+    for (int b : dom.blocks) {
+        const auto &rect =
+            plan.blocks()[static_cast<std::size_t>(b)].rect;
+        double total = 0.0;
+        auto &list = blockNodes[static_cast<std::size_t>(b)];
+        for (int r = 0; r < gridH; ++r) {
+            for (int c = 0; c < gridW; ++c) {
+                double nx0 = originX + c * cell_w;
+                double ny0 = originY + r * cell_h;
+                double ox = std::max(
+                    0.0, std::min(rect.x + rect.w, nx0 + cell_w) -
+                             std::max(rect.x, nx0));
+                double oy = std::max(
+                    0.0, std::min(rect.y + rect.h, ny0 + cell_h) -
+                             std::max(rect.y, ny0));
+                double w = ox * oy;
+                if (w > 0.0) {
+                    list.push_back({node_at(r, c), w});
+                    total += w;
+                }
+            }
+        }
+        TG_ASSERT(total > 0.0, "domain block maps to no PDN node");
+        for (auto &[node, w] : list) {
+            w /= total;
+            loadNode[static_cast<std::size_t>(node)] = true;
+        }
+    }
+}
+
+namespace {
+
+/**
+ * Assemble the bordered steady-state matrix [[G, -B], [B^T, R]] for
+ * the given active branches.
+ */
+Matrix
+steadyMatrix(const Matrix &g_grid, const std::vector<int> &vr_nodes,
+             const std::vector<int> &active, double r_out)
+{
+    std::size_t n = g_grid.rows();
+    std::size_t m = active.size();
+    Matrix a(n + m, n + m, 0.0);
+    for (std::size_t r = 0; r < n; ++r)
+        for (std::size_t c = 0; c < n; ++c)
+            a(r, c) = g_grid(r, c);
+    for (std::size_t k = 0; k < m; ++k) {
+        std::size_t node = static_cast<std::size_t>(
+            vr_nodes[static_cast<std::size_t>(active[k])]);
+        a(node, n + k) = -1.0;   // branch current into the node
+        a(n + k, node) = 1.0;    // branch voltage equation
+        a(n + k, n + k) = r_out;
+    }
+    return a;
+}
+
+} // namespace
+
+void
+DomainPdn::setActive(const std::vector<int> &active_local)
+{
+    TG_ASSERT(!active_local.empty(),
+              "a domain must keep at least one VR active");
+    for (int k : active_local)
+        TG_ASSERT(k >= 0 && k < vrCount(), "bad local VR index ", k);
+    activeSet = active_local;
+    std::sort(activeSet.begin(), activeSet.end());
+
+    std::size_t n = static_cast<std::size_t>(nNodes);
+
+    luSteady = std::make_unique<LuSolver>(steadyMatrix(
+        gGrid, vrNodes, activeSet, design.outputResistance));
+
+    // Implicit-Euler transient matrix:
+    //   rows 0..n-1:   (C/dt + G) V' - B I' = C/dt V - I_load
+    //   rows n..n+m-1: B^T V' + (L_k/dt + R) I' = L_k/dt I + Vdd
+    double dt = prm.cycleTime;
+    Matrix a = steadyMatrix(gGrid, vrNodes, activeSet,
+                            design.outputResistance);
+    for (std::size_t i = 0; i < n; ++i)
+        a(i, i) += decap[i] / dt;
+    for (std::size_t k = 0; k < activeSet.size(); ++k)
+        a(n + k, n + k) +=
+            vrLoopL[static_cast<std::size_t>(activeSet[k])] / dt;
+    luTransient = std::make_unique<LuSolver>(a);
+}
+
+std::vector<Amperes>
+DomainPdn::nodeCurrents(const std::vector<Watts> &block_power) const
+{
+    TG_ASSERT(block_power.size() == blockNodes.size(),
+              "block power size mismatch");
+    std::vector<Amperes> out(static_cast<std::size_t>(nNodes), 0.0);
+    double vdd = chipRef.params.vdd;
+    for (std::size_t b = 0; b < blockNodes.size(); ++b) {
+        if (blockNodes[b].empty() || block_power[b] == 0.0)
+            continue;
+        double i = block_power[b] / vdd;
+        for (const auto &[node, w] : blockNodes[b])
+            out[static_cast<std::size_t>(node)] += w * i;
+    }
+    return out;
+}
+
+std::vector<Volts>
+DomainPdn::steadyVoltages(const std::vector<Amperes> &node_currents) const
+{
+    TG_ASSERT(static_cast<int>(node_currents.size()) == nNodes,
+              "node current size mismatch");
+    std::size_t n = static_cast<std::size_t>(nNodes);
+    std::size_t m = activeSet.size();
+    std::vector<double> rhs(n + m);
+    for (std::size_t i = 0; i < n; ++i)
+        rhs[i] = -node_currents[i];
+    double vdd = chipRef.params.vdd;
+    for (std::size_t k = 0; k < m; ++k)
+        rhs[n + k] = vdd;
+    luSteady->solveInPlace(rhs);
+    rhs.resize(n);
+    return rhs;
+}
+
+double
+DomainPdn::steadyMaxNoise(const std::vector<Amperes> &node_currents) const
+{
+    auto v = steadyVoltages(node_currents);
+    double vdd = chipRef.params.vdd;
+    double worst = 0.0;
+    for (std::size_t i = 0; i < v.size(); ++i)
+        if (loadNode[i])
+            worst = std::max(worst, (vdd - v[i]) / vdd);
+    return worst;
+}
+
+NoiseResult
+DomainPdn::transientWindow(
+    const std::vector<std::vector<Amperes>> &cycle_currents, int warmup,
+    bool keep_trace) const
+{
+    TG_ASSERT(!cycle_currents.empty(), "empty transient window");
+    TG_ASSERT(warmup >= 0 &&
+                  warmup < static_cast<int>(cycle_currents.size()),
+              "warmup must leave analysis cycles");
+
+    std::size_t n = static_cast<std::size_t>(nNodes);
+    std::size_t m = activeSet.size();
+    double vdd = chipRef.params.vdd;
+    double dt = prm.cycleTime;
+
+    // Initial condition: steady state at the first cycle's load.
+    std::vector<double> x(n + m);
+    {
+        std::vector<double> rhs(n + m);
+        for (std::size_t i = 0; i < n; ++i)
+            rhs[i] = -cycle_currents[0][i];
+        for (std::size_t k = 0; k < m; ++k)
+            rhs[n + k] = vdd;
+        x = luSteady->solve(rhs);
+    }
+
+    NoiseResult res;
+    if (keep_trace)
+        res.trace.reserve(cycle_currents.size());
+
+    std::vector<double> rhs(n + m);
+    for (std::size_t cyc = 0; cyc < cycle_currents.size(); ++cyc) {
+        const auto &load = cycle_currents[cyc];
+        TG_ASSERT(load.size() == n, "cycle current size mismatch");
+        for (std::size_t i = 0; i < n; ++i)
+            rhs[i] = decap[i] / dt * x[i] - load[i];
+        for (std::size_t k = 0; k < m; ++k)
+            rhs[n + k] =
+                vrLoopL[static_cast<std::size_t>(activeSet[k])] / dt *
+                    x[n + k] +
+                vdd;
+        luTransient->solveInPlace(rhs);
+        x = rhs;
+
+        double droop = 0.0;
+        for (std::size_t i = 0; i < n; ++i)
+            if (loadNode[i])
+                droop = std::max(droop, (vdd - x[i]) / vdd);
+        if (keep_trace)
+            res.trace.push_back(droop);
+        if (static_cast<int>(cyc) >= warmup) {
+            ++res.analysedCycles;
+            res.maxNoiseFrac = std::max(res.maxNoiseFrac, droop);
+            if (droop > prm.emergencyFrac)
+                ++res.emergencyCycles;
+        }
+    }
+    return res;
+}
+
+std::pair<double, double>
+DomainPdn::nodePosition(int node) const
+{
+    TG_ASSERT(node >= 0 && node < nNodes, "bad node index");
+    int r = node / gridW;
+    int c = node % gridW;
+    return {originX + (c + 0.5) * cellW, originY + (r + 0.5) * cellH};
+}
+
+void
+DomainPdn::buildTransferResistances()
+{
+    std::size_t n = static_cast<std::size_t>(nNodes);
+    transferR = Matrix(n, vrNodes.size(), 0.0);
+    double vdd = chipRef.params.vdd;
+    for (std::size_t k = 0; k < vrNodes.size(); ++k) {
+        LuSolver lu(steadyMatrix(gGrid, vrNodes,
+                                 {static_cast<int>(k)},
+                                 design.outputResistance));
+        std::vector<double> rhs(n + 1);
+        for (std::size_t j = 0; j < n; ++j) {
+            std::fill(rhs.begin(), rhs.end(), 0.0);
+            rhs[j] = -1.0;  // 1 A drawn at node j
+            rhs[n] = vdd;
+            auto v = lu.solve(rhs);
+            transferR(j, k) = vdd - v[j];
+        }
+    }
+}
+
+double
+DomainPdn::transferResistance(int node, int vr_local) const
+{
+    return transferR.at(static_cast<std::size_t>(node),
+                        static_cast<std::size_t>(vr_local));
+}
+
+double
+DomainPdn::estimateNoise(const std::vector<int> &active_local,
+                         const std::vector<Amperes> &node_currents,
+                         double didt) const
+{
+    TG_ASSERT(!active_local.empty(), "empty candidate active set");
+    std::size_t n = static_cast<std::size_t>(nNodes);
+    double vdd = chipRef.params.vdd;
+
+    // Characteristic impedance of the step response: the active
+    // branches' inductance in parallel against the domain decap.
+    double c_total = 0.0;
+    for (std::size_t i = 0; i < n; ++i)
+        c_total += decap[i];
+    double inv_l = 0.0;
+    for (int k : active_local)
+        inv_l += 1.0 / vrLoopL[static_cast<std::size_t>(k)];
+    double z_char = std::sqrt(1.0 / (inv_l * c_total));
+
+    double worst = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+        if (!loadNode[j] || node_currents[j] <= 0.0)
+            continue;
+        double inv_sum = 0.0;
+        for (int k : active_local)
+            inv_sum += 1.0 / transferR.at(
+                                 j, static_cast<std::size_t>(k));
+        double r_eff = 1.0 / inv_sum;
+        double steady = node_currents[j] * r_eff;
+        double transient = didt * node_currents[j] * z_char;
+        worst = std::max(worst, (steady + transient) / vdd);
+    }
+    return worst;
+}
+
+} // namespace pdn
+} // namespace tg

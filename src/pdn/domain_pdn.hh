@@ -1,0 +1,194 @@
+/**
+ * @file
+ * Per-Vdd-domain power-delivery-network model (the VoltSpot stand-in).
+ *
+ * Each Vdd-domain's local power grid is an R-mesh of nodes with
+ * decoupling capacitance; the load circuit blocks are current sinks
+ * spread over the mesh by footprint overlap; each *active* VR is an
+ * ideal source behind its output resistance and inductance attached
+ * to the nearest mesh node. Gated VRs are disconnected entirely.
+ *
+ * Two solvers share the topology:
+ *  - a steady-state solve giving the IR-drop map for a constant load
+ *    (used for initial conditions and the policy-facing estimates);
+ *  - a cycle-resolution transient solve (implicit Euler at the core
+ *    clock, cached LU per active set) giving the droop waveform the
+ *    noise figures report. The inductive branch is what makes load
+ *    steps ring: a buck phase's ~1.5 nH output inductor produces the
+ *    large droops of Fig. 11, while the LDO's near-resistive output
+ *    explains the Fig. 15 advantage.
+ *
+ * Voltage noise is reported as the paper reports it: the maximum of
+ * (Vdd - V_node)/Vdd over the domain's load nodes, with a voltage
+ * emergency flagged when it exceeds 10% of nominal.
+ */
+
+#ifndef TG_PDN_DOMAIN_PDN_HH
+#define TG_PDN_DOMAIN_PDN_HH
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "common/matrix.hh"
+#include "common/units.hh"
+#include "floorplan/power8.hh"
+#include "vreg/design.hh"
+
+namespace tg {
+namespace pdn {
+
+/** Electrical parameters of a domain's local grid. */
+struct PdnParams
+{
+    Metres nodePitch = 0.9e-3;   //!< mesh node pitch [m]
+    double sheetResistance = 0.008; //!< grid sheet resistance [ohm/sq]
+    double decapPerMm2 = 4e-9;   //!< decoupling capacitance [F/mm^2]
+    /**
+     * Loop inductance per metre of separation between a VR and the
+     * domain's logic centroid [H/m]: supplying the load from farther
+     * away closes a larger current loop through the grid, which is
+     * the transient analogue of the IR-drop distance penalty that
+     * makes thermally-driven (memory-side) selections noisy.
+     */
+    double gridInductancePerM = 2.5e-7;
+    Seconds cycleTime = 0.25e-9; //!< transient step = clock period [s]
+    double emergencyFrac = 0.10; //!< voltage-emergency threshold
+};
+
+/** Result of one transient noise window. */
+struct NoiseResult
+{
+    double maxNoiseFrac = 0.0; //!< max droop as a fraction of Vdd
+    int emergencyCycles = 0;   //!< analysed cycles above threshold
+    int analysedCycles = 0;    //!< cycles contributing to the stats
+    /** Per-cycle max droop fraction (only when requested). */
+    std::vector<double> trace;
+};
+
+/**
+ * The PDN of one Vdd-domain.
+ *
+ * setActive() selects and factors the active-VR configuration; the
+ * solvers then run against it. Local VR indices are positions within
+ * the domain's VR list (0 .. vrCount()-1).
+ */
+class DomainPdn
+{
+  public:
+    /**
+     * @param custom_vr_sites when non-empty, overrides the floorplan
+     *        VR positions of this domain (same count required) —
+     *        used by the placement optimiser to evaluate candidate
+     *        layouts without rebuilding the floorplan
+     */
+    DomainPdn(const floorplan::Chip &chip, int domain,
+              const vreg::VrDesign &design, PdnParams params = {},
+              std::vector<floorplan::Rect> custom_vr_sites = {});
+
+    int nodeCount() const { return nNodes; }
+    int vrCount() const { return static_cast<int>(vrNodes.size()); }
+    int domainId() const { return domain; }
+
+    /**
+     * Map per-block power [W] (indexed like Floorplan::blocks()) to
+     * per-node load current [A] for this domain's blocks.
+     */
+    std::vector<Amperes>
+    nodeCurrents(const std::vector<Watts> &block_power) const;
+
+    /** Select the active VR set (local indices) and factor it. */
+    void setActive(const std::vector<int> &active_local);
+
+    /** Currently active local VR indices. */
+    const std::vector<int> &active() const { return activeSet; }
+
+    /** Steady-state node voltages for constant node currents [V]. */
+    std::vector<Volts>
+    steadyVoltages(const std::vector<Amperes> &node_currents) const;
+
+    /** Steady-state max droop fraction for constant node currents. */
+    double steadyMaxNoise(const std::vector<Amperes> &node_currents) const;
+
+    /**
+     * Transient window: `cycle_currents[c]` holds per-node load
+     * currents at cycle c. The first `warmup` cycles settle the state
+     * (initialised from the steady solution of cycle 0) and are
+     * excluded from the statistics.
+     */
+    NoiseResult
+    transientWindow(const std::vector<std::vector<Amperes>> &cycle_currents,
+                    int warmup, bool keep_trace = false) const;
+
+    /**
+     * Steady-state transfer resistance from mesh node `node` to VR
+     * `vr_local` [ohm]: the droop at `node` per ampere drawn there
+     * when `vr_local` is the only active VR (includes the VR output
+     * resistance). Policies use these to estimate the noise impact
+     * of a candidate active set without a transient solve.
+     */
+    double transferResistance(int node, int vr_local) const;
+
+    /**
+     * Fast policy-facing noise estimate for a candidate active set:
+     * treats the paths to the active VRs as parallel resistances per
+     * node (exact for a star topology, a good ranking proxy on a
+     * mesh) and adds the inductive droop of redistributing each
+     * node's current step through the active branches.
+     */
+    double estimateNoise(const std::vector<int> &active_local,
+                         const std::vector<Amperes> &node_currents,
+                         double didt) const;
+
+    /** Mesh node nearest to a VR site (local VR index). */
+    int vrAttachNode(int vr_local) const { return vrNodes[vr_local]; }
+
+    /** Centre of mesh node `node` in floorplan coordinates [mm]. */
+    std::pair<double, double> nodePosition(int node) const;
+
+    /** VR sites in use (floorplan or custom override). */
+    const std::vector<floorplan::Rect> &sites() const
+    {
+        return vrSites;
+    }
+
+    const PdnParams &params() const { return prm; }
+
+  private:
+    const floorplan::Chip &chipRef;
+    int domain;
+    vreg::VrDesign design;
+    PdnParams prm;
+    std::vector<floorplan::Rect> vrSites;  //!< VR positions in use
+
+    int gridW = 0;
+    int gridH = 0;
+    int nNodes = 0;
+    double cellW = 0.0;  //!< mesh cell width [mm]
+    double cellH = 0.0;  //!< mesh cell height [mm]
+    double originX = 0.0;  //!< domain bounding box origin [mm]
+    double originY = 0.0;
+    double pitchMm = 0.0;
+
+    Matrix gGrid;                     //!< mesh conductances (n x n)
+    std::vector<double> decap;        //!< per-node capacitance [F]
+    std::vector<int> vrNodes;         //!< attach node per local VR
+    std::vector<double> vrLoopL;      //!< per-VR branch inductance [H]
+    std::vector<bool> loadNode;       //!< nodes with load current
+    /** Per block: (node, weight) pairs, weights summing to 1. */
+    std::vector<std::vector<std::pair<int, double>>> blockNodes;
+
+    std::vector<int> activeSet;
+    std::unique_ptr<LuSolver> luSteady;    //!< [[G,-B],[B^T,R]]
+    std::unique_ptr<LuSolver> luTransient; //!< implicit-Euler matrix
+
+    Matrix transferR;  //!< nodeCount x vrCount transfer resistances
+
+    void buildTopology();
+    void buildTransferResistances();
+};
+
+} // namespace pdn
+} // namespace tg
+
+#endif // TG_PDN_DOMAIN_PDN_HH

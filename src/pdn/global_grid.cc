@@ -1,0 +1,164 @@
+#include "pdn/global_grid.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace tg {
+namespace pdn {
+
+GlobalGrid::GlobalGrid(const floorplan::Chip &chip,
+                       GlobalGridParams params)
+    : chipRef(chip), prm(params)
+{
+    TG_ASSERT(prm.padPitchNodes >= 1, "bad pad pitch");
+    const auto &plan = chip.plan;
+    double pitch_mm = prm.nodePitch * 1e3;
+    gridW = std::max(2, static_cast<int>(
+                            std::round(plan.width() / pitch_mm)));
+    gridH = std::max(2, static_cast<int>(
+                            std::round(plan.height() / pitch_mm)));
+    nNodes = gridW * gridH;
+    cellW = plan.width() / gridW;
+    cellH = plan.height() / gridH;
+
+    Matrix g(static_cast<std::size_t>(nNodes),
+             static_cast<std::size_t>(nNodes), 0.0);
+    auto couple = [&](int a, int b, double cond) {
+        std::size_t ua = static_cast<std::size_t>(a);
+        std::size_t ub = static_cast<std::size_t>(b);
+        g(ua, ua) += cond;
+        g(ub, ub) += cond;
+        g(ua, ub) -= cond;
+        g(ub, ua) -= cond;
+    };
+    for (int r = 0; r < gridH; ++r) {
+        for (int c = 0; c < gridW; ++c) {
+            int n = r * gridW + c;
+            if (c + 1 < gridW)
+                couple(n, n + 1,
+                       (cellW / cellH) / prm.sheetResistance);
+            if (r + 1 < gridH)
+                couple(n, n + gridW,
+                       (cellH / cellW) / prm.sheetResistance);
+        }
+    }
+
+    // C4 pad array: one pad every padPitchNodes nodes, offset so the
+    // array is centred. A pad grounds its node to the supply through
+    // the pad resistance (diagonal term; the supply offset enters
+    // the right-hand side).
+    for (int r = prm.padPitchNodes / 2; r < gridH;
+         r += prm.padPitchNodes) {
+        for (int c = prm.padPitchNodes / 2; c < gridW;
+             c += prm.padPitchNodes) {
+            int n = r * gridW + c;
+            padNodes.push_back(n);
+            g(static_cast<std::size_t>(n),
+              static_cast<std::size_t>(n)) +=
+                1.0 / prm.padResistance;
+        }
+    }
+    TG_ASSERT(!padNodes.empty(), "no C4 pads on the grid");
+    lu = std::make_unique<LuSolver>(g);
+
+    // VR sites -> nodes.
+    for (const auto &vr : plan.vrs())
+        vrNode.push_back(nodeAt(vr.rect.cx(), vr.rect.cy()));
+
+    // Unregulated blocks -> nodes by overlap.
+    blockNodes.assign(plan.blocks().size(), {});
+    for (std::size_t b = 0; b < plan.blocks().size(); ++b) {
+        const auto &blk = plan.blocks()[b];
+        if (blk.domain >= 0)
+            continue;  // supplied by on-chip VRs, not this grid
+        double total = 0.0;
+        for (int r = 0; r < gridH; ++r) {
+            for (int c = 0; c < gridW; ++c) {
+                double nx0 = c * cellW;
+                double ny0 = r * cellH;
+                double ox = std::max(
+                    0.0,
+                    std::min(blk.rect.x + blk.rect.w, nx0 + cellW) -
+                        std::max(blk.rect.x, nx0));
+                double oy = std::max(
+                    0.0,
+                    std::min(blk.rect.y + blk.rect.h, ny0 + cellH) -
+                        std::max(blk.rect.y, ny0));
+                double w = ox * oy;
+                if (w > 0.0) {
+                    blockNodes[b].push_back({r * gridW + c, w});
+                    total += w;
+                }
+            }
+        }
+        TG_ASSERT(total > 0.0, "unregulated block off-grid");
+        for (auto &[node, w] : blockNodes[b])
+            w /= total;
+    }
+}
+
+int
+GlobalGrid::nodeAt(double x_mm, double y_mm) const
+{
+    int c = std::clamp(static_cast<int>(x_mm / cellW), 0, gridW - 1);
+    int r = std::clamp(static_cast<int>(y_mm / cellH), 0, gridH - 1);
+    return r * gridW + c;
+}
+
+std::vector<Amperes>
+GlobalGrid::nodeCurrents(const std::vector<Watts> &block_power,
+                         const std::vector<Watts> &vr_input) const
+{
+    TG_ASSERT(block_power.size() == chipRef.plan.blocks().size(),
+              "block power size mismatch");
+    TG_ASSERT(vr_input.size() == vrNode.size(),
+              "VR input size mismatch");
+    std::vector<Amperes> out(static_cast<std::size_t>(nNodes), 0.0);
+    for (std::size_t v = 0; v < vrNode.size(); ++v)
+        out[static_cast<std::size_t>(vrNode[v])] +=
+            vr_input[v] / prm.vin;
+    for (std::size_t b = 0; b < blockNodes.size(); ++b)
+        for (const auto &[node, w] : blockNodes[b])
+            out[static_cast<std::size_t>(node)] +=
+                w * block_power[b] / prm.vin;
+    return out;
+}
+
+GlobalDroop
+GlobalGrid::solve(const std::vector<Amperes> &node_currents) const
+{
+    TG_ASSERT(static_cast<int>(node_currents.size()) == nNodes,
+              "node current size mismatch");
+
+    // Node equation: G V = -I_load + (pad conductance) * V_in at pad
+    // nodes. Solve for V, report droop relative to V_in.
+    std::vector<double> rhs(static_cast<std::size_t>(nNodes));
+    for (int n = 0; n < nNodes; ++n)
+        rhs[static_cast<std::size_t>(n)] =
+            -node_currents[static_cast<std::size_t>(n)];
+    for (int pad : padNodes)
+        rhs[static_cast<std::size_t>(pad)] +=
+            prm.vin / prm.padResistance;
+    auto v = lu->solve(rhs);
+
+    GlobalDroop res;
+    double weighted = 0.0;
+    for (int n = 0; n < nNodes; ++n) {
+        double droop =
+            (prm.vin - v[static_cast<std::size_t>(n)]) / prm.vin;
+        double i = node_currents[static_cast<std::size_t>(n)];
+        res.totalCurrent += i;
+        if (i > 0.0) {
+            res.maxDroopFrac = std::max(res.maxDroopFrac, droop);
+            weighted += droop * i;
+        }
+    }
+    if (res.totalCurrent > 0.0)
+        res.meanDroopFrac = weighted / res.totalCurrent;
+    return res;
+}
+
+} // namespace pdn
+} // namespace tg

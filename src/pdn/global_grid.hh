@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Chip-level (input-side) power-delivery grid.
+ *
+ * An off-chip voltage converter feeds the on-chip regulators over
+ * the *global* power grid through the C4 pad array (paper Section 1
+ * and footnotes 3-4: C4 pads feed the global grid, on-chip VRs the
+ * local grids; the paper's placement methodology descends from C4
+ * placement work). The on-chip regulators are the global grid's
+ * loads: each active VR draws its input current
+ * I_in = P_out / (eta * V_in); unregulated blocks (NoC, MCs) draw
+ * directly.
+ *
+ * The model is a resistive mesh with an area array of C4 pads (ideal
+ * supply behind a per-pad resistance). It answers two questions the
+ * local-grid analysis cannot: how much droop the regulator *inputs*
+ * see, and how regulator gating redistributes the input-side current
+ * (fewer active VRs draw more each). The evaluation shows the
+ * input-side droop stays well below the local-grid noise, which is
+ * what justifies the paper analysing local noise only.
+ */
+
+#ifndef TG_PDN_GLOBAL_GRID_HH
+#define TG_PDN_GLOBAL_GRID_HH
+
+#include <memory>
+#include <vector>
+
+#include "common/matrix.hh"
+#include "common/units.hh"
+#include "floorplan/power8.hh"
+#include "vreg/network.hh"
+
+namespace tg {
+namespace pdn {
+
+/** Electrical parameters of the global grid. */
+struct GlobalGridParams
+{
+    Metres nodePitch = 1.5e-3;      //!< mesh node pitch [m]
+    double sheetResistance = 0.004; //!< global grid [ohm/sq]
+    int padPitchNodes = 2;          //!< C4 pad every N mesh nodes
+    double padResistance = 0.04;    //!< per-C4-pad resistance [ohm]
+    Volts vin = 1.8;                //!< global supply voltage [V]
+};
+
+/** Result of a global-grid solve. */
+struct GlobalDroop
+{
+    double maxDroopFrac = 0.0;  //!< worst droop / V_in
+    double meanDroopFrac = 0.0; //!< load-weighted mean droop / V_in
+    Amperes totalCurrent = 0.0; //!< total current drawn [A]
+};
+
+/**
+ * The chip-wide input grid with its C4 pad array.
+ */
+class GlobalGrid
+{
+  public:
+    GlobalGrid(const floorplan::Chip &chip,
+               GlobalGridParams params = {});
+
+    int nodeCount() const { return nNodes; }
+    int padCount() const { return static_cast<int>(padNodes.size()); }
+    const GlobalGridParams &params() const { return prm; }
+
+    /**
+     * Input current map for a gating configuration: every *active*
+     * VR draws P_out_share / (eta * V_in) at its site; unregulated
+     * blocks draw their power directly from the global grid.
+     *
+     * @param block_power  per-block power [W]
+     * @param vr_input     per chip-VR input power [W] (0 when gated)
+     */
+    std::vector<Amperes>
+    nodeCurrents(const std::vector<Watts> &block_power,
+                 const std::vector<Watts> &vr_input) const;
+
+    /** Steady droop of the global grid for the given currents. */
+    GlobalDroop solve(const std::vector<Amperes> &node_currents) const;
+
+  private:
+    const floorplan::Chip &chipRef;
+    GlobalGridParams prm;
+
+    int gridW = 0;
+    int gridH = 0;
+    int nNodes = 0;
+    double cellW = 0.0;  //!< [mm]
+    double cellH = 0.0;  //!< [mm]
+
+    std::vector<int> padNodes;          //!< nodes with a C4 pad
+    std::vector<int> vrNode;            //!< node per chip VR
+    /** Per block: (node, weight) pairs for unregulated blocks. */
+    std::vector<std::vector<std::pair<int, double>>> blockNodes;
+
+    std::unique_ptr<LuSolver> lu;  //!< G with pad conductances
+
+    int nodeAt(double x_mm, double y_mm) const;
+};
+
+} // namespace pdn
+} // namespace tg
+
+#endif // TG_PDN_GLOBAL_GRID_HH

@@ -1,0 +1,164 @@
+#include "pdn/placement.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/logging.hh"
+
+namespace tg {
+namespace pdn {
+
+namespace {
+
+/** Bounding box of a domain's blocks [mm]. */
+floorplan::Rect
+domainBox(const floorplan::Chip &chip, int domain)
+{
+    const auto &dom =
+        chip.plan.domains()[static_cast<std::size_t>(domain)];
+    double x0 = std::numeric_limits<double>::infinity();
+    double y0 = x0;
+    double x1 = -x0;
+    double y1 = -x0;
+    for (int b : dom.blocks) {
+        const auto &r =
+            chip.plan.blocks()[static_cast<std::size_t>(b)].rect;
+        x0 = std::min(x0, r.x);
+        y0 = std::min(y0, r.y);
+        x1 = std::max(x1, r.x + r.w);
+        y1 = std::max(y1, r.y + r.h);
+    }
+    return {x0, y0, x1 - x0, y1 - y0};
+}
+
+/** Steady max droop of a candidate layout under the load map. */
+double
+layoutNoise(const floorplan::Chip &chip, int domain,
+            const vreg::VrDesign &design, const PdnParams &pdn_params,
+            const std::vector<floorplan::Rect> &sites,
+            const std::vector<Watts> &block_power)
+{
+    DomainPdn pdn(chip, domain, design, pdn_params, sites);
+    return pdn.steadyMaxNoise(pdn.nodeCurrents(block_power));
+}
+
+} // namespace
+
+PlacementResult
+optimizePlacement(const floorplan::Chip &chip, int domain,
+                  const vreg::VrDesign &design,
+                  const std::vector<Watts> &block_power,
+                  PdnParams pdn_params, PlacementParams params)
+{
+    TG_ASSERT(params.latticeW >= 2 && params.latticeH >= 2,
+              "placement lattice too small");
+    const auto &dom =
+        chip.plan.domains()[static_cast<std::size_t>(domain)];
+    auto box = domainBox(chip, domain);
+
+    // Start from the floorplan's (uniform) sites.
+    std::vector<floorplan::Rect> sites;
+    for (int v : dom.vrs)
+        sites.push_back(
+            chip.plan.vrs()[static_cast<std::size_t>(v)].rect);
+    const std::vector<floorplan::Rect> uniform = sites;
+
+    PlacementResult res;
+    res.initialNoise = layoutNoise(chip, domain, design, pdn_params,
+                                   sites, block_power);
+    double best = res.initialNoise;
+
+    // Candidate lattice of legal sites across the domain box
+    // (inset by half a site so every candidate stays on silicon).
+    std::vector<std::pair<double, double>> lattice;
+    double edge = sites.front().w;
+    for (int iy = 0; iy < params.latticeH; ++iy) {
+        for (int ix = 0; ix < params.latticeW; ++ix) {
+            double cx = box.x + box.w * (2 * ix + 1) /
+                                    (2.0 * params.latticeW);
+            double cy = box.y + box.h * (2 * iy + 1) /
+                                    (2.0 * params.latticeH);
+            lattice.push_back({cx, cy});
+        }
+    }
+
+    // Locate the noise peak of the current layout so the walk starts
+    // with the regulators nearest it (as the methodology dictates).
+    auto peak_xy = [&]() -> std::pair<double, double> {
+        DomainPdn pdn(chip, domain, design, pdn_params, sites);
+        auto load = pdn.nodeCurrents(block_power);
+        auto v = pdn.steadyVoltages(load);
+        std::size_t worst = 0;
+        for (std::size_t n = 1; n < v.size(); ++n)
+            if (v[n] < v[worst])
+                worst = n;
+        return pdn.nodePosition(static_cast<int>(worst));
+    };
+    auto [px, py] = peak_xy();
+
+    // Walk order: VRs nearest the noise peak first.
+    std::vector<std::size_t> order(sites.size());
+    for (std::size_t i = 0; i < order.size(); ++i)
+        order[i] = i;
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t a, std::size_t b) {
+                  double da = std::hypot(sites[a].cx() - px,
+                                         sites[a].cy() - py);
+                  double db = std::hypot(sites[b].cx() - px,
+                                         sites[b].cy() - py);
+                  return da < db;
+              });
+
+    for (int it = 0; it < params.maxIterations; ++it) {
+        ++res.iterations;
+        bool improved = false;
+        for (std::size_t vi : order) {
+            floorplan::Rect original = sites[vi];
+            floorplan::Rect best_site = original;
+            double best_here = best;
+            for (const auto &[cx, cy] : lattice) {
+                // Skip candidates colliding with another VR site.
+                bool taken = false;
+                for (std::size_t o = 0; o < sites.size(); ++o) {
+                    if (o == vi)
+                        continue;
+                    if (std::hypot(sites[o].cx() - cx,
+                                   sites[o].cy() - cy) < edge)
+                        taken = true;
+                }
+                if (taken)
+                    continue;
+                sites[vi] = {cx - 0.5 * edge, cy - 0.5 * edge, edge,
+                             edge};
+                double noise =
+                    layoutNoise(chip, domain, design, pdn_params,
+                                sites, block_power);
+                if (noise < best_here - params.minGain) {
+                    best_here = noise;
+                    best_site = sites[vi];
+                }
+            }
+            sites[vi] = best_site;
+            if (best_here < best - params.minGain) {
+                best = best_here;
+                ++res.acceptedMoves;
+                improved = true;
+            }
+        }
+        if (!improved)
+            break;
+    }
+
+    res.sites = sites;
+    res.finalNoise = best;
+    double disp = 0.0;
+    for (std::size_t i = 0; i < sites.size(); ++i)
+        disp += std::hypot(sites[i].cx() - uniform[i].cx(),
+                           sites[i].cy() - uniform[i].cy());
+    res.meanDisplacementMm = disp / static_cast<double>(sites.size());
+    return res;
+}
+
+} // namespace pdn
+} // namespace tg

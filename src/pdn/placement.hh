@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Voltage-noise-driven regulator placement optimisation.
+ *
+ * The paper (Section 5) derives its regulator layout with the
+ * methodology of Wang et al.'s "Walking Pads" C4-placement work:
+ * starting from the regulators in the immediate vicinity of the
+ * voltage-noise peak, attempt to move regulators one by one and
+ * accept a move only when it reduces the maximum (steady-state)
+ * voltage noise, iterating to convergence. The paper reports the
+ * optimised layout deviates only slightly from the uniform one
+ * (within 0.4% of Vdd), which justifies evaluating on the regular
+ * uniform placement; the `placement_optimization` bench reproduces
+ * that comparison.
+ */
+
+#ifndef TG_PDN_PLACEMENT_HH
+#define TG_PDN_PLACEMENT_HH
+
+#include <vector>
+
+#include "floorplan/power8.hh"
+#include "pdn/domain_pdn.hh"
+#include "vreg/design.hh"
+
+namespace tg {
+namespace pdn {
+
+/** Knobs of the placement search. */
+struct PlacementParams
+{
+    int maxIterations = 12;   //!< full passes over the VR set
+    /** Candidate-site lattice resolution across the domain box. */
+    int latticeW = 8;
+    int latticeH = 8;
+    /** Minimum noise improvement to accept a move (fraction of
+     *  Vdd); guards against float-level oscillation. */
+    double minGain = 1e-5;
+};
+
+/** Outcome of one domain's placement optimisation. */
+struct PlacementResult
+{
+    /** Final VR sites (same order as the domain's VR list). */
+    std::vector<floorplan::Rect> sites;
+    double initialNoise = 0.0;  //!< max steady droop, uniform layout
+    double finalNoise = 0.0;    //!< max steady droop, optimised
+    int iterations = 0;         //!< passes executed
+    int acceptedMoves = 0;      //!< position changes kept
+    /** Mean displacement of the VRs from their uniform sites [mm]. */
+    double meanDisplacementMm = 0.0;
+};
+
+/**
+ * Optimise the VR placement of one Vdd-domain for the given load.
+ *
+ * @param block_power per-block power [W] defining the load map the
+ *        layout is optimised against (typically the domain's
+ *        worst-case demand)
+ */
+PlacementResult
+optimizePlacement(const floorplan::Chip &chip, int domain,
+                  const vreg::VrDesign &design,
+                  const std::vector<Watts> &block_power,
+                  PdnParams pdn_params = {},
+                  PlacementParams params = {});
+
+} // namespace pdn
+} // namespace tg
+
+#endif // TG_PDN_PLACEMENT_HH

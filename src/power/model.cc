@@ -1,0 +1,116 @@
+#include "power/model.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace tg {
+namespace power {
+
+using floorplan::UnitKind;
+
+double
+PowerModel::densityFor(UnitKind kind) const
+{
+    switch (kind) {
+      case UnitKind::Ifu: return prm.densityIfu;
+      case UnitKind::Isu: return prm.densityIsu;
+      case UnitKind::Exu: return prm.densityExu;
+      case UnitKind::Lsu: return prm.densityLsu;
+      case UnitKind::L2: return prm.densityL2;
+      case UnitKind::L3: return prm.densityL3;
+      case UnitKind::Noc: return prm.densityNoc;
+      case UnitKind::Mc: return prm.densityMc;
+    }
+    panic("unknown unit kind");
+}
+
+PowerModel::PowerModel(const floorplan::Chip &chip, PowerParams params)
+    : chipRef(chip), prm(params)
+{
+    const auto &blocks = chip.plan.blocks();
+    peakDyn.resize(blocks.size());
+    leakRef.resize(blocks.size());
+
+    for (std::size_t i = 0; i < blocks.size(); ++i) {
+        peakDyn[i] = densityFor(blocks[i].kind) * blocks[i].rect.area();
+        maxDynTotal += peakDyn[i];
+    }
+
+    // Calibrate leakage: at a uniform 80 degC the static share of
+    // (full dynamic + static) equals staticShareAt80C.
+    double share = prm.staticShareAt80C;
+    TG_ASSERT(share > 0.0 && share < 1.0, "bad static share");
+    Watts leak_total_80 = share / (1.0 - share) * maxDynTotal;
+
+    // Distribute by area with a logic/memory weighting.
+    double weighted_area = 0.0;
+    for (const auto &b : blocks) {
+        double w = floorplan::isLogicUnit(b.kind)
+                       ? prm.logicLeakageBoost
+                       : prm.memoryLeakageDerate;
+        weighted_area += w * b.rect.area();
+    }
+    for (std::size_t i = 0; i < blocks.size(); ++i) {
+        double w = floorplan::isLogicUnit(blocks[i].kind)
+                       ? prm.logicLeakageBoost
+                       : prm.memoryLeakageDerate;
+        leakRef[i] = leak_total_80 * w * blocks[i].rect.area() /
+                     weighted_area;
+    }
+}
+
+std::vector<Watts>
+PowerModel::dynamicFrame(const uarch::ActivityFrame &frame) const
+{
+    TG_ASSERT(frame.block.size() == peakDyn.size(),
+              "activity frame block count mismatch");
+    std::vector<Watts> out(peakDyn.size());
+    for (std::size_t i = 0; i < peakDyn.size(); ++i)
+        out[i] = peakDyn[i] * frame.block[i];
+    return out;
+}
+
+Watts
+PowerModel::leakage(int b, Celsius t) const
+{
+    double e = (t - prm.leakageCalibTemp) / prm.leakageDoubling;
+    return leakRef.at(b) * std::exp2(e);
+}
+
+std::vector<Watts>
+PowerModel::leakageFrame(const std::vector<Celsius> &temps) const
+{
+    TG_ASSERT(temps.size() == leakRef.size(),
+              "temperature vector block count mismatch");
+    std::vector<Watts> out(leakRef.size());
+    for (std::size_t i = 0; i < leakRef.size(); ++i)
+        out[i] = leakage(static_cast<int>(i), temps[i]);
+    return out;
+}
+
+Watts
+PowerModel::uniformLeakage(Celsius t) const
+{
+    Watts sum = 0.0;
+    for (std::size_t i = 0; i < leakRef.size(); ++i)
+        sum += leakage(static_cast<int>(i), t);
+    return sum;
+}
+
+Amperes
+PowerModel::domainCurrent(const std::vector<Watts> &block_power,
+                          int domain) const
+{
+    const auto &domains = chipRef.plan.domains();
+    TG_ASSERT(domain >= 0 &&
+                  domain < static_cast<int>(domains.size()),
+              "bad domain id ", domain);
+    Watts p = 0.0;
+    for (int b : domains[static_cast<std::size_t>(domain)].blocks)
+        p += block_power[static_cast<std::size_t>(b)];
+    return p / chipRef.params.vdd;
+}
+
+} // namespace power
+} // namespace tg

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Chip power model (the McPAT stand-in).
+ *
+ * Dynamic power: every unit kind has a peak power density [W/mm^2]
+ * reached at activity 1.0; a block's dynamic power is
+ * density * area * activity. The densities put the hotspots on the
+ * EXUs and LSUs, matching the paper's heat maps (Fig. 12b).
+ *
+ * Static power: exponential in temperature with a doubling constant
+ * of ~20 degC, calibrated (as the paper calibrates its MR2/McPAT
+ * setup) so that the static share of total chip power does not exceed
+ * 30% at 80 degC.
+ */
+
+#ifndef TG_POWER_MODEL_HH
+#define TG_POWER_MODEL_HH
+
+#include <vector>
+
+#include "common/units.hh"
+#include "floorplan/power8.hh"
+#include "uarch/activity.hh"
+
+namespace tg {
+namespace power {
+
+/** Tunable power-model parameters. */
+struct PowerParams
+{
+    /** Peak dynamic power density per unit kind [W/mm^2]. */
+    double densityIfu = 0.35;
+    double densityIsu = 0.42;
+    double densityExu = 0.58;
+    double densityLsu = 0.52;
+    double densityL2 = 0.12;
+    double densityL3 = 0.10;
+    double densityNoc = 0.36;
+    double densityMc = 0.26;
+
+    /** Static share of total chip power at the calibration point. */
+    double staticShareAt80C = 0.28;
+    /** Leakage calibration temperature [degC]. */
+    Celsius leakageCalibTemp = 80.0;
+    /** Temperature increase that doubles leakage [degC]. */
+    Celsius leakageDoubling = 12.0;
+    /** Leakage density multiplier for logic vs. memory blocks. */
+    double logicLeakageBoost = 1.3;
+    double memoryLeakageDerate = 0.85;
+};
+
+/**
+ * Per-chip power model: converts activity frames to dynamic power and
+ * block temperatures to leakage power.
+ */
+class PowerModel
+{
+  public:
+    /**
+     * Build and calibrate for `chip`. Leakage density is solved so
+     * that uniform-80degC leakage equals
+     * staticShareAt80C / (1 - staticShareAt80C) times the full-
+     * activity dynamic power.
+     */
+    PowerModel(const floorplan::Chip &chip, PowerParams params = {});
+
+    /** Peak dynamic power of block `b` (activity = 1) [W]. */
+    Watts peakDynamic(int b) const { return peakDyn.at(b); }
+
+    /** Chip dynamic power with every block at activity 1 [W]. */
+    Watts maxDynamic() const { return maxDynTotal; }
+
+    /** Dynamic power of every block for one activity frame [W]. */
+    std::vector<Watts>
+    dynamicFrame(const uarch::ActivityFrame &frame) const;
+
+    /** Leakage power of block `b` at temperature `t` [W]. */
+    Watts leakage(int b, Celsius t) const;
+
+    /** Leakage of every block given per-block temperatures [W]. */
+    std::vector<Watts>
+    leakageFrame(const std::vector<Celsius> &temps) const;
+
+    /** Chip-wide leakage at a uniform temperature [W]. */
+    Watts uniformLeakage(Celsius t) const;
+
+    /**
+     * Load current a Vdd-domain draws from its regulators for the
+     * given per-block total power [A] (I = P / Vdd).
+     */
+    Amperes domainCurrent(const std::vector<Watts> &block_power,
+                          int domain) const;
+
+    const PowerParams &params() const { return prm; }
+
+  private:
+    const floorplan::Chip &chipRef;
+    PowerParams prm;
+    std::vector<Watts> peakDyn;     //!< per-block peak dynamic power
+    std::vector<Watts> leakRef;     //!< per-block leakage at 80 degC
+    Watts maxDynTotal = 0.0;
+
+    double densityFor(floorplan::UnitKind kind) const;
+};
+
+} // namespace power
+} // namespace tg
+
+#endif // TG_POWER_MODEL_HH

@@ -1,0 +1,33 @@
+#include "sensors/emergency_predictor.hh"
+
+#include "common/logging.hh"
+
+namespace tg {
+namespace sensors {
+
+EmergencyPredictor::EmergencyPredictor(PredictorParams params,
+                                       std::uint64_t seed)
+    : prm(params), seed(seed)
+{
+    TG_ASSERT(prm.sensitivity >= 0.0 && prm.sensitivity <= 1.0,
+              "sensitivity outside [0, 1]");
+    TG_ASSERT(prm.falseAlarmRate >= 0.0 && prm.falseAlarmRate <= 1.0,
+              "false alarm rate outside [0, 1]");
+}
+
+bool
+EmergencyPredictor::predict(int domain, long decision, bool truth)
+{
+    // A dedicated generator per (domain, decision) keeps predictions
+    // independent of query order and of other domains' queries.
+    std::uint64_t mix = seed;
+    mix ^= static_cast<std::uint64_t>(domain + 1) * 0x9e3779b97f4a7c15ull;
+    mix ^= static_cast<std::uint64_t>(decision + 1) *
+           0xbf58476d1ce4e5b9ull;
+    Rng rng(mix);
+    double p = truth ? prm.sensitivity : prm.falseAlarmRate;
+    return rng.bernoulli(p);
+}
+
+} // namespace sensors
+} // namespace tg

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Voltage-emergency predictor.
+ *
+ * PracVT needs advance warning of voltage emergencies to switch the
+ * affected domain to all-on before the droop lands. The literature
+ * the paper builds on ([30], Reddi et al.) demonstrates predictors
+ * with better than 90% accuracy from recurring program/uarch event
+ * activity. This model reproduces that *behaviour*: given the ground
+ * truth of whether the upcoming interval would contain an emergency
+ * (which the simulation knows), it fires with the configured
+ * sensitivity and adds false alarms at the configured rate,
+ * deterministically per (seed, domain, decision index).
+ */
+
+#ifndef TG_SENSORS_EMERGENCY_PREDICTOR_HH
+#define TG_SENSORS_EMERGENCY_PREDICTOR_HH
+
+#include <cstdint>
+
+#include "common/rng.hh"
+
+namespace tg {
+namespace sensors {
+
+/** Accuracy characteristics of the predictor. */
+struct PredictorParams
+{
+    double sensitivity = 0.90;    //!< P(alert | emergency ahead)
+    double falseAlarmRate = 0.02; //!< P(alert | no emergency ahead)
+};
+
+/** Per-chip emergency predictor, one logical instance per domain. */
+class EmergencyPredictor
+{
+  public:
+    EmergencyPredictor(PredictorParams params, std::uint64_t seed);
+
+    /**
+     * Predict whether the next interval of `domain` holds a voltage
+     * emergency. `truth` is the simulation's ground truth for that
+     * interval; `decision` indexes the decision point so repeated
+     * queries are reproducible.
+     */
+    bool predict(int domain, long decision, bool truth);
+
+    const PredictorParams &params() const { return prm; }
+
+  private:
+    PredictorParams prm;
+    std::uint64_t seed;
+};
+
+} // namespace sensors
+} // namespace tg
+
+#endif // TG_SENSORS_EMERGENCY_PREDICTOR_HH

@@ -1,0 +1,72 @@
+#include "sensors/thermal_sensor.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace tg {
+namespace sensors {
+
+namespace {
+
+/** Tolerance for time comparisons (absorbs FP rounding). */
+constexpr Seconds kTimeEps = 1e-12;
+
+} // namespace
+
+ThermalSensorBank::ThermalSensorBank(int n_sensors, SensorParams params,
+                                     std::uint64_t seed)
+    : nSensors(n_sensors), prm(params), rng(seed)
+{
+    TG_ASSERT(n_sensors >= 1, "sensor bank needs at least one sensor");
+    TG_ASSERT(prm.delay >= 0.0, "negative sensor delay");
+    TG_ASSERT(prm.quantization > 0.0, "quantisation must be positive");
+}
+
+void
+ThermalSensorBank::record(Seconds now, const std::vector<Celsius> &temps)
+{
+    TG_ASSERT(static_cast<int>(temps.size()) == nSensors,
+              "sensor record size mismatch");
+    TG_ASSERT(buffer.empty() || now >= buffer.back().time,
+              "sensor samples must be recorded in time order");
+    buffer.push_back({now, temps});
+    // Keep only what could still be served: one sample older than the
+    // horizon suffices as the fallback. The epsilon absorbs the
+    // floating-point error of repeated time arithmetic.
+    while (buffer.size() >= 2 &&
+           buffer[1].time <= now - prm.delay + kTimeEps)
+        buffer.pop_front();
+}
+
+std::vector<Celsius>
+ThermalSensorBank::read(Seconds now)
+{
+    TG_ASSERT(!buffer.empty(), "reading an empty sensor bank");
+
+    // Newest sample at least `delay` old; otherwise the oldest one.
+    const Sample *chosen = &buffer.front();
+    for (const auto &s : buffer) {
+        if (s.time <= now - prm.delay + kTimeEps)
+            chosen = &s;
+        else
+            break;
+    }
+
+    std::vector<Celsius> out(chosen->temps);
+    for (auto &t : out) {
+        if (prm.noiseSigma > 0.0)
+            t += rng.gaussian(0.0, prm.noiseSigma);
+        t = std::round(t / prm.quantization) * prm.quantization;
+    }
+    return out;
+}
+
+void
+ThermalSensorBank::reset()
+{
+    buffer.clear();
+}
+
+} // namespace sensors
+} // namespace tg

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * On-chip thermal sensor bank with realistic staleness.
+ *
+ * The paper's practical policies read digital thermal sensors placed
+ * next to every regulator. Sensors of the assumed class deliver up to
+ * 10K readings/s, so at a decision point the freshest available
+ * reading is up to 100 us old; gathering and sorting adds a
+ * comparable firmware latency (Section 6.3). The bank models this by
+ * buffering samples and serving the newest one older than the
+ * configured delay, quantised to the sensor resolution with optional
+ * gaussian read noise.
+ */
+
+#ifndef TG_SENSORS_THERMAL_SENSOR_HH
+#define TG_SENSORS_THERMAL_SENSOR_HH
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "common/rng.hh"
+#include "common/units.hh"
+
+namespace tg {
+namespace sensors {
+
+/** Configuration of a thermal sensor bank. */
+struct SensorParams
+{
+    Seconds delay = 100e-6;     //!< reading staleness [s]
+    Celsius quantization = 0.25; //!< reading resolution [degC]
+    Celsius noiseSigma = 0.05;  //!< gaussian read noise [degC]
+};
+
+/** A bank of identical thermal sensors, one per monitored spot. */
+class ThermalSensorBank
+{
+  public:
+    /**
+     * @param n_sensors number of monitored spots (e.g. one per VR)
+     * @param seed      read-noise stream seed
+     */
+    ThermalSensorBank(int n_sensors, SensorParams params,
+                      std::uint64_t seed);
+
+    /** Record the true temperatures at simulation time `now` [s]. */
+    void record(Seconds now, const std::vector<Celsius> &temps);
+
+    /**
+     * Read every sensor at time `now`: returns the newest recorded
+     * sample no younger than the delay, quantised and noised. Before
+     * any sufficiently old sample exists, serves the oldest recorded
+     * one (start-up transient).
+     */
+    std::vector<Celsius> read(Seconds now);
+
+    /** Drop all buffered samples (e.g. between runs). */
+    void reset();
+
+    int size() const { return nSensors; }
+
+  private:
+    int nSensors;
+    SensorParams prm;
+    Rng rng;
+
+    struct Sample
+    {
+        Seconds time;
+        std::vector<Celsius> temps;
+    };
+    std::deque<Sample> buffer;
+};
+
+} // namespace sensors
+} // namespace tg
+
+#endif // TG_SENSORS_THERMAL_SENSOR_HH

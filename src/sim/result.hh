@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Per-run metrics and optional recorded series for the figure benches.
+ */
+
+#ifndef TG_SIM_RESULT_HH
+#define TG_SIM_RESULT_HH
+
+#include <string>
+#include <vector>
+
+#include "common/units.hh"
+#include "core/policy.hh"
+
+namespace tg {
+namespace sim {
+
+/** What extra data a run should record beyond the scalar metrics. */
+struct RecordOptions
+{
+    /** Record per-frame total power and active-VR count (Fig. 6). */
+    bool timeSeries = false;
+    /** Track one VR's temperature and state (Fig. 8): chip VR id. */
+    int trackVr = -1;
+    /** Capture the die heat map at the hottest frame (Fig. 12). */
+    bool heatmap = false;
+    /** Keep the per-cycle droop trace of the worst sample (Fig. 14). */
+    bool noiseTrace = false;
+    /** Override SimConfig::noiseSamples; <0 keeps the default and 0
+     *  disables noise sampling entirely (thermal-only studies). */
+    int noiseSamplesOverride = -1;
+};
+
+/** Everything one simulated (benchmark, policy) run produces. */
+struct RunResult
+{
+    std::string benchmark;
+    core::PolicyKind policy{};
+
+    // --- headline metrics (Figs. 9, 10, 11; Table 2) ---------------
+    Celsius maxTmax = 0.0;      //!< temporal max of chip-wide Tmax
+    std::string hottestSpot;    //!< where the temporal max occurred
+    Celsius maxGradient = 0.0;  //!< temporal max thermal gradient
+    double maxNoiseFrac = 0.0;  //!< max droop fraction of Vdd
+    double emergencyFrac = 0.0; //!< fraction of cycles in emergency
+
+    // --- efficiency metrics (Figs. 5/7, Section 6.3) ---------------
+    Watts avgRegulatorLoss = 0.0; //!< time-avg total VR loss [W]
+    double avgEta = 0.0;          //!< P_out-weighted conversion eff.
+    double avgActiveVrs = 0.0;    //!< time-avg active VR count
+    Watts meanPower = 0.0;        //!< time-avg chip load power [W]
+    long overrideCount = 0;       //!< all-on emergency overrides
+
+    // --- optional series --------------------------------------------
+    std::vector<double> timeUs;       //!< frame timestamps [us]
+    std::vector<double> totalPowerW;  //!< per-frame load power
+    std::vector<double> activeVrs;    //!< per-frame active VR count
+
+    std::vector<double> trackedVrTemp; //!< tracked VR T per frame
+    std::vector<int> trackedVrOn;      //!< tracked VR state per frame
+
+    std::vector<double> heatmap;  //!< row-major die grid [degC]
+    int heatmapW = 0;
+    int heatmapH = 0;
+    double heatmapTimeUs = 0.0;   //!< when Tmax peaked
+
+    std::vector<double> noiseTrace; //!< per-cycle droop fraction
+    int noiseTraceDomain = -1;
+    double noiseTraceTimeUs = 0.0;
+
+    /** Per chip-VR activity rate (fraction of time on), Fig. 13. */
+    std::vector<double> vrActivity;
+
+    /** Per chip-VR wear-out damage (equivalent stress-seconds at
+     *  the aging reference temperature; Section 7 discussion). */
+    std::vector<double> vrAging;
+    /** Max-over-mean aging damage: 1.0 = perfectly balanced wear. */
+    double agingImbalance = 1.0;
+};
+
+} // namespace sim
+} // namespace tg
+
+#endif // TG_SIM_RESULT_HH

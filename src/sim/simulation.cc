@@ -1,0 +1,789 @@
+#include "sim/simulation.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "common/stats.hh"
+#include "core/aging.hh"
+#include "sensors/emergency_predictor.hh"
+#include "sensors/thermal_sensor.hh"
+#include "uarch/core_model.hh"
+#include "vreg/design.hh"
+#include "workload/cycles.hh"
+#include "workload/demand.hh"
+
+namespace tg {
+namespace sim {
+
+using core::PolicyKind;
+
+namespace {
+
+/** FNV-1a hash of a string, for seeding per-benchmark streams. */
+std::uint64_t
+hashName(const std::string &s)
+{
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    for (char c : s) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+/** Order-sensitive seed mixer. */
+std::uint64_t
+mixSeed(std::uint64_t a, std::uint64_t b)
+{
+    return (a ^ (b + 0x9e3779b97f4a7c15ull + (a << 6) + (a >> 2))) *
+           0xbf58476d1ce4e5b9ull;
+}
+
+vreg::VrDesign
+designFor(RegulatorChoice choice)
+{
+    switch (choice) {
+      case RegulatorChoice::Fivr: return vreg::fivrDesign();
+      case RegulatorChoice::Ldo: return vreg::ldoDesign();
+    }
+    panic("unknown regulator choice");
+}
+
+} // namespace
+
+Simulation::Simulation(const floorplan::Chip &chip, SimConfig cfg_in)
+    : chipRef(chip), cfg(cfg_in), vrDesign(designFor(cfg.regulator)),
+      tm(chip, cfg.thermalParams), pm(chip, cfg.powerParams)
+{
+    const auto &domains = chip.plan.domains();
+    networks.reserve(domains.size());
+    for (const auto &d : domains) {
+        networks.emplace_back(vrDesign,
+                              static_cast<int>(d.vrs.size()));
+        networks.back().setVout(chip.params.vdd);
+        pdns.push_back(std::make_unique<pdn::DomainPdn>(
+            chip, d.id, vrDesign, cfg.pdnParams));
+    }
+
+    vrLocal.assign(chip.plan.vrs().size(), {-1, -1});
+    for (const auto &d : domains)
+        for (std::size_t l = 0; l < d.vrs.size(); ++l)
+            vrLocal[static_cast<std::size_t>(d.vrs[l])] = {
+                d.id, static_cast<int>(l)};
+    for (std::size_t v = 0; v < vrLocal.size(); ++v)
+        TG_ASSERT(vrLocal[v].first >= 0, "VR ", v, " has no domain");
+}
+
+const vreg::RegulatorNetwork &
+Simulation::network(int domain) const
+{
+    return networks.at(static_cast<std::size_t>(domain));
+}
+
+const pdn::DomainPdn &
+Simulation::domainPdn(int domain) const
+{
+    return *pdns.at(static_cast<std::size_t>(domain));
+}
+
+const core::ThermalPredictor &
+Simulation::thermalPredictor()
+{
+    if (!predictor)
+        calibrateThetas();
+    return *predictor;
+}
+
+double
+Simulation::predictorRSquared()
+{
+    if (!predictor)
+        calibrateThetas();
+    return predictorR2;
+}
+
+void
+Simulation::calibrateThetas()
+{
+    // Profiling pass (Section 6.3): drive the chip through large
+    // demand steps under randomised gating so every regulator sees
+    // on->off and off->on transitions, then fit deltaT = theta_i *
+    // deltaP_i from epoch-to-epoch observations against the full RC
+    // model.
+    const auto &plan = chipRef.plan;
+    const auto &domains = plan.domains();
+    int n_vrs = static_cast<int>(plan.vrs().size());
+    predictor = std::make_unique<core::ThermalPredictor>(n_vrs);
+
+    Rng rng(mixSeed(cfg.seed, 0x7075u));
+    Seconds dt = tm.step();
+    int fpe = std::max(
+        1, static_cast<int>(std::round(cfg.decisionInterval / dt)));
+
+    // Mid-level uniform activity as the block-power background.
+    std::vector<Watts> block_dyn(plan.blocks().size());
+    auto block_power_at = [&](double u) {
+        for (std::size_t b = 0; b < block_dyn.size(); ++b) {
+            bool logic = floorplan::isLogicUnit(plan.blocks()[b].kind);
+            block_dyn[b] = pm.peakDynamic(static_cast<int>(b)) *
+                           (logic ? u : 0.5 * u);
+        }
+        return block_dyn;
+    };
+
+    auto temps = tm.uniformState(cfg.thermalParams.ambient + 12.0);
+    std::vector<Watts> vr_loss(static_cast<std::size_t>(n_vrs), 0.0);
+    std::vector<Watts> prev_loss;
+    std::vector<Celsius> prev_temp;
+
+    for (int e = 0; e < cfg.profilingEpochs; ++e) {
+        // Demand square wave with jitter: big deltaP between epochs.
+        double u = (e % 2 == 0 ? 0.35 : 0.8) + rng.uniform(-0.05, 0.05);
+        auto block_power = block_power_at(u);
+
+        std::fill(vr_loss.begin(), vr_loss.end(), 0.0);
+        for (const auto &d : domains) {
+            Amperes demand = pm.domainCurrent(block_power, d.id);
+            auto &net = networks[static_cast<std::size_t>(d.id)];
+            int non = net.requiredActive(demand);
+            // Random subset of size non.
+            std::vector<int> order(d.vrs.size());
+            for (std::size_t i = 0; i < order.size(); ++i)
+                order[i] = static_cast<int>(i);
+            for (std::size_t i = order.size(); i-- > 1;)
+                std::swap(order[i],
+                          order[static_cast<std::size_t>(
+                              rng.uniformInt(0, static_cast<int>(i)))]);
+            auto op = net.evaluate(demand, non);
+            for (int l = 0; l < non; ++l)
+                vr_loss[static_cast<std::size_t>(
+                    d.vrs[static_cast<std::size_t>(order[
+                        static_cast<std::size_t>(l)])])] =
+                    op.plossTotal / non;
+        }
+
+        auto pv = tm.powerVector(block_power, vr_loss);
+        for (int f = 0; f < fpe; ++f)
+            tm.advance(temps, pv);
+
+        std::vector<Celsius> vr_temp(static_cast<std::size_t>(n_vrs));
+        for (int v = 0; v < n_vrs; ++v)
+            vr_temp[static_cast<std::size_t>(v)] = tm.vrTemp(temps, v);
+
+        if (e >= 2) {
+            // Skip the first epochs: the global state is still
+            // settling and would contaminate the per-VR fit.
+            for (int v = 0; v < n_vrs; ++v) {
+                double d_p = vr_loss[static_cast<std::size_t>(v)] -
+                             prev_loss[static_cast<std::size_t>(v)];
+                double d_t = vr_temp[static_cast<std::size_t>(v)] -
+                             prev_temp[static_cast<std::size_t>(v)];
+                predictor->addSample(v, d_p, d_t);
+            }
+        }
+        prev_loss = vr_loss;
+        prev_temp = vr_temp;
+    }
+    predictor->fit();
+    predictorR2 = predictor->rSquared();
+}
+
+Simulation::NoiseWindowResult
+Simulation::noiseWindow(int domain, long epoch, int sample,
+                        const std::vector<Watts> &block_power,
+                        double didt, std::uint64_t run_seed,
+                        bool keep_trace) const
+{
+    const auto &plan = chipRef.plan;
+    const auto &pdn = *pdns[static_cast<std::size_t>(domain)];
+    const auto &dom = plan.domains()[static_cast<std::size_t>(domain)];
+
+    // Split the domain's power into logic and memory groups; they
+    // fluctuate with different depths.
+    std::vector<Watts> p_logic(block_power.size(), 0.0);
+    std::vector<Watts> p_mem(block_power.size(), 0.0);
+    for (int b : dom.blocks) {
+        std::size_t ub = static_cast<std::size_t>(b);
+        if (floorplan::isLogicUnit(plan.blocks()[ub].kind))
+            p_logic[ub] = block_power[ub];
+        else
+            p_mem[ub] = block_power[ub];
+    }
+    auto base_logic = pdn.nodeCurrents(p_logic);
+    auto base_mem = pdn.nodeCurrents(p_mem);
+
+    int cycles = cfg.noiseCyclesTotal;
+    Rng rng(mixSeed(mixSeed(run_seed, static_cast<std::uint64_t>(
+                                          epoch * 1315423911ll)),
+                    mixSeed(static_cast<std::uint64_t>(sample),
+                            static_cast<std::uint64_t>(domain))));
+    auto mult = workload::synthesizeCycleMultipliers(
+        didt, static_cast<std::size_t>(cycles), rng);
+
+    std::size_t n = static_cast<std::size_t>(pdn.nodeCount());
+    std::vector<std::vector<Amperes>> window(
+        static_cast<std::size_t>(cycles),
+        std::vector<Amperes>(n, 0.0));
+    for (int c = 0; c < cycles; ++c) {
+        double ml = mult[static_cast<std::size_t>(c)];
+        double mm = 1.0 + 0.35 * (ml - 1.0);  // caches swing less
+        auto &row = window[static_cast<std::size_t>(c)];
+        for (std::size_t i = 0; i < n; ++i)
+            row[i] = base_logic[i] * ml + base_mem[i] * mm;
+    }
+
+    auto res = pdn.transientWindow(window, cfg.noiseWarmupCycles,
+                                   keep_trace);
+    NoiseWindowResult out;
+    out.maxNoise = res.maxNoiseFrac;
+    out.emergencyCycles = res.emergencyCycles;
+    out.analysedCycles = res.analysedCycles;
+    out.trace = std::move(res.trace);
+    return out;
+}
+
+RunResult
+Simulation::run(const workload::BenchmarkProfile &profile,
+                PolicyKind policy, RecordOptions opts)
+{
+    std::vector<const workload::BenchmarkProfile *> per_core(
+        static_cast<std::size_t>(chipRef.params.cores), &profile);
+    return runMixed(per_core, profile.name, policy, opts);
+}
+
+RunResult
+Simulation::runMixed(
+    const std::vector<const workload::BenchmarkProfile *> &per_core,
+    const std::string &label, PolicyKind policy, RecordOptions opts)
+{
+    TG_ASSERT(static_cast<int>(per_core.size()) ==
+                  chipRef.params.cores,
+              "need one profile per core");
+    const auto &plan = chipRef.plan;
+    const auto &domains = plan.domains();
+    const int n_domains = static_cast<int>(domains.size());
+    const int n_vrs = static_cast<int>(plan.vrs().size());
+    const Volts vdd = chipRef.params.vdd;
+
+    if (core::isThermallyAware(policy))
+        thermalPredictor();  // ensure thetas exist
+
+    std::uint64_t run_seed = mixSeed(cfg.seed, hashName(label));
+
+    // --- Workload and activity -----------------------------------------
+    auto demand =
+        workload::generateMixedDemandTrace(per_core, run_seed,
+                                           tm.step());
+    auto activity =
+        uarch::buildActivityTrace(chipRef, per_core, demand);
+
+    // Per-domain di/dt intensity: a core domain inherits its own
+    // program's character; an L3 bank sees the dampened average.
+    double didt_avg = 0.0;
+    for (const auto *p : per_core)
+        didt_avg += p->didtActivity;
+    didt_avg /= static_cast<double>(per_core.size());
+    auto domain_didt = [&](int d) {
+        const auto &dom =
+            plan.domains()[static_cast<std::size_t>(d)];
+        if (dom.kind == floorplan::DomainKind::Core) {
+            // Core domain ids coincide with core ids on the canned
+            // chips; fall back to the average otherwise.
+            if (d < static_cast<int>(per_core.size()))
+                return per_core[static_cast<std::size_t>(d)]
+                    ->didtActivity;
+            return didt_avg;
+        }
+        return 0.5 * didt_avg;
+    };
+    const std::size_t n_frames = activity.frames.size();
+    const Seconds dt = tm.step();
+    const int fpe = std::max(
+        1, static_cast<int>(std::round(cfg.decisionInterval / dt)));
+    const long n_epochs =
+        (static_cast<long>(n_frames) + fpe - 1) / fpe;
+
+    // --- Noise sample schedule -----------------------------------------
+    int n_samples = opts.noiseSamplesOverride >= 0
+                        ? opts.noiseSamplesOverride
+                        : cfg.noiseSamples;
+    if (policy == PolicyKind::OffChip)
+        n_samples = 0;
+    std::vector<std::vector<int>> samples_of_epoch(
+        static_cast<std::size_t>(n_epochs));
+    std::vector<int> sample_frame(static_cast<std::size_t>(n_samples));
+    for (int s = 0; s < n_samples; ++s) {
+        int f = static_cast<int>((s + 0.5) * static_cast<double>(
+                                                 n_frames) /
+                                 n_samples);
+        f = std::min<int>(f, static_cast<int>(n_frames) - 1);
+        sample_frame[static_cast<std::size_t>(s)] = f;
+        samples_of_epoch[static_cast<std::size_t>(f / fpe)].push_back(
+            s);
+    }
+
+    // --- Infrastructure -------------------------------------------------
+    core::Governor governor(policy, n_domains);
+    core::AgingModel aging(n_vrs);
+    sensors::ThermalSensorBank sensor_bank(
+        n_vrs, cfg.sensorParams, mixSeed(run_seed, 0x5eb5u));
+    sensors::EmergencyPredictor em_predictor(
+        cfg.predictorParams, mixSeed(run_seed, 0xe456u));
+    std::vector<WmaForecaster> wma(static_cast<std::size_t>(n_domains),
+                                   WmaForecaster(3));
+
+    const bool oracular_inputs = core::isOracular(policy) ||
+                                 policy == PolicyKind::Naive ||
+                                 policy == PolicyKind::AllOn;
+    const bool off_chip = policy == PolicyKind::OffChip;
+
+    // --- Initial condition ----------------------------------------------
+    std::vector<Watts> vr_loss(static_cast<std::size_t>(n_vrs), 0.0);
+    std::vector<std::vector<int>> active_sets(
+        static_cast<std::size_t>(n_domains));
+    if (!off_chip) {
+        for (int d = 0; d < n_domains; ++d) {
+            auto &set = active_sets[static_cast<std::size_t>(d)];
+            set.resize(domains[static_cast<std::size_t>(d)].vrs.size());
+            for (std::size_t i = 0; i < set.size(); ++i)
+                set[i] = static_cast<int>(i);
+        }
+    }
+
+    std::vector<Celsius> temps;
+    {
+        auto dyn0 = pm.dynamicFrame(activity.frames[0]);
+        temps = tm.uniformState(cfg.thermalParams.ambient + 12.0);
+        for (int it = 0; it < 4; ++it) {
+            auto block_t = tm.blockTemps(temps);
+            auto leak = pm.leakageFrame(block_t);
+            std::vector<Watts> block_power(dyn0);
+            for (std::size_t b = 0; b < block_power.size(); ++b)
+                block_power[b] += leak[b];
+            std::fill(vr_loss.begin(), vr_loss.end(), 0.0);
+            if (!off_chip) {
+                for (int d = 0; d < n_domains; ++d) {
+                    Amperes i_d = pm.domainCurrent(block_power, d);
+                    const auto &set =
+                        active_sets[static_cast<std::size_t>(d)];
+                    auto op = networks[static_cast<std::size_t>(d)]
+                                  .evaluate(i_d,
+                                            static_cast<int>(
+                                                set.size()));
+                    for (int l : set)
+                        vr_loss[static_cast<std::size_t>(
+                            domains[static_cast<std::size_t>(d)]
+                                .vrs[static_cast<std::size_t>(l)])] =
+                            op.plossTotal / set.size();
+                }
+            }
+            temps = tm.steadyState(tm.powerVector(block_power,
+                                                  vr_loss));
+        }
+    }
+    {
+        std::vector<Celsius> vr_t(static_cast<std::size_t>(n_vrs));
+        for (int v = 0; v < n_vrs; ++v)
+            vr_t[static_cast<std::size_t>(v)] = tm.vrTemp(temps, v);
+        sensor_bank.record(0.0, vr_t);
+    }
+
+    // --- Result accumulators ---------------------------------------------
+    RunResult res;
+    res.benchmark = label;
+    res.policy = policy;
+
+    RunningStats ploss_stats;
+    RunningStats power_stats;
+    RunningStats active_stats;
+    double eta_weighted = 0.0;
+    double eta_weight = 0.0;
+    long emergency_cycles = 0;
+    long analysed_cycles = 0;
+    double best_trace_noise = -1.0;
+
+    std::vector<Watts> last_block_power = pm.dynamicFrame(
+        activity.frames[0]);
+    {
+        auto leak = pm.leakageFrame(tm.blockTemps(temps));
+        for (std::size_t b = 0; b < last_block_power.size(); ++b)
+            last_block_power[b] += leak[b];
+    }
+
+    // Per-epoch mean and peak dynamic power: oracular policies
+    // provision n_on for the epoch's demand *excursions*, not just
+    // its mean, so intra-epoch swings do not push the active VRs far
+    // past their peak-efficiency load.
+    auto epoch_dynamic = [&](long e) {
+        std::vector<Watts> mean(plan.blocks().size(), 0.0);
+        std::vector<Watts> peak(plan.blocks().size(), 0.0);
+        std::size_t f0 = static_cast<std::size_t>(e) *
+                         static_cast<std::size_t>(fpe);
+        std::size_t f1 =
+            std::min(n_frames, f0 + static_cast<std::size_t>(fpe));
+        for (std::size_t f = f0; f < f1; ++f) {
+            auto dyn = pm.dynamicFrame(activity.frames[f]);
+            for (std::size_t b = 0; b < mean.size(); ++b) {
+                mean[b] += dyn[b];
+                peak[b] = std::max(peak[b], dyn[b]);
+            }
+        }
+        double inv = 1.0 / static_cast<double>(f1 - f0);
+        for (std::size_t b = 0; b < mean.size(); ++b)
+            mean[b] = 0.5 * (mean[b] * inv + peak[b]);
+        return mean;
+    };
+
+    // =====================================================================
+    // Main loop: one gating decision per epoch, thermal steps per
+    // frame, noise windows at the scheduled sample frames.
+    // =====================================================================
+    for (long e = 0; e < n_epochs; ++e) {
+        std::size_t f0 = static_cast<std::size_t>(e) *
+                         static_cast<std::size_t>(fpe);
+        std::size_t f1 =
+            std::min(n_frames, f0 + static_cast<std::size_t>(fpe));
+        Seconds epoch_t = static_cast<double>(f0) * dt;
+
+        // ---- Decisions ---------------------------------------------------
+        if (!off_chip) {
+            auto mean_dyn = epoch_dynamic(e);
+            auto leak_now = pm.leakageFrame(tm.blockTemps(temps));
+            std::vector<Watts> mean_power(mean_dyn);
+            for (std::size_t b = 0; b < mean_power.size(); ++b)
+                mean_power[b] += leak_now[b];
+
+            std::vector<Celsius> vr_true(
+                static_cast<std::size_t>(n_vrs));
+            for (int v = 0; v < n_vrs; ++v)
+                vr_true[static_cast<std::size_t>(v)] =
+                    tm.vrTemp(temps, v);
+            auto vr_sensor = sensor_bank.read(epoch_t);
+
+            for (int d = 0; d < n_domains; ++d) {
+                const auto &dom =
+                    domains[static_cast<std::size_t>(d)];
+                auto &net = networks[static_cast<std::size_t>(d)];
+                auto &pdn = *pdns[static_cast<std::size_t>(d)];
+
+                Amperes demand_now =
+                    pm.domainCurrent(last_block_power, d);
+                Amperes true_next =
+                    pm.domainCurrent(mean_power, d);
+                auto &forecaster =
+                    wma[static_cast<std::size_t>(d)];
+                forecaster.observe(demand_now);
+                Amperes wma_next = forecaster.predict();
+
+                core::DomainState st;
+                st.domain = d;
+                st.decision = e;
+                st.demandNow = demand_now;
+                st.demandNext =
+                    oracular_inputs
+                        ? true_next
+                        : std::max(wma_next, demand_now) *
+                              (1.0 + cfg.practicalDemandMargin);
+                st.didt = domain_didt(d);
+                if (!oracular_inputs &&
+                    policy != PolicyKind::OffChip)
+                    st.headroomVrs = cfg.practicalHeadroomVrs;
+
+                st.vrTemps.resize(dom.vrs.size());
+                st.vrLossNow.resize(dom.vrs.size());
+                for (std::size_t l = 0; l < dom.vrs.size(); ++l) {
+                    std::size_t v = static_cast<std::size_t>(
+                        dom.vrs[l]);
+                    st.vrTemps[l] = oracular_inputs ? vr_true[v]
+                                                    : vr_sensor[v];
+                    st.vrLossNow[l] = vr_loss[v];
+                }
+                int non_next = net.requiredActive(st.demandNext);
+                auto op_next = net.evaluate(st.demandNext, non_next);
+                st.vrLossNextPerActive = op_next.plossTotal /
+                                         non_next;
+
+                st.nodeCurrents = pdn.nodeCurrents(
+                    oracular_inputs ? mean_power : last_block_power);
+
+                core::PolicyToolkit kit;
+                kit.pdn = &pdn;
+                kit.network = &net;
+                std::vector<double> thetas;
+                if (predictor) {
+                    thetas.resize(dom.vrs.size());
+                    for (std::size_t l = 0; l < dom.vrs.size(); ++l)
+                        thetas[l] = predictor->theta(dom.vrs[l]);
+                }
+                kit.thetas = &thetas;
+
+                core::Decision decision =
+                    governor.decide(st, kit, false);
+                if (core::hasEmergencyOverride(policy) &&
+                    !decision.overridden &&
+                    !samples_of_epoch[static_cast<std::size_t>(e)]
+                         .empty()) {
+                    // Determine the ground truth: would this
+                    // selection suffer an emergency this epoch?
+                    pdn.setActive(decision.active);
+                    bool truth = false;
+                    for (int s :
+                         samples_of_epoch[static_cast<std::size_t>(
+                             e)]) {
+                        auto w = noiseWindow(d, e, s, mean_power,
+                                             st.didt, run_seed,
+                                             false);
+                        if (w.emergencyCycles > 0) {
+                            truth = true;
+                            break;
+                        }
+                    }
+                    bool alert =
+                        policy == PolicyKind::OracVT
+                            ? truth
+                            : em_predictor.predict(d, e, truth);
+                    if (alert)
+                        decision = governor.decide(st, kit, true);
+                }
+
+                active_sets[static_cast<std::size_t>(d)] =
+                    decision.active;
+                pdn.setActive(decision.active);
+                governor.recordActivity(
+                    d, decision.active,
+                    static_cast<int>(dom.vrs.size()),
+                    static_cast<double>(f1 - f0) * dt);
+            }
+            res.overrideCount = governor.overrideCount();
+
+            // Policy-consistent warm start: the ROI is entered from
+            // preceding execution under the same gating policy, so
+            // re-derive the initial thermal state from the first
+            // decision's configuration instead of the all-on
+            // bootstrap state (otherwise every policy would inherit
+            // the all-on maximum).
+            if (e == 0) {
+                for (int it = 0; it < 3; ++it) {
+                    auto block_t = tm.blockTemps(temps);
+                    auto leak = pm.leakageFrame(block_t);
+                    auto dyn0 = pm.dynamicFrame(activity.frames[0]);
+                    std::vector<Watts> block_power(dyn0);
+                    for (std::size_t b = 0; b < block_power.size();
+                         ++b)
+                        block_power[b] += leak[b];
+                    std::fill(vr_loss.begin(), vr_loss.end(), 0.0);
+                    for (int d = 0; d < n_domains; ++d) {
+                        const auto &dom =
+                            domains[static_cast<std::size_t>(d)];
+                        const auto &set = active_sets[
+                            static_cast<std::size_t>(d)];
+                        if (set.empty())
+                            continue;
+                        Amperes i_d =
+                            pm.domainCurrent(block_power, d);
+                        auto op =
+                            networks[static_cast<std::size_t>(d)]
+                                .evaluate(i_d, static_cast<int>(
+                                                   set.size()));
+                        for (int l : set)
+                            vr_loss[static_cast<std::size_t>(
+                                dom.vrs[static_cast<std::size_t>(
+                                    l)])] = op.plossTotal /
+                                            set.size();
+                    }
+                    temps = tm.steadyState(
+                        tm.powerVector(block_power, vr_loss));
+                }
+                last_block_power = pm.dynamicFrame(activity.frames[0]);
+                auto leak = pm.leakageFrame(tm.blockTemps(temps));
+                for (std::size_t b = 0;
+                     b < last_block_power.size(); ++b)
+                    last_block_power[b] += leak[b];
+            }
+        }
+
+        // ---- Frames ---------------------------------------------------
+        for (std::size_t f = f0; f < f1; ++f) {
+            Seconds now = static_cast<double>(f) * dt;
+            auto block_t = tm.blockTemps(temps);
+            auto dyn = pm.dynamicFrame(activity.frames[f]);
+            auto leak = pm.leakageFrame(block_t);
+            std::vector<Watts> block_power(dyn);
+            Watts total_load = 0.0;
+            for (std::size_t b = 0; b < block_power.size(); ++b) {
+                block_power[b] += leak[b];
+                total_load += block_power[b];
+            }
+            last_block_power = block_power;
+            power_stats.add(total_load);
+
+            std::fill(vr_loss.begin(), vr_loss.end(), 0.0);
+            int active_total = 0;
+            Watts ploss_total = 0.0;
+            if (!off_chip) {
+                for (int d = 0; d < n_domains; ++d) {
+                    const auto &dom =
+                        domains[static_cast<std::size_t>(d)];
+                    const auto &set =
+                        active_sets[static_cast<std::size_t>(d)];
+                    Amperes i_d = pm.domainCurrent(block_power, d);
+                    auto op =
+                        networks[static_cast<std::size_t>(d)]
+                            .evaluate(i_d,
+                                      static_cast<int>(set.size()));
+                    for (int l : set)
+                        vr_loss[static_cast<std::size_t>(
+                            dom.vrs[static_cast<std::size_t>(l)])] =
+                            op.plossTotal / set.size();
+                    ploss_total += op.plossTotal;
+                    active_total += static_cast<int>(set.size());
+                    eta_weighted += op.eta * i_d;
+                    eta_weight += i_d;
+                }
+            }
+            ploss_stats.add(ploss_total);
+            active_stats.add(active_total);
+
+            tm.advance(temps, tm.powerVector(block_power, vr_loss));
+
+            Celsius tmax = tm.maxDieTemp(temps);
+            Celsius grad = tm.gradient(temps);
+            if (tmax > res.maxTmax) {
+                res.maxTmax = tmax;
+                auto hs = tm.hottest(temps);
+                if (hs.isVr) {
+                    res.hottestSpot =
+                        plan.vrs()[static_cast<std::size_t>(hs.vr)]
+                            .name;
+                } else {
+                    auto [cx, cy] = tm.cellCentre(hs.row, hs.col);
+                    int b = plan.blockAt(cx, cy);
+                    res.hottestSpot =
+                        b >= 0 ? plan.blocks()
+                                     [static_cast<std::size_t>(b)]
+                                         .name
+                               : "?";
+                }
+                if (opts.heatmap) {
+                    res.heatmap = tm.dieGrid(temps);
+                    res.heatmapW = tm.params().gridW;
+                    res.heatmapH = tm.params().gridH;
+                    res.heatmapTimeUs = now * 1e6;
+                }
+            }
+            res.maxGradient = std::max(res.maxGradient, grad);
+
+            std::vector<Celsius> vr_t(
+                static_cast<std::size_t>(n_vrs));
+            for (int v = 0; v < n_vrs; ++v)
+                vr_t[static_cast<std::size_t>(v)] =
+                    tm.vrTemp(temps, v);
+            sensor_bank.record(now + dt, vr_t);
+
+            // Wear-out accounting (Section 7): loss while active
+            // stresses the regulator at a temperature-exponential
+            // rate.
+            for (int v = 0; v < n_vrs; ++v)
+                aging.accumulate(
+                    v, vr_t[static_cast<std::size_t>(v)],
+                    vr_loss[static_cast<std::size_t>(v)] > 0.0, dt);
+
+            if (opts.timeSeries) {
+                res.timeUs.push_back((now + dt) * 1e6);
+                res.totalPowerW.push_back(total_load);
+                res.activeVrs.push_back(active_total);
+            }
+            if (opts.trackVr >= 0) {
+                auto [td, tl] = vrLocal[static_cast<std::size_t>(
+                    opts.trackVr)];
+                bool on = false;
+                if (!off_chip)
+                    for (int l :
+                         active_sets[static_cast<std::size_t>(td)])
+                        if (l == tl)
+                            on = true;
+                res.trackedVrTemp.push_back(
+                    vr_t[static_cast<std::size_t>(opts.trackVr)]);
+                res.trackedVrOn.push_back(on ? 1 : 0);
+            }
+
+            // ---- Noise windows scheduled at this frame -------------
+            if (!off_chip) {
+                for (int s :
+                     samples_of_epoch[static_cast<std::size_t>(e)]) {
+                    if (sample_frame[static_cast<std::size_t>(s)] !=
+                        static_cast<int>(f))
+                        continue;
+                    int em_max = 0;
+                    int analysed = 0;
+                    for (int d = 0; d < n_domains; ++d) {
+                        double didt = domain_didt(d);
+                        bool want_trace =
+                            opts.noiseTrace;
+                        auto w = noiseWindow(d, e, s, block_power,
+                                             didt, run_seed,
+                                             want_trace);
+                        if (core::hasEmergencyOverride(policy)) {
+                            // Even when the *predictive* path missed
+                            // (PracVT's 90% sensitivity), the runtime
+                            // emergency detector fires on the first
+                            // threshold crossing and snaps the domain
+                            // to all-on within the droop, capping the
+                            // excursion shortly past the threshold.
+                            double cap =
+                                cfg.pdnParams.emergencyFrac * 1.32;
+                            if (w.maxNoise > cap)
+                                w.maxNoise = cap;
+                        }
+                        res.maxNoiseFrac = std::max(
+                            res.maxNoiseFrac, w.maxNoise);
+                        em_max = std::max(em_max,
+                                          w.emergencyCycles);
+                        analysed = w.analysedCycles;
+                        if (want_trace &&
+                            w.maxNoise > best_trace_noise) {
+                            best_trace_noise = w.maxNoise;
+                            res.noiseTrace = std::move(w.trace);
+                            res.noiseTraceDomain = d;
+                            res.noiseTraceTimeUs = now * 1e6;
+                        }
+                    }
+                    emergency_cycles += em_max;
+                    analysed_cycles += analysed;
+                }
+            }
+        }
+    }
+
+    res.avgRegulatorLoss = ploss_stats.mean();
+    res.meanPower = power_stats.mean();
+    res.avgActiveVrs = active_stats.mean();
+    res.avgEta =
+        off_chip ? 1.0
+                 : (eta_weight > 0.0 ? eta_weighted / eta_weight
+                                     : 0.0);
+    res.emergencyFrac =
+        analysed_cycles > 0
+            ? static_cast<double>(emergency_cycles) /
+                  static_cast<double>(analysed_cycles)
+            : 0.0;
+
+    res.vrAging = aging.damages();
+    res.agingImbalance = aging.imbalance();
+    res.vrActivity.resize(static_cast<std::size_t>(n_vrs), 0.0);
+    if (!off_chip)
+        for (int v = 0; v < n_vrs; ++v) {
+            auto [d, l] = vrLocal[static_cast<std::size_t>(v)];
+            res.vrActivity[static_cast<std::size_t>(v)] =
+                governor.activityRate(d, l);
+        }
+
+    (void)vdd;
+    return res;
+}
+
+} // namespace sim
+} // namespace tg

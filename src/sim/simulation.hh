@@ -1,0 +1,116 @@
+/**
+ * @file
+ * End-to-end ThermoGater simulation (paper Section 5's toolchain,
+ * rebuilt): workload demand -> microarchitectural activity -> power
+ * -> (governor + regulator network + thermal RC loop with leakage
+ * feedback) -> sampled PDN voltage-noise analysis.
+ *
+ * A Simulation owns the heavyweight per-chip state (thermal model
+ * factorisations, PDNs, regulator networks, fitted thermal
+ * predictor) and can run many (benchmark, policy) combinations
+ * against it; the figure sweeps reuse one instance.
+ */
+
+#ifndef TG_SIM_SIMULATION_HH
+#define TG_SIM_SIMULATION_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/governor.hh"
+#include "core/thermal_predictor.hh"
+#include "floorplan/power8.hh"
+#include "pdn/domain_pdn.hh"
+#include "power/model.hh"
+#include "sim/config.hh"
+#include "sim/result.hh"
+#include "thermal/model.hh"
+#include "vreg/network.hh"
+#include "workload/profile.hh"
+
+namespace tg {
+namespace sim {
+
+/** Reusable simulation context for one chip + configuration. */
+class Simulation
+{
+  public:
+    Simulation(const floorplan::Chip &chip, SimConfig cfg = {});
+
+    /** Simulate one benchmark under one policy. */
+    RunResult run(const workload::BenchmarkProfile &profile,
+                  core::PolicyKind policy, RecordOptions opts = {});
+
+    /**
+     * Multi-programmed run: one benchmark per core (paper Section 7
+     * — per-domain governance accommodates heterogeneous and
+     * multi-programmed workloads). The co-run lasts as long as the
+     * shortest program's ROI.
+     *
+     * @param label name recorded in the result
+     */
+    RunResult
+    runMixed(const std::vector<const workload::BenchmarkProfile *>
+                 &per_core,
+             const std::string &label, core::PolicyKind policy,
+             RecordOptions opts = {});
+
+    /**
+     * The fitted deltaT = theta * deltaP predictor (Eqn. 2);
+     * triggers the profiling pass on first use.
+     */
+    const core::ThermalPredictor &thermalPredictor();
+
+    /** R^2 (Eqn. 3) of the fitted predictor over profiling data. */
+    double predictorRSquared();
+
+    const floorplan::Chip &chip() const { return chipRef; }
+    const SimConfig &config() const { return cfg; }
+    const thermal::ThermalModel &thermalModel() const { return tm; }
+    const power::PowerModel &powerModel() const { return pm; }
+    const vreg::VrDesign &design() const { return vrDesign; }
+    const vreg::RegulatorNetwork &network(int domain) const;
+    const pdn::DomainPdn &domainPdn(int domain) const;
+
+  private:
+    const floorplan::Chip &chipRef;
+    SimConfig cfg;
+    vreg::VrDesign vrDesign;
+    thermal::ThermalModel tm;
+    power::PowerModel pm;
+    std::vector<vreg::RegulatorNetwork> networks;  //!< per domain
+    std::vector<std::unique_ptr<pdn::DomainPdn>> pdns;
+
+    std::unique_ptr<core::ThermalPredictor> predictor;
+    double predictorR2 = 0.0;
+
+    /** chip VR index -> (domain, local index). */
+    std::vector<std::pair<int, int>> vrLocal;
+
+    void calibrateThetas();
+
+    struct NoiseWindowResult
+    {
+        double maxNoise = 0.0;
+        int emergencyCycles = 0;
+        int analysedCycles = 0;
+        std::vector<double> trace;
+    };
+
+    /**
+     * Run the voltage-noise window of (epoch, sample) for `domain`
+     * against the PDN's current active set. The load waveform is
+     * seeded independently of the policy so all policies see the
+     * same workload.
+     */
+    NoiseWindowResult
+    noiseWindow(int domain, long epoch, int sample,
+                const std::vector<Watts> &block_power, double didt,
+                std::uint64_t run_seed, bool keep_trace) const;
+};
+
+} // namespace sim
+} // namespace tg
+
+#endif // TG_SIM_SIMULATION_HH

@@ -1,0 +1,101 @@
+#include "sim/sweep.hh"
+
+#include <cstdio>
+
+#include "common/logging.hh"
+#include "workload/profile.hh"
+
+namespace tg {
+namespace sim {
+
+double
+SweepResult::average(core::PolicyKind policy,
+                     const std::function<double(const RunResult &)>
+                         &metric) const
+{
+    double sum = 0.0;
+    std::size_t n = 0;
+    for (std::size_t b = 0; b < benchmarks.size(); ++b) {
+        for (std::size_t p = 0; p < policies.size(); ++p) {
+            if (policies[p] != policy)
+                continue;
+            sum += metric(results[b][p]);
+            ++n;
+        }
+    }
+    TG_ASSERT(n > 0, "policy not part of the sweep");
+    return sum / static_cast<double>(n);
+}
+
+double
+SweepResult::maximum(core::PolicyKind policy,
+                     const std::function<double(const RunResult &)>
+                         &metric) const
+{
+    bool seen = false;
+    double best = 0.0;
+    for (std::size_t b = 0; b < benchmarks.size(); ++b) {
+        for (std::size_t p = 0; p < policies.size(); ++p) {
+            if (policies[p] != policy)
+                continue;
+            double v = metric(results[b][p]);
+            if (!seen || v > best) {
+                best = v;
+                seen = true;
+            }
+        }
+    }
+    TG_ASSERT(seen, "policy not part of the sweep");
+    return best;
+}
+
+const RunResult &
+SweepResult::at(const std::string &benchmark,
+                core::PolicyKind policy) const
+{
+    for (std::size_t b = 0; b < benchmarks.size(); ++b) {
+        if (benchmarks[b] != benchmark)
+            continue;
+        for (std::size_t p = 0; p < policies.size(); ++p)
+            if (policies[p] == policy)
+                return results[b][p];
+    }
+    fatal("no sweep entry for (", benchmark, ", ",
+          core::policyName(policy), ")");
+}
+
+SweepResult
+runSweep(Simulation &simulation, std::vector<std::string> benchmarks,
+         std::vector<core::PolicyKind> policies, bool progress)
+{
+    if (benchmarks.empty())
+        for (const auto &p : workload::splashProfiles())
+            benchmarks.push_back(p.name);
+    if (policies.empty())
+        policies = core::allPolicyKinds();
+
+    SweepResult sweep;
+    sweep.benchmarks = benchmarks;
+    sweep.policies = policies;
+    sweep.results.resize(benchmarks.size());
+
+    for (std::size_t b = 0; b < benchmarks.size(); ++b) {
+        const auto &profile = workload::profileByName(benchmarks[b]);
+        for (auto kind : policies) {
+            sweep.results[b].push_back(simulation.run(profile, kind));
+            if (progress) {
+                const auto &r = sweep.results[b].back();
+                std::fprintf(stderr,
+                             "  [%s / %s] Tmax=%.1f grad=%.1f "
+                             "noise=%.1f%%\n",
+                             benchmarks[b].c_str(),
+                             core::policyName(kind), r.maxTmax,
+                             r.maxGradient, r.maxNoiseFrac * 100.0);
+            }
+        }
+    }
+    return sweep;
+}
+
+} // namespace sim
+} // namespace tg

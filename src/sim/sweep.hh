@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Policy x benchmark sweeps shared by the figure benches.
+ *
+ * Figs. 9, 10 and 11 plot the same 14-benchmark x 8-policy grid of
+ * runs; runSweep() executes it once against a shared Simulation and
+ * the benches format the metric they report. Helper aggregation and
+ * formatting utilities keep bench binaries small.
+ */
+
+#ifndef TG_SIM_SWEEP_HH
+#define TG_SIM_SWEEP_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/simulation.hh"
+
+namespace tg {
+namespace sim {
+
+/** Results of a benchmark x policy sweep. */
+struct SweepResult
+{
+    std::vector<std::string> benchmarks;      //!< row labels
+    std::vector<core::PolicyKind> policies;   //!< column labels
+    /** results[b][p] for benchmark b under policy p. */
+    std::vector<std::vector<RunResult>> results;
+
+    /** Column average of an extracted metric. */
+    double average(core::PolicyKind policy,
+                   const std::function<double(const RunResult &)>
+                       &metric) const;
+
+    /** Column maximum of an extracted metric. */
+    double maximum(core::PolicyKind policy,
+                   const std::function<double(const RunResult &)>
+                       &metric) const;
+
+    /** The run of (benchmark, policy); fatals when absent. */
+    const RunResult &at(const std::string &benchmark,
+                        core::PolicyKind policy) const;
+};
+
+/**
+ * Run every (benchmark, policy) combination. Benchmarks default to
+ * all 14 SPLASH-2x profiles, policies to the paper's full set.
+ *
+ * @param progress when true, prints one line per completed run so
+ *                 long sweeps show liveness.
+ */
+SweepResult
+runSweep(Simulation &simulation,
+         std::vector<std::string> benchmarks = {},
+         std::vector<core::PolicyKind> policies = {},
+         bool progress = false);
+
+} // namespace sim
+} // namespace tg
+
+#endif // TG_SIM_SWEEP_HH

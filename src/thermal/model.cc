@@ -1,0 +1,332 @@
+#include "thermal/model.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace tg {
+namespace thermal {
+
+ThermalModel::ThermalModel(const floorplan::Chip &chip,
+                           ThermalParams params)
+    : chipRef(chip), prm(params)
+{
+    TG_ASSERT(prm.gridW >= 2 && prm.gridH >= 2, "die grid too small");
+    TG_ASSERT(prm.spreaderN >= 1, "need at least one spreader cell");
+    TG_ASSERT(prm.step > 0.0, "step must be positive");
+    assemble();
+}
+
+int
+ThermalModel::cellNode(int row, int col) const
+{
+    TG_ASSERT(row >= 0 && row < prm.gridH && col >= 0 &&
+                  col < prm.gridW,
+              "die cell out of range");
+    return row * prm.gridW + col;
+}
+
+int
+ThermalModel::vrNode(int vr) const
+{
+    TG_ASSERT(vr >= 0 && vr < static_cast<int>(nVr), "bad VR index");
+    return static_cast<int>(nDie) + vr;
+}
+
+void
+ThermalModel::assemble()
+{
+    const auto &plan = chipRef.plan;
+    nDie = static_cast<std::size_t>(prm.gridW) * prm.gridH;
+    nVr = plan.vrs().size();
+    nSpread = static_cast<std::size_t>(prm.spreaderN) * prm.spreaderN;
+    nNodes = nDie + nVr + nSpread;
+
+    g = Matrix(nNodes, nNodes, 0.0);
+    capacitance.assign(nNodes, 0.0);
+    ambientIn.assign(nNodes, 0.0);
+
+    const double die_w = mmToM(plan.width());
+    const double die_h = mmToM(plan.height());
+    const double cell_w = die_w / prm.gridW;
+    const double cell_h = die_h / prm.gridH;
+    const double cell_area = cell_w * cell_h;
+
+    auto couple = [&](std::size_t a, std::size_t b, double cond) {
+        g(a, a) += cond;
+        g(b, b) += cond;
+        g(a, b) -= cond;
+        g(b, a) -= cond;
+    };
+
+    // --- Die cells -----------------------------------------------------
+    const double t_die = prm.dieThickness;
+    for (int r = 0; r < prm.gridH; ++r) {
+        for (int c = 0; c < prm.gridW; ++c) {
+            std::size_t n = static_cast<std::size_t>(cellNode(r, c));
+            capacitance[n] = prm.cvSilicon * cell_area * t_die;
+            // Lateral conduction through the silicon slab.
+            if (c + 1 < prm.gridW) {
+                double cond = prm.kSilicon * t_die * cell_h / cell_w;
+                couple(n, static_cast<std::size_t>(cellNode(r, c + 1)),
+                       cond);
+            }
+            if (r + 1 < prm.gridH) {
+                double cond = prm.kSilicon * t_die * cell_w / cell_h;
+                couple(n, static_cast<std::size_t>(cellNode(r + 1, c)),
+                       cond);
+            }
+        }
+    }
+
+    // --- VR nodes ------------------------------------------------------
+    // Each VR is a tiny silicon volume riding on its host die cell;
+    // the small coupling conductance (spreading + constriction of the
+    // 0.2 mm footprint) reproduces the large local deltaT per watt
+    // that makes miniature regulators thermally dangerous (Section 2).
+    for (std::size_t v = 0; v < nVr; ++v) {
+        const auto &vr = plan.vrs()[v];
+        double vr_area = mm2ToM2(vr.rect.area());
+        std::size_t n = nDie + v;
+        capacitance[n] = prm.cvSilicon * vr_area * t_die;
+        int col = std::min<int>(
+            prm.gridW - 1,
+            static_cast<int>(mmToM(vr.rect.cx()) / cell_w));
+        int row = std::min<int>(
+            prm.gridH - 1,
+            static_cast<int>(mmToM(vr.rect.cy()) / cell_h));
+        double cond = 1.0 / prm.vrCouplingResistance;
+        couple(n, static_cast<std::size_t>(cellNode(row, col)), cond);
+    }
+
+    // --- Spreader ------------------------------------------------------
+    const double sp_side = prm.spreaderSide;
+    const double sp_cell = sp_side / prm.spreaderN;
+    const double sp_area = sp_cell * sp_cell;
+    auto spread_node = [&](int r, int c) {
+        return nDie + nVr +
+               static_cast<std::size_t>(r) * prm.spreaderN + c;
+    };
+    double g_amb = 1.0 / (prm.rConvection * static_cast<double>(nSpread));
+    for (int r = 0; r < prm.spreaderN; ++r) {
+        for (int c = 0; c < prm.spreaderN; ++c) {
+            std::size_t n = spread_node(r, c);
+            capacitance[n] =
+                prm.cvCopper * sp_area * prm.spreaderThickness;
+            if (c + 1 < prm.spreaderN) {
+                double cond = prm.kCopper * prm.spreaderThickness;
+                couple(n, spread_node(r, c + 1), cond);
+            }
+            if (r + 1 < prm.spreaderN) {
+                double cond = prm.kCopper * prm.spreaderThickness;
+                couple(n, spread_node(r + 1, c), cond);
+            }
+            // Convection to ambient: diagonal term plus injection.
+            g(n, n) += g_amb;
+            ambientIn[n] = g_amb * prm.ambient;
+        }
+    }
+
+    // --- Die cell -> spreader vertical path ----------------------------
+    // Half the die thickness of silicon in series with the TIM, into
+    // the spreader cell under the die cell's centre (the die sits
+    // centred on the larger spreader).
+    double r_si = (0.5 * t_die) / (prm.kSilicon * cell_area);
+    double r_tim = prm.timThickness / (prm.kTim * cell_area);
+    double g_vert = 1.0 / (r_si + r_tim);
+    double off_x = 0.5 * (sp_side - die_w);
+    double off_y = 0.5 * (sp_side - die_h);
+    for (int r = 0; r < prm.gridH; ++r) {
+        for (int c = 0; c < prm.gridW; ++c) {
+            double x = off_x + (c + 0.5) * cell_w;
+            double y = off_y + (r + 0.5) * cell_h;
+            int sc = std::clamp(static_cast<int>(x / sp_cell), 0,
+                                prm.spreaderN - 1);
+            int sr = std::clamp(static_cast<int>(y / sp_cell), 0,
+                                prm.spreaderN - 1);
+            couple(static_cast<std::size_t>(cellNode(r, c)),
+                   spread_node(sr, sc), g_vert);
+        }
+    }
+
+    // --- Block -> die-cell power mapping (exact overlap) ---------------
+    const auto &blocks = plan.blocks();
+    blockCells.assign(blocks.size(), {});
+    double cw_mm = plan.width() / prm.gridW;
+    double ch_mm = plan.height() / prm.gridH;
+    for (std::size_t b = 0; b < blocks.size(); ++b) {
+        const auto &rect = blocks[b].rect;
+        int c0 = std::clamp(static_cast<int>(rect.x / cw_mm), 0,
+                            prm.gridW - 1);
+        int c1 = std::clamp(
+            static_cast<int>(std::ceil((rect.x + rect.w) / cw_mm)), 1,
+            prm.gridW);
+        int r0 = std::clamp(static_cast<int>(rect.y / ch_mm), 0,
+                            prm.gridH - 1);
+        int r1 = std::clamp(
+            static_cast<int>(std::ceil((rect.y + rect.h) / ch_mm)), 1,
+            prm.gridH);
+        double total = 0.0;
+        for (int r = r0; r < r1; ++r) {
+            for (int c = c0; c < c1; ++c) {
+                double ox = std::max(
+                    0.0, std::min(rect.x + rect.w, (c + 1) * cw_mm) -
+                             std::max(rect.x, c * cw_mm));
+                double oy = std::max(
+                    0.0, std::min(rect.y + rect.h, (r + 1) * ch_mm) -
+                             std::max(rect.y, r * ch_mm));
+                double w = ox * oy;
+                if (w > 0.0) {
+                    blockCells[b].push_back({cellNode(r, c), w});
+                    total += w;
+                }
+            }
+        }
+        TG_ASSERT(total > 0.0, "block '", blocks[b].name,
+                  "' maps to no die cell");
+        for (auto &[node, w] : blockCells[b])
+            w /= total;
+    }
+
+    // --- Factorisations ------------------------------------------------
+    Matrix a = g;
+    for (std::size_t n = 0; n < nNodes; ++n)
+        a(n, n) += capacitance[n] / prm.step;
+    luTransient = std::make_unique<LuSolver>(a);
+    luSteady = std::make_unique<LuSolver>(g);
+}
+
+std::vector<Watts>
+ThermalModel::powerVector(const std::vector<Watts> &block_power,
+                          const std::vector<Watts> &vr_loss) const
+{
+    TG_ASSERT(block_power.size() == blockCells.size(),
+              "block power size mismatch");
+    TG_ASSERT(vr_loss.size() == nVr, "VR loss size mismatch");
+    std::vector<Watts> p(nNodes, 0.0);
+    for (std::size_t b = 0; b < blockCells.size(); ++b)
+        for (const auto &[node, w] : blockCells[b])
+            p[static_cast<std::size_t>(node)] += w * block_power[b];
+    for (std::size_t v = 0; v < nVr; ++v)
+        p[nDie + v] += vr_loss[v];
+    return p;
+}
+
+std::vector<Celsius>
+ThermalModel::uniformState(Celsius t) const
+{
+    return std::vector<Celsius>(nNodes, t);
+}
+
+void
+ThermalModel::advance(std::vector<Celsius> &temps,
+                      const std::vector<Watts> &p) const
+{
+    TG_ASSERT(temps.size() == nNodes && p.size() == nNodes,
+              "state/power size mismatch");
+    // (C/dt + G) T' = C/dt T + P + b_amb
+    std::vector<double> rhs(nNodes);
+    for (std::size_t n = 0; n < nNodes; ++n)
+        rhs[n] =
+            capacitance[n] / prm.step * temps[n] + p[n] + ambientIn[n];
+    luTransient->solveInPlace(rhs);
+    temps = std::move(rhs);
+}
+
+std::vector<Celsius>
+ThermalModel::steadyState(const std::vector<Watts> &p) const
+{
+    TG_ASSERT(p.size() == nNodes, "power size mismatch");
+    std::vector<double> rhs(nNodes);
+    for (std::size_t n = 0; n < nNodes; ++n)
+        rhs[n] = p[n] + ambientIn[n];
+    luSteady->solveInPlace(rhs);
+    return rhs;
+}
+
+Celsius
+ThermalModel::blockTemp(const std::vector<Celsius> &temps,
+                        int block) const
+{
+    const auto &cells =
+        blockCells.at(static_cast<std::size_t>(block));
+    double t = 0.0;
+    for (const auto &[node, w] : cells)
+        t += w * temps[static_cast<std::size_t>(node)];
+    return t;
+}
+
+std::vector<Celsius>
+ThermalModel::blockTemps(const std::vector<Celsius> &temps) const
+{
+    std::vector<Celsius> out(blockCells.size());
+    for (std::size_t b = 0; b < blockCells.size(); ++b)
+        out[b] = blockTemp(temps, static_cast<int>(b));
+    return out;
+}
+
+Celsius
+ThermalModel::vrTemp(const std::vector<Celsius> &temps, int vr) const
+{
+    return temps[static_cast<std::size_t>(vrNode(vr))];
+}
+
+Celsius
+ThermalModel::maxDieTemp(const std::vector<Celsius> &temps) const
+{
+    Celsius m = temps[0];
+    for (std::size_t n = 0; n < nDie + nVr; ++n)
+        m = std::max(m, temps[n]);
+    return m;
+}
+
+Celsius
+ThermalModel::gradient(const std::vector<Celsius> &temps) const
+{
+    Celsius lo = temps[0];
+    Celsius hi = temps[0];
+    for (std::size_t n = 0; n < nDie + nVr; ++n) {
+        lo = std::min(lo, temps[n]);
+        hi = std::max(hi, temps[n]);
+    }
+    return hi - lo;
+}
+
+ThermalModel::HotSpot
+ThermalModel::hottest(const std::vector<Celsius> &temps) const
+{
+    HotSpot h;
+    std::size_t best = 0;
+    for (std::size_t n = 1; n < nDie + nVr; ++n)
+        if (temps[n] > temps[best])
+            best = n;
+    h.temp = temps[best];
+    if (best >= nDie) {
+        h.isVr = true;
+        h.vr = static_cast<int>(best - nDie);
+    } else {
+        h.row = static_cast<int>(best) / prm.gridW;
+        h.col = static_cast<int>(best) % prm.gridW;
+    }
+    return h;
+}
+
+std::pair<double, double>
+ThermalModel::cellCentre(int row, int col) const
+{
+    double cw = chipRef.plan.width() / prm.gridW;
+    double ch = chipRef.plan.height() / prm.gridH;
+    return {(col + 0.5) * cw, (row + 0.5) * ch};
+}
+
+std::vector<Celsius>
+ThermalModel::dieGrid(const std::vector<Celsius> &temps) const
+{
+    return std::vector<Celsius>(temps.begin(),
+                                temps.begin() +
+                                    static_cast<long>(nDie));
+}
+
+} // namespace thermal
+} // namespace tg

@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Compact RC thermal model of the die + package (the HotSpot 6.0
+ * stand-in).
+ *
+ * Node structure:
+ *  - the die is gridded into gridW x gridH cells with silicon heat
+ *    capacity, lateral silicon conductances, and a vertical path
+ *    (bulk silicon + TIM) into the heat spreader;
+ *  - every VR site gets a dedicated low-thermal-mass node riding on
+ *    its host die cell, so the tiny (0.04 mm^2) regulator footprint
+ *    and its concentrated conversion-loss heat are resolved without
+ *    a micrometre-scale global grid (the paper's central thermal
+ *    concern, Section 2);
+ *  - the copper heat spreader is a coarser grid, each cell convecting
+ *    to ambient through its share of the package-to-air resistance
+ *    (the default package mimics the POWER7+-like HotSpot default the
+ *    paper adapts).
+ *
+ * The network C dT/dt = -G T + P(t) + G_amb T_amb is integrated with
+ * unconditionally-stable implicit Euler; the system matrix for a
+ * fixed step is factored once (dense LU) and back-substituted every
+ * step. A steady-state solve (G T = P + b) shares the machinery.
+ */
+
+#ifndef TG_THERMAL_MODEL_HH
+#define TG_THERMAL_MODEL_HH
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "common/matrix.hh"
+#include "common/units.hh"
+#include "floorplan/power8.hh"
+
+namespace tg {
+namespace thermal {
+
+/** Physical and discretisation parameters of the thermal model. */
+struct ThermalParams
+{
+    int gridW = 28;               //!< die grid columns
+    int gridH = 28;               //!< die grid rows
+    int spreaderN = 8;            //!< spreader grid edge (N x N)
+
+    Metres dieThickness = 0.12e-3;   //!< silicon thickness [m]
+    double kSilicon = 120.0;         //!< silicon conductivity [W/mK]
+    double cvSilicon = 1.75e6;       //!< silicon heat cap [J/m^3 K]
+    Metres timThickness = 50e-6;     //!< TIM thickness [m]
+    double kTim = 3.5;               //!< TIM conductivity [W/mK]
+    Metres spreaderThickness = 1e-3; //!< copper thickness [m]
+    double kCopper = 400.0;          //!< copper conductivity [W/mK]
+    double cvCopper = 3.45e6;        //!< copper heat cap [J/m^3 K]
+    Metres spreaderSide = 30e-3;     //!< spreader edge length [m]
+
+    double rConvection = 0.06;       //!< package-to-air R [K/W]
+    /**
+     * Effective thermal resistance between a VR node and its host
+     * die cell [K/W]. The 0.2 mm regulator footprint couples through
+     * its whole metal stack and the surrounding silicon, so the
+     * effective value sits well below the bare spreading resistance
+     * of a point source; it controls how much hotter than its
+     * neighbourhood a loaded regulator runs (paper Fig. 8 shows
+     * ~5 degC swings at cell level).
+     */
+    double vrCouplingResistance = 20.0;
+    Celsius ambient = 45.0;          //!< ambient temperature [degC]
+
+    Seconds step = 10e-6;            //!< transient step [s]
+};
+
+/**
+ * Assembled thermal network with cached factorisations.
+ *
+ * Temperature state lives in caller-owned vectors indexed by node; a
+ * fresh state comes from uniformState() or steadyState().
+ */
+class ThermalModel
+{
+  public:
+    ThermalModel(const floorplan::Chip &chip, ThermalParams params = {});
+
+    /** Total node count (die cells + VR nodes + spreader cells). */
+    std::size_t nodeCount() const { return nNodes; }
+    /** Transient step the model was factored for [s]. */
+    Seconds step() const { return prm.step; }
+    const ThermalParams &params() const { return prm; }
+
+    /** Node index of die cell (row, col). */
+    int cellNode(int row, int col) const;
+    /** Node index of VR `vr` (floorplan VR index). */
+    int vrNode(int vr) const;
+
+    /**
+     * Assemble the nodal power vector from per-block powers [W] and
+     * per-VR conversion-loss powers [W]. Block power is distributed
+     * over die cells by exact rectangle-overlap area; VR loss goes to
+     * the VR's own node.
+     */
+    std::vector<Watts>
+    powerVector(const std::vector<Watts> &block_power,
+                const std::vector<Watts> &vr_loss) const;
+
+    /** State with every node at temperature `t`. */
+    std::vector<Celsius> uniformState(Celsius t) const;
+
+    /** Advance `temps` by one step under nodal power `p`. */
+    void advance(std::vector<Celsius> &temps,
+                 const std::vector<Watts> &p) const;
+
+    /** Steady-state temperatures under nodal power `p`. */
+    std::vector<Celsius> steadyState(const std::vector<Watts> &p) const;
+
+    /** Area-weighted mean temperature of a block [degC]. */
+    Celsius blockTemp(const std::vector<Celsius> &temps, int block) const;
+    /** Temperatures of every block [degC]. */
+    std::vector<Celsius>
+    blockTemps(const std::vector<Celsius> &temps) const;
+    /** Temperature of a VR node [degC]. */
+    Celsius vrTemp(const std::vector<Celsius> &temps, int vr) const;
+
+    /** Hottest on-die temperature (die cells and VR nodes) [degC]. */
+    Celsius maxDieTemp(const std::vector<Celsius> &temps) const;
+
+    /** Location of the hottest on-die node. */
+    struct HotSpot
+    {
+        bool isVr = false; //!< true when a VR node is hottest
+        int vr = -1;       //!< floorplan VR index when isVr
+        int row = -1;      //!< die cell row otherwise
+        int col = -1;      //!< die cell column otherwise
+        Celsius temp = 0.0;
+    };
+    HotSpot hottest(const std::vector<Celsius> &temps) const;
+
+    /** Centre of die cell (row, col) in floorplan coordinates [mm]. */
+    std::pair<double, double> cellCentre(int row, int col) const;
+    /** Max spatial temperature difference across the die [degC]. */
+    Celsius gradient(const std::vector<Celsius> &temps) const;
+
+    /** Die-cell temperature grid row-major (for heat maps) [degC]. */
+    std::vector<Celsius>
+    dieGrid(const std::vector<Celsius> &temps) const;
+
+  private:
+    const floorplan::Chip &chipRef;
+    ThermalParams prm;
+
+    std::size_t nDie = 0;      //!< die cells, nodes [0, nDie)
+    std::size_t nVr = 0;       //!< VR nodes, [nDie, nDie + nVr)
+    std::size_t nSpread = 0;   //!< spreader cells, rest
+    std::size_t nNodes = 0;
+
+    Matrix g;                        //!< conductance matrix
+    std::vector<double> capacitance; //!< per-node heat capacity [J/K]
+    std::vector<double> ambientIn;   //!< G_amb * T_amb injection [W]
+    std::unique_ptr<LuSolver> luTransient; //!< (C/dt + G)
+    std::unique_ptr<LuSolver> luSteady;    //!< G
+
+    /** Per block: list of (cell node, weight) with weights summing 1. */
+    std::vector<std::vector<std::pair<int, double>>> blockCells;
+
+    void assemble();
+};
+
+} // namespace thermal
+} // namespace tg
+
+#endif // TG_THERMAL_MODEL_HH

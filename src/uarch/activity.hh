@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Chip-wide microarchitectural activity traces.
+ *
+ * An ActivityTrace holds, for every frame of a run, the activity
+ * factor (0..1) of every floorplan block plus the achieved IPC of
+ * every core. It is the interface between the workload/core models
+ * and the power model: McPAT in the paper's toolchain consumes
+ * exactly this kind of per-unit access-rate information.
+ */
+
+#ifndef TG_UARCH_ACTIVITY_HH
+#define TG_UARCH_ACTIVITY_HH
+
+#include <vector>
+
+#include "common/units.hh"
+
+namespace tg {
+namespace uarch {
+
+/** Activity of every block during one frame. */
+struct ActivityFrame
+{
+    /** Per-block activity factor, indexed like Floorplan::blocks(). */
+    std::vector<double> block;
+    /** Per-core achieved instructions per cycle. */
+    std::vector<double> ipc;
+};
+
+/** Fixed-interval activity trace for a whole run. */
+struct ActivityTrace
+{
+    Seconds dt = 10e-6;
+    std::vector<ActivityFrame> frames;
+
+    /** Run duration [s]. */
+    Seconds duration() const { return dt * frames.size(); }
+};
+
+} // namespace uarch
+} // namespace tg
+
+#endif // TG_UARCH_ACTIVITY_HH

@@ -1,0 +1,195 @@
+#include "uarch/core_model.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace tg {
+namespace uarch {
+
+using floorplan::UnitKind;
+
+CoreModel::CoreModel(int issue_width) : issueWidth(issue_width)
+{
+    TG_ASSERT(issue_width >= 1, "issue width must be positive");
+}
+
+CoreActivity
+CoreModel::evaluate(double u, const workload::BenchmarkProfile &p) const
+{
+    TG_ASSERT(u >= 0.0 && u <= 1.0, "utilisation outside [0, 1]");
+
+    const auto &mix = p.mix;
+    const auto &miss = p.misses;
+
+    CoreActivity a;
+
+    // Reference mix shares used to normalise each unit's weighting so
+    // a "typical" mix at u = 1 drives every unit near full activity.
+    const double ref_exu = 0.55;   // int + fp share
+    const double ref_mem = 0.32;   // load + store share
+
+    a.ifu = std::clamp(u * (0.80 + 0.8 * mix.fracBranch), 0.0, 1.0);
+    a.isu = std::clamp(u * 0.95, 0.0, 1.0);
+    a.exu = std::clamp(
+        u * (mix.fracInt + 1.4 * mix.fracFp) / ref_exu, 0.0, 1.0);
+    a.lsu = std::clamp(
+        u * (mix.fracLoad + mix.fracStore) / ref_mem, 0.0, 1.0);
+
+    // L2 activity follows L1-D miss traffic; 4% L1 misses with a
+    // typical memory share saturate the L2 at full utilisation.
+    double l1_traffic = u * (mix.fracLoad + mix.fracStore);
+    double l2_traffic = l1_traffic * miss.l1 / (0.32 * 0.04);
+    a.l2 = std::clamp(l2_traffic * (0.6 + 0.6 * p.memoryIntensity),
+                      0.0, 1.0);
+
+    // L2-miss (=> L3) traffic, normalised so a typical benchmark at
+    // full utilisation produces ~1.0.
+    a.l3TrafficPerCycle =
+        l1_traffic * miss.l1 * miss.l2 / (0.32 * 0.04 * 0.30);
+
+    // Stall-throttled IPC: each memory level adds latency weighted by
+    // its miss traffic.
+    double stall = 12.0 * miss.l1 +
+                   40.0 * miss.l1 * miss.l2 +
+                   150.0 * miss.l1 * miss.l2 * miss.l3;
+    double mem_ops = mix.fracLoad + mix.fracStore;
+    a.ipc = u * issueWidth / (1.0 + stall * mem_ops);
+
+    return a;
+}
+
+ActivityTrace
+buildActivityTrace(const floorplan::Chip &chip,
+                   const workload::BenchmarkProfile &p,
+                   std::uint64_t seed)
+{
+    auto demand =
+        workload::generateDemandTrace(p, chip.params.cores, seed);
+    return buildActivityTrace(chip, p, demand);
+}
+
+ActivityTrace
+buildActivityTrace(const floorplan::Chip &chip,
+                   const workload::BenchmarkProfile &p,
+                   const workload::DemandTrace &demand)
+{
+    std::vector<const workload::BenchmarkProfile *> per_core(
+        static_cast<std::size_t>(chip.params.cores), &p);
+    return buildActivityTrace(chip, per_core, demand);
+}
+
+ActivityTrace
+buildActivityTrace(
+    const floorplan::Chip &chip,
+    const std::vector<const workload::BenchmarkProfile *> &per_core,
+    const workload::DemandTrace &demand)
+{
+    const auto &plan = chip.plan;
+    const int n_cores = chip.params.cores;
+    TG_ASSERT(static_cast<int>(per_core.size()) == n_cores,
+              "need one profile per core");
+    TG_ASSERT(!demand.frames.empty(), "empty demand trace");
+    TG_ASSERT(static_cast<int>(demand.frames[0].coreUtil.size()) ==
+                  n_cores,
+              "demand trace core count mismatch");
+
+    CoreModel core_model(chip.params.issueWidth);
+
+    // Pre-resolve block indices per core and per L3 bank.
+    struct CoreBlocks
+    {
+        int ifu = -1, isu = -1, exu = -1, lsu = -1, l2 = -1;
+    };
+    std::vector<CoreBlocks> cores(n_cores);
+    std::vector<int> l3_banks;   // block index per bank, bank order
+    std::vector<int> noc_blocks;
+    std::vector<int> mc_blocks;
+
+    const auto &blocks = plan.blocks();
+    for (std::size_t i = 0; i < blocks.size(); ++i) {
+        const auto &b = blocks[i];
+        int idx = static_cast<int>(i);
+        switch (b.kind) {
+          case UnitKind::Ifu: cores.at(b.coreId).ifu = idx; break;
+          case UnitKind::Isu: cores.at(b.coreId).isu = idx; break;
+          case UnitKind::Exu: cores.at(b.coreId).exu = idx; break;
+          case UnitKind::Lsu: cores.at(b.coreId).lsu = idx; break;
+          case UnitKind::L2: cores.at(b.coreId).l2 = idx; break;
+          case UnitKind::L3: l3_banks.push_back(idx); break;
+          case UnitKind::Noc: noc_blocks.push_back(idx); break;
+          case UnitKind::Mc: mc_blocks.push_back(idx); break;
+        }
+    }
+    for (int c = 0; c < n_cores; ++c) {
+        TG_ASSERT(cores[c].ifu >= 0 && cores[c].isu >= 0 &&
+                      cores[c].exu >= 0 && cores[c].lsu >= 0 &&
+                      cores[c].l2 >= 0,
+                  "core ", c, " is missing blocks");
+    }
+    TG_ASSERT(!l3_banks.empty(), "chip has no L3 banks");
+
+    ActivityTrace trace;
+    trace.dt = demand.dt;
+    trace.frames.resize(demand.frames.size());
+
+    for (std::size_t f = 0; f < demand.frames.size(); ++f) {
+        const auto &dframe = demand.frames[f];
+        ActivityFrame &frame = trace.frames[f];
+        frame.block.assign(blocks.size(), 0.0);
+        frame.ipc.assign(n_cores, 0.0);
+
+        double total_traffic = 0.0;
+        double total_mem_intensity = 0.0;
+        std::vector<double> core_traffic(n_cores, 0.0);
+        for (int c = 0; c < n_cores; ++c) {
+            const auto &p = *per_core[static_cast<std::size_t>(c)];
+            total_mem_intensity += p.memoryIntensity;
+            CoreActivity a = core_model.evaluate(dframe.coreUtil[c], p);
+            frame.block[cores[c].ifu] = a.ifu;
+            frame.block[cores[c].isu] = a.isu;
+            frame.block[cores[c].exu] = a.exu;
+            frame.block[cores[c].lsu] = a.lsu;
+            frame.block[cores[c].l2] = a.l2;
+            frame.ipc[c] = a.ipc;
+            core_traffic[c] = a.l3TrafficPerCycle;
+            total_traffic += a.l3TrafficPerCycle;
+        }
+        double avg_traffic = total_traffic / n_cores;
+
+        // L3 banks: data homes on the bank paired with its core; the
+        // NoC spreads the remainder chip-wide. With fewer banks than
+        // cores (mini chips) the pairing wraps around.
+        double avg_mem_intensity = total_mem_intensity / n_cores;
+        double avg_l3_miss = 0.0;
+        for (int c = 0; c < n_cores; ++c)
+            avg_l3_miss +=
+                per_core[static_cast<std::size_t>(c)]->misses.l3;
+        avg_l3_miss /= n_cores;
+        for (std::size_t k = 0; k < l3_banks.size(); ++k) {
+            std::size_t home_core =
+                k % static_cast<std::size_t>(n_cores);
+            double mem_scale =
+                0.3 + 0.7 * per_core[home_core]->memoryIntensity;
+            double traffic =
+                0.7 * core_traffic[home_core] + 0.3 * avg_traffic;
+            // Tag/queue clocking keeps a bank from idling below a
+            // floor even with no traffic.
+            frame.block[l3_banks[k]] =
+                std::clamp(0.15 + traffic * mem_scale, 0.0, 1.0);
+        }
+        (void)avg_mem_intensity;
+        for (int idx : noc_blocks)
+            frame.block[idx] =
+                std::clamp(0.20 + avg_traffic * 0.7, 0.0, 1.0);
+        for (int idx : mc_blocks)
+            frame.block[idx] = std::clamp(
+                0.15 + avg_traffic * avg_l3_miss / 0.20 * 0.5, 0.0,
+                1.0);
+    }
+    return trace;
+}
+
+} // namespace uarch
+} // namespace tg

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Simple analytic core activity model.
+ *
+ * Maps a core's utilisation plus its benchmark's instruction mix and
+ * cache behaviour to per-functional-unit activity factors and an
+ * achieved IPC. This stands in for the paper's Sniper simulation: the
+ * governor only ever sees the per-block activity/power signal, so a
+ * calibrated analytic mapping preserves everything the policies react
+ * to (see DESIGN.md, substitution table).
+ */
+
+#ifndef TG_UARCH_CORE_MODEL_HH
+#define TG_UARCH_CORE_MODEL_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "floorplan/power8.hh"
+#include "uarch/activity.hh"
+#include "workload/demand.hh"
+#include "workload/profile.hh"
+
+namespace tg {
+namespace uarch {
+
+/** Per-unit activity of one core at one instant. */
+struct CoreActivity
+{
+    double ifu = 0.0;
+    double isu = 0.0;
+    double exu = 0.0;
+    double lsu = 0.0;
+    double l2 = 0.0;
+    double ipc = 0.0;            //!< achieved instructions/cycle
+    double l3TrafficPerCycle = 0.0; //!< L2-miss traffic (normalised)
+};
+
+/**
+ * Analytic single-core model.
+ *
+ * Unit activities scale with utilisation, weighted by the share of
+ * the instruction mix each unit serves; miss rates shift activity
+ * from the core pipeline into the cache hierarchy and throttle the
+ * achieved IPC through a simple stall model.
+ */
+class CoreModel
+{
+  public:
+    /**
+     * @param issue_width machine issue width (Table 1: 8)
+     */
+    explicit CoreModel(int issue_width = 8);
+
+    /** Evaluate the model at utilisation `u` for a given workload. */
+    CoreActivity evaluate(double u,
+                          const workload::BenchmarkProfile &p) const;
+
+  private:
+    int issueWidth;
+};
+
+/**
+ * Build the chip-wide activity trace of one benchmark run.
+ *
+ * Core blocks take their activity from the core model driven by the
+ * demand trace; L3 banks see their home core's miss traffic blended
+ * with chip-average traffic (data homes on the bank nearest its
+ * core, the NoC spreads the rest); the NoC and MCs follow aggregate
+ * traffic. Deterministic given (chip, profile, seed).
+ */
+ActivityTrace buildActivityTrace(const floorplan::Chip &chip,
+                                 const workload::BenchmarkProfile &p,
+                                 std::uint64_t seed);
+
+/**
+ * Same, from a caller-provided demand trace (used by tests and by
+ * callers that want to share one demand realisation across designs).
+ */
+ActivityTrace buildActivityTrace(const floorplan::Chip &chip,
+                                 const workload::BenchmarkProfile &p,
+                                 const workload::DemandTrace &demand);
+
+/**
+ * Multi-programmed variant: each core's activity follows its own
+ * program's instruction mix and miss behaviour (one profile per
+ * core, matching the demand trace).
+ */
+ActivityTrace
+buildActivityTrace(const floorplan::Chip &chip,
+                   const std::vector<
+                       const workload::BenchmarkProfile *> &per_core,
+                   const workload::DemandTrace &demand);
+
+} // namespace uarch
+} // namespace tg
+
+#endif // TG_UARCH_CORE_MODEL_HH

@@ -1,0 +1,123 @@
+#include "vreg/design.hh"
+
+namespace tg {
+namespace vreg {
+
+VrDesign
+fivrDesign()
+{
+    VrDesign d;
+    d.name = "fivr";
+    d.topology = Topology::Buck;
+    d.curve = EfficiencyCurve(1.5, 0.90);
+    d.areaMm2 = 0.04;
+    d.iMax = 2.0;
+    d.responseTime = 5e-9;
+    d.outputResistance = 14e-3;
+    // A buck phase feeds its load through the phase inductor
+    // (~1.5 nH for FIVR). The fast control loop compensates most of
+    // it; what the load observes is the closed-loop effective output
+    // inductance, which is what drives the droop on load steps and
+    // is the dominant transient-noise mechanism of the buck design.
+    d.outputInductance = 0.5e-9;
+    return d;
+}
+
+VrDesign
+ldoDesign()
+{
+    VrDesign d;
+    d.name = "ldo";
+    d.topology = Topology::Ldo;
+    // Calibrated to the same curve family for an apples-to-apples
+    // comparison; eta_peak = 90.5% (POWER8 reports 90.5%, 34.5 W/mm^2).
+    d.curve = EfficiencyCurve(1.5, 0.905);
+    d.areaMm2 = 0.04;
+    d.iMax = 2.0;
+    // A digital LDO has no phase inductor, but its sampled control
+    // loop still limits how fast the pass device tracks a load step;
+    // the effective output inductance is modestly below the buck's
+    // closed-loop value, giving the small noise advantage of Fig. 15.
+    d.responseTime = 1e-9;
+    d.outputResistance = 12e-3;
+    d.outputInductance = 0.35e-9;
+    return d;
+}
+
+VrDesign
+intel16PhaseDesign()
+{
+    VrDesign d;
+    d.name = "intel16p";
+    d.topology = Topology::Buck;
+    // Fig. 2: 16 phases deliver up to ~16 A, so each phase peaks near
+    // 1 A with the ~90% FIVR peak efficiency.
+    d.curve = EfficiencyCurve(1.0, 0.90);
+    d.areaMm2 = 0.04;
+    d.iMax = 1.4;
+    d.responseTime = 5e-9;
+    d.outputResistance = 15e-3;
+    d.outputInductance = 0.5e-9;
+    return d;
+}
+
+std::vector<SurveyEntry>
+isscc2015Survey()
+{
+    // Approximate digitisations of Fig. 1. Each entry lists
+    // (I_out [A], eta [%(0..1)]) control points over the current range
+    // the corresponding ISSCC'15 paper characterises.
+    std::vector<SurveyEntry> s;
+
+    s.push_back({"[15] Kim",
+                 "4-phase time-based buck",
+                 PiecewiseLinear({{0.01, 0.62}, {0.03, 0.74},
+                                  {0.1, 0.83}, {0.3, 0.87},
+                                  {0.6, 0.85}, {1.0, 0.80}},
+                                 true)});
+    s.push_back({"[29] Park",
+                 "PWM buck, analog-digital hybrid",
+                 PiecewiseLinear({{4.5e-5, 0.66}, {2e-4, 0.76},
+                                  {1e-3, 0.82}, {4e-3, 0.80}},
+                                 true)});
+    s.push_back({"[37] Su",
+                 "single-inductor multiple-output buck",
+                 PiecewiseLinear({{0.02, 0.70}, {0.08, 0.82},
+                                  {0.3, 0.90}, {0.8, 0.86},
+                                  {1.5, 0.78}},
+                                 true)});
+    s.push_back({"[36] Song",
+                 "4-phase GaN buck",
+                 PiecewiseLinear({{0.1, 0.72}, {0.4, 0.84},
+                                  {1.0, 0.905}, {3.0, 0.88},
+                                  {8.0, 0.83}},
+                                 true)});
+    s.push_back({"[31] Schaef",
+                 "3-phase resonant switched-capacitor",
+                 PiecewiseLinear({{0.05, 0.68}, {0.2, 0.80},
+                                  {0.7, 0.85}, {2.0, 0.82},
+                                  {4.0, 0.75}},
+                                 true)});
+    s.push_back({"[1] Andersen",
+                 "feedforward switched-capacitor",
+                 PiecewiseLinear({{0.3, 0.74}, {1.0, 0.83},
+                                  {3.0, 0.86}, {8.0, 0.84},
+                                  {10.0, 0.80}},
+                                 true)});
+    s.push_back({"[26] Lu",
+                 "123-phase converter-ring",
+                 PiecewiseLinear({{0.01, 0.55}, {0.05, 0.70},
+                                  {0.2, 0.80}, {0.5, 0.83},
+                                  {1.0, 0.78}},
+                                 true)});
+    s.push_back({"[14] Jiang",
+                 "2/3-phase switched-capacitor",
+                 PiecewiseLinear({{1e-4, 0.48}, {1e-3, 0.62},
+                                  {5e-3, 0.72}, {2e-2, 0.73},
+                                  {5e-2, 0.68}},
+                                 true)});
+    return s;
+}
+
+} // namespace vreg
+} // namespace tg

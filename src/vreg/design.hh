@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Regulator design database: the two evaluated integrated designs
+ * (Intel-FIVR-like buck phases and IBM-POWER8-like digital LDO
+ * microregulators, paper Sections 5 and 6.4), the 16-phase Intel
+ * regulator of Fig. 2, and the ISSCC 2015 survey of Fig. 1.
+ */
+
+#ifndef TG_VREG_DESIGN_HH
+#define TG_VREG_DESIGN_HH
+
+#include <string>
+#include <vector>
+
+#include "common/interp.hh"
+#include "common/units.hh"
+#include "vreg/efficiency.hh"
+
+namespace tg {
+namespace vreg {
+
+/** Regulator topology families deployed on modern processors. */
+enum class Topology
+{
+    Buck,              //!< inductive buck (e.g. Haswell FIVR phases)
+    SwitchedCapacitor, //!< switched-capacitor converter
+    Ldo,               //!< linear low-dropout microregulator
+};
+
+/**
+ * Electrical/physical description of one component regulator design.
+ *
+ * responseTime and output impedance feed the PDN noise model: an LDO
+ * reacts faster than a buck phase and therefore leaves a smaller
+ * transient residue (paper Section 6.4 / Fig. 15).
+ */
+struct VrDesign
+{
+    std::string name;
+    Topology topology = Topology::Buck;
+    EfficiencyCurve curve{1.0, 0.9};
+    double areaMm2 = 0.04;        //!< on-chip footprint [mm^2]
+    Amperes iMax = 2.0;           //!< hard per-VR current limit [A]
+    Seconds responseTime = 5e-9;  //!< control-loop response time [s]
+    double outputResistance = 8e-3; //!< R_out behind the source [ohm]
+    double outputInductance = 8e-12; //!< L_out behind the source [H]
+};
+
+/**
+ * The FIVR-like buck-phase design used as the main calibration
+ * target: eta_peak = 90% at I_peak ~ 1.5 A per component VR, 0.04 mm^2
+ * (paper Section 5, Fig. 5).
+ */
+VrDesign fivrDesign();
+
+/**
+ * The POWER8-like digital LDO microregulator: eta_peak = 90.5%,
+ * identical curve calibration (apples-to-apples, paper Section 6.4)
+ * but a faster response and lower output inductance.
+ */
+VrDesign ldoDesign();
+
+/** The 16-phase Intel buck regulator of Fig. 2 (1 A per phase). */
+VrDesign intel16PhaseDesign();
+
+/** One design from the ISSCC 2015 survey of Fig. 1. */
+struct SurveyEntry
+{
+    std::string label;      //!< citation tag used in the figure
+    std::string topology;   //!< short topology description
+    /** Absolute-axis efficiency curve eta(I_out [A]). */
+    PiecewiseLinear curve;
+};
+
+/**
+ * Approximate digitisation of the eight ISSCC 2015 regulator curves
+ * of Fig. 1. Currents span 10 uA .. 10 A across entries; peak
+ * efficiencies span ~73%..92%.
+ */
+std::vector<SurveyEntry> isscc2015Survey();
+
+} // namespace vreg
+} // namespace tg
+
+#endif // TG_VREG_DESIGN_HH

@@ -1,0 +1,61 @@
+#include "vreg/efficiency.hh"
+
+#include "common/logging.hh"
+
+namespace tg {
+namespace vreg {
+
+std::vector<std::pair<double, double>>
+EfficiencyCurve::defaultShape()
+{
+    // Normalised (i / I_peak, eta / eta_peak) control points calibrated
+    // so that the per-core-domain curve family reproduces Fig. 5 and
+    // the P_loss savings of Fig. 7: a long light-load climb over two
+    // decades, a knee approaching the peak, and a mild droop past it.
+    return {
+        {0.002, 0.40 / 0.90}, {0.005, 0.445 / 0.90},
+        {0.010, 0.50 / 0.90}, {0.020, 0.555 / 0.90},
+        {0.050, 0.645 / 0.90}, {0.100, 0.705 / 0.90},
+        {0.150, 0.762 / 0.90}, {0.250, 0.818 / 0.90},
+        {0.350, 0.838 / 0.90}, {0.500, 0.840 / 0.90},
+        {0.620, 0.856 / 0.90}, {0.740, 0.884 / 0.90},
+        {0.850, 0.893 / 0.90}, {1.000, 1.000},
+        {1.150, 0.893 / 0.90}, {1.300, 0.878 / 0.90},
+        {1.500, 0.855 / 0.90}, {1.800, 0.810 / 0.90},
+        {2.200, 0.750 / 0.90},
+    };
+}
+
+EfficiencyCurve::EfficiencyCurve(
+    Amperes i_peak, double eta_peak,
+    std::vector<std::pair<double, double>> shape_pts)
+    : iPeak(i_peak), etaPeak(eta_peak),
+      shape(shape_pts.empty() ? defaultShape() : std::move(shape_pts),
+            /*log_x=*/true)
+{
+    TG_ASSERT(iPeak > 0.0, "peak current must be positive");
+    TG_ASSERT(etaPeak > 0.0 && etaPeak <= 1.0,
+              "peak efficiency must be in (0, 1]");
+}
+
+double
+EfficiencyCurve::etaAt(Amperes i_out) const
+{
+    if (i_out <= 0.0)
+        return 0.0;
+    double eta = etaPeak * shape(i_out / iPeak);
+    return eta < 0.0 ? 0.0 : (eta > 1.0 ? 1.0 : eta);
+}
+
+Watts
+EfficiencyCurve::plossAt(Volts v_out, Amperes i_out) const
+{
+    if (i_out <= 0.0)
+        return 0.0;
+    double eta = etaAt(i_out);
+    TG_ASSERT(eta > 0.0, "zero efficiency at positive load");
+    return v_out * i_out * (1.0 / eta - 1.0);
+}
+
+} // namespace vreg
+} // namespace tg

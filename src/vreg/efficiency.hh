@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Regulator power-conversion-efficiency modelling.
+ *
+ * A component regulator's efficiency eta is a strong function of its
+ * output load current I_out (paper Fig. 1): it climbs over decades of
+ * light load, peaks at eta_peak near the regulator's design point
+ * I_peak, and droops past it. The curve is represented piecewise-
+ * linearly against log10 of the normalised load i = I_out / I_peak so
+ * one shape can be re-scaled across designs (paper Section 5
+ * calibrates all 96 VRs to the Haswell FIVR curve family of Fig. 5).
+ */
+
+#ifndef TG_VREG_EFFICIENCY_HH
+#define TG_VREG_EFFICIENCY_HH
+
+#include <utility>
+#include <vector>
+
+#include "common/interp.hh"
+#include "common/units.hh"
+
+namespace tg {
+namespace vreg {
+
+/**
+ * eta(I_out) curve of one component regulator.
+ *
+ * Shapes are defined on the normalised axis i = I_out / I_peak and
+ * scaled by (I_peak, eta_peak), so the same calibrated family serves
+ * the FIVR and LDO designs (paper Section 6.4 calibrates both to the
+ * same curves).
+ */
+class EfficiencyCurve
+{
+  public:
+    /**
+     * @param i_peak    load current of peak efficiency [A]
+     * @param eta_peak  peak conversion efficiency in (0, 1]
+     * @param shape     (i/I_peak, eta/eta_peak) control points; pass
+     *                  an empty vector to use the FIVR-calibrated
+     *                  default shape
+     */
+    EfficiencyCurve(Amperes i_peak, double eta_peak,
+                    std::vector<std::pair<double, double>> shape = {});
+
+    /** Conversion efficiency at the given output load current. */
+    double etaAt(Amperes i_out) const;
+
+    /** Load current at which the curve peaks [A]. */
+    Amperes peakCurrent() const { return iPeak; }
+
+    /** Peak conversion efficiency. */
+    double peakEta() const { return etaPeak; }
+
+    /**
+     * Conversion loss power at the given operating point (Eqn. 1):
+     * P_loss = P_out * (1/eta - 1) with P_out = v_out * i_out.
+     */
+    Watts plossAt(Volts v_out, Amperes i_out) const;
+
+    /** The default FIVR-calibrated normalised shape. */
+    static std::vector<std::pair<double, double>> defaultShape();
+
+  private:
+    Amperes iPeak;
+    double etaPeak;
+    PiecewiseLinear shape;
+};
+
+} // namespace vreg
+} // namespace tg
+
+#endif // TG_VREG_EFFICIENCY_HH

@@ -1,0 +1,62 @@
+#include "vreg/network.hh"
+
+#include "common/logging.hh"
+
+namespace tg {
+namespace vreg {
+
+RegulatorNetwork::RegulatorNetwork(VrDesign design, int n_vrs)
+    : vrDesign(std::move(design)), nVrs(n_vrs)
+{
+    if (nVrs < 1)
+        fatal("regulator network needs at least one VR, got ", n_vrs);
+}
+
+int
+RegulatorNetwork::requiredActive(Amperes demand) const
+{
+    if (demand <= 0.0)
+        return 1;
+
+    int best = -1;
+    double best_eta = -1.0;
+    for (int k = 1; k <= nVrs; ++k) {
+        Amperes per_vr = demand / k;
+        if (per_vr > vrDesign.iMax)
+            continue;  // would exceed the per-VR current limit
+        double eta = vrDesign.curve.etaAt(per_vr);
+        // Strictly-better comparison ties towards fewer active VRs,
+        // which is the gating-friendly choice.
+        if (eta > best_eta + 1e-12) {
+            best_eta = eta;
+            best = k;
+        }
+    }
+    if (best < 0)
+        return nVrs;  // overloaded: everything on is the best we can do
+    return best;
+}
+
+OperatingPoint
+RegulatorNetwork::evaluate(Amperes demand, int active) const
+{
+    TG_ASSERT(active >= 1 && active <= nVrs,
+              "active count ", active, " outside [1, ", nVrs, "]");
+
+    OperatingPoint op;
+    op.active = active;
+    if (demand <= 0.0) {
+        // Active but unloaded regulators idle at negligible loss.
+        op.eta = vrDesign.curve.peakEta();
+        return op;
+    }
+    op.perVr = demand / active;
+    op.overloaded = op.perVr > vrDesign.iMax;
+    op.eta = vrDesign.curve.etaAt(op.perVr);
+    op.plossTotal =
+        active * vrDesign.curve.plossAt(voutNominal, op.perVr);
+    return op;
+}
+
+} // namespace vreg
+} // namespace tg

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Per-Vdd-domain network of parallel component regulators.
+ *
+ * Connected in parallel, N identical component VRs share the domain's
+ * load current. Regulator gating modulates how many stay active so
+ * that each active VR operates at (or near) its peak-efficiency load
+ * (paper Sections 3.2 and 6.1): n_on(I) is the active count that
+ * maximises conversion efficiency for demand I, and the resulting
+ * effective eta(I) envelope is nearly flat at eta_peak over the whole
+ * current range (the dotted trend line of Figs. 2 and 5).
+ */
+
+#ifndef TG_VREG_NETWORK_HH
+#define TG_VREG_NETWORK_HH
+
+#include "common/units.hh"
+#include "vreg/design.hh"
+
+namespace tg {
+namespace vreg {
+
+/** Operating point of a regulator network at one instant. */
+struct OperatingPoint
+{
+    int active = 0;        //!< number of active component VRs
+    Amperes perVr = 0.0;   //!< load current per active VR [A]
+    double eta = 0.0;      //!< effective conversion efficiency
+    Watts plossTotal = 0.0; //!< total conversion loss [W] (Eqn. 1)
+    bool overloaded = false; //!< true when demand exceeds N * iMax
+};
+
+/**
+ * N parallel component regulators of one design feeding one domain.
+ */
+class RegulatorNetwork
+{
+  public:
+    /**
+     * @param design component regulator design (copied)
+     * @param n_vrs  number of parallel component VRs in the domain
+     */
+    RegulatorNetwork(VrDesign design, int n_vrs);
+
+    /** Number of component regulators in the network. */
+    int size() const { return nVrs; }
+
+    /** The component design. */
+    const VrDesign &design() const { return vrDesign; }
+
+    /** Largest current the fully-active network may carry [A]. */
+    Amperes maxCurrent() const { return nVrs * vrDesign.iMax; }
+
+    /**
+     * Number of active regulators required to supply `demand` at the
+     * best achievable efficiency (paper Section 6.1). Always >= 1:
+     * the domain is never left unsupplied. Counts whose per-VR share
+     * would exceed iMax are infeasible; if every count is infeasible
+     * the network returns N (fully on, overloaded).
+     */
+    int requiredActive(Amperes demand) const;
+
+    /**
+     * Evaluate the network with `active` regulators sharing `demand`
+     * equally (component VRs are electrically identical, so parallel
+     * operation splits the current evenly).
+     */
+    OperatingPoint evaluate(Amperes demand, int active) const;
+
+    /** Shorthand: evaluate at the gating-optimal active count. */
+    OperatingPoint
+    evaluateGated(Amperes demand) const
+    {
+        return evaluate(demand, requiredActive(demand));
+    }
+
+    /** Nominal output voltage used for P_loss arithmetic [V]. */
+    Volts vout() const { return voutNominal; }
+    /** Set the nominal output voltage [V]. */
+    void setVout(Volts v) { voutNominal = v; }
+
+  private:
+    VrDesign vrDesign;
+    int nVrs;
+    Volts voutNominal = 1.03;
+};
+
+} // namespace vreg
+} // namespace tg
+
+#endif // TG_VREG_NETWORK_HH

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Cycle-resolution load-current synthesis for voltage-noise sampling.
+ *
+ * VoltSpot-style transient noise analysis needs cycle-accurate current
+ * waveforms (paper Section 5). Generating them for whole executions is
+ * far too expensive, so — following the paper's sampling methodology —
+ * short windows are synthesised on demand around a frame's mean
+ * current: a fast AR(1) ripple plus two-state burst/stall switching
+ * whose intensity scales with the benchmark's di/dt activity. The
+ * step edges of the burst process are what ring the package/grid RLC
+ * and produce the droops of Figs. 11/14.
+ */
+
+#ifndef TG_WORKLOAD_CYCLES_HH
+#define TG_WORKLOAD_CYCLES_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.hh"
+
+namespace tg {
+namespace workload {
+
+/**
+ * Synthesise a per-cycle current-multiplier window.
+ *
+ * The returned vector has `n_cycles` entries with mean approximately
+ * 1.0; multiply by a block's mean current to obtain its waveform.
+ *
+ * @param didt workload di/dt intensity in [0, 1]
+ * @param rng  deterministic random source (forked per window)
+ */
+std::vector<double> synthesizeCycleMultipliers(double didt,
+                                               std::size_t n_cycles,
+                                               Rng &rng);
+
+} // namespace workload
+} // namespace tg
+
+#endif // TG_WORKLOAD_CYCLES_HH

@@ -1,0 +1,99 @@
+#include "workload/demand.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+
+namespace tg {
+namespace workload {
+
+double
+DemandTrace::meanUtilization() const
+{
+    if (frames.empty())
+        return 0.0;
+    double sum = 0.0;
+    std::size_t n = 0;
+    for (const auto &f : frames) {
+        for (double u : f.coreUtil) {
+            sum += u;
+            ++n;
+        }
+    }
+    return n ? sum / static_cast<double>(n) : 0.0;
+}
+
+DemandTrace
+generateMixedDemandTrace(
+    const std::vector<const BenchmarkProfile *> &per_core,
+    std::uint64_t seed, Seconds frame_dt)
+{
+    int n_cores = static_cast<int>(per_core.size());
+    TG_ASSERT(n_cores >= 1, "need at least one core");
+    TG_ASSERT(frame_dt > 0.0, "frame interval must be positive");
+    for (const auto *p : per_core)
+        TG_ASSERT(p != nullptr, "null profile in mixed demand");
+
+    Rng rng(seed);
+    const double two_pi = 6.283185307179586;
+
+    // Static per-core properties: mean offset (imbalance) and phase
+    // offset (barrier skew, a small fraction of the phase period),
+    // each drawn from the core's own program characteristics.
+    std::vector<double> core_mean(n_cores);
+    std::vector<double> core_phi(n_cores);
+    double roi_us = per_core[0]->roiDurationUs;
+    for (int c = 0; c < n_cores; ++c) {
+        const auto &p = *per_core[static_cast<std::size_t>(c)];
+        double skew = rng.uniform(-1.0, 1.0) * p.imbalance;
+        core_mean[c] = p.meanUtilization * (1.0 + skew);
+        core_phi[c] = rng.uniform(-0.1, 0.1) * two_pi;
+        roi_us = std::min(roi_us, p.roiDurationUs);
+    }
+
+    std::size_t n_frames = static_cast<std::size_t>(
+        std::ceil(roi_us * 1e-6 / frame_dt));
+    TG_ASSERT(n_frames >= 2, "ROI shorter than two frames");
+
+    // AR(1) jitter per core: x' = rho x + sqrt(1-rho^2) sigma eps.
+    const double rho = 0.9;
+    std::vector<double> jitter(n_cores, 0.0);
+
+    DemandTrace trace;
+    trace.dt = frame_dt;
+    trace.frames.resize(n_frames);
+
+    for (std::size_t f = 0; f < n_frames; ++f) {
+        double t = f * frame_dt;
+        DemandFrame &frame = trace.frames[f];
+        frame.coreUtil.resize(n_cores);
+        for (int c = 0; c < n_cores; ++c) {
+            const auto &p = *per_core[static_cast<std::size_t>(c)];
+            double period_s = p.phasePeriodUs * 1e-6;
+            double phase =
+                std::sin(two_pi * t / period_s + core_phi[c]);
+            jitter[c] = rho * jitter[c] +
+                        std::sqrt(1.0 - rho * rho) *
+                            rng.gaussian(0.0, p.jitterSigma);
+            double u =
+                core_mean[c] * (1.0 + p.phaseAmplitude * phase) +
+                jitter[c];
+            frame.coreUtil[c] = std::clamp(u, 0.02, 1.0);
+        }
+    }
+    return trace;
+}
+
+DemandTrace
+generateDemandTrace(const BenchmarkProfile &profile, int n_cores,
+                    std::uint64_t seed, Seconds frame_dt)
+{
+    std::vector<const BenchmarkProfile *> per_core(
+        static_cast<std::size_t>(n_cores), &profile);
+    return generateMixedDemandTrace(per_core, seed, frame_dt);
+}
+
+} // namespace workload
+} // namespace tg

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Per-core utilisation demand traces.
+ *
+ * A DemandTrace is the time-varying core-utilisation signal of one
+ * benchmark's region of interest, sampled at a fixed frame interval.
+ * SPLASH-2x kernels are barrier-synchronised, so cores swing through
+ * compute/communicate phases largely together with small per-core
+ * offsets and a static imbalance; a slow periodic phase component
+ * plus fast AR(1) jitter reproduces the power-demand evolution the
+ * paper shows in Fig. 6.
+ */
+
+#ifndef TG_WORKLOAD_DEMAND_HH
+#define TG_WORKLOAD_DEMAND_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/units.hh"
+#include "workload/profile.hh"
+
+namespace tg {
+namespace workload {
+
+/** Utilisation of every core during one frame. */
+struct DemandFrame
+{
+    /** Per-core utilisation in [0, 1]. */
+    std::vector<double> coreUtil;
+};
+
+/** A fixed-interval sequence of demand frames. */
+struct DemandTrace
+{
+    Seconds dt = 10e-6;               //!< frame interval [s]
+    std::vector<DemandFrame> frames;  //!< ROI frames in time order
+
+    /** ROI duration [s]. */
+    Seconds duration() const { return dt * frames.size(); }
+
+    /** Mean utilisation across all cores and frames. */
+    double meanUtilization() const;
+};
+
+/**
+ * Synthesise the demand trace of `profile` for an `n_cores`-thread
+ * run. Deterministic for a given (profile, n_cores, seed) triple.
+ *
+ * @param frame_dt frame interval [s]; the default 10 us matches the
+ *                 thermal solver step
+ */
+DemandTrace generateDemandTrace(const BenchmarkProfile &profile,
+                                int n_cores, std::uint64_t seed,
+                                Seconds frame_dt = 10e-6);
+
+/**
+ * Multi-programmed demand: every core runs its own benchmark (paper
+ * Section 7 notes ThermoGater accommodates workload heterogeneity
+ * including multi-programming, because each Vdd-domain is governed
+ * independently). The co-run region lasts as long as the shortest
+ * ROI among the programs.
+ *
+ * @param per_core one profile per core (non-null)
+ */
+DemandTrace
+generateMixedDemandTrace(const std::vector<const BenchmarkProfile *>
+                             &per_core,
+                         std::uint64_t seed, Seconds frame_dt = 10e-6);
+
+} // namespace workload
+} // namespace tg
+
+#endif // TG_WORKLOAD_DEMAND_HH

@@ -1,0 +1,119 @@
+#include "workload/profile.hh"
+
+#include "common/logging.hh"
+
+namespace tg {
+namespace workload {
+
+namespace {
+
+BenchmarkProfile
+make(const std::string &name, const std::string &full, double mean_u,
+     double amp, double period_us, double jitter, double imbalance,
+     double mem, double didt, double roi_us, InstructionMix mix,
+     MissRates miss)
+{
+    BenchmarkProfile p;
+    p.name = name;
+    p.fullName = full;
+    p.meanUtilization = mean_u;
+    p.phaseAmplitude = amp;
+    p.phasePeriodUs = period_us;
+    p.jitterSigma = jitter;
+    p.imbalance = imbalance;
+    p.memoryIntensity = mem;
+    p.didtActivity = didt;
+    p.roiDurationUs = roi_us;
+    p.mix = mix;
+    p.misses = miss;
+    return p;
+}
+
+std::vector<BenchmarkProfile>
+buildProfiles()
+{
+    // Mean utilisations are calibrated against the P_loss savings of
+    // Fig. 7 (cholesky stays busy => least headroom, ~10%; raytrace is
+    // light => ~50%); didtActivity ranks follow the voltage-emergency
+    // residencies of Table 2 (barnes worst, then oc_cp/fft; the lu
+    // kernels and water_nsquared never trip emergencies).
+    std::vector<BenchmarkProfile> v;
+    v.push_back(make("barnes", "barnes-hut n-body",
+                     0.66, 0.22, 520, 0.06, 0.12, 0.32, 0.97, 8000,
+                     {0.30, 0.32, 0.20, 0.08, 0.10},
+                     {0.035, 0.30, 0.25}));
+    v.push_back(make("chol", "cholesky factorization",
+                     0.88, 0.06, 700, 0.04, 0.08, 0.30, 0.42, 7000,
+                     {0.28, 0.38, 0.20, 0.08, 0.06},
+                     {0.030, 0.28, 0.22}));
+    v.push_back(make("fft", "1D fast Fourier transform",
+                     0.50, 0.30, 350, 0.07, 0.08, 0.45, 0.93, 6000,
+                     {0.24, 0.34, 0.24, 0.12, 0.06},
+                     {0.060, 0.45, 0.35}));
+    v.push_back(make("fmm", "fast multipole method",
+                     0.68, 0.18, 600, 0.05, 0.10, 0.30, 0.62, 9000,
+                     {0.28, 0.36, 0.20, 0.08, 0.08},
+                     {0.030, 0.28, 0.20}));
+    v.push_back(make("lu_cb", "LU, contiguous blocks",
+                     0.70, 0.25, 450, 0.04, 0.08, 0.28, 0.30, 6400,
+                     {0.26, 0.40, 0.20, 0.08, 0.06},
+                     {0.025, 0.25, 0.18}));
+    v.push_back(make("lu_ncb", "LU, non-contiguous blocks",
+                     0.55, 0.35, 1600, 0.05, 0.08, 0.38, 0.30, 6000,
+                     {0.26, 0.38, 0.22, 0.08, 0.06},
+                     {0.050, 0.40, 0.30}));
+    v.push_back(make("oc_cp", "ocean, contiguous partitions",
+                     0.50, 0.28, 380, 0.06, 0.09, 0.48, 0.92, 7200,
+                     {0.24, 0.32, 0.26, 0.12, 0.06},
+                     {0.070, 0.50, 0.40}));
+    v.push_back(make("oc_ncp", "ocean, non-contiguous partitions",
+                     0.48, 0.28, 380, 0.06, 0.09, 0.52, 0.50, 7200,
+                     {0.24, 0.30, 0.28, 0.12, 0.06},
+                     {0.080, 0.55, 0.42}));
+    v.push_back(make("radio", "radiosity",
+                     0.80, 0.12, 650, 0.05, 0.10, 0.28, 0.52, 8400,
+                     {0.32, 0.30, 0.20, 0.08, 0.10},
+                     {0.030, 0.28, 0.20}));
+    v.push_back(make("radix", "radix sort",
+                     0.60, 0.24, 300, 0.06, 0.06, 0.50, 0.68, 5600,
+                     {0.40, 0.08, 0.28, 0.16, 0.08},
+                     {0.090, 0.55, 0.45}));
+    v.push_back(make("rayt", "raytrace",
+                     0.20, 0.18, 550, 0.05, 0.16, 0.34, 0.64, 7600,
+                     {0.30, 0.28, 0.24, 0.08, 0.10},
+                     {0.045, 0.35, 0.30}));
+    v.push_back(make("volr", "volrend",
+                     0.47, 0.20, 480, 0.05, 0.12, 0.36, 0.48, 6800,
+                     {0.30, 0.26, 0.26, 0.08, 0.10},
+                     {0.050, 0.38, 0.28}));
+    v.push_back(make("water_n", "water, n-squared",
+                     0.63, 0.20, 560, 0.04, 0.08, 0.26, 0.28, 7200,
+                     {0.26, 0.42, 0.18, 0.08, 0.06},
+                     {0.020, 0.22, 0.15}));
+    v.push_back(make("water_s", "water, spatial",
+                     0.57, 0.22, 520, 0.05, 0.08, 0.28, 0.78, 7200,
+                     {0.26, 0.40, 0.20, 0.08, 0.06},
+                     {0.025, 0.24, 0.16}));
+    return v;
+}
+
+} // namespace
+
+const std::vector<BenchmarkProfile> &
+splashProfiles()
+{
+    static const std::vector<BenchmarkProfile> profiles = buildProfiles();
+    return profiles;
+}
+
+const BenchmarkProfile &
+profileByName(const std::string &name)
+{
+    for (const auto &p : splashProfiles())
+        if (p.name == name || p.fullName == name)
+            return p;
+    fatal("unknown benchmark '", name, "'");
+}
+
+} // namespace workload
+} // namespace tg

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Synthetic workload profiles for the 14 SPLASH-2x benchmarks the
+ * paper evaluates (Section 5).
+ *
+ * The paper's policies never observe instructions; they observe the
+ * spatio-temporal power-demand signal each benchmark's region of
+ * interest produces. Each profile therefore captures the benchmark
+ * characteristics that shape that signal: mean core utilisation
+ * (which sets total power and hence the P_loss savings headroom of
+ * Fig. 7), phase structure and variability (Fig. 6), the logic vs.
+ * memory balance (which drives where heat and voltage noise appear),
+ * and the high-frequency activity fluctuation that excites Ldi/dt
+ * noise (Table 2 / Fig. 11). Values are calibrated so the benches
+ * reproduce the paper's per-benchmark shapes.
+ */
+
+#ifndef TG_WORKLOAD_PROFILE_HH
+#define TG_WORKLOAD_PROFILE_HH
+
+#include <string>
+#include <vector>
+
+#include "common/units.hh"
+
+namespace tg {
+namespace workload {
+
+/** Dynamic instruction mix of a benchmark (fractions sum to 1). */
+struct InstructionMix
+{
+    double fracInt = 0.35;    //!< integer ALU ops
+    double fracFp = 0.20;     //!< floating-point ops
+    double fracLoad = 0.22;   //!< loads
+    double fracStore = 0.10;  //!< stores
+    double fracBranch = 0.13; //!< branches
+};
+
+/** Cache miss behaviour (misses per access at each level). */
+struct MissRates
+{
+    double l1 = 0.03;  //!< L1-D miss ratio
+    double l2 = 0.30;  //!< L2 miss ratio (of L1 misses)
+    double l3 = 0.20;  //!< L3 miss ratio (of L2 misses)
+};
+
+/** Everything the generator needs to synthesise one benchmark. */
+struct BenchmarkProfile
+{
+    std::string name;        //!< short name used in the figures
+    std::string fullName;    //!< SPLASH-2x program name
+
+    /** Mean per-core utilisation of the ROI in [0, 1]. */
+    double meanUtilization = 0.6;
+    /** Relative amplitude of the periodic phase swing in [0, 1). */
+    double phaseAmplitude = 0.2;
+    /** Period of the dominant compute/communicate phase cycle [us]. */
+    double phasePeriodUs = 400.0;
+    /** Std-dev of the fast AR(1) utilisation jitter. */
+    double jitterSigma = 0.05;
+    /** Cross-core imbalance in [0, 1): per-core mean spread. */
+    double imbalance = 0.1;
+    /** Memory intensity in [0, 1]: share of activity in caches/L3. */
+    double memoryIntensity = 0.35;
+    /**
+     * High-frequency current-fluctuation intensity in [0, 1]. Scales
+     * the step/burst events that excite Ldi/dt voltage noise; the
+     * benchmarks with non-zero voltage-emergency residency in the
+     * paper's Table 2 (barnes, fft, oc_cp, ...) sit at the top.
+     */
+    double didtActivity = 0.4;
+    /** Region-of-interest duration [us]. */
+    double roiDurationUs = 3000.0;
+
+    InstructionMix mix;
+    MissRates misses;
+};
+
+/** All 14 SPLASH-2x profiles, in the paper's figure order. */
+const std::vector<BenchmarkProfile> &splashProfiles();
+
+/** Look up a profile by short name; fatals when absent. */
+const BenchmarkProfile &profileByName(const std::string &name);
+
+} // namespace workload
+} // namespace tg
+
+#endif // TG_WORKLOAD_PROFILE_HH

@@ -1,0 +1,94 @@
+/** @file Unit tests for the aging model. */
+
+#include <gtest/gtest.h>
+
+#include "core/aging.hh"
+
+namespace tg {
+namespace core {
+namespace {
+
+TEST(Aging, ReferenceRateIsUnity)
+{
+    AgingModel m(2);
+    m.accumulate(0, m.params().refTemp, true, 1.0);
+    EXPECT_NEAR(m.damage(0), 1.0, 1e-12);
+    EXPECT_EQ(m.damage(1), 0.0);
+}
+
+TEST(Aging, RateDoublesPerActivationDelta)
+{
+    AgingModel m(1);
+    double ref = m.params().refTemp;
+    double delta = m.params().activationDelta;
+    m.accumulate(0, ref + delta, true, 1.0);
+    EXPECT_NEAR(m.damage(0), 2.0, 1e-12);
+    m.accumulate(0, ref + 2.0 * delta, true, 1.0);
+    EXPECT_NEAR(m.damage(0), 6.0, 1e-12);
+}
+
+TEST(Aging, IdleStressIsReduced)
+{
+    AgingModel m(2);
+    double ref = m.params().refTemp;
+    m.accumulate(0, ref, true, 1.0);
+    m.accumulate(1, ref, false, 1.0);
+    EXPECT_NEAR(m.damage(1),
+                m.params().idleStressFraction * m.damage(0), 1e-12);
+}
+
+TEST(Aging, DamageAccumulatesMonotonically)
+{
+    AgingModel m(1);
+    double prev = 0.0;
+    for (int i = 0; i < 10; ++i) {
+        m.accumulate(0, 60.0 + i, i % 2 == 0, 0.5);
+        EXPECT_GT(m.damage(0), prev);
+        prev = m.damage(0);
+    }
+}
+
+TEST(Aging, ImbalanceMetrics)
+{
+    AgingModel m(4);
+    for (int v = 0; v < 4; ++v)
+        m.accumulate(v, m.params().refTemp, true, 1.0 + v);
+    // damages: 1, 2, 3, 4 -> mean 2.5, max 4.
+    EXPECT_NEAR(m.meanDamage(), 2.5, 1e-12);
+    EXPECT_NEAR(m.maxDamage(), 4.0, 1e-12);
+    EXPECT_NEAR(m.imbalance(), 1.6, 1e-12);
+}
+
+TEST(Aging, FreshModelBalanced)
+{
+    AgingModel m(3);
+    EXPECT_EQ(m.imbalance(), 1.0);
+    EXPECT_EQ(m.maxDamage(), 0.0);
+}
+
+TEST(Aging, HotterRegulatorAgesFasterThanCooler)
+{
+    // The Section-7 mechanism: a regulator used heavily but kept in
+    // a cool region can out-live a lightly-used hot one.
+    AgingModel m(2);
+    double ref = m.params().refTemp;
+    // VR 0: 100% duty at ref; VR 1: 50% duty but 2.2 deltas hotter.
+    for (int i = 0; i < 100; ++i) {
+        m.accumulate(0, ref, true, 1e-3);
+        m.accumulate(1, ref + 2.2 * m.params().activationDelta,
+                     i % 2 == 0, 1e-3);
+    }
+    EXPECT_GT(m.damage(1), m.damage(0));
+}
+
+TEST(AgingDeath, InvalidInputs)
+{
+    EXPECT_DEATH(AgingModel m(0), "needs regulators");
+    AgingModel m(1);
+    EXPECT_DEATH(m.accumulate(0, 60.0, true, -1.0), "negative");
+    EXPECT_ANY_THROW(m.damage(5));
+}
+
+} // namespace
+} // namespace core
+} // namespace tg

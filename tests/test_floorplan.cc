@@ -1,0 +1,264 @@
+/** @file Unit and property tests for the floorplan model. */
+
+#include <set>
+#include <utility>
+
+#include <gtest/gtest.h>
+
+#include "floorplan/floorplan.hh"
+#include "floorplan/power8.hh"
+
+namespace tg {
+namespace floorplan {
+namespace {
+
+TEST(Rect, ContainsAndOverlap)
+{
+    Rect r{1.0, 2.0, 3.0, 4.0};
+    EXPECT_TRUE(r.contains(1.0, 2.0));   // closed lower/left
+    EXPECT_FALSE(r.contains(4.0, 2.0));  // open upper/right
+    EXPECT_TRUE(r.contains(2.5, 5.9));
+    EXPECT_FALSE(r.contains(0.9, 3.0));
+
+    Rect o{3.5, 5.0, 2.0, 2.0};
+    EXPECT_TRUE(r.overlaps(o));
+    Rect far{10.0, 10.0, 1.0, 1.0};
+    EXPECT_FALSE(r.overlaps(far));
+    Rect touching{4.0, 2.0, 1.0, 1.0};  // shares an edge only
+    EXPECT_FALSE(r.overlaps(touching));
+}
+
+TEST(Rect, AreaCentreDistance)
+{
+    Rect a{0.0, 0.0, 2.0, 2.0};
+    Rect b{3.0, 4.0, 2.0, 2.0};
+    EXPECT_DOUBLE_EQ(a.area(), 4.0);
+    EXPECT_DOUBLE_EQ(a.cx(), 1.0);
+    EXPECT_DOUBLE_EQ(a.cy(), 1.0);
+    EXPECT_DOUBLE_EQ(a.centreDistance(b), 5.0);
+}
+
+TEST(UnitKind, NamesAndLogicClassification)
+{
+    EXPECT_STREQ(unitKindName(UnitKind::Exu), "EXU");
+    EXPECT_STREQ(unitKindName(UnitKind::L3), "L3");
+    EXPECT_TRUE(isLogicUnit(UnitKind::Ifu));
+    EXPECT_TRUE(isLogicUnit(UnitKind::Lsu));
+    EXPECT_FALSE(isLogicUnit(UnitKind::L2));
+    EXPECT_FALSE(isLogicUnit(UnitKind::Mc));
+}
+
+TEST(Builder, MinimalValidPlan)
+{
+    FloorplanBuilder b(10.0, 10.0);
+    b.addDomain("d0", DomainKind::Core);
+    b.addBlock("blk", UnitKind::Exu, {0.0, 0.0, 10.0, 10.0}, 0, 0);
+    b.addVr("vr", {4.9, 4.9, 0.2, 0.2}, 0);
+    auto fp = b.build();
+    EXPECT_EQ(fp.blocks().size(), 1u);
+    EXPECT_EQ(fp.vrs().size(), 1u);
+    EXPECT_EQ(fp.vrs()[0].hostBlock, 0);
+    EXPECT_FALSE(fp.vrs()[0].memorySide);
+    EXPECT_EQ(fp.domains()[0].blocks.size(), 1u);
+}
+
+TEST(BuilderDeath, OverlappingBlocksAreFatal)
+{
+    FloorplanBuilder b(10.0, 10.0);
+    b.addDomain("d0", DomainKind::Core);
+    b.addBlock("a", UnitKind::Exu, {0.0, 0.0, 6.0, 10.0}, 0);
+    b.addBlock("b", UnitKind::Lsu, {5.0, 0.0, 5.0, 10.0}, 0);
+    b.addVr("vr", {1.0, 1.0, 0.2, 0.2}, 0);
+    EXPECT_EXIT(b.build(), ::testing::ExitedWithCode(1), "overlap");
+}
+
+TEST(BuilderDeath, BlockOutsideDieIsFatal)
+{
+    FloorplanBuilder b(10.0, 10.0);
+    b.addDomain("d0", DomainKind::Core);
+    b.addBlock("a", UnitKind::Exu, {5.0, 5.0, 6.0, 2.0}, 0);
+    EXPECT_EXIT(b.build(), ::testing::ExitedWithCode(1), "beyond");
+}
+
+TEST(BuilderDeath, VrOverNothingIsFatal)
+{
+    FloorplanBuilder b(10.0, 10.0);
+    b.addDomain("d0", DomainKind::Core);
+    b.addBlock("a", UnitKind::Exu, {0.0, 0.0, 5.0, 5.0}, 0);
+    b.addVr("vr", {8.0, 8.0, 0.2, 0.2}, 0);
+    EXPECT_EXIT(b.build(), ::testing::ExitedWithCode(1), "no block");
+}
+
+TEST(BuilderDeath, VrOverForeignDomainIsFatal)
+{
+    FloorplanBuilder b(10.0, 10.0);
+    b.addDomain("d0", DomainKind::Core);
+    b.addDomain("d1", DomainKind::Core);
+    b.addBlock("a", UnitKind::Exu, {0.0, 0.0, 5.0, 10.0}, 0);
+    b.addBlock("b", UnitKind::Exu, {5.0, 0.0, 5.0, 10.0}, 1);
+    b.addVr("vr0", {1.0, 1.0, 0.2, 0.2}, 0);
+    b.addVr("vr1", {1.0, 2.0, 0.2, 0.2}, 1);  // over domain-0 silicon
+    EXPECT_EXIT(b.build(), ::testing::ExitedWithCode(1),
+                "different Vdd-domain");
+}
+
+TEST(BuilderDeath, EmptyDomainIsFatal)
+{
+    FloorplanBuilder b(10.0, 10.0);
+    b.addDomain("d0", DomainKind::Core);
+    b.addDomain("empty", DomainKind::L3);
+    b.addBlock("a", UnitKind::Exu, {0.0, 0.0, 10.0, 10.0}, 0);
+    b.addVr("vr", {1.0, 1.0, 0.2, 0.2}, 0);
+    EXPECT_EXIT(b.build(), ::testing::ExitedWithCode(1), "no blocks");
+}
+
+TEST(Power8, MatchesPaperConfiguration)
+{
+    auto chip = buildPower8Chip();
+    const auto &fp = chip.plan;
+
+    EXPECT_EQ(fp.vrs().size(), 96u);
+    EXPECT_EQ(fp.domains().size(), 16u);
+    EXPECT_DOUBLE_EQ(fp.area(), 441.0);
+    EXPECT_EQ(chip.params.cores, 8);
+    EXPECT_DOUBLE_EQ(chip.params.vdd, 1.03);
+
+    int core_domains = 0;
+    int l3_domains = 0;
+    for (const auto &d : fp.domains()) {
+        if (d.kind == DomainKind::Core) {
+            ++core_domains;
+            EXPECT_EQ(d.vrs.size(), 9u);
+            EXPECT_EQ(d.blocks.size(), 5u);  // 4 logic units + L2
+        } else {
+            ++l3_domains;
+            EXPECT_EQ(d.vrs.size(), 3u);
+            EXPECT_EQ(d.blocks.size(), 1u);
+        }
+    }
+    EXPECT_EQ(core_domains, 8);
+    EXPECT_EQ(l3_domains, 8);
+}
+
+TEST(Power8, BlocksTileTheDieExactly)
+{
+    auto chip = buildPower8Chip();
+    EXPECT_NEAR(chip.plan.blockArea(), chip.plan.area(), 1e-9);
+}
+
+TEST(Power8, EveryVrHasHostAndSide)
+{
+    auto chip = buildPower8Chip();
+    int memory_side = 0;
+    for (const auto &vr : chip.plan.vrs()) {
+        EXPECT_GE(vr.hostBlock, 0);
+        EXPECT_GE(vr.domain, 0);
+        if (vr.memorySide)
+            ++memory_side;
+    }
+    // 3 of 9 per core domain sit over the L2 (24) and every L3-bank
+    // VR is memory-side (24).
+    EXPECT_EQ(memory_side, 48);
+}
+
+TEST(Power8, BlockLookupsWork)
+{
+    auto chip = buildPower8Chip();
+    const auto &fp = chip.plan;
+    int idx = fp.blockIndex("core0.exu");
+    EXPECT_EQ(fp.blocks()[static_cast<std::size_t>(idx)].kind,
+              UnitKind::Exu);
+    EXPECT_EQ(fp.blocksOfKind(UnitKind::L3).size(), 8u);
+    EXPECT_EQ(fp.blocksOfKind(UnitKind::Exu).size(), 8u);
+    EXPECT_EQ(fp.blocksOfKind(UnitKind::Mc).size(), 2u);
+
+    // Point lookups: the centre of the die sits in the NoC spine.
+    int centre = fp.blockAt(10.5, 10.5);
+    ASSERT_GE(centre, 0);
+    EXPECT_EQ(fp.blocks()[static_cast<std::size_t>(centre)].kind,
+              UnitKind::Noc);
+}
+
+TEST(Power8, UniqueNames)
+{
+    auto chip = buildPower8Chip();
+    std::set<std::string> names;
+    for (const auto &b : chip.plan.blocks())
+        EXPECT_TRUE(names.insert(b.name).second) << b.name;
+    for (const auto &vr : chip.plan.vrs())
+        EXPECT_TRUE(names.insert(vr.name).second) << vr.name;
+}
+
+TEST(Power8Death, UnknownBlockNameIsFatal)
+{
+    auto chip = buildPower8Chip();
+    EXPECT_EXIT(chip.plan.blockIndex("nope"),
+                ::testing::ExitedWithCode(1), "no block");
+}
+
+/** Mini chips across supported core counts stay structurally sound. */
+class MiniChip : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(MiniChip, StructureScalesWithCores)
+{
+    int cores = GetParam();
+    auto chip = buildMiniChip(cores);
+    EXPECT_EQ(chip.params.cores, cores);
+    EXPECT_EQ(chip.plan.domains().size(),
+              static_cast<std::size_t>(2 * cores));
+    EXPECT_EQ(chip.plan.vrs().size(),
+              static_cast<std::size_t>(12 * cores));
+    EXPECT_NEAR(chip.plan.blockArea(), chip.plan.area(), 1e-9);
+    EXPECT_GT(chip.params.tdp, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Cores, MiniChip, ::testing::Values(1, 2, 3, 4));
+
+/** Chip variants used by the regulator-count ablation. */
+class ChipVariant : public ::testing::TestWithParam<std::pair<int, int>>
+{
+};
+
+TEST_P(ChipVariant, VrCountsScale)
+{
+    auto [per_core, per_l3] = GetParam();
+    auto chip = buildPower8ChipVariant(per_core, per_l3);
+    EXPECT_EQ(chip.plan.vrs().size(),
+              static_cast<std::size_t>(8 * (per_core + per_l3)));
+    EXPECT_EQ(chip.plan.domains().size(), 16u);
+    for (const auto &d : chip.plan.domains()) {
+        if (d.kind == DomainKind::Core)
+            EXPECT_EQ(d.vrs.size(),
+                      static_cast<std::size_t>(per_core));
+        else
+            EXPECT_EQ(d.vrs.size(),
+                      static_cast<std::size_t>(per_l3));
+    }
+    EXPECT_NEAR(chip.plan.blockArea(), chip.plan.area(), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Counts, ChipVariant,
+    ::testing::Values(std::make_pair(4, 2), std::make_pair(6, 2),
+                      std::make_pair(9, 3), std::make_pair(12, 4),
+                      std::make_pair(16, 5)));
+
+TEST(ChipVariantDeath, RejectsZeroVrs)
+{
+    EXPECT_EXIT(buildPower8ChipVariant(0, 3),
+                ::testing::ExitedWithCode(1), "at least one VR");
+}
+
+TEST(MiniChipDeath, RejectsBadCoreCounts)
+{
+    EXPECT_EXIT(buildMiniChip(0), ::testing::ExitedWithCode(1),
+                "1..4");
+    EXPECT_EXIT(buildMiniChip(5), ::testing::ExitedWithCode(1),
+                "1..4");
+}
+
+} // namespace
+} // namespace floorplan
+} // namespace tg

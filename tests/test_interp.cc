@@ -1,0 +1,81 @@
+/** @file Unit tests for piecewise-linear interpolation. */
+
+#include <gtest/gtest.h>
+
+#include "common/interp.hh"
+
+namespace tg {
+namespace {
+
+TEST(Interp, LinearMidpoint)
+{
+    PiecewiseLinear c({{0.0, 0.0}, {2.0, 4.0}});
+    EXPECT_DOUBLE_EQ(c(1.0), 2.0);
+    EXPECT_DOUBLE_EQ(c(0.5), 1.0);
+}
+
+TEST(Interp, ClampsOutsideDomain)
+{
+    PiecewiseLinear c({{1.0, 10.0}, {2.0, 20.0}});
+    EXPECT_DOUBLE_EQ(c(0.0), 10.0);
+    EXPECT_DOUBLE_EQ(c(5.0), 20.0);
+}
+
+TEST(Interp, HitsSamplePointsExactly)
+{
+    PiecewiseLinear c({{1.0, 3.0}, {2.0, -1.0}, {4.0, 8.0}});
+    EXPECT_DOUBLE_EQ(c(1.0), 3.0);
+    EXPECT_DOUBLE_EQ(c(2.0), -1.0);
+    EXPECT_DOUBLE_EQ(c(4.0), 8.0);
+}
+
+TEST(Interp, SortsUnorderedInput)
+{
+    PiecewiseLinear c({{3.0, 30.0}, {1.0, 10.0}, {2.0, 20.0}});
+    EXPECT_DOUBLE_EQ(c(1.5), 15.0);
+    EXPECT_DOUBLE_EQ(c(2.5), 25.0);
+}
+
+TEST(Interp, LogAxisGeometricMidpoint)
+{
+    // In log-x mode the halfway point between 1 and 100 is 10.
+    PiecewiseLinear c({{1.0, 0.0}, {100.0, 1.0}}, true);
+    EXPECT_NEAR(c(10.0), 0.5, 1e-12);
+    // Linear interpolation would give ~0.09 at x = 10 instead.
+    PiecewiseLinear lin({{1.0, 0.0}, {100.0, 1.0}}, false);
+    EXPECT_NEAR(lin(10.0), 9.0 / 99.0, 1e-12);
+}
+
+TEST(Interp, ArgmaxAndMaxValue)
+{
+    PiecewiseLinear c({{1.0, 0.5}, {2.0, 0.9}, {3.0, 0.7}});
+    EXPECT_DOUBLE_EQ(c.argmax(), 2.0);
+    EXPECT_DOUBLE_EQ(c.maxValue(), 0.9);
+}
+
+TEST(Interp, DomainAccessors)
+{
+    PiecewiseLinear c({{2.0, 1.0}, {5.0, 2.0}});
+    EXPECT_DOUBLE_EQ(c.minX(), 2.0);
+    EXPECT_DOUBLE_EQ(c.maxX(), 5.0);
+}
+
+TEST(InterpDeath, TooFewPointsPanics)
+{
+    EXPECT_DEATH(PiecewiseLinear c({{1.0, 1.0}}), "two points");
+}
+
+TEST(InterpDeath, DuplicateXPanics)
+{
+    EXPECT_DEATH(PiecewiseLinear c({{1.0, 1.0}, {1.0, 2.0}}),
+                 "distinct");
+}
+
+TEST(InterpDeath, NonPositiveXInLogModePanics)
+{
+    EXPECT_DEATH(PiecewiseLinear c({{0.0, 1.0}, {1.0, 2.0}}, true),
+                 "positive");
+}
+
+} // namespace
+} // namespace tg

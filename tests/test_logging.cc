@@ -1,0 +1,47 @@
+/** @file Unit tests for the logging/error helpers. */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+
+namespace tg {
+namespace {
+
+TEST(Logging, ConcatFormatsMixedArguments)
+{
+    EXPECT_EQ(detail::concat("x=", 3, ", y=", 2.5), "x=3, y=2.5");
+    EXPECT_EQ(detail::concat("plain"), "plain");
+    EXPECT_EQ(detail::concat(1, 2, 3), "123");
+}
+
+TEST(Logging, WarnAndInformDoNotTerminate)
+{
+    warn("test warning ", 42);
+    inform("test info ", 43);
+    SUCCEED();
+}
+
+TEST(LoggingDeath, PanicAborts)
+{
+    EXPECT_DEATH(panic("boom ", 1), "boom 1");
+}
+
+TEST(LoggingDeath, FatalExitsWithError)
+{
+    EXPECT_EXIT(fatal("bad config"),
+                ::testing::ExitedWithCode(1), "bad config");
+}
+
+TEST(LoggingDeath, AssertFiresWithLocation)
+{
+    EXPECT_DEATH(TG_ASSERT(1 == 2, "math broke"), "math broke");
+}
+
+TEST(Logging, AssertPassesSilently)
+{
+    TG_ASSERT(1 + 1 == 2, "never shown");
+    SUCCEED();
+}
+
+} // namespace
+} // namespace tg

@@ -1,0 +1,154 @@
+/** @file Tests for multi-programmed (per-core heterogeneous) runs. */
+
+#include <gtest/gtest.h>
+
+#include "sim/simulation.hh"
+#include "uarch/core_model.hh"
+#include "workload/demand.hh"
+#include "workload/profile.hh"
+
+namespace tg {
+namespace {
+
+using workload::BenchmarkProfile;
+using workload::profileByName;
+
+TEST(MixedDemand, PerCoreCharacteristicsApply)
+{
+    const auto &busy = profileByName("chol");
+    const auto &light = profileByName("rayt");
+    std::vector<const BenchmarkProfile *> per_core = {&busy, &light};
+    auto trace = workload::generateMixedDemandTrace(per_core, 11);
+
+    double mean0 = 0.0;
+    double mean1 = 0.0;
+    for (const auto &f : trace.frames) {
+        mean0 += f.coreUtil[0];
+        mean1 += f.coreUtil[1];
+    }
+    mean0 /= trace.frames.size();
+    mean1 /= trace.frames.size();
+    // The cholesky core runs much hotter than the raytrace core.
+    EXPECT_GT(mean0, mean1 + 0.3);
+    EXPECT_NEAR(mean0, busy.meanUtilization,
+                0.08 + busy.imbalance * busy.meanUtilization);
+    EXPECT_NEAR(mean1, light.meanUtilization,
+                0.08 + light.imbalance * light.meanUtilization);
+}
+
+TEST(MixedDemand, CoRunLastsShortestRoi)
+{
+    const auto &a = profileByName("fmm");   // long ROI
+    const auto &b = profileByName("radix"); // short ROI
+    std::vector<const BenchmarkProfile *> per_core = {&a, &b};
+    auto trace = workload::generateMixedDemandTrace(per_core, 3);
+    double shortest = std::min(a.roiDurationUs, b.roiDurationUs);
+    EXPECT_NEAR(trace.duration(), shortest * 1e-6,
+                trace.dt + 1e-12);
+}
+
+TEST(MixedDemand, HomogeneousMatchesSingleProfilePath)
+{
+    const auto &p = profileByName("fft");
+    auto direct = workload::generateDemandTrace(p, 4, 21);
+    std::vector<const BenchmarkProfile *> per_core(4, &p);
+    auto mixed = workload::generateMixedDemandTrace(per_core, 21);
+    ASSERT_EQ(direct.frames.size(), mixed.frames.size());
+    EXPECT_EQ(direct.frames[5].coreUtil, mixed.frames[5].coreUtil);
+}
+
+TEST(MixedActivity, PerCoreMixDrivesUnits)
+{
+    auto chip = floorplan::buildMiniChip(2);
+    const auto &fp_heavy = profileByName("water_n");
+    const auto &mem_heavy = profileByName("radix");
+    std::vector<const BenchmarkProfile *> per_core = {&fp_heavy,
+                                                      &mem_heavy};
+    auto demand = workload::generateMixedDemandTrace(per_core, 5);
+    // Equalise the utilisation so only the mix differs.
+    for (auto &f : demand.frames)
+        f.coreUtil = {0.7, 0.7};
+    auto trace = uarch::buildActivityTrace(chip, per_core, demand);
+
+    int exu0 = chip.plan.blockIndex("core0.exu");
+    int exu1 = chip.plan.blockIndex("core1.exu");
+    int lsu0 = chip.plan.blockIndex("core0.lsu");
+    int lsu1 = chip.plan.blockIndex("core1.lsu");
+    const auto &f = trace.frames[10];
+    // The fp-heavy core keeps its EXU busier; the memory-heavy one
+    // its LSU.
+    EXPECT_GT(f.block[static_cast<std::size_t>(exu0)],
+              f.block[static_cast<std::size_t>(exu1)]);
+    EXPECT_GT(f.block[static_cast<std::size_t>(lsu1)],
+              f.block[static_cast<std::size_t>(lsu0)]);
+}
+
+TEST(MixedSim, RunMixedCompletesAndIsDeterministic)
+{
+    auto chip = floorplan::buildMiniChip(2);
+    sim::SimConfig cfg;
+    cfg.noiseSamples = 4;
+    cfg.profilingEpochs = 8;
+    sim::Simulation simulation(chip, cfg);
+
+    auto busy = profileByName("chol");
+    auto light = profileByName("rayt");
+    busy.roiDurationUs = 2000.0;
+    light.roiDurationUs = 2000.0;
+    std::vector<const workload::BenchmarkProfile *> per_core = {
+        &busy, &light};
+
+    auto a = simulation.runMixed(per_core, "chol+rayt",
+                                 core::PolicyKind::PracVT);
+    auto b = simulation.runMixed(per_core, "chol+rayt",
+                                 core::PolicyKind::PracVT);
+    EXPECT_EQ(a.benchmark, "chol+rayt");
+    EXPECT_EQ(a.maxTmax, b.maxTmax);
+    EXPECT_EQ(a.maxNoiseFrac, b.maxNoiseFrac);
+    EXPECT_GT(a.meanPower, 0.0);
+}
+
+TEST(MixedSim, BusyCoreDominatesActivity)
+{
+    auto chip = floorplan::buildMiniChip(2);
+    sim::SimConfig cfg;
+    cfg.noiseSamples = 0;
+    cfg.profilingEpochs = 8;
+    sim::Simulation simulation(chip, cfg);
+
+    auto busy = profileByName("chol");
+    auto light = profileByName("rayt");
+    busy.roiDurationUs = 2000.0;
+    light.roiDurationUs = 2000.0;
+    std::vector<const workload::BenchmarkProfile *> per_core = {
+        &busy, &light};
+    auto r = simulation.runMixed(per_core, "mix",
+                                 core::PolicyKind::OracT);
+
+    // The governor keeps more regulators on in the busy core's
+    // domain (domain 0) than in the light core's (domain 1).
+    const auto &domains = chip.plan.domains();
+    double on0 = 0.0;
+    double on1 = 0.0;
+    for (int v : domains[0].vrs)
+        on0 += r.vrActivity[static_cast<std::size_t>(v)];
+    for (int v : domains[1].vrs)
+        on1 += r.vrActivity[static_cast<std::size_t>(v)];
+    EXPECT_GT(on0, on1 + 1.0);
+}
+
+TEST(MixedSimDeath, WrongProfileCountPanics)
+{
+    auto chip = floorplan::buildMiniChip(2);
+    sim::SimConfig cfg;
+    cfg.profilingEpochs = 8;
+    sim::Simulation simulation(chip, cfg);
+    const auto &p = profileByName("fft");
+    std::vector<const workload::BenchmarkProfile *> per_core = {&p};
+    EXPECT_DEATH(simulation.runMixed(per_core, "x",
+                                     core::PolicyKind::AllOn),
+                 "one profile per core");
+}
+
+} // namespace
+} // namespace tg

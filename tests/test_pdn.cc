@@ -1,0 +1,258 @@
+/** @file Unit and property tests for the power-delivery network. */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "floorplan/power8.hh"
+#include "pdn/domain_pdn.hh"
+#include "vreg/design.hh"
+
+namespace tg {
+namespace pdn {
+namespace {
+
+class PdnTest : public ::testing::Test
+{
+  protected:
+    PdnTest()
+        : chip(floorplan::buildPower8Chip()),
+          dp(chip, 0, vreg::fivrDesign(), {})
+    {
+    }
+
+    /** Node currents for a uniform power draw on domain 0. */
+    std::vector<Amperes>
+    domainLoad(Watts per_block) const
+    {
+        std::vector<Watts> bp(chip.plan.blocks().size(), 0.0);
+        for (int b : chip.plan.domains()[0].blocks)
+            bp[static_cast<std::size_t>(b)] = per_block;
+        return dp.nodeCurrents(bp);
+    }
+
+    std::vector<int>
+    allVrs() const
+    {
+        std::vector<int> v(static_cast<std::size_t>(dp.vrCount()));
+        for (std::size_t i = 0; i < v.size(); ++i)
+            v[i] = static_cast<int>(i);
+        return v;
+    }
+
+    floorplan::Chip chip;
+    DomainPdn dp;
+};
+
+TEST_F(PdnTest, TopologyMatchesDomain)
+{
+    EXPECT_EQ(dp.vrCount(), 9);
+    EXPECT_GT(dp.nodeCount(), 20);
+    EXPECT_EQ(dp.domainId(), 0);
+}
+
+TEST_F(PdnTest, NoLoadMeansNoDroop)
+{
+    std::vector<Amperes> none(
+        static_cast<std::size_t>(dp.nodeCount()), 0.0);
+    auto v = dp.steadyVoltages(none);
+    for (double volt : v)
+        EXPECT_NEAR(volt, chip.params.vdd, 1e-9);
+    EXPECT_NEAR(dp.steadyMaxNoise(none), 0.0, 1e-9);
+}
+
+TEST_F(PdnTest, LoadProducesDroop)
+{
+    auto load = domainLoad(1.0);
+    double noise = dp.steadyMaxNoise(load);
+    EXPECT_GT(noise, 0.0);
+    EXPECT_LT(noise, 0.2);
+}
+
+TEST_F(PdnTest, SteadySolveIsLinear)
+{
+    auto l1 = domainLoad(0.5);
+    auto l2 = domainLoad(1.0);
+    auto v1 = dp.steadyVoltages(l1);
+    auto v2 = dp.steadyVoltages(l2);
+    double vdd = chip.params.vdd;
+    for (std::size_t n = 0; n < v1.size(); ++n)
+        EXPECT_NEAR(vdd - v2[n], 2.0 * (vdd - v1[n]), 1e-9);
+}
+
+TEST_F(PdnTest, MoreActiveVrsReduceSteadyNoise)
+{
+    auto load = domainLoad(1.0);
+    dp.setActive({0});
+    double one = dp.steadyMaxNoise(load);
+    dp.setActive({0, 4, 8});
+    double three = dp.steadyMaxNoise(load);
+    dp.setActive(allVrs());
+    double nine = dp.steadyMaxNoise(load);
+    EXPECT_GT(one, three);
+    EXPECT_GT(three, nine);
+}
+
+TEST_F(PdnTest, CurrentConservationAtSteadyState)
+{
+    // Sum of node currents equals the total the blocks draw.
+    auto load = domainLoad(1.0);
+    double total = 0.0;
+    for (double i : load)
+        total += i;
+    Watts domain_power = 0.0;
+    for (int b : chip.plan.domains()[0].blocks)
+        (void)b, domain_power += 1.0;
+    EXPECT_NEAR(total, domain_power / chip.params.vdd, 1e-9);
+}
+
+TEST_F(PdnTest, TransferResistancePositiveAndDistanceOrdered)
+{
+    // The droop a node sees from a far VR exceeds the droop from the
+    // VR attached to it.
+    for (int k = 0; k < dp.vrCount(); ++k) {
+        int own = dp.vrAttachNode(k);
+        double self = dp.transferResistance(own, k);
+        EXPECT_GT(self, 0.0);
+        for (int j = 0; j < dp.vrCount(); ++j) {
+            if (j == k)
+                continue;
+            EXPECT_GE(dp.transferResistance(dp.vrAttachNode(j), k),
+                      self - 1e-12);
+        }
+    }
+}
+
+TEST_F(PdnTest, TransientConstantLoadMatchesSteady)
+{
+    auto load = domainLoad(1.0);
+    std::vector<std::vector<Amperes>> window(400, load);
+    auto res = dp.transientWindow(window, 200);
+    EXPECT_NEAR(res.maxNoiseFrac, dp.steadyMaxNoise(load), 5e-3);
+    EXPECT_EQ(res.analysedCycles, 200);
+}
+
+TEST_F(PdnTest, LoadStepCausesTransientDroop)
+{
+    auto low = domainLoad(0.4);
+    auto high = domainLoad(1.6);
+    std::vector<std::vector<Amperes>> window(600, low);
+    for (std::size_t c = 300; c < 600; ++c)
+        window[c] = high;
+    auto res = dp.transientWindow(window, 100, true);
+    double steady_high = dp.steadyMaxNoise(high);
+    // The inductive branch forces an excursion past the new steady
+    // level right after the step.
+    EXPECT_GT(res.maxNoiseFrac, steady_high * 1.2);
+    ASSERT_EQ(res.trace.size(), 600u);
+    // ...and the worst cycle sits shortly after the step.
+    std::size_t worst = 0;
+    for (std::size_t c = 1; c < res.trace.size(); ++c)
+        if (res.trace[c] > res.trace[worst])
+            worst = c;
+    EXPECT_GE(worst, 300u);
+    EXPECT_LT(worst, 450u);
+}
+
+TEST_F(PdnTest, EmergencyCyclesCounted)
+{
+    // Drive a load big enough to exceed the 10% threshold at steady
+    // state: every analysed cycle is an emergency.
+    dp.setActive({0});
+    auto load = domainLoad(4.0);
+    std::vector<std::vector<Amperes>> window(300, load);
+    auto res = dp.transientWindow(window, 100);
+    EXPECT_GT(dp.steadyMaxNoise(load), dp.params().emergencyFrac);
+    EXPECT_EQ(res.emergencyCycles, res.analysedCycles);
+}
+
+TEST_F(PdnTest, FewerActiveBranchesDroopMoreOnSteps)
+{
+    auto low = domainLoad(0.5);
+    auto high = domainLoad(1.5);
+    std::vector<std::vector<Amperes>> window(500, low);
+    for (std::size_t c = 250; c < 500; ++c)
+        window[c] = high;
+
+    dp.setActive(allVrs());
+    double nine = dp.transientWindow(window, 100).maxNoiseFrac;
+    dp.setActive({0, 1, 2});  // memory-side row only
+    double three = dp.transientWindow(window, 100).maxNoiseFrac;
+    EXPECT_GT(three, nine);
+}
+
+TEST_F(PdnTest, MemorySideSelectionIsNoisier)
+{
+    // Logic draws the current; supplying it from the far (memory)
+    // row must droop more than from the logic rows.
+    auto load = domainLoad(1.2);
+    dp.setActive({0, 1, 2});  // bottom row (over the L2)
+    double mem = dp.steadyMaxNoise(load);
+    dp.setActive({6, 7, 8});  // top row (over ISU/EXU)
+    double logic = dp.steadyMaxNoise(load);
+    EXPECT_GT(mem, logic);
+}
+
+TEST_F(PdnTest, EstimateRanksSelectionsLikeTheSolver)
+{
+    auto load = domainLoad(1.2);
+    std::vector<std::vector<int>> sets = {
+        {0, 1, 2}, {6, 7, 8}, {0, 4, 8}, allVrs()};
+    std::vector<double> est;
+    std::vector<double> exact;
+    for (const auto &s : sets) {
+        est.push_back(dp.estimateNoise(s, load, 0.3));
+        dp.setActive(s);
+        exact.push_back(dp.steadyMaxNoise(load));
+    }
+    for (std::size_t a = 0; a < sets.size(); ++a)
+        for (std::size_t b = 0; b < sets.size(); ++b)
+            if (exact[a] > exact[b] * 1.15) {
+                EXPECT_GT(est[a], est[b])
+                    << "sets " << a << " vs " << b;
+            }
+}
+
+TEST_F(PdnTest, LdoDesignLessTransientNoiseThanBuck)
+{
+    DomainPdn ldo(chip, 0, vreg::ldoDesign(), {});
+    auto low = domainLoad(0.5);
+    auto high = domainLoad(1.5);
+    std::vector<std::vector<Amperes>> window(500, low);
+    for (std::size_t c = 250; c < 500; ++c)
+        window[c] = high;
+    auto buck_res = dp.transientWindow(window, 100);
+    auto ldo_res = ldo.transientWindow(window, 100);
+    EXPECT_LT(ldo_res.maxNoiseFrac, buck_res.maxNoiseFrac);
+}
+
+TEST_F(PdnTest, DeathOnBadInputs)
+{
+    EXPECT_DEATH(dp.setActive({}), "at least one");
+    EXPECT_DEATH(dp.setActive({42}), "bad local VR");
+    std::vector<Amperes> bad(3, 0.0);
+    EXPECT_DEATH(dp.steadyVoltages(bad), "size mismatch");
+}
+
+/** Every domain of the chip builds a solvable PDN. */
+class AllDomains : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(AllDomains, BuildsAndSolves)
+{
+    auto chip = floorplan::buildPower8Chip();
+    DomainPdn pdn(chip, GetParam(), vreg::fivrDesign(), {});
+    std::vector<Watts> bp(chip.plan.blocks().size(), 1.0);
+    auto load = pdn.nodeCurrents(bp);
+    double noise = pdn.steadyMaxNoise(load);
+    EXPECT_GE(noise, 0.0);
+    EXPECT_LT(noise, 0.5);
+}
+
+INSTANTIATE_TEST_SUITE_P(Domains, AllDomains,
+                         ::testing::Values(0, 3, 7, 8, 12, 15));
+
+} // namespace
+} // namespace pdn
+} // namespace tg

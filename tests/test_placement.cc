@@ -1,0 +1,111 @@
+/** @file Unit tests for the placement optimiser. */
+
+#include <gtest/gtest.h>
+
+#include "pdn/placement.hh"
+#include "power/model.hh"
+#include "vreg/design.hh"
+
+namespace tg {
+namespace pdn {
+namespace {
+
+class PlacementTest : public ::testing::Test
+{
+  protected:
+    PlacementTest() : chip(floorplan::buildMiniChip(1)), pm(chip) {}
+
+    /** A logic-heavy load map for domain 0. */
+    std::vector<Watts>
+    logicLoad() const
+    {
+        std::vector<Watts> bp(chip.plan.blocks().size(), 0.0);
+        for (int b : chip.plan.domains()[0].blocks) {
+            const auto &blk =
+                chip.plan.blocks()[static_cast<std::size_t>(b)];
+            bp[static_cast<std::size_t>(b)] =
+                floorplan::isLogicUnit(blk.kind) ? 3.0 : 0.5;
+        }
+        return bp;
+    }
+
+    floorplan::Chip chip;
+    power::PowerModel pm;
+};
+
+TEST_F(PlacementTest, NeverWorseThanUniform)
+{
+    auto res = optimizePlacement(chip, 0, vreg::fivrDesign(),
+                                 logicLoad());
+    EXPECT_LE(res.finalNoise, res.initialNoise + 1e-12);
+    EXPECT_GE(res.iterations, 1);
+}
+
+TEST_F(PlacementTest, FindsImprovementForSkewedLoad)
+{
+    // A strongly skewed load leaves room to improve on the uniform
+    // lattice; the optimiser must find some of it.
+    auto res = optimizePlacement(chip, 0, vreg::fivrDesign(),
+                                 logicLoad());
+    EXPECT_GT(res.acceptedMoves, 0);
+    EXPECT_LT(res.finalNoise, res.initialNoise);
+    EXPECT_GT(res.meanDisplacementMm, 0.0);
+}
+
+TEST_F(PlacementTest, KeepsSiteCountAndFootprint)
+{
+    auto res = optimizePlacement(chip, 0, vreg::fivrDesign(),
+                                 logicLoad());
+    const auto &dom = chip.plan.domains()[0];
+    ASSERT_EQ(res.sites.size(), dom.vrs.size());
+    double edge = chip.plan.vrs()[0].rect.w;
+    for (const auto &s : res.sites) {
+        EXPECT_NEAR(s.w, edge, 1e-12);
+        EXPECT_NEAR(s.h, edge, 1e-12);
+    }
+}
+
+TEST_F(PlacementTest, OptimisedSitesEvaluateToReportedNoise)
+{
+    auto bp = logicLoad();
+    auto res =
+        optimizePlacement(chip, 0, vreg::fivrDesign(), bp);
+    DomainPdn pdn(chip, 0, vreg::fivrDesign(), {}, res.sites);
+    EXPECT_NEAR(pdn.steadyMaxNoise(pdn.nodeCurrents(bp)),
+                res.finalNoise, 1e-9);
+}
+
+TEST_F(PlacementTest, DeterministicResult)
+{
+    auto a = optimizePlacement(chip, 0, vreg::fivrDesign(),
+                               logicLoad());
+    auto b = optimizePlacement(chip, 0, vreg::fivrDesign(),
+                               logicLoad());
+    EXPECT_EQ(a.finalNoise, b.finalNoise);
+    EXPECT_EQ(a.acceptedMoves, b.acceptedMoves);
+}
+
+TEST_F(PlacementTest, CustomSitesRejectWrongCount)
+{
+    std::vector<floorplan::Rect> bad(3, {1.0, 1.0, 0.2, 0.2});
+    EXPECT_EXIT(DomainPdn(chip, 0, vreg::fivrDesign(), {}, bad),
+                ::testing::ExitedWithCode(1), "site count");
+}
+
+TEST(PlacementFullChip, UniformNearOptimalOnEvaluationChip)
+{
+    // The paper's Section-5 observation: the uniform lattice is
+    // within a fraction of a percent of the optimised layout.
+    auto chip = floorplan::buildPower8Chip();
+    power::PowerModel pm(chip);
+    std::vector<Watts> bp(chip.plan.blocks().size());
+    for (std::size_t b = 0; b < bp.size(); ++b)
+        bp[b] = 0.8 * pm.peakDynamic(static_cast<int>(b));
+    auto res =
+        optimizePlacement(chip, 0, vreg::fivrDesign(), bp);
+    EXPECT_LT(res.initialNoise - res.finalNoise, 0.01);
+}
+
+} // namespace
+} // namespace pdn
+} // namespace tg

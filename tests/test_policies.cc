@@ -1,0 +1,211 @@
+/** @file Unit tests for the gating policies and the governor. */
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "core/governor.hh"
+#include "core/policy.hh"
+#include "floorplan/power8.hh"
+#include "pdn/domain_pdn.hh"
+#include "vreg/design.hh"
+#include "vreg/network.hh"
+
+namespace tg {
+namespace core {
+namespace {
+
+/** Shared fixtures: domain 0 of the evaluation chip. */
+class PolicyTest : public ::testing::Test
+{
+  protected:
+    PolicyTest()
+        : chip(floorplan::buildPower8Chip()),
+          pdn(chip, 0, vreg::fivrDesign(), {}),
+          net(vreg::fivrDesign(), 9), thetas(9, 28.0)
+    {
+        kit.pdn = &pdn;
+        kit.network = &net;
+        kit.thetas = &thetas;
+
+        state.domain = 0;
+        state.demandNow = 7.0;
+        state.demandNext = 7.0;
+        state.vrTemps = {60, 61, 60.5, 63, 64, 63.5, 65, 66, 65.5};
+        state.vrLossNow.assign(9, 0.0);
+        state.vrLossNextPerActive = 0.19;
+        state.nodeCurrents.assign(
+            static_cast<std::size_t>(pdn.nodeCount()), 0.1);
+        state.didt = 0.4;
+    }
+
+    floorplan::Chip chip;
+    pdn::DomainPdn pdn;
+    vreg::RegulatorNetwork net;
+    std::vector<double> thetas;
+    PolicyToolkit kit;
+    DomainState state;
+};
+
+TEST(PolicyMeta, NamesAndClassification)
+{
+    EXPECT_STREQ(policyName(PolicyKind::OracVT), "OracVT");
+    EXPECT_STREQ(policyName(PolicyKind::AllOn), "all-on");
+    EXPECT_TRUE(isOracular(PolicyKind::OracV));
+    EXPECT_FALSE(isOracular(PolicyKind::PracT));
+    EXPECT_TRUE(hasEmergencyOverride(PolicyKind::PracVT));
+    EXPECT_FALSE(hasEmergencyOverride(PolicyKind::OracT));
+    EXPECT_TRUE(isThermallyAware(PolicyKind::Naive));
+    EXPECT_FALSE(isThermallyAware(PolicyKind::AllOn));
+    EXPECT_EQ(allPolicyKinds().size(), 8u);
+}
+
+TEST(PolicyMeta, FactoryCreatesEveryKind)
+{
+    for (auto kind : allPolicyKinds()) {
+        auto p = makePolicy(kind);
+        ASSERT_NE(p, nullptr);
+        EXPECT_EQ(p->kind(), kind);
+        EXPECT_FALSE(p->name().empty());
+    }
+}
+
+TEST_F(PolicyTest, AllOnSelectsEverything)
+{
+    auto p = makePolicy(PolicyKind::AllOn);
+    auto set = p->select(state, 3, kit);
+    EXPECT_EQ(set.size(), 9u);
+}
+
+TEST_F(PolicyTest, NaivePicksInstantaneousCoolest)
+{
+    auto p = makePolicy(PolicyKind::Naive);
+    auto set = p->select(state, 3, kit);
+    std::sort(set.begin(), set.end());
+    // Coolest three of the fixture: indices 0, 2, 1 (60, 60.5, 61).
+    EXPECT_EQ(set, (std::vector<int>{0, 1, 2}));
+}
+
+TEST_F(PolicyTest, AnticipationPenalisesColdStartHeating)
+{
+    // VRs 0..2 are coolest now but off (loss 0) and would jump by
+    // theta * lossNext once activated; VRs 3..5 are warmer but
+    // already on at the next interval's load, so they stay put.
+    state.vrLossNow = {0, 0, 0, 0.19, 0.19, 0.19, 0, 0, 0};
+    state.vrTemps = {62.5, 62.6, 62.7, 64, 64.1, 64.2, 70, 70, 70};
+    auto p = makePolicy(PolicyKind::OracT);
+    auto set = p->select(state, 3, kit);
+    std::sort(set.begin(), set.end());
+    // anticipated off->on: 62.5 + 28*0.19 = 67.8 > anticipated
+    // stay-on: 64 + 0 -> keeps 3..5 on.
+    EXPECT_EQ(set, (std::vector<int>{3, 4, 5}));
+}
+
+TEST_F(PolicyTest, AnticipationWithZeroThetaEqualsNaive)
+{
+    std::fill(thetas.begin(), thetas.end(), 0.0);
+    auto orac = makePolicy(PolicyKind::OracT);
+    auto naive = makePolicy(PolicyKind::Naive);
+    auto a = orac->select(state, 4, kit);
+    auto b = naive->select(state, 4, kit);
+    std::sort(a.begin(), a.end());
+    std::sort(b.begin(), b.end());
+    EXPECT_EQ(a, b);
+}
+
+TEST_F(PolicyTest, NoiseAwareStaysNearTheLoad)
+{
+    // Put all the current at the node of VR 8's attach point: the
+    // policy must keep VR 8 (and neighbours) on.
+    std::fill(state.nodeCurrents.begin(), state.nodeCurrents.end(),
+              0.0);
+    state.nodeCurrents[static_cast<std::size_t>(
+        pdn.vrAttachNode(8))] = 5.0;
+    auto p = makePolicy(PolicyKind::OracV);
+    auto set = p->select(state, 3, kit);
+    EXPECT_NE(std::find(set.begin(), set.end(), 8), set.end());
+}
+
+TEST_F(PolicyTest, SelectionsReturnExactlyNon)
+{
+    for (auto kind : {PolicyKind::Naive, PolicyKind::OracT,
+                      PolicyKind::OracV, PolicyKind::PracT}) {
+        auto p = makePolicy(kind);
+        for (int non = 1; non <= 9; ++non) {
+            auto set = p->select(state, non, kit);
+            EXPECT_EQ(set.size(), static_cast<std::size_t>(non));
+            std::sort(set.begin(), set.end());
+            EXPECT_EQ(std::unique(set.begin(), set.end()), set.end());
+            EXPECT_GE(set.front(), 0);
+            EXPECT_LT(set.back(), 9);
+        }
+    }
+}
+
+TEST_F(PolicyTest, GovernorSizesActiveSetFromDemand)
+{
+    Governor g(PolicyKind::OracT, 16);
+    auto d = g.decide(state, kit, false);
+    EXPECT_EQ(d.non, net.requiredActive(state.demandNext));
+    EXPECT_EQ(static_cast<int>(d.active.size()), d.non);
+    EXPECT_FALSE(d.overridden);
+}
+
+TEST_F(PolicyTest, GovernorAppliesPracticalHeadroom)
+{
+    Governor g(PolicyKind::PracT, 16);
+    state.headroomVrs = 1;
+    auto d = g.decide(state, kit, false);
+    EXPECT_EQ(d.non, net.requiredActive(state.demandNext) + 1);
+    state.headroomVrs = 100;  // clamped at the network size
+    d = g.decide(state, kit, false);
+    EXPECT_EQ(d.non, 9);
+}
+
+TEST_F(PolicyTest, GovernorEmergencyOverrideGoesAllOn)
+{
+    Governor g(PolicyKind::OracVT, 16);
+    auto d = g.decide(state, kit, true);
+    EXPECT_TRUE(d.overridden);
+    EXPECT_EQ(d.active.size(), 9u);
+    EXPECT_EQ(g.overrideCount(), 1);
+
+    // Non-VT policies ignore the alert.
+    Governor g2(PolicyKind::OracT, 16);
+    auto d2 = g2.decide(state, kit, true);
+    EXPECT_FALSE(d2.overridden);
+    EXPECT_LT(d2.active.size(), 9u);
+}
+
+TEST_F(PolicyTest, GovernorOffChipSelectsNothing)
+{
+    Governor g(PolicyKind::OffChip, 16);
+    auto d = g.decide(state, kit, false);
+    EXPECT_TRUE(d.active.empty());
+    EXPECT_EQ(d.non, 0);
+}
+
+TEST_F(PolicyTest, GovernorTracksActivityRates)
+{
+    Governor g(PolicyKind::OracT, 16);
+    g.recordActivity(0, {0, 1}, 9, 1.0);
+    g.recordActivity(0, {1, 2}, 9, 1.0);
+    EXPECT_DOUBLE_EQ(g.activityRate(0, 0), 0.5);
+    EXPECT_DOUBLE_EQ(g.activityRate(0, 1), 1.0);
+    EXPECT_DOUBLE_EQ(g.activityRate(0, 2), 0.5);
+    EXPECT_DOUBLE_EQ(g.activityRate(0, 5), 0.0);
+    EXPECT_DOUBLE_EQ(g.activityRate(3, 0), 0.0);  // unaccounted
+}
+
+TEST_F(PolicyTest, DecisionCountIncrements)
+{
+    Governor g(PolicyKind::Naive, 16);
+    EXPECT_EQ(g.decisionCount(), 0);
+    g.decide(state, kit, false);
+    g.decide(state, kit, false);
+    EXPECT_EQ(g.decisionCount(), 2);
+}
+
+} // namespace
+} // namespace core
+} // namespace tg

@@ -1,0 +1,158 @@
+/** @file Unit tests for the power model. */
+
+#include <gtest/gtest.h>
+
+#include "floorplan/power8.hh"
+#include "power/model.hh"
+#include "uarch/core_model.hh"
+#include "workload/profile.hh"
+
+namespace tg {
+namespace power {
+namespace {
+
+class PowerModelTest : public ::testing::Test
+{
+  protected:
+    PowerModelTest() : chip(floorplan::buildPower8Chip()), pm(chip) {}
+
+    floorplan::Chip chip;
+    PowerModel pm;
+};
+
+TEST_F(PowerModelTest, PeakDynamicInPlausibleTdpRange)
+{
+    // Full-activity dynamic power must leave room for static power
+    // and conversion loss within the 150 W TDP envelope.
+    EXPECT_GT(pm.maxDynamic(), 80.0);
+    EXPECT_LT(pm.maxDynamic(), 140.0);
+    for (std::size_t b = 0; b < chip.plan.blocks().size(); ++b)
+        EXPECT_GT(pm.peakDynamic(static_cast<int>(b)), 0.0);
+}
+
+TEST_F(PowerModelTest, HotUnitsHaveHighestDensity)
+{
+    // The EXU must out-dense the caches (hotspots on EXUs/LSUs in
+    // the paper's Fig. 12).
+    int exu = chip.plan.blockIndex("core0.exu");
+    int l2 = chip.plan.blockIndex("core0.l2");
+    double d_exu =
+        pm.peakDynamic(exu) /
+        chip.plan.blocks()[static_cast<std::size_t>(exu)].rect.area();
+    double d_l2 =
+        pm.peakDynamic(l2) /
+        chip.plan.blocks()[static_cast<std::size_t>(l2)].rect.area();
+    EXPECT_GT(d_exu, 3.0 * d_l2);
+}
+
+TEST_F(PowerModelTest, LeakageCalibrationAtEighty)
+{
+    // Paper Section 5: static share of total does not exceed 30% at
+    // 80 degC; the model calibrates the share exactly.
+    double share = pm.params().staticShareAt80C;
+    Watts leak80 = pm.uniformLeakage(80.0);
+    EXPECT_NEAR(leak80 / (leak80 + pm.maxDynamic()), share, 1e-9);
+    EXPECT_LE(share, 0.30);
+}
+
+TEST_F(PowerModelTest, LeakageDoublesPerConfiguredDelta)
+{
+    double dbl = pm.params().leakageDoubling;
+    Watts a = pm.uniformLeakage(60.0);
+    Watts b = pm.uniformLeakage(60.0 + dbl);
+    EXPECT_NEAR(b / a, 2.0, 1e-9);
+}
+
+TEST_F(PowerModelTest, LeakageIsMonotoneInTemperature)
+{
+    int b = chip.plan.blockIndex("core3.exu");
+    double prev = 0.0;
+    for (double t = 40.0; t <= 100.0; t += 5.0) {
+        double leak = pm.leakage(b, t);
+        EXPECT_GT(leak, prev);
+        prev = leak;
+    }
+}
+
+TEST_F(PowerModelTest, DynamicFrameScalesWithActivity)
+{
+    uarch::ActivityFrame idle;
+    idle.block.assign(chip.plan.blocks().size(), 0.0);
+    uarch::ActivityFrame half;
+    half.block.assign(chip.plan.blocks().size(), 0.5);
+    uarch::ActivityFrame full;
+    full.block.assign(chip.plan.blocks().size(), 1.0);
+
+    auto p0 = pm.dynamicFrame(idle);
+    auto p5 = pm.dynamicFrame(half);
+    auto p10 = pm.dynamicFrame(full);
+    for (std::size_t b = 0; b < p0.size(); ++b) {
+        EXPECT_EQ(p0[b], 0.0);
+        EXPECT_NEAR(p5[b], 0.5 * p10[b], 1e-12);
+    }
+}
+
+TEST_F(PowerModelTest, DomainCurrentIsPowerOverVdd)
+{
+    std::vector<Watts> bp(chip.plan.blocks().size(), 0.0);
+    const auto &dom = chip.plan.domains()[0];
+    Watts total = 0.0;
+    for (int b : dom.blocks) {
+        bp[static_cast<std::size_t>(b)] = 1.5;
+        total += 1.5;
+    }
+    EXPECT_NEAR(pm.domainCurrent(bp, 0), total / chip.params.vdd,
+                1e-12);
+    // Blocks of other domains do not contribute.
+    bp[static_cast<std::size_t>(chip.plan.blockIndex("core5.exu"))] =
+        100.0;
+    EXPECT_NEAR(pm.domainCurrent(bp, 0), total / chip.params.vdd,
+                1e-12);
+}
+
+TEST_F(PowerModelTest, LeakageFrameMatchesPerBlockQueries)
+{
+    std::vector<Celsius> temps(chip.plan.blocks().size(), 65.0);
+    temps[3] = 85.0;
+    auto frame = pm.leakageFrame(temps);
+    for (std::size_t b = 0; b < temps.size(); ++b)
+        EXPECT_DOUBLE_EQ(frame[b],
+                         pm.leakage(static_cast<int>(b), temps[b]));
+}
+
+TEST_F(PowerModelTest, LogicLeaksDenserThanMemory)
+{
+    int exu = chip.plan.blockIndex("core0.exu");
+    int l3 = chip.plan.blockIndex("l3b0");
+    double a_exu =
+        chip.plan.blocks()[static_cast<std::size_t>(exu)].rect.area();
+    double a_l3 =
+        chip.plan.blocks()[static_cast<std::size_t>(l3)].rect.area();
+    EXPECT_GT(pm.leakage(exu, 70.0) / a_exu,
+              pm.leakage(l3, 70.0) / a_l3);
+}
+
+TEST_F(PowerModelTest, TypicalWorkloadPowerInPaperRange)
+{
+    // Fig. 6 shows total power demand between ~20 and ~100 W; a
+    // mid-utilisation benchmark should land inside that band.
+    auto trace = uarch::buildActivityTrace(
+        chip, workload::profileByName("lu_ncb"), 42);
+    auto dyn = pm.dynamicFrame(trace.frames[trace.frames.size() / 2]);
+    Watts total = 0.0;
+    for (double p : dyn)
+        total += p;
+    total += pm.uniformLeakage(62.0);
+    EXPECT_GT(total, 20.0);
+    EXPECT_LT(total, 110.0);
+}
+
+TEST_F(PowerModelTest, DeathOnBadDomain)
+{
+    std::vector<Watts> bp(chip.plan.blocks().size(), 1.0);
+    EXPECT_DEATH(pm.domainCurrent(bp, 99), "bad domain");
+}
+
+} // namespace
+} // namespace power
+} // namespace tg

@@ -1,0 +1,108 @@
+/** @file Unit tests for the deterministic random source. */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+
+namespace tg {
+namespace {
+
+TEST(Rng, SameSeedSameStream)
+{
+    Rng a(42);
+    Rng b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.uniform(), b.uniform());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1);
+    Rng b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        if (a.uniform() == b.uniform())
+            ++same;
+    EXPECT_LT(same, 5);
+}
+
+TEST(Rng, UniformRangeRespected)
+{
+    Rng rng(3);
+    for (int i = 0; i < 1000; ++i) {
+        double x = rng.uniform(2.0, 5.0);
+        EXPECT_GE(x, 2.0);
+        EXPECT_LT(x, 5.0);
+    }
+}
+
+TEST(Rng, UniformIntInclusiveBounds)
+{
+    Rng rng(4);
+    bool saw_lo = false;
+    bool saw_hi = false;
+    for (int i = 0; i < 2000; ++i) {
+        int v = rng.uniformInt(1, 4);
+        EXPECT_GE(v, 1);
+        EXPECT_LE(v, 4);
+        saw_lo |= v == 1;
+        saw_hi |= v == 4;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, GaussianMoments)
+{
+    Rng rng(5);
+    double sum = 0.0;
+    double sq = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        double x = rng.gaussian(3.0, 2.0);
+        sum += x;
+        sq += x * x;
+    }
+    double mean = sum / n;
+    double var = sq / n - mean * mean;
+    EXPECT_NEAR(mean, 3.0, 0.1);
+    EXPECT_NEAR(var, 4.0, 0.25);
+}
+
+TEST(Rng, BernoulliFrequency)
+{
+    Rng rng(6);
+    int hits = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        if (rng.bernoulli(0.3))
+            ++hits;
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(Rng, ForkedChildrenAreIndependent)
+{
+    Rng parent(7);
+    Rng c1 = parent.fork(1);
+    Rng c2 = parent.fork(1);  // same salt, later parent state
+    // Children from different fork calls should not produce the
+    // same stream.
+    int same = 0;
+    for (int i = 0; i < 50; ++i)
+        if (c1.uniform() == c2.uniform())
+            ++same;
+    EXPECT_LT(same, 3);
+}
+
+TEST(Rng, ForkIsDeterministicGivenParentState)
+{
+    Rng p1(11);
+    Rng p2(11);
+    Rng c1 = p1.fork(9);
+    Rng c2 = p2.fork(9);
+    for (int i = 0; i < 20; ++i)
+        EXPECT_EQ(c1.uniform(), c2.uniform());
+}
+
+} // namespace
+} // namespace tg

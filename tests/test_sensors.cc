@@ -1,0 +1,164 @@
+/** @file Unit tests for the sensor models. */
+
+#include <gtest/gtest.h>
+
+#include "sensors/emergency_predictor.hh"
+#include "sensors/thermal_sensor.hh"
+
+namespace tg {
+namespace sensors {
+namespace {
+
+SensorParams
+idealSensors()
+{
+    SensorParams p;
+    p.delay = 100e-6;
+    p.quantization = 0.25;
+    p.noiseSigma = 0.0;  // deterministic readings for the tests
+    return p;
+}
+
+TEST(ThermalSensor, ServesTheSampleOlderThanDelay)
+{
+    ThermalSensorBank bank(2, idealSensors(), 1);
+    bank.record(0.0, {50.0, 60.0});
+    bank.record(100e-6, {55.0, 65.0});
+    bank.record(200e-6, {58.0, 68.0});
+
+    // At t = 200 us the newest sample at least 100 us old is the one
+    // from t = 100 us.
+    auto r = bank.read(200e-6);
+    EXPECT_NEAR(r[0], 55.0, 1e-9);
+    EXPECT_NEAR(r[1], 65.0, 1e-9);
+
+    // At t = 250 us it is still the 100 us sample.
+    r = bank.read(250e-6);
+    EXPECT_NEAR(r[0], 55.0, 1e-9);
+
+    // At t = 300 us the 200 us sample becomes visible.
+    r = bank.read(300e-6);
+    EXPECT_NEAR(r[0], 58.0, 1e-9);
+}
+
+TEST(ThermalSensor, StartupServesOldestSample)
+{
+    ThermalSensorBank bank(1, idealSensors(), 1);
+    bank.record(0.0, {42.0});
+    auto r = bank.read(10e-6);  // younger than the delay
+    EXPECT_NEAR(r[0], 42.0, 1e-9);
+}
+
+TEST(ThermalSensor, QuantisesReadings)
+{
+    ThermalSensorBank bank(1, idealSensors(), 1);
+    bank.record(0.0, {50.13});
+    auto r = bank.read(1.0);
+    EXPECT_DOUBLE_EQ(r[0], 50.25);  // nearest 0.25 degC step
+}
+
+TEST(ThermalSensor, NoiseIsDeterministicPerSeed)
+{
+    SensorParams p = idealSensors();
+    p.noiseSigma = 0.5;
+    ThermalSensorBank a(1, p, 77);
+    ThermalSensorBank b(1, p, 77);
+    a.record(0.0, {60.0});
+    b.record(0.0, {60.0});
+    EXPECT_EQ(a.read(1.0)[0], b.read(1.0)[0]);
+}
+
+TEST(ThermalSensor, ResetDropsHistory)
+{
+    ThermalSensorBank bank(1, idealSensors(), 1);
+    bank.record(0.0, {42.0});
+    bank.reset();
+    EXPECT_DEATH(bank.read(1.0), "empty sensor bank");
+}
+
+TEST(ThermalSensor, BufferPruningKeepsServableSamples)
+{
+    ThermalSensorBank bank(1, idealSensors(), 1);
+    // Long recording: old unreachable samples must be pruned while
+    // the semantics stay exact.
+    for (int i = 0; i < 10000; ++i)
+        bank.record(i * 10e-6, {40.0 + i * 0.01});
+    auto r = bank.read(10000 * 10e-6);
+    // Expected: the sample at t = 99.9 ms (delay 100 us earlier).
+    EXPECT_NEAR(r[0], 40.0 + 9990 * 0.01, 0.25);
+}
+
+TEST(ThermalSensorDeath, OutOfOrderRecordPanics)
+{
+    ThermalSensorBank bank(1, idealSensors(), 1);
+    bank.record(1.0, {50.0});
+    EXPECT_DEATH(bank.record(0.5, {50.0}), "time order");
+}
+
+TEST(ThermalSensorDeath, SizeMismatchPanics)
+{
+    ThermalSensorBank bank(2, idealSensors(), 1);
+    EXPECT_DEATH(bank.record(0.0, {50.0}), "size mismatch");
+}
+
+TEST(Predictor, DeterministicPerQuery)
+{
+    EmergencyPredictor a({0.9, 0.02}, 5);
+    EmergencyPredictor b({0.9, 0.02}, 5);
+    for (int d = 0; d < 4; ++d)
+        for (long e = 0; e < 20; ++e)
+            EXPECT_EQ(a.predict(d, e, true), b.predict(d, e, true));
+}
+
+TEST(Predictor, SensitivityNearConfigured)
+{
+    EmergencyPredictor p({0.9, 0.02}, 5);
+    int hits = 0;
+    const int n = 5000;
+    for (long e = 0; e < n; ++e)
+        if (p.predict(0, e, true))
+            ++hits;
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.9, 0.03);
+}
+
+TEST(Predictor, FalseAlarmRateNearConfigured)
+{
+    EmergencyPredictor p({0.9, 0.02}, 5);
+    int alarms = 0;
+    const int n = 5000;
+    for (long e = 0; e < n; ++e)
+        if (p.predict(0, e, false))
+            ++alarms;
+    EXPECT_NEAR(static_cast<double>(alarms) / n, 0.02, 0.01);
+}
+
+TEST(Predictor, DomainsAreIndependent)
+{
+    EmergencyPredictor p({0.5, 0.5}, 5);
+    int same = 0;
+    const int n = 2000;
+    for (long e = 0; e < n; ++e)
+        if (p.predict(0, e, true) == p.predict(1, e, true))
+            ++same;
+    // Two independent 50% coins agree about half the time.
+    EXPECT_NEAR(static_cast<double>(same) / n, 0.5, 0.05);
+}
+
+TEST(Predictor, PerfectPredictorEchoesTruth)
+{
+    EmergencyPredictor p({1.0, 0.0}, 5);
+    for (long e = 0; e < 50; ++e) {
+        EXPECT_TRUE(p.predict(0, e, true));
+        EXPECT_FALSE(p.predict(0, e, false));
+    }
+}
+
+TEST(PredictorDeath, InvalidRatesRejected)
+{
+    EXPECT_DEATH(EmergencyPredictor p({1.5, 0.0}, 1), "sensitivity");
+    EXPECT_DEATH(EmergencyPredictor p({0.9, -0.1}, 1), "false alarm");
+}
+
+} // namespace
+} // namespace sensors
+} // namespace tg

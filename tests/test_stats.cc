@@ -1,0 +1,171 @@
+/** @file Unit tests for the statistics helpers. */
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "common/stats.hh"
+
+namespace tg {
+namespace {
+
+TEST(RunningStats, EmptyAccumulator)
+{
+    RunningStats s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_EQ(s.mean(), 0.0);
+    EXPECT_TRUE(std::isinf(s.min()));
+    EXPECT_TRUE(std::isinf(s.max()));
+    EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, KnownSeries)
+{
+    RunningStats s;
+    for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        s.add(x);
+    EXPECT_EQ(s.count(), 8u);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+    EXPECT_NEAR(s.variance(), 4.0, 1e-12);
+    EXPECT_NEAR(s.stddev(), 2.0, 1e-12);
+}
+
+TEST(RunningStats, MatchesNaiveTwoPassOnRandomData)
+{
+    Rng rng(99);
+    std::vector<double> xs;
+    RunningStats s;
+    for (int i = 0; i < 1000; ++i) {
+        double x = rng.gaussian(10.0, 3.0);
+        xs.push_back(x);
+        s.add(x);
+    }
+    double mean = 0.0;
+    for (double x : xs)
+        mean += x;
+    mean /= xs.size();
+    double var = 0.0;
+    for (double x : xs)
+        var += (x - mean) * (x - mean);
+    var /= xs.size();
+    EXPECT_NEAR(s.mean(), mean, 1e-9);
+    EXPECT_NEAR(s.variance(), var, 1e-9);
+}
+
+TEST(RSquared, PerfectPredictionIsOne)
+{
+    std::vector<double> y = {1.0, 2.0, 3.0, 4.0};
+    EXPECT_DOUBLE_EQ(rSquared(y, y), 1.0);
+}
+
+TEST(RSquared, MeanPredictorIsZero)
+{
+    std::vector<double> y = {1.0, 2.0, 3.0};
+    std::vector<double> p = {2.0, 2.0, 2.0};
+    EXPECT_NEAR(rSquared(y, p), 0.0, 1e-12);
+}
+
+TEST(RSquared, WorseThanMeanIsNegative)
+{
+    std::vector<double> y = {1.0, 2.0, 3.0};
+    std::vector<double> p = {3.0, 2.0, 1.0};
+    EXPECT_LT(rSquared(y, p), 0.0);
+}
+
+TEST(RSquared, ConstantReferenceEdgeCases)
+{
+    std::vector<double> y = {2.0, 2.0};
+    EXPECT_DOUBLE_EQ(rSquared(y, y), 1.0);
+    std::vector<double> p = {2.1, 2.0};
+    EXPECT_DOUBLE_EQ(rSquared(y, p), 0.0);
+}
+
+TEST(RSquaredDeath, MismatchedLengthsPanic)
+{
+    std::vector<double> a = {1.0, 2.0};
+    std::vector<double> b = {1.0};
+    EXPECT_DEATH(rSquared(a, b), "equal-length");
+}
+
+TEST(SlopeFit, RecoversExactSlope)
+{
+    std::vector<double> x = {1.0, 2.0, 3.0};
+    std::vector<double> y = {2.5, 5.0, 7.5};
+    EXPECT_NEAR(fitSlopeThroughOrigin(x, y), 2.5, 1e-12);
+}
+
+TEST(SlopeFit, LeastSquaresOnNoisyData)
+{
+    Rng rng(5);
+    std::vector<double> x;
+    std::vector<double> y;
+    for (int i = 0; i < 500; ++i) {
+        double xv = rng.uniform(-2.0, 2.0);
+        x.push_back(xv);
+        y.push_back(3.0 * xv + rng.gaussian(0.0, 0.05));
+    }
+    EXPECT_NEAR(fitSlopeThroughOrigin(x, y), 3.0, 0.02);
+}
+
+TEST(SlopeFit, AllZeroInputsGiveZero)
+{
+    std::vector<double> x = {0.0, 0.0};
+    std::vector<double> y = {1.0, -1.0};
+    EXPECT_EQ(fitSlopeThroughOrigin(x, y), 0.0);
+}
+
+TEST(Wma, EmptyHistoryPredictsZero)
+{
+    WmaForecaster w(3);
+    EXPECT_EQ(w.predict(), 0.0);
+}
+
+TEST(Wma, SingleObservationIsIdentity)
+{
+    WmaForecaster w(3);
+    w.observe(7.0);
+    EXPECT_DOUBLE_EQ(w.predict(), 7.0);
+}
+
+TEST(Wma, LinearWeightsFavourRecent)
+{
+    WmaForecaster w(3);
+    w.observe(1.0);
+    w.observe(2.0);
+    w.observe(3.0);
+    // weights 1,2,3 -> (1*1 + 2*2 + 3*3) / 6 = 14/6
+    EXPECT_NEAR(w.predict(), 14.0 / 6.0, 1e-12);
+}
+
+TEST(Wma, WindowSlides)
+{
+    WmaForecaster w(2);
+    w.observe(10.0);
+    w.observe(20.0);
+    w.observe(30.0);  // evicts 10
+    // weights 1,2 over {20, 30} -> (20 + 60) / 3
+    EXPECT_NEAR(w.predict(), 80.0 / 3.0, 1e-12);
+}
+
+TEST(Wma, ConstantSignalIsFixedPoint)
+{
+    WmaForecaster w(3);
+    for (int i = 0; i < 10; ++i)
+        w.observe(4.2);
+    EXPECT_NEAR(w.predict(), 4.2, 1e-12);
+}
+
+TEST(Wma, ResetClearsHistory)
+{
+    WmaForecaster w(3);
+    w.observe(5.0);
+    w.reset();
+    EXPECT_EQ(w.predict(), 0.0);
+}
+
+} // namespace
+} // namespace tg

@@ -1,0 +1,72 @@
+/** @file Unit tests for the sweep helper. */
+
+#include <gtest/gtest.h>
+
+#include "sim/sweep.hh"
+#include "workload/profile.hh"
+
+namespace tg {
+namespace sim {
+namespace {
+
+class SweepTest : public ::testing::Test
+{
+  protected:
+    SweepTest()
+        : chip(floorplan::buildMiniChip(1)), simulation(chip, config())
+    {
+    }
+
+    static SimConfig
+    config()
+    {
+        SimConfig cfg;
+        cfg.noiseSamples = 4;
+        cfg.profilingEpochs = 8;
+        return cfg;
+    }
+
+    floorplan::Chip chip;
+    Simulation simulation;
+};
+
+TEST_F(SweepTest, RunsRequestedGrid)
+{
+    auto sweep = runSweep(simulation, {"rayt", "fft"},
+                          {core::PolicyKind::AllOn,
+                           core::PolicyKind::OracT});
+    EXPECT_EQ(sweep.benchmarks.size(), 2u);
+    EXPECT_EQ(sweep.policies.size(), 2u);
+    ASSERT_EQ(sweep.results.size(), 2u);
+    ASSERT_EQ(sweep.results[0].size(), 2u);
+    EXPECT_EQ(sweep.results[0][0].benchmark, "rayt");
+    EXPECT_EQ(sweep.results[0][1].policy, core::PolicyKind::OracT);
+}
+
+TEST_F(SweepTest, AggregatesComputeCorrectly)
+{
+    auto sweep = runSweep(simulation, {"rayt", "fft"},
+                          {core::PolicyKind::AllOn});
+    auto metric = [](const RunResult &r) { return r.maxTmax; };
+    double a = sweep.at("rayt", core::PolicyKind::AllOn).maxTmax;
+    double b = sweep.at("fft", core::PolicyKind::AllOn).maxTmax;
+    EXPECT_NEAR(sweep.average(core::PolicyKind::AllOn, metric),
+                0.5 * (a + b), 1e-12);
+    EXPECT_DOUBLE_EQ(sweep.maximum(core::PolicyKind::AllOn, metric),
+                     std::max(a, b));
+}
+
+TEST_F(SweepTest, LookupFailuresAreFatal)
+{
+    auto sweep = runSweep(simulation, {"rayt"},
+                          {core::PolicyKind::AllOn});
+    EXPECT_EXIT(sweep.at("rayt", core::PolicyKind::OracV),
+                ::testing::ExitedWithCode(1), "no sweep entry");
+    EXPECT_DEATH(sweep.average(core::PolicyKind::OracV,
+                               [](const RunResult &) { return 0.0; }),
+                 "not part of the sweep");
+}
+
+} // namespace
+} // namespace sim
+} // namespace tg

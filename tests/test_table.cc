@@ -1,0 +1,73 @@
+/** @file Unit tests for the aligned table printer. */
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "common/table.hh"
+
+namespace tg {
+namespace {
+
+TEST(Table, AlignsColumns)
+{
+    TextTable t({"name", "v"});
+    t.addRow({"a", "1"});
+    t.addRow({"longer", "22"});
+    std::ostringstream os;
+    t.print(os);
+    std::string out = os.str();
+    // Every line has the same width up to the newline.
+    std::istringstream is(out);
+    std::string line;
+    std::size_t width = 0;
+    bool first = true;
+    while (std::getline(is, line)) {
+        if (first) {
+            width = line.size();
+            first = false;
+        } else {
+            EXPECT_EQ(line.size(), width) << "line: '" << line << "'";
+        }
+    }
+    EXPECT_NE(out.find("longer"), std::string::npos);
+}
+
+TEST(Table, CsvOutput)
+{
+    TextTable t({"a", "b"});
+    t.addRow({"1", "2"});
+    std::ostringstream os;
+    t.printCsv(os);
+    EXPECT_EQ(os.str(), "a,b\n1,2\n");
+}
+
+TEST(Table, NumFormatsPrecision)
+{
+    EXPECT_EQ(TextTable::num(3.14159, 2), "3.14");
+    EXPECT_EQ(TextTable::num(2.0, 0), "2");
+    EXPECT_EQ(TextTable::num(-1.5, 1), "-1.5");
+}
+
+TEST(Table, SizeCountsRows)
+{
+    TextTable t({"x"});
+    EXPECT_EQ(t.size(), 0u);
+    t.addRow({"1"});
+    t.addRow({"2"});
+    EXPECT_EQ(t.size(), 2u);
+}
+
+TEST(TableDeath, RowWidthMismatchPanics)
+{
+    TextTable t({"a", "b"});
+    EXPECT_DEATH(t.addRow({"only-one"}), "width");
+}
+
+TEST(TableDeath, EmptyHeaderPanics)
+{
+    EXPECT_DEATH(TextTable t({}), "at least one column");
+}
+
+} // namespace
+} // namespace tg

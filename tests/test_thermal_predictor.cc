@@ -1,0 +1,85 @@
+/** @file Unit tests for the linear thermal predictor (Eqns. 2-3). */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "core/thermal_predictor.hh"
+
+namespace tg {
+namespace core {
+namespace {
+
+TEST(Predictor, RecoversExactSlope)
+{
+    ThermalPredictor p(2);
+    for (double d_p : {-0.2, -0.1, 0.1, 0.2}) {
+        p.addSample(0, d_p, 25.0 * d_p);
+        p.addSample(1, d_p, 31.0 * d_p);
+    }
+    p.fit();
+    EXPECT_NEAR(p.theta(0), 25.0, 1e-9);
+    EXPECT_NEAR(p.theta(1), 31.0, 1e-9);
+    EXPECT_NEAR(p.rSquared(), 1.0, 1e-12);
+}
+
+TEST(Predictor, HighRSquaredWithSmallNoise)
+{
+    // The paper calibrates the thetas to keep R^2 around 0.99; the
+    // fit must reach that on mildly noisy linear data.
+    Rng rng(17);
+    ThermalPredictor p(4);
+    for (int vr = 0; vr < 4; ++vr) {
+        double slope = 20.0 + 3.0 * vr;
+        for (int s = 0; s < 200; ++s) {
+            double d_p = rng.uniform(-0.25, 0.25);
+            double d_t = slope * d_p + rng.gaussian(0.0, 0.08);
+            p.addSample(vr, d_p, d_t);
+        }
+    }
+    p.fit();
+    EXPECT_GT(p.rSquared(), 0.98);
+}
+
+TEST(Predictor, AnticipateAppliesLinearModel)
+{
+    ThermalPredictor p(1);
+    p.setTheta(0, 28.0);
+    EXPECT_NEAR(p.anticipate(0, 60.0, 0.1), 62.8, 1e-12);
+    EXPECT_NEAR(p.anticipate(0, 60.0, -0.1), 57.2, 1e-12);
+}
+
+TEST(Predictor, SetThetaOverridesFit)
+{
+    ThermalPredictor p(1);
+    p.addSample(0, 0.1, 2.0);
+    p.fit();
+    p.setTheta(0, 99.0);
+    EXPECT_EQ(p.theta(0), 99.0);
+}
+
+TEST(Predictor, MissingSamplesWarnButSurvive)
+{
+    ThermalPredictor p(2);
+    p.addSample(0, 0.1, 2.5);
+    p.fit();  // regulator 1 has no samples -> warn, theta stays 0
+    EXPECT_NEAR(p.theta(0), 25.0, 1e-9);
+    EXPECT_EQ(p.theta(1), 0.0);
+}
+
+TEST(PredictorDeath, ValidationBeforeFitPanics)
+{
+    ThermalPredictor p(1);
+    p.addSample(0, 0.1, 2.0);
+    EXPECT_DEATH(p.rSquared(), "fit");
+}
+
+TEST(PredictorDeath, BadIndicesThrow)
+{
+    ThermalPredictor p(2);
+    EXPECT_ANY_THROW(p.addSample(5, 0.1, 1.0));
+    EXPECT_ANY_THROW(p.theta(-1));
+}
+
+} // namespace
+} // namespace core
+} // namespace tg

@@ -1,0 +1,146 @@
+/** @file Unit tests for the core activity model. */
+
+#include <gtest/gtest.h>
+
+#include "floorplan/power8.hh"
+#include "uarch/core_model.hh"
+#include "workload/profile.hh"
+
+namespace tg {
+namespace uarch {
+namespace {
+
+TEST(CoreModel, IdleCoreIsQuiet)
+{
+    CoreModel m(8);
+    auto a = m.evaluate(0.0, workload::profileByName("fft"));
+    EXPECT_EQ(a.ifu, 0.0);
+    EXPECT_EQ(a.exu, 0.0);
+    EXPECT_EQ(a.lsu, 0.0);
+    EXPECT_EQ(a.l2, 0.0);
+    EXPECT_EQ(a.ipc, 0.0);
+}
+
+TEST(CoreModel, ActivitiesStayNormalised)
+{
+    CoreModel m(8);
+    for (const auto &p : workload::splashProfiles()) {
+        for (double u : {0.2, 0.5, 0.8, 1.0}) {
+            auto a = m.evaluate(u, p);
+            for (double v : {a.ifu, a.isu, a.exu, a.lsu, a.l2}) {
+                EXPECT_GE(v, 0.0) << p.name;
+                EXPECT_LE(v, 1.0) << p.name;
+            }
+            EXPECT_GE(a.ipc, 0.0);
+            EXPECT_LE(a.ipc, 8.0);
+        }
+    }
+}
+
+TEST(CoreModel, ActivityGrowsWithUtilisation)
+{
+    CoreModel m(8);
+    const auto &p = workload::profileByName("lu_ncb");
+    auto lo = m.evaluate(0.3, p);
+    auto hi = m.evaluate(0.9, p);
+    EXPECT_GT(hi.exu, lo.exu);
+    EXPECT_GT(hi.lsu, lo.lsu);
+    EXPECT_GT(hi.ipc, lo.ipc);
+    EXPECT_GT(hi.l3TrafficPerCycle, lo.l3TrafficPerCycle);
+}
+
+TEST(CoreModel, MissesThrottleIpc)
+{
+    CoreModel m(8);
+    auto light = workload::profileByName("water_n");  // low misses
+    auto heavy = workload::profileByName("oc_ncp");   // high misses
+    EXPECT_GT(m.evaluate(0.8, light).ipc, m.evaluate(0.8, heavy).ipc);
+}
+
+TEST(CoreModel, MemoryMixDrivesLsu)
+{
+    CoreModel m(8);
+    auto fp_heavy = workload::profileByName("water_n");
+    auto mem_heavy = workload::profileByName("radix");
+    auto a = m.evaluate(0.7, fp_heavy);
+    auto b = m.evaluate(0.7, mem_heavy);
+    EXPECT_GT(b.lsu, a.lsu);
+    EXPECT_GT(a.exu, b.exu);  // fp mix keeps the EXU busier
+}
+
+TEST(CoreModelDeath, RejectsBadInputs)
+{
+    EXPECT_DEATH(CoreModel(0), "issue width");
+    CoreModel m(8);
+    EXPECT_DEATH(m.evaluate(1.5, workload::profileByName("fft")),
+                 "utilisation");
+}
+
+TEST(ActivityTrace, CoversAllBlocksEveryFrame)
+{
+    auto chip = floorplan::buildMiniChip(2);
+    const auto &p = workload::profileByName("fft");
+    auto trace = buildActivityTrace(chip, p, 5);
+    ASSERT_GT(trace.frames.size(), 0u);
+    for (const auto &f : trace.frames) {
+        ASSERT_EQ(f.block.size(), chip.plan.blocks().size());
+        ASSERT_EQ(f.ipc.size(), 2u);
+        for (double a : f.block) {
+            EXPECT_GE(a, 0.0);
+            EXPECT_LE(a, 1.0);
+        }
+    }
+}
+
+TEST(ActivityTrace, DeterministicForSeed)
+{
+    auto chip = floorplan::buildMiniChip(2);
+    const auto &p = workload::profileByName("barnes");
+    auto a = buildActivityTrace(chip, p, 9);
+    auto b = buildActivityTrace(chip, p, 9);
+    ASSERT_EQ(a.frames.size(), b.frames.size());
+    EXPECT_EQ(a.frames[3].block, b.frames[3].block);
+}
+
+TEST(ActivityTrace, UncoreFloorsApply)
+{
+    // Even a almost-idle workload keeps the L3/NoC/MC above the
+    // clocking floor.
+    auto chip = floorplan::buildPower8Chip();
+    auto p = workload::profileByName("rayt");
+    auto trace = buildActivityTrace(chip, p, 17);
+    auto l3s = chip.plan.blocksOfKind(floorplan::UnitKind::L3);
+    for (int b : l3s)
+        EXPECT_GE(trace.frames[0].block[static_cast<std::size_t>(b)],
+                  0.15);
+    auto noc = chip.plan.blocksOfKind(floorplan::UnitKind::Noc);
+    EXPECT_GE(trace.frames[0].block[static_cast<std::size_t>(noc[0])],
+              0.20);
+}
+
+TEST(ActivityTrace, LogicTracksDemandTrace)
+{
+    auto chip = floorplan::buildMiniChip(1);
+    const auto &p = workload::profileByName("lu_ncb");
+    auto demand = workload::generateDemandTrace(p, 1, 33);
+    auto trace = buildActivityTrace(chip, p, demand);
+    int exu = chip.plan.blockIndex("core0.exu");
+    // Frame-by-frame: higher utilisation -> higher EXU activity.
+    for (std::size_t f = 1; f < trace.frames.size(); ++f) {
+        double du = demand.frames[f].coreUtil[0] -
+                    demand.frames[f - 1].coreUtil[0];
+        double da =
+            trace.frames[f].block[static_cast<std::size_t>(exu)] -
+            trace.frames[f - 1].block[static_cast<std::size_t>(exu)];
+        if (du > 0.01) {
+            EXPECT_GE(da, 0.0) << "frame " << f;
+        }
+        if (du < -0.01) {
+            EXPECT_LE(da, 0.0) << "frame " << f;
+        }
+    }
+}
+
+} // namespace
+} // namespace uarch
+} // namespace tg

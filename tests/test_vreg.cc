@@ -1,0 +1,198 @@
+/** @file Unit and property tests for the regulator models. */
+
+#include <gtest/gtest.h>
+
+#include "vreg/design.hh"
+#include "vreg/efficiency.hh"
+#include "vreg/network.hh"
+
+namespace tg {
+namespace vreg {
+namespace {
+
+TEST(Efficiency, PeaksAtDesignPoint)
+{
+    EfficiencyCurve c(1.5, 0.90);
+    EXPECT_NEAR(c.etaAt(1.5), 0.90, 1e-12);
+    EXPECT_LT(c.etaAt(0.75), 0.90);
+    EXPECT_LT(c.etaAt(3.0), 0.90);
+}
+
+TEST(Efficiency, MonotoneRiseBelowPeak)
+{
+    EfficiencyCurve c(1.5, 0.90);
+    double prev = 0.0;
+    for (double i = 0.01; i <= 1.5; i *= 1.3) {
+        double eta = c.etaAt(i);
+        EXPECT_GE(eta, prev) << "at I=" << i;
+        prev = eta;
+    }
+}
+
+TEST(Efficiency, ZeroLoadIsZeroEta)
+{
+    EfficiencyCurve c(1.5, 0.90);
+    EXPECT_EQ(c.etaAt(0.0), 0.0);
+    EXPECT_EQ(c.etaAt(-1.0), 0.0);
+}
+
+TEST(Efficiency, PlossMatchesEquationOne)
+{
+    // P_loss = V * I * (1/eta - 1) (paper Eqn. 1)
+    EfficiencyCurve c(1.5, 0.90);
+    double eta = c.etaAt(1.5);
+    EXPECT_NEAR(c.plossAt(1.03, 1.5), 1.03 * 1.5 * (1.0 / eta - 1.0),
+                1e-12);
+    EXPECT_EQ(c.plossAt(1.03, 0.0), 0.0);
+}
+
+TEST(Efficiency, ScalesWithPeakParameters)
+{
+    EfficiencyCurve a(1.0, 0.90);
+    EfficiencyCurve b(2.0, 0.90);
+    // Same normalised shape: eta at half-load matches.
+    EXPECT_NEAR(a.etaAt(0.5), b.etaAt(1.0), 1e-12);
+}
+
+TEST(Designs, FivrAndLdoMatchPaperCalibration)
+{
+    auto fivr = fivrDesign();
+    EXPECT_NEAR(fivr.curve.peakCurrent(), 1.5, 1e-12);
+    EXPECT_NEAR(fivr.curve.peakEta(), 0.90, 1e-12);
+    EXPECT_NEAR(fivr.areaMm2, 0.04, 1e-12);
+
+    auto ldo = ldoDesign();
+    EXPECT_NEAR(ldo.curve.peakEta(), 0.905, 1e-12);
+    // The LDO responds faster and has a less inductive output.
+    EXPECT_LT(ldo.responseTime, fivr.responseTime);
+    EXPECT_LT(ldo.outputInductance, fivr.outputInductance);
+}
+
+TEST(Designs, SurveyHasEightEntriesWithSanePeaks)
+{
+    auto survey = isscc2015Survey();
+    ASSERT_EQ(survey.size(), 8u);
+    for (const auto &e : survey) {
+        EXPECT_FALSE(e.label.empty());
+        double peak = e.curve.maxValue();
+        EXPECT_GT(peak, 0.70) << e.label;
+        EXPECT_LT(peak, 0.95) << e.label;
+    }
+}
+
+TEST(Network, RequiredActiveBounds)
+{
+    RegulatorNetwork net(fivrDesign(), 9);
+    EXPECT_EQ(net.requiredActive(0.0), 1);
+    EXPECT_GE(net.requiredActive(0.1), 1);
+    EXPECT_LE(net.requiredActive(100.0), 9);
+    EXPECT_EQ(net.requiredActive(100.0), 9);  // overload: all on
+}
+
+TEST(Network, RequiredActiveIsMonotoneInDemand)
+{
+    RegulatorNetwork net(fivrDesign(), 9);
+    int prev = 1;
+    for (double i = 0.1; i <= 14.0; i += 0.1) {
+        int non = net.requiredActive(i);
+        EXPECT_GE(non, prev) << "at I=" << i;
+        prev = non;
+    }
+}
+
+TEST(Network, GatedOperatesNearPeakOverWideRange)
+{
+    // The effective envelope of Fig. 5: demand-driven gating keeps
+    // the network within a few percent of eta_peak over 2.5..13 A.
+    RegulatorNetwork net(fivrDesign(), 9);
+    for (double i = 2.5; i <= 13.0; i += 0.25) {
+        auto op = net.evaluateGated(i);
+        EXPECT_GT(op.eta, 0.865) << "at I=" << i;
+        EXPECT_LE(op.eta, 0.90 + 1e-9);
+    }
+}
+
+TEST(Network, GatingBeatsAllOnAtLightLoad)
+{
+    RegulatorNetwork net(fivrDesign(), 9);
+    for (double i : {1.0, 2.0, 4.0, 6.0}) {
+        auto gated = net.evaluateGated(i);
+        auto all_on = net.evaluate(i, 9);
+        EXPECT_GE(gated.eta, all_on.eta) << "at I=" << i;
+        EXPECT_LE(gated.plossTotal, all_on.plossTotal + 1e-12);
+    }
+}
+
+TEST(Network, EqualCurrentSharing)
+{
+    RegulatorNetwork net(fivrDesign(), 9);
+    auto op = net.evaluate(6.0, 4);
+    EXPECT_EQ(op.active, 4);
+    EXPECT_NEAR(op.perVr, 1.5, 1e-12);
+    EXPECT_FALSE(op.overloaded);
+}
+
+TEST(Network, OverloadFlagged)
+{
+    RegulatorNetwork net(fivrDesign(), 9);
+    auto op = net.evaluate(30.0, 9);
+    EXPECT_TRUE(op.overloaded);
+}
+
+TEST(Network, ZeroDemandIdlesAtPeakEta)
+{
+    RegulatorNetwork net(fivrDesign(), 9);
+    auto op = net.evaluate(0.0, 3);
+    EXPECT_EQ(op.plossTotal, 0.0);
+    EXPECT_NEAR(op.eta, 0.90, 1e-12);
+}
+
+TEST(Network, PlossScalesWithVout)
+{
+    RegulatorNetwork net(fivrDesign(), 9);
+    net.setVout(1.0);
+    auto a = net.evaluate(6.0, 4);
+    net.setVout(2.0);
+    auto b = net.evaluate(6.0, 4);
+    EXPECT_NEAR(b.plossTotal, 2.0 * a.plossTotal, 1e-12);
+}
+
+TEST(NetworkDeath, InvalidConfigurationsRejected)
+{
+    EXPECT_EXIT(RegulatorNetwork(fivrDesign(), 0),
+                ::testing::ExitedWithCode(1), "at least one");
+    RegulatorNetwork net(fivrDesign(), 4);
+    EXPECT_DEATH(net.evaluate(1.0, 0), "active count");
+    EXPECT_DEATH(net.evaluate(1.0, 5), "active count");
+}
+
+/** Envelope property across network sizes: gating never loses to a
+ *  fixed active count. */
+class NetworkSize : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(NetworkSize, GatedEtaDominatesEveryFixedCount)
+{
+    int n = GetParam();
+    RegulatorNetwork net(fivrDesign(), n);
+    for (double frac = 0.1; frac <= 1.0; frac += 0.1) {
+        double demand = frac * net.maxCurrent() * 0.75;
+        auto gated = net.evaluateGated(demand);
+        for (int k = 1; k <= n; ++k) {
+            auto fixed = net.evaluate(demand, k);
+            if (!fixed.overloaded) {
+                EXPECT_GE(gated.eta + 1e-12, fixed.eta)
+                    << "n=" << n << " demand=" << demand
+                    << " k=" << k;
+            }
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, NetworkSize,
+                         ::testing::Values(1, 2, 3, 6, 9, 16));
+
+} // namespace
+} // namespace vreg
+} // namespace tg

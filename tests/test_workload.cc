@@ -1,0 +1,188 @@
+/** @file Unit and property tests for the workload models. */
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "workload/cycles.hh"
+#include "workload/demand.hh"
+#include "workload/profile.hh"
+
+namespace tg {
+namespace workload {
+namespace {
+
+TEST(Profiles, AllFourteenSplashBenchmarks)
+{
+    const auto &ps = splashProfiles();
+    ASSERT_EQ(ps.size(), 14u);
+    std::set<std::string> names;
+    for (const auto &p : ps)
+        names.insert(p.name);
+    EXPECT_EQ(names.size(), 14u);
+    for (const char *n :
+         {"barnes", "chol", "fft", "fmm", "lu_cb", "lu_ncb", "oc_cp",
+          "oc_ncp", "radio", "radix", "rayt", "volr", "water_n",
+          "water_s"})
+        EXPECT_EQ(names.count(n), 1u) << n;
+}
+
+TEST(Profiles, FieldsWithinPhysicalRanges)
+{
+    for (const auto &p : splashProfiles()) {
+        EXPECT_GT(p.meanUtilization, 0.0) << p.name;
+        EXPECT_LT(p.meanUtilization, 1.0) << p.name;
+        EXPECT_GE(p.phaseAmplitude, 0.0) << p.name;
+        EXPECT_LT(p.phaseAmplitude, 1.0) << p.name;
+        EXPECT_GT(p.phasePeriodUs, 0.0) << p.name;
+        EXPECT_GE(p.didtActivity, 0.0) << p.name;
+        EXPECT_LE(p.didtActivity, 1.0) << p.name;
+        EXPECT_GT(p.roiDurationUs, 1000.0) << p.name;
+        double mix = p.mix.fracInt + p.mix.fracFp + p.mix.fracLoad +
+                     p.mix.fracStore + p.mix.fracBranch;
+        EXPECT_NEAR(mix, 1.0, 1e-9) << p.name;
+    }
+}
+
+TEST(Profiles, PaperCalibrationAnchors)
+{
+    // cholesky is the busiest (least gating headroom, Fig. 7);
+    // raytrace the lightest; barnes the most di/dt aggressive
+    // (Table 2); the lu kernels and water_n the least.
+    const auto &chol = profileByName("chol");
+    const auto &rayt = profileByName("rayt");
+    const auto &barnes = profileByName("barnes");
+    for (const auto &p : splashProfiles()) {
+        EXPECT_LE(p.meanUtilization, chol.meanUtilization) << p.name;
+        EXPECT_GE(p.meanUtilization, rayt.meanUtilization) << p.name;
+        EXPECT_LE(p.didtActivity, barnes.didtActivity) << p.name;
+    }
+    EXPECT_LT(profileByName("lu_cb").didtActivity, 0.4);
+    EXPECT_LT(profileByName("water_n").didtActivity, 0.4);
+}
+
+TEST(ProfilesDeath, UnknownNameIsFatal)
+{
+    EXPECT_EXIT(profileByName("quake3"),
+                ::testing::ExitedWithCode(1), "unknown benchmark");
+}
+
+TEST(Demand, DeterministicForSeed)
+{
+    const auto &p = profileByName("fft");
+    auto a = generateDemandTrace(p, 8, 123);
+    auto b = generateDemandTrace(p, 8, 123);
+    ASSERT_EQ(a.frames.size(), b.frames.size());
+    for (std::size_t f = 0; f < a.frames.size(); ++f)
+        EXPECT_EQ(a.frames[f].coreUtil, b.frames[f].coreUtil);
+
+    auto c = generateDemandTrace(p, 8, 124);
+    EXPECT_NE(a.frames[10].coreUtil, c.frames[10].coreUtil);
+}
+
+TEST(Demand, CoversRoiDuration)
+{
+    const auto &p = profileByName("lu_ncb");
+    auto t = generateDemandTrace(p, 8, 1);
+    EXPECT_NEAR(t.duration(), p.roiDurationUs * 1e-6, t.dt + 1e-12);
+}
+
+TEST(Demand, UtilisationStaysClamped)
+{
+    const auto &p = profileByName("barnes");
+    auto t = generateDemandTrace(p, 8, 7);
+    for (const auto &f : t.frames)
+        for (double u : f.coreUtil) {
+            EXPECT_GE(u, 0.02);
+            EXPECT_LE(u, 1.0);
+        }
+}
+
+TEST(Demand, MeanTracksProfile)
+{
+    for (const char *name : {"chol", "rayt", "lu_ncb"}) {
+        const auto &p = profileByName(name);
+        auto t = generateDemandTrace(p, 8, 42);
+        EXPECT_NEAR(t.meanUtilization(), p.meanUtilization,
+                    0.06 + p.imbalance * p.meanUtilization)
+            << name;
+    }
+}
+
+TEST(Demand, PhaseStructureCreatesVariation)
+{
+    const auto &p = profileByName("lu_ncb");  // large amplitude
+    auto t = generateDemandTrace(p, 8, 9);
+    double lo = 1.0;
+    double hi = 0.0;
+    for (const auto &f : t.frames) {
+        lo = std::min(lo, f.coreUtil[0]);
+        hi = std::max(hi, f.coreUtil[0]);
+    }
+    EXPECT_GT(hi - lo, p.meanUtilization * p.phaseAmplitude);
+}
+
+TEST(Cycles, MeanNearUnity)
+{
+    Rng rng(3);
+    auto m = synthesizeCycleMultipliers(0.5, 50000, rng);
+    double mean = 0.0;
+    for (double x : m)
+        mean += x;
+    mean /= m.size();
+    EXPECT_NEAR(mean, 1.0, 0.06);
+}
+
+TEST(Cycles, NonNegativeAndDeterministic)
+{
+    Rng a(11);
+    Rng b(11);
+    auto ma = synthesizeCycleMultipliers(0.8, 2000, a);
+    auto mb = synthesizeCycleMultipliers(0.8, 2000, b);
+    EXPECT_EQ(ma, mb);
+    for (double x : ma)
+        EXPECT_GE(x, 0.0);
+}
+
+TEST(Cycles, DidtScalesExcursionDepth)
+{
+    // Higher di/dt activity must produce deeper worst-case swings.
+    auto depth = [](double didt) {
+        Rng rng(21);
+        auto m = synthesizeCycleMultipliers(didt, 200000, rng);
+        double lo = 1.0;
+        for (double x : m)
+            lo = std::min(lo, x);
+        return 1.0 - lo;
+    };
+    EXPECT_GT(depth(1.0), depth(0.0) + 0.1);
+}
+
+TEST(CyclesDeath, InvalidArgumentsPanic)
+{
+    Rng rng(1);
+    EXPECT_DEATH(synthesizeCycleMultipliers(1.5, 10, rng), "didt");
+    EXPECT_DEATH(synthesizeCycleMultipliers(0.5, 0, rng), "empty");
+}
+
+/** Every profile yields a generatable, in-range demand trace. */
+class AllProfiles : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(AllProfiles, GeneratesValidTrace)
+{
+    const auto &p = splashProfiles()[static_cast<std::size_t>(
+        GetParam())];
+    auto t = generateDemandTrace(p, 8, 77);
+    EXPECT_GE(t.frames.size(), 100u);
+    EXPECT_GT(t.meanUtilization(), 0.05);
+    EXPECT_LT(t.meanUtilization(), 0.95);
+}
+
+INSTANTIATE_TEST_SUITE_P(Splash, AllProfiles, ::testing::Range(0, 14));
+
+} // namespace
+} // namespace workload
+} // namespace tg
