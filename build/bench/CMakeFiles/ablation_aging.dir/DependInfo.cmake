@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_aging.cc" "bench/CMakeFiles/ablation_aging.dir/ablation_aging.cc.o" "gcc" "bench/CMakeFiles/ablation_aging.dir/ablation_aging.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tg_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tg_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tg_pdn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tg_vreg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tg_sensors.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tg_thermal.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tg_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tg_uarch.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tg_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tg_floorplan.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tg_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_decision_interval.dir/ablation_decision_interval.cc.o"
+  "CMakeFiles/ablation_decision_interval.dir/ablation_decision_interval.cc.o.d"
+  "ablation_decision_interval"
+  "ablation_decision_interval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_decision_interval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

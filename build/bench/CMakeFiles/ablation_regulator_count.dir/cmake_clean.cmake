@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_regulator_count.dir/ablation_regulator_count.cc.o"
+  "CMakeFiles/ablation_regulator_count.dir/ablation_regulator_count.cc.o.d"
+  "ablation_regulator_count"
+  "ablation_regulator_count.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_regulator_count.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_sensor_staleness.dir/ablation_sensor_staleness.cc.o"
+  "CMakeFiles/ablation_sensor_staleness.dir/ablation_sensor_staleness.cc.o.d"
+  "ablation_sensor_staleness"
+  "ablation_sensor_staleness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_sensor_staleness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

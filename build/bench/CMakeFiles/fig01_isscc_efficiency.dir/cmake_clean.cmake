@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_isscc_efficiency.dir/fig01_isscc_efficiency.cc.o"
+  "CMakeFiles/fig01_isscc_efficiency.dir/fig01_isscc_efficiency.cc.o.d"
+  "fig01_isscc_efficiency"
+  "fig01_isscc_efficiency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_isscc_efficiency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

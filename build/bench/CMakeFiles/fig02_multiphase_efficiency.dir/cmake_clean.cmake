@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_multiphase_efficiency.dir/fig02_multiphase_efficiency.cc.o"
+  "CMakeFiles/fig02_multiphase_efficiency.dir/fig02_multiphase_efficiency.cc.o.d"
+  "fig02_multiphase_efficiency"
+  "fig02_multiphase_efficiency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_multiphase_efficiency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_calibrated_efficiency.dir/fig05_calibrated_efficiency.cc.o"
+  "CMakeFiles/fig05_calibrated_efficiency.dir/fig05_calibrated_efficiency.cc.o.d"
+  "fig05_calibrated_efficiency"
+  "fig05_calibrated_efficiency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_calibrated_efficiency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

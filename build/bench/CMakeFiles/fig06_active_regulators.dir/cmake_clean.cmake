@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_active_regulators.dir/fig06_active_regulators.cc.o"
+  "CMakeFiles/fig06_active_regulators.dir/fig06_active_regulators.cc.o.d"
+  "fig06_active_regulators"
+  "fig06_active_regulators.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_active_regulators.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_ploss_savings.dir/fig07_ploss_savings.cc.o"
+  "CMakeFiles/fig07_ploss_savings.dir/fig07_ploss_savings.cc.o.d"
+  "fig07_ploss_savings"
+  "fig07_ploss_savings.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_ploss_savings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

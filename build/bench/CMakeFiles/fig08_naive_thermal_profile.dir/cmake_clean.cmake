@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_naive_thermal_profile.dir/fig08_naive_thermal_profile.cc.o"
+  "CMakeFiles/fig08_naive_thermal_profile.dir/fig08_naive_thermal_profile.cc.o.d"
+  "fig08_naive_thermal_profile"
+  "fig08_naive_thermal_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_naive_thermal_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_tmax.dir/fig09_tmax.cc.o"
+  "CMakeFiles/fig09_tmax.dir/fig09_tmax.cc.o.d"
+  "fig09_tmax"
+  "fig09_tmax.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_tmax.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

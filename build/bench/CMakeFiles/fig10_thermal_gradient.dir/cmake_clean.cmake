@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_thermal_gradient.dir/fig10_thermal_gradient.cc.o"
+  "CMakeFiles/fig10_thermal_gradient.dir/fig10_thermal_gradient.cc.o.d"
+  "fig10_thermal_gradient"
+  "fig10_thermal_gradient.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_thermal_gradient.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

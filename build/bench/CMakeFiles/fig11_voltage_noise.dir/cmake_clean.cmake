@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_voltage_noise.dir/fig11_voltage_noise.cc.o"
+  "CMakeFiles/fig11_voltage_noise.dir/fig11_voltage_noise.cc.o.d"
+  "fig11_voltage_noise"
+  "fig11_voltage_noise.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_voltage_noise.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

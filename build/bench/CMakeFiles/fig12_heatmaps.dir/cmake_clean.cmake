@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_heatmaps.dir/fig12_heatmaps.cc.o"
+  "CMakeFiles/fig12_heatmaps.dir/fig12_heatmaps.cc.o.d"
+  "fig12_heatmaps"
+  "fig12_heatmaps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_heatmaps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_regulator_activity.dir/fig13_regulator_activity.cc.o"
+  "CMakeFiles/fig13_regulator_activity.dir/fig13_regulator_activity.cc.o.d"
+  "fig13_regulator_activity"
+  "fig13_regulator_activity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_regulator_activity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_noise_trace.dir/fig14_noise_trace.cc.o"
+  "CMakeFiles/fig14_noise_trace.dir/fig14_noise_trace.cc.o.d"
+  "fig14_noise_trace"
+  "fig14_noise_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_noise_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

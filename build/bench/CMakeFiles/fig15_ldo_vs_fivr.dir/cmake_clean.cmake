@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_ldo_vs_fivr.dir/fig15_ldo_vs_fivr.cc.o"
+  "CMakeFiles/fig15_ldo_vs_fivr.dir/fig15_ldo_vs_fivr.cc.o.d"
+  "fig15_ldo_vs_fivr"
+  "fig15_ldo_vs_fivr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_ldo_vs_fivr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

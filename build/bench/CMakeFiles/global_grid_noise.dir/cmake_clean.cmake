@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/global_grid_noise.dir/global_grid_noise.cc.o"
+  "CMakeFiles/global_grid_noise.dir/global_grid_noise.cc.o.d"
+  "global_grid_noise"
+  "global_grid_noise.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/global_grid_noise.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

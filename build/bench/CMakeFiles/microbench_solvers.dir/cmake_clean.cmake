@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/microbench_solvers.dir/microbench_solvers.cc.o"
+  "CMakeFiles/microbench_solvers.dir/microbench_solvers.cc.o.d"
+  "microbench_solvers"
+  "microbench_solvers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/microbench_solvers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

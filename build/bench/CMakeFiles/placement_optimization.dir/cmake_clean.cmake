@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/placement_optimization.dir/placement_optimization.cc.o"
+  "CMakeFiles/placement_optimization.dir/placement_optimization.cc.o.d"
+  "placement_optimization"
+  "placement_optimization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/placement_optimization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_voltage_emergencies.dir/table2_voltage_emergencies.cc.o"
+  "CMakeFiles/table2_voltage_emergencies.dir/table2_voltage_emergencies.cc.o.d"
+  "table2_voltage_emergencies"
+  "table2_voltage_emergencies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_voltage_emergencies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for table2_voltage_emergencies.
+# This may be replaced when dependencies are built.

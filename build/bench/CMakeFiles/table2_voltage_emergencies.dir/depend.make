@@ -1,0 +1,2 @@
+# Empty dependencies file for table2_voltage_emergencies.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_floorplan.dir/custom_floorplan.cc.o"
+  "CMakeFiles/custom_floorplan.dir/custom_floorplan.cc.o.d"
+  "custom_floorplan"
+  "custom_floorplan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_floorplan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

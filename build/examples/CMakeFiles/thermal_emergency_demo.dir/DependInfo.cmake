@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/thermal_emergency_demo.cc" "examples/CMakeFiles/thermal_emergency_demo.dir/thermal_emergency_demo.cc.o" "gcc" "examples/CMakeFiles/thermal_emergency_demo.dir/thermal_emergency_demo.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tg_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tg_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tg_pdn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tg_vreg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tg_sensors.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tg_thermal.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tg_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tg_uarch.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tg_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tg_floorplan.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tg_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

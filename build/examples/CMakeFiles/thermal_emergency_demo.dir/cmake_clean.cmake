@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/thermal_emergency_demo.dir/thermal_emergency_demo.cc.o"
+  "CMakeFiles/thermal_emergency_demo.dir/thermal_emergency_demo.cc.o.d"
+  "thermal_emergency_demo"
+  "thermal_emergency_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/thermal_emergency_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tg_common.dir/common/interp.cc.o"
+  "CMakeFiles/tg_common.dir/common/interp.cc.o.d"
+  "CMakeFiles/tg_common.dir/common/logging.cc.o"
+  "CMakeFiles/tg_common.dir/common/logging.cc.o.d"
+  "CMakeFiles/tg_common.dir/common/matrix.cc.o"
+  "CMakeFiles/tg_common.dir/common/matrix.cc.o.d"
+  "CMakeFiles/tg_common.dir/common/stats.cc.o"
+  "CMakeFiles/tg_common.dir/common/stats.cc.o.d"
+  "CMakeFiles/tg_common.dir/common/table.cc.o"
+  "CMakeFiles/tg_common.dir/common/table.cc.o.d"
+  "libtg_common.a"
+  "libtg_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tg_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

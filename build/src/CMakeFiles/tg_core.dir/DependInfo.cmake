@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/aging.cc" "src/CMakeFiles/tg_core.dir/core/aging.cc.o" "gcc" "src/CMakeFiles/tg_core.dir/core/aging.cc.o.d"
+  "/root/repo/src/core/governor.cc" "src/CMakeFiles/tg_core.dir/core/governor.cc.o" "gcc" "src/CMakeFiles/tg_core.dir/core/governor.cc.o.d"
+  "/root/repo/src/core/policies.cc" "src/CMakeFiles/tg_core.dir/core/policies.cc.o" "gcc" "src/CMakeFiles/tg_core.dir/core/policies.cc.o.d"
+  "/root/repo/src/core/thermal_predictor.cc" "src/CMakeFiles/tg_core.dir/core/thermal_predictor.cc.o" "gcc" "src/CMakeFiles/tg_core.dir/core/thermal_predictor.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tg_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tg_floorplan.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tg_thermal.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tg_vreg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tg_pdn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tg_sensors.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tg_core.dir/core/aging.cc.o"
+  "CMakeFiles/tg_core.dir/core/aging.cc.o.d"
+  "CMakeFiles/tg_core.dir/core/governor.cc.o"
+  "CMakeFiles/tg_core.dir/core/governor.cc.o.d"
+  "CMakeFiles/tg_core.dir/core/policies.cc.o"
+  "CMakeFiles/tg_core.dir/core/policies.cc.o.d"
+  "CMakeFiles/tg_core.dir/core/thermal_predictor.cc.o"
+  "CMakeFiles/tg_core.dir/core/thermal_predictor.cc.o.d"
+  "libtg_core.a"
+  "libtg_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tg_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/floorplan/floorplan.cc" "src/CMakeFiles/tg_floorplan.dir/floorplan/floorplan.cc.o" "gcc" "src/CMakeFiles/tg_floorplan.dir/floorplan/floorplan.cc.o.d"
+  "/root/repo/src/floorplan/geometry.cc" "src/CMakeFiles/tg_floorplan.dir/floorplan/geometry.cc.o" "gcc" "src/CMakeFiles/tg_floorplan.dir/floorplan/geometry.cc.o.d"
+  "/root/repo/src/floorplan/power8.cc" "src/CMakeFiles/tg_floorplan.dir/floorplan/power8.cc.o" "gcc" "src/CMakeFiles/tg_floorplan.dir/floorplan/power8.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tg_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tg_floorplan.dir/floorplan/floorplan.cc.o"
+  "CMakeFiles/tg_floorplan.dir/floorplan/floorplan.cc.o.d"
+  "CMakeFiles/tg_floorplan.dir/floorplan/geometry.cc.o"
+  "CMakeFiles/tg_floorplan.dir/floorplan/geometry.cc.o.d"
+  "CMakeFiles/tg_floorplan.dir/floorplan/power8.cc.o"
+  "CMakeFiles/tg_floorplan.dir/floorplan/power8.cc.o.d"
+  "libtg_floorplan.a"
+  "libtg_floorplan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tg_floorplan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pdn/domain_pdn.cc" "src/CMakeFiles/tg_pdn.dir/pdn/domain_pdn.cc.o" "gcc" "src/CMakeFiles/tg_pdn.dir/pdn/domain_pdn.cc.o.d"
+  "/root/repo/src/pdn/global_grid.cc" "src/CMakeFiles/tg_pdn.dir/pdn/global_grid.cc.o" "gcc" "src/CMakeFiles/tg_pdn.dir/pdn/global_grid.cc.o.d"
+  "/root/repo/src/pdn/placement.cc" "src/CMakeFiles/tg_pdn.dir/pdn/placement.cc.o" "gcc" "src/CMakeFiles/tg_pdn.dir/pdn/placement.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tg_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tg_floorplan.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tg_vreg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tg_pdn.dir/pdn/domain_pdn.cc.o"
+  "CMakeFiles/tg_pdn.dir/pdn/domain_pdn.cc.o.d"
+  "CMakeFiles/tg_pdn.dir/pdn/global_grid.cc.o"
+  "CMakeFiles/tg_pdn.dir/pdn/global_grid.cc.o.d"
+  "CMakeFiles/tg_pdn.dir/pdn/placement.cc.o"
+  "CMakeFiles/tg_pdn.dir/pdn/placement.cc.o.d"
+  "libtg_pdn.a"
+  "libtg_pdn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tg_pdn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

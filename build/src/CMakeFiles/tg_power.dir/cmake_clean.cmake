@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tg_power.dir/power/model.cc.o"
+  "CMakeFiles/tg_power.dir/power/model.cc.o.d"
+  "libtg_power.a"
+  "libtg_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tg_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tg_sensors.dir/sensors/emergency_predictor.cc.o"
+  "CMakeFiles/tg_sensors.dir/sensors/emergency_predictor.cc.o.d"
+  "CMakeFiles/tg_sensors.dir/sensors/thermal_sensor.cc.o"
+  "CMakeFiles/tg_sensors.dir/sensors/thermal_sensor.cc.o.d"
+  "libtg_sensors.a"
+  "libtg_sensors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tg_sensors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

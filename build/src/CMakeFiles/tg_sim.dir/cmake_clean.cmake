@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tg_sim.dir/sim/simulation.cc.o"
+  "CMakeFiles/tg_sim.dir/sim/simulation.cc.o.d"
+  "CMakeFiles/tg_sim.dir/sim/sweep.cc.o"
+  "CMakeFiles/tg_sim.dir/sim/sweep.cc.o.d"
+  "libtg_sim.a"
+  "libtg_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tg_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tg_thermal.dir/thermal/model.cc.o"
+  "CMakeFiles/tg_thermal.dir/thermal/model.cc.o.d"
+  "libtg_thermal.a"
+  "libtg_thermal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tg_thermal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

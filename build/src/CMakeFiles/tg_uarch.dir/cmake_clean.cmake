@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tg_uarch.dir/uarch/core_model.cc.o"
+  "CMakeFiles/tg_uarch.dir/uarch/core_model.cc.o.d"
+  "libtg_uarch.a"
+  "libtg_uarch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tg_uarch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vreg/design.cc" "src/CMakeFiles/tg_vreg.dir/vreg/design.cc.o" "gcc" "src/CMakeFiles/tg_vreg.dir/vreg/design.cc.o.d"
+  "/root/repo/src/vreg/efficiency.cc" "src/CMakeFiles/tg_vreg.dir/vreg/efficiency.cc.o" "gcc" "src/CMakeFiles/tg_vreg.dir/vreg/efficiency.cc.o.d"
+  "/root/repo/src/vreg/network.cc" "src/CMakeFiles/tg_vreg.dir/vreg/network.cc.o" "gcc" "src/CMakeFiles/tg_vreg.dir/vreg/network.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tg_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tg_vreg.dir/vreg/design.cc.o"
+  "CMakeFiles/tg_vreg.dir/vreg/design.cc.o.d"
+  "CMakeFiles/tg_vreg.dir/vreg/efficiency.cc.o"
+  "CMakeFiles/tg_vreg.dir/vreg/efficiency.cc.o.d"
+  "CMakeFiles/tg_vreg.dir/vreg/network.cc.o"
+  "CMakeFiles/tg_vreg.dir/vreg/network.cc.o.d"
+  "libtg_vreg.a"
+  "libtg_vreg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tg_vreg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tg_workload.dir/workload/cycles.cc.o"
+  "CMakeFiles/tg_workload.dir/workload/cycles.cc.o.d"
+  "CMakeFiles/tg_workload.dir/workload/demand.cc.o"
+  "CMakeFiles/tg_workload.dir/workload/demand.cc.o.d"
+  "CMakeFiles/tg_workload.dir/workload/profile.cc.o"
+  "CMakeFiles/tg_workload.dir/workload/profile.cc.o.d"
+  "libtg_workload.a"
+  "libtg_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tg_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

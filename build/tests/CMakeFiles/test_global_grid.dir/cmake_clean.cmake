@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_global_grid.dir/test_global_grid.cc.o"
+  "CMakeFiles/test_global_grid.dir/test_global_grid.cc.o.d"
+  "test_global_grid"
+  "test_global_grid.pdb"
+  "test_global_grid[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_global_grid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

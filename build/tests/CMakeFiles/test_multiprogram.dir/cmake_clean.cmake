@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_multiprogram.dir/test_multiprogram.cc.o"
+  "CMakeFiles/test_multiprogram.dir/test_multiprogram.cc.o.d"
+  "test_multiprogram"
+  "test_multiprogram.pdb"
+  "test_multiprogram[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_multiprogram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_thermal_predictor.dir/test_thermal_predictor.cc.o"
+  "CMakeFiles/test_thermal_predictor.dir/test_thermal_predictor.cc.o.d"
+  "test_thermal_predictor"
+  "test_thermal_predictor.pdb"
+  "test_thermal_predictor[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_thermal_predictor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

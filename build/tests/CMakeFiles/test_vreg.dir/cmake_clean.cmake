@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vreg.dir/test_vreg.cc.o"
+  "CMakeFiles/test_vreg.dir/test_vreg.cc.o.d"
+  "test_vreg"
+  "test_vreg.pdb"
+  "test_vreg[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vreg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
