@@ -17,7 +17,7 @@
 using namespace tg;
 
 int
-main()
+main(int argc, char **argv)
 {
     bench::banner("ablation: sensor staleness",
                   "PracT on water_s vs sensor delay (paper assumes "
@@ -25,25 +25,39 @@ main()
 
     const auto &chip = bench::evaluationChip();
     const auto &profile = workload::profileByName("water_s");
+    const int jobs = bench::parseJobs(argc, argv);
 
-    // The oracle reference.
-    {
-        sim::Simulation simulation(chip, sim::SimConfig{});
-        auto r = simulation.run(profile, core::PolicyKind::OracT);
-        std::printf("OracT reference: Tmax %.2f, gradient %.2f, "
-                    "noise %.1f%%\n\n",
-                    r.maxTmax, r.maxGradient,
-                    r.maxNoiseFrac * 100.0);
-    }
+    // Slot 0 is the OracT reference; the rest sweep PracT over the
+    // sensor delay. Each point owns its Simulation (the sensor model
+    // is part of the config), so the grid fans out across workers
+    // with deterministic result slots.
+    const std::vector<double> delays = {0.0,   50.0,  100.0,
+                                        250.0, 500.0, 1000.0};
+    std::vector<sim::RunResult> results(delays.size() + 1);
+    exec::parallelFor(results.size(), jobs, [&](int, std::size_t i) {
+        sim::SimConfig cfg;
+        if (i == 0) {
+            sim::Simulation simulation(chip, cfg);
+            results[i] =
+                simulation.run(profile, core::PolicyKind::OracT);
+            return;
+        }
+        cfg.sensorParams.delay = delays[i - 1] * 1e-6;
+        sim::Simulation simulation(chip, cfg);
+        results[i] = simulation.run(profile, core::PolicyKind::PracT);
+    });
+
+    std::printf("OracT reference: Tmax %.2f, gradient %.2f, "
+                "noise %.1f%%\n\n",
+                results[0].maxTmax, results[0].maxGradient,
+                results[0].maxNoiseFrac * 100.0);
 
     TextTable t({"delay (us)", "Tmax (C)", "gradient (C)",
                  "noise (%)", "eta (%)"});
-    for (double us : {0.0, 50.0, 100.0, 250.0, 500.0, 1000.0}) {
-        sim::SimConfig cfg;
-        cfg.sensorParams.delay = us * 1e-6;
-        sim::Simulation simulation(chip, cfg);
-        auto r = simulation.run(profile, core::PolicyKind::PracT);
-        t.addRow({TextTable::num(us, 0), TextTable::num(r.maxTmax, 2),
+    for (std::size_t i = 0; i < delays.size(); ++i) {
+        const auto &r = results[i + 1];
+        t.addRow({TextTable::num(delays[i], 0),
+                  TextTable::num(r.maxTmax, 2),
                   TextTable::num(r.maxGradient, 2),
                   TextTable::num(r.maxNoiseFrac * 100.0, 1),
                   TextTable::num(r.avgEta * 100.0, 2)});

@@ -12,10 +12,13 @@
 #define TG_BENCH_BENCH_COMMON_HH
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <iostream>
 #include <memory>
 #include <string>
 
+#include "common/exec.hh"
 #include "floorplan/power8.hh"
 #include "sim/simulation.hh"
 #include "sim/sweep.hh"
@@ -23,6 +26,26 @@
 
 namespace tg {
 namespace bench {
+
+/**
+ * Parse the shared bench flags: --jobs N / -j N selects the worker
+ * count for sweep fan-out (0 = TG_JOBS, then every hardware thread;
+ * see exec::resolveJobs). Unknown arguments are ignored so benches
+ * can layer their own flags on top.
+ */
+inline int
+parseJobs(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        if ((!std::strcmp(argv[i], "--jobs") ||
+             !std::strcmp(argv[i], "-j")) &&
+            i + 1 < argc)
+            return std::atoi(argv[i + 1]);
+        if (!std::strncmp(argv[i], "--jobs=", 7))
+            return std::atoi(argv[i] + 7);
+    }
+    return 0;
+}
 
 /** Print the standard bench banner. */
 inline void

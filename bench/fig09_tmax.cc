@@ -14,13 +14,14 @@
 using namespace tg;
 
 int
-main()
+main(int argc, char **argv)
 {
     bench::banner("Fig. 9",
                   "maximum chip-wide temperature (degC) per policy");
 
     auto &simulation = bench::evaluationSim();
-    auto sweep = sim::runSweep(simulation, {}, {}, true);
+    auto sweep = sim::runSweep(simulation, {}, {}, true,
+                               bench::parseJobs(argc, argv));
 
     std::vector<std::string> header = {"benchmark"};
     for (auto k : sweep.policies)

@@ -15,13 +15,14 @@
 using namespace tg;
 
 int
-main()
+main(int argc, char **argv)
 {
     bench::banner("Fig. 10",
                   "maximum thermal gradient (degC) per policy");
 
     auto &simulation = bench::evaluationSim();
-    auto sweep = sim::runSweep(simulation, {}, {}, true);
+    auto sweep = sim::runSweep(simulation, {}, {}, true,
+                               bench::parseJobs(argc, argv));
 
     std::vector<std::string> header = {"benchmark"};
     for (auto k : sweep.policies)

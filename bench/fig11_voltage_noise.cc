@@ -16,7 +16,7 @@
 using namespace tg;
 
 int
-main()
+main(int argc, char **argv)
 {
     bench::banner("Fig. 11",
                   "maximum voltage noise (% of Vdd) per policy; "
@@ -28,7 +28,8 @@ main()
         core::PolicyKind::OracVT, core::PolicyKind::PracT,
         core::PolicyKind::PracVT, core::PolicyKind::AllOn,
     };
-    auto sweep = sim::runSweep(simulation, {}, policies, true);
+    auto sweep = sim::runSweep(simulation, {}, policies, true,
+                               bench::parseJobs(argc, argv));
 
     std::vector<std::string> header = {"benchmark"};
     for (auto k : sweep.policies)

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Micro-benchmark of the parallel sweep engine: runs the same
+ * benchmark x policy grid serially (--jobs 1) and through the worker
+ * pool, reports both wall-clocks and the speedup, and asserts that
+ * every SweepResult metric is bit-identical between the two — the
+ * determinism contract of sim::runSweep().
+ *
+ *   ./microbench_sweep [--jobs N] [--quick]
+ *
+ * --quick shrinks the grid (4 benchmarks x 3 policies) for CI smoke
+ * runs; the default is the paper's full 14-benchmark x 8-policy
+ * evaluation grid.
+ */
+
+#include <chrono>
+#include <cmath>
+#include <cstring>
+#include <sstream>
+
+#include "bench_common.hh"
+
+using namespace tg;
+
+namespace {
+
+/** Exact comparison of two vectors of doubles. */
+bool
+sameSeries(const std::vector<double> &a, const std::vector<double> &b)
+{
+    return a.size() == b.size() &&
+           std::equal(a.begin(), a.end(), b.begin());
+}
+
+/** Bitwise comparison of every metric two runs report. */
+bool
+identicalRuns(const sim::RunResult &a, const sim::RunResult &b,
+              std::string &why)
+{
+    auto fail = [&](const char *field) {
+        why = field;
+        return false;
+    };
+    if (a.benchmark != b.benchmark) return fail("benchmark");
+    if (a.policy != b.policy) return fail("policy");
+    if (a.maxTmax != b.maxTmax) return fail("maxTmax");
+    if (a.hottestSpot != b.hottestSpot) return fail("hottestSpot");
+    if (a.maxGradient != b.maxGradient) return fail("maxGradient");
+    if (a.maxNoiseFrac != b.maxNoiseFrac) return fail("maxNoiseFrac");
+    if (a.emergencyFrac != b.emergencyFrac)
+        return fail("emergencyFrac");
+    if (a.avgRegulatorLoss != b.avgRegulatorLoss)
+        return fail("avgRegulatorLoss");
+    if (a.avgEta != b.avgEta) return fail("avgEta");
+    if (a.avgActiveVrs != b.avgActiveVrs) return fail("avgActiveVrs");
+    if (a.meanPower != b.meanPower) return fail("meanPower");
+    if (a.overrideCount != b.overrideCount)
+        return fail("overrideCount");
+    if (!sameSeries(a.vrActivity, b.vrActivity))
+        return fail("vrActivity");
+    if (!sameSeries(a.vrAging, b.vrAging)) return fail("vrAging");
+    if (a.agingImbalance != b.agingImbalance)
+        return fail("agingImbalance");
+    return true;
+}
+
+double
+secondsSince(std::chrono::steady_clock::time_point t0)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool quick = false;
+    for (int i = 1; i < argc; ++i)
+        if (!std::strcmp(argv[i], "--quick"))
+            quick = true;
+    int jobs = exec::resolveJobs(bench::parseJobs(argc, argv));
+
+    std::vector<std::string> benchmarks;
+    std::vector<core::PolicyKind> policies;
+    if (quick) {
+        benchmarks = {"barnes", "fft", "lu_ncb", "water_s"};
+        policies = {core::PolicyKind::AllOn, core::PolicyKind::OracT,
+                    core::PolicyKind::PracVT};
+    }
+
+    bench::banner("microbench: parallel sweep",
+                  quick ? "4-benchmark x 3-policy smoke grid"
+                        : "full 14-benchmark x 8-policy grid");
+
+    auto &simulation = bench::evaluationSim();
+    // Calibrate outside the timed region: both legs would otherwise
+    // amortise the profiling pass differently.
+    simulation.thermalPredictor();
+
+    auto t0 = std::chrono::steady_clock::now();
+    auto serial = sim::runSweep(simulation, benchmarks, policies,
+                                false, 1);
+    double serial_s = secondsSince(t0);
+    std::printf("serial   (--jobs 1): %8.2f s for %zu runs\n",
+                serial_s,
+                serial.benchmarks.size() * serial.policies.size());
+
+    t0 = std::chrono::steady_clock::now();
+    auto parallel = sim::runSweep(simulation, benchmarks, policies,
+                                  false, jobs);
+    double parallel_s = secondsSince(t0);
+    std::printf("parallel (--jobs %d): %8.2f s\n", jobs, parallel_s);
+    std::printf("speedup: %.2fx on %d hardware threads\n",
+                serial_s / parallel_s, exec::hardwareThreads());
+
+    // --- determinism assertion ------------------------------------
+    int mismatches = 0;
+    for (const auto &b : serial.benchmarks) {
+        for (auto k : serial.policies) {
+            std::string why;
+            if (!identicalRuns(serial.at(b, k), parallel.at(b, k),
+                               why)) {
+                std::fprintf(stderr,
+                             "MISMATCH [%s / %s]: field %s differs "
+                             "between --jobs 1 and --jobs %d\n",
+                             b.c_str(), core::policyName(k),
+                             why.c_str(), jobs);
+                ++mismatches;
+            }
+        }
+    }
+    if (mismatches) {
+        std::fprintf(stderr, "%d mismatching runs — the parallel "
+                             "sweep is NOT deterministic\n",
+                     mismatches);
+        return 1;
+    }
+    std::printf("determinism: all %zu runs bit-identical between "
+                "--jobs 1 and --jobs %d\n",
+                serial.benchmarks.size() * serial.policies.size(),
+                jobs);
+    return 0;
+}

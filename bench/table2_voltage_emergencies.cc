@@ -15,24 +15,26 @@
 using namespace tg;
 
 int
-main()
+main(int argc, char **argv)
 {
     bench::banner("Table 2",
                   "% execution time in voltage emergencies under "
                   "OracT (paper: <1% everywhere, barnes 0.67%)");
 
     auto &simulation = bench::evaluationSim();
+    auto sweep =
+        sim::runSweep(simulation, {}, {core::PolicyKind::OracT},
+                      true, bench::parseJobs(argc, argv));
 
     TextTable t({"benchmark", "% time in emergencies",
                  "max noise (%)"});
     double sum = 0.0;
     int n = 0;
-    for (const auto &profile : workload::splashProfiles()) {
-        auto r = simulation.run(profile, core::PolicyKind::OracT, {});
+    for (const auto &b : sweep.benchmarks) {
+        const auto &r = sweep.at(b, core::PolicyKind::OracT);
         sum += r.emergencyFrac * 100.0;
         ++n;
-        t.addRow({profile.name,
-                  TextTable::num(r.emergencyFrac * 100.0, 3),
+        t.addRow({b, TextTable::num(r.emergencyFrac * 100.0, 3),
                   TextTable::num(r.maxNoiseFrac * 100.0, 1)});
     }
     t.addRow({"AVG", TextTable::num(sum / n, 3), ""});

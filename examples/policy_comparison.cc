@@ -2,16 +2,19 @@
  * @file
  * Compare all eight gating schemes of the paper on one benchmark:
  * the thermal / voltage-noise / efficiency trade-off of Section 6 in
- * a single table.
+ * a single table. The eight runs fan out across the parallel sweep
+ * engine — one worker context per hardware thread by default.
  *
- *   ./policy_comparison [benchmark]      (default: fft)
+ *   ./policy_comparison [benchmark] [--jobs N]    (default: fft)
  */
 
+#include <cstdlib>
+#include <cstring>
 #include <iostream>
 
 #include "common/table.hh"
 #include "floorplan/power8.hh"
-#include "sim/simulation.hh"
+#include "sim/sweep.hh"
 #include "workload/profile.hh"
 
 using namespace tg;
@@ -19,7 +22,14 @@ using namespace tg;
 int
 main(int argc, char **argv)
 {
-    const char *bench = argc > 1 ? argv[1] : "fft";
+    const char *bench = "fft";
+    int jobs = 0;
+    for (int i = 1; i < argc; ++i) {
+        if (!std::strcmp(argv[i], "--jobs") && i + 1 < argc)
+            jobs = std::atoi(argv[++i]);
+        else
+            bench = argv[i];
+    }
 
     auto chip = floorplan::buildPower8Chip();
     sim::Simulation simulation(chip, sim::SimConfig{});
@@ -28,11 +38,14 @@ main(int argc, char **argv)
     std::cout << "policy comparison on " << profile.name << " ("
               << profile.fullName << ")\n\n";
 
+    auto sweep = sim::runSweep(simulation, {profile.name}, {},
+                               false, jobs);
+
     TextTable t({"policy", "Tmax (C)", "gradient (C)", "noise (%)",
                  "emerg (%)", "eta (%)", "VR loss (W)",
                  "avg active"});
-    for (auto kind : core::allPolicyKinds()) {
-        auto r = simulation.run(profile, kind);
+    for (auto kind : sweep.policies) {
+        const auto &r = sweep.at(profile.name, kind);
         t.addRow({core::policyName(kind), TextTable::num(r.maxTmax, 1),
                   TextTable::num(r.maxGradient, 1),
                   TextTable::num(r.maxNoiseFrac * 100.0, 1),

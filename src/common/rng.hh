@@ -12,8 +12,34 @@
 
 #include <cstdint>
 #include <random>
+#include <string>
 
 namespace tg {
+
+/**
+ * Order-sensitive 64-bit seed mixer: combines two seeds into one with
+ * good avalanche behaviour. mixSeed(a, b) != mixSeed(b, a), which is
+ * what lets callers build distinct per-subsystem streams from a
+ * master seed and a salt.
+ */
+inline std::uint64_t
+mixSeed(std::uint64_t a, std::uint64_t b)
+{
+    return (a ^ (b + 0x9e3779b97f4a7c15ull + (a << 6) + (a >> 2))) *
+           0xbf58476d1ce4e5b9ull;
+}
+
+/** FNV-1a hash of a string, for seeding per-benchmark streams. */
+inline std::uint64_t
+hashString(const std::string &s)
+{
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    for (char c : s) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
 
 /**
  * Deterministic random source wrapping std::mt19937_64.

@@ -67,6 +67,15 @@ struct SimConfig
     /** Master seed; all stochastic streams fork from it. */
     std::uint64_t seed = 0x7469;
 
+    /**
+     * Worker threads for sweep/grid execution (runSweep and the
+     * drivers built on it). Positive values are used as-is; 0 defers
+     * to the TG_JOBS environment variable and then to the hardware
+     * thread count (see exec::resolveJobs). Results are bit-identical
+     * at every worker count.
+     */
+    int jobs = 0;
+
     thermal::ThermalParams thermalParams;
     power::PowerParams powerParams;
     pdn::PdnParams pdnParams;

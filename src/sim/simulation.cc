@@ -22,26 +22,6 @@ using core::PolicyKind;
 
 namespace {
 
-/** FNV-1a hash of a string, for seeding per-benchmark streams. */
-std::uint64_t
-hashName(const std::string &s)
-{
-    std::uint64_t h = 0xcbf29ce484222325ull;
-    for (char c : s) {
-        h ^= static_cast<unsigned char>(c);
-        h *= 0x100000001b3ull;
-    }
-    return h;
-}
-
-/** Order-sensitive seed mixer. */
-std::uint64_t
-mixSeed(std::uint64_t a, std::uint64_t b)
-{
-    return (a ^ (b + 0x9e3779b97f4a7c15ull + (a << 6) + (a >> 2))) *
-           0xbf58476d1ce4e5b9ull;
-}
-
 vreg::VrDesign
 designFor(RegulatorChoice choice)
 {
@@ -103,6 +83,18 @@ Simulation::predictorRSquared()
     if (!predictor)
         calibrateThetas();
     return predictorR2;
+}
+
+void
+Simulation::adoptPredictor(const core::ThermalPredictor &fitted,
+                           double r_squared)
+{
+    TG_ASSERT(fitted.size() ==
+                  static_cast<int>(chipRef.plan.vrs().size()),
+              "adopted predictor covers ", fitted.size(),
+              " VRs, chip has ", chipRef.plan.vrs().size());
+    predictor = std::make_unique<core::ThermalPredictor>(fitted);
+    predictorR2 = r_squared;
 }
 
 void
@@ -271,7 +263,7 @@ Simulation::runMixed(
     if (core::isThermallyAware(policy))
         thermalPredictor();  // ensure thetas exist
 
-    std::uint64_t run_seed = mixSeed(cfg.seed, hashName(label));
+    std::uint64_t run_seed = mixSeed(cfg.seed, hashString(label));
 
     // --- Workload and activity -----------------------------------------
     auto demand =

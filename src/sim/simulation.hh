@@ -32,7 +32,16 @@
 namespace tg {
 namespace sim {
 
-/** Reusable simulation context for one chip + configuration. */
+/**
+ * Reusable simulation context for one chip + configuration.
+ *
+ * Threading: run()/runMixed() are deterministic functions of (chip,
+ * config, profiles, policy, opts) — results never depend on what ran
+ * before on the same instance — but they mutate instance state (the
+ * per-domain PDN active-set factorisations and the lazily-fitted
+ * thermal predictor), so concurrent runs must use one Simulation per
+ * thread. sim::runSweep() arranges exactly that.
+ */
 class Simulation
 {
   public:
@@ -64,6 +73,19 @@ class Simulation
 
     /** R^2 (Eqn. 3) of the fitted predictor over profiling data. */
     double predictorRSquared();
+
+    /**
+     * Adopt an already-fitted predictor (from a sibling context with
+     * the same chip and config) instead of re-running the profiling
+     * pass. The fit is copied, so the source can be discarded; the
+     * parallel sweep uses this to calibrate once and share the
+     * result with every worker context.
+     */
+    void adoptPredictor(const core::ThermalPredictor &fitted,
+                        double r_squared);
+
+    /** Whether a fitted predictor exists (profiled or adopted). */
+    bool hasPredictor() const { return predictor != nullptr; }
 
     const floorplan::Chip &chip() const { return chipRef; }
     const SimConfig &config() const { return cfg; }

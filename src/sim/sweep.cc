@@ -1,7 +1,11 @@
 #include "sim/sweep.hh"
 
+#include <algorithm>
 #include <cstdio>
+#include <memory>
+#include <sstream>
 
+#include "common/exec.hh"
 #include "common/logging.hh"
 #include "workload/profile.hh"
 
@@ -56,17 +60,24 @@ SweepResult::at(const std::string &benchmark,
     for (std::size_t b = 0; b < benchmarks.size(); ++b) {
         if (benchmarks[b] != benchmark)
             continue;
+        // The benchmark row is found: resolve the policy within it
+        // and report a policy-specific failure when it is absent,
+        // instead of falling through to scan the remaining rows (a
+        // duplicate row later in the sweep would otherwise shadow
+        // the miss).
         for (std::size_t p = 0; p < policies.size(); ++p)
             if (policies[p] == policy)
                 return results[b][p];
+        fatal("policy ", core::policyName(policy),
+              " not part of the sweep for benchmark ", benchmark);
     }
-    fatal("no sweep entry for (", benchmark, ", ",
-          core::policyName(policy), ")");
+    fatal("no sweep entry for benchmark ", benchmark);
 }
 
 SweepResult
 runSweep(Simulation &simulation, std::vector<std::string> benchmarks,
-         std::vector<core::PolicyKind> policies, bool progress)
+         std::vector<core::PolicyKind> policies, bool progress,
+         int jobs)
 {
     if (benchmarks.empty())
         for (const auto &p : workload::splashProfiles())
@@ -77,23 +88,71 @@ runSweep(Simulation &simulation, std::vector<std::string> benchmarks,
     SweepResult sweep;
     sweep.benchmarks = benchmarks;
     sweep.policies = policies;
-    sweep.results.resize(benchmarks.size());
+    sweep.results.assign(benchmarks.size(),
+                         std::vector<RunResult>(policies.size()));
 
-    for (std::size_t b = 0; b < benchmarks.size(); ++b) {
+    const std::size_t n_tasks = benchmarks.size() * policies.size();
+    std::size_t want = static_cast<std::size_t>(exec::resolveJobs(
+        jobs > 0 ? jobs : simulation.config().jobs));
+    const int n_jobs = static_cast<int>(std::min(want, n_tasks));
+
+    // Thermally-aware policies need the fitted theta predictor.
+    // Calibrate it once on the caller's context and hand the fit to
+    // every worker below, instead of paying the profiling pass once
+    // per worker (the pass is deterministic in the config, so this
+    // does not change any result).
+    const bool want_predictor =
+        std::any_of(policies.begin(), policies.end(),
+                    core::isThermallyAware);
+    if (want_predictor)
+        simulation.thermalPredictor();
+
+    exec::ProgressSink sink(progress, n_tasks);
+    auto run_one = [&](Simulation &ctx, std::size_t task) {
+        std::size_t b = task / policies.size();
+        std::size_t p = task % policies.size();
         const auto &profile = workload::profileByName(benchmarks[b]);
-        for (auto kind : policies) {
-            sweep.results[b].push_back(simulation.run(profile, kind));
-            if (progress) {
-                const auto &r = sweep.results[b].back();
-                std::fprintf(stderr,
-                             "  [%s / %s] Tmax=%.1f grad=%.1f "
-                             "noise=%.1f%%\n",
-                             benchmarks[b].c_str(),
-                             core::policyName(kind), r.maxTmax,
-                             r.maxGradient, r.maxNoiseFrac * 100.0);
-            }
-        }
+        RunResult r = ctx.run(profile, policies[p]);
+        std::ostringstream line;
+        char buf[96];
+        std::snprintf(buf, sizeof buf,
+                      "Tmax=%.1f grad=%.1f noise=%.1f%%", r.maxTmax,
+                      r.maxGradient, r.maxNoiseFrac * 100.0);
+        line << "[" << benchmarks[b] << " / "
+             << core::policyName(policies[p]) << "] " << buf;
+        sweep.results[b][p] = std::move(r);
+        sink.completed(line.str());
+    };
+
+    if (n_jobs <= 1) {
+        for (std::size_t task = 0; task < n_tasks; ++task)
+            run_one(simulation, task);
+        return sweep;
     }
+
+    // One Simulation per worker: run() is deterministic in (chip,
+    // config, profile, policy) but mutates per-instance solver state
+    // (PDN active-set factorisations, lazy predictor), so concurrent
+    // runs must not share an instance. Each worker builds its own
+    // context lazily on its first task — construction (thermal and
+    // PDN factorisations) then overlaps across workers. Results land
+    // in pre-assigned (benchmark, policy) slots, so the grid comes
+    // back in the same order as the serial path, bit-identical at
+    // any worker count.
+    std::vector<std::unique_ptr<Simulation>> contexts(
+        static_cast<std::size_t>(n_jobs));
+    exec::parallelFor(n_tasks, n_jobs,
+                      [&](int worker, std::size_t task) {
+        auto &ctx = contexts[static_cast<std::size_t>(worker)];
+        if (!ctx) {
+            ctx = std::make_unique<Simulation>(simulation.chip(),
+                                               simulation.config());
+            if (want_predictor)
+                ctx->adoptPredictor(simulation.thermalPredictor(),
+                                    simulation.predictorRSquared());
+        }
+        run_one(*ctx, task);
+    });
     return sweep;
 }
 

@@ -38,7 +38,11 @@ struct SweepResult
                    const std::function<double(const RunResult &)>
                        &metric) const;
 
-    /** The run of (benchmark, policy); fatals when absent. */
+    /**
+     * The run of (benchmark, policy); fatals when absent, with a
+     * policy-specific message when the benchmark row exists but was
+     * not swept under that policy.
+     */
     const RunResult &at(const std::string &benchmark,
                         core::PolicyKind policy) const;
 };
@@ -47,14 +51,24 @@ struct SweepResult
  * Run every (benchmark, policy) combination. Benchmarks default to
  * all 14 SPLASH-2x profiles, policies to the paper's full set.
  *
+ * The grid fans out across a worker pool (see common/exec.hh): each
+ * worker owns a private Simulation context built from `simulation`'s
+ * chip and config, and every (benchmark, policy) cell lands in its
+ * pre-assigned slot, so the returned SweepResult is bit-identical at
+ * any worker count — `--jobs 8` and `--jobs 1` agree exactly.
+ *
  * @param progress when true, prints one line per completed run so
- *                 long sweeps show liveness.
+ *                 long sweeps show liveness (completion order under
+ *                 parallel execution).
+ * @param jobs     worker count; 0 defers to simulation.config().jobs
+ *                 and the TG_JOBS / hardware-concurrency ladder of
+ *                 exec::resolveJobs().
  */
 SweepResult
 runSweep(Simulation &simulation,
          std::vector<std::string> benchmarks = {},
          std::vector<core::PolicyKind> policies = {},
-         bool progress = false);
+         bool progress = false, int jobs = 0);
 
 } // namespace sim
 } // namespace tg

@@ -1,7 +1,8 @@
-/** @file Unit tests for the sweep helper. */
+/** @file Unit tests for the sweep helper and its parallel engine. */
 
 #include <gtest/gtest.h>
 
+#include "common/exec.hh"
 #include "sim/sweep.hh"
 #include "workload/profile.hh"
 
@@ -56,15 +57,121 @@ TEST_F(SweepTest, AggregatesComputeCorrectly)
                      std::max(a, b));
 }
 
+TEST_F(SweepTest, SingleBenchmarkSweepAggregates)
+{
+    auto sweep = runSweep(simulation, {"fft"},
+                          {core::PolicyKind::AllOn,
+                           core::PolicyKind::Naive});
+    auto metric = [](const RunResult &r) { return r.maxTmax; };
+    // With one benchmark, average == maximum == the run itself.
+    double v = sweep.at("fft", core::PolicyKind::Naive).maxTmax;
+    EXPECT_DOUBLE_EQ(sweep.average(core::PolicyKind::Naive, metric),
+                     v);
+    EXPECT_DOUBLE_EQ(sweep.maximum(core::PolicyKind::Naive, metric),
+                     v);
+    EXPECT_EQ(sweep.at("fft", core::PolicyKind::Naive).benchmark,
+              "fft");
+}
+
 TEST_F(SweepTest, LookupFailuresAreFatal)
 {
     auto sweep = runSweep(simulation, {"rayt"},
                           {core::PolicyKind::AllOn});
+    // Benchmark row exists but was not swept under the policy: the
+    // failure names the policy instead of falling through to the
+    // generic missing-benchmark scan.
     EXPECT_EXIT(sweep.at("rayt", core::PolicyKind::OracV),
-                ::testing::ExitedWithCode(1), "no sweep entry");
+                ::testing::ExitedWithCode(1),
+                "policy OracV not part of the sweep for benchmark "
+                "rayt");
+    // Unknown benchmark: generic missing-entry failure.
+    EXPECT_EXIT(sweep.at("barnes", core::PolicyKind::AllOn),
+                ::testing::ExitedWithCode(1),
+                "no sweep entry for benchmark barnes");
     EXPECT_DEATH(sweep.average(core::PolicyKind::OracV,
                                [](const RunResult &) { return 0.0; }),
                  "not part of the sweep");
+    EXPECT_DEATH(sweep.maximum(core::PolicyKind::OracV,
+                               [](const RunResult &) { return 0.0; }),
+                 "not part of the sweep");
+}
+
+/** Exact equality of every scalar metric two sweeps share. */
+void
+expectIdentical(const SweepResult &a, const SweepResult &b)
+{
+    ASSERT_EQ(a.benchmarks, b.benchmarks);
+    ASSERT_EQ(a.policies, b.policies);
+    for (const auto &bench : a.benchmarks) {
+        for (auto kind : a.policies) {
+            const auto &ra = a.at(bench, kind);
+            const auto &rb = b.at(bench, kind);
+            EXPECT_EQ(ra.benchmark, rb.benchmark);
+            EXPECT_EQ(ra.policy, rb.policy);
+            EXPECT_EQ(ra.maxTmax, rb.maxTmax) << bench;
+            EXPECT_EQ(ra.maxGradient, rb.maxGradient) << bench;
+            EXPECT_EQ(ra.maxNoiseFrac, rb.maxNoiseFrac) << bench;
+            EXPECT_EQ(ra.emergencyFrac, rb.emergencyFrac) << bench;
+            EXPECT_EQ(ra.avgRegulatorLoss, rb.avgRegulatorLoss);
+            EXPECT_EQ(ra.avgEta, rb.avgEta) << bench;
+            EXPECT_EQ(ra.avgActiveVrs, rb.avgActiveVrs) << bench;
+            EXPECT_EQ(ra.meanPower, rb.meanPower) << bench;
+            EXPECT_EQ(ra.overrideCount, rb.overrideCount) << bench;
+            EXPECT_EQ(ra.hottestSpot, rb.hottestSpot) << bench;
+            EXPECT_EQ(ra.vrActivity, rb.vrActivity) << bench;
+            EXPECT_EQ(ra.vrAging, rb.vrAging) << bench;
+            EXPECT_EQ(ra.agingImbalance, rb.agingImbalance) << bench;
+        }
+    }
+}
+
+TEST_F(SweepTest, ParallelMatchesSerialBitwise)
+{
+    // Cover a thermally-aware policy (shared adopted predictor), the
+    // noise-aware one (PDN transfer-resistance reads) and an
+    // emergency-override one (per-run noise windows) across workers.
+    std::vector<std::string> benchmarks = {"rayt", "fft"};
+    std::vector<core::PolicyKind> policies = {
+        core::PolicyKind::AllOn, core::PolicyKind::OracT,
+        core::PolicyKind::OracV, core::PolicyKind::PracVT};
+
+    auto serial = runSweep(simulation, benchmarks, policies, false, 1);
+    auto parallel =
+        runSweep(simulation, benchmarks, policies, false, 4);
+    expectIdentical(serial, parallel);
+}
+
+TEST_F(SweepTest, JobsFromConfigAndEnvironment)
+{
+    SimConfig cfg = config();
+    cfg.jobs = 3;
+    Simulation sim3(chip, cfg);
+    auto viaConfig = runSweep(sim3, {"fft"},
+                              {core::PolicyKind::AllOn,
+                               core::PolicyKind::Naive});
+
+    setenv("TG_JOBS", "2", 1);
+    auto viaEnv = runSweep(simulation, {"fft"},
+                           {core::PolicyKind::AllOn,
+                            core::PolicyKind::Naive});
+    unsetenv("TG_JOBS");
+    expectIdentical(viaConfig, viaEnv);
+}
+
+TEST_F(SweepTest, RepeatedSweepsOnOneContextAgree)
+{
+    // run() must not depend on solver state left by earlier runs on
+    // the same Simulation — the property that makes per-worker
+    // context reuse (and the serial fallback) deterministic.
+    auto first = runSweep(simulation, {"rayt"},
+                          {core::PolicyKind::OracV,
+                           core::PolicyKind::OracT},
+                          false, 1);
+    auto second = runSweep(simulation, {"rayt"},
+                           {core::PolicyKind::OracV,
+                            core::PolicyKind::OracT},
+                           false, 1);
+    expectIdentical(first, second);
 }
 
 } // namespace
