@@ -116,7 +116,8 @@ LuSolver::solveInPlace(std::vector<double> &bx) const
     TG_ASSERT(bx.size() == n, "rhs size mismatch in LU solve");
 
     // Apply the row permutation.
-    std::vector<double> y(n);
+    scratch.resize(n);
+    std::vector<double> &y = scratch;
     for (std::size_t i = 0; i < n; ++i)
         y[i] = bx[perm[i]];
 
@@ -137,7 +138,7 @@ LuSolver::solveInPlace(std::vector<double> &bx) const
             acc -= rr[c] * y[c];
         y[r] = acc / rr[r];
     }
-    bx = std::move(y);
+    bx.assign(y.begin(), y.end());
 }
 
 } // namespace tg

@@ -79,7 +79,12 @@ class LuSolver
     /** Solve A x = b, returning x. */
     std::vector<double> solve(const std::vector<double> &b) const;
 
-    /** Solve in place: `bx` holds b on entry and x on return. */
+    /**
+     * Solve in place: `bx` holds b on entry and x on return. Reuses
+     * an internal scratch vector, so repeated solves perform no heap
+     * allocation — which also means a single LuSolver must not serve
+     * concurrent solves from multiple threads.
+     */
     void solveInPlace(std::vector<double> &bx) const;
 
     /** Dimension of the factored system. */
@@ -89,6 +94,7 @@ class LuSolver
     std::size_t n = 0;
     Matrix lu;                 //!< packed L (unit diag) and U factors
     std::vector<std::size_t> perm; //!< row permutation from pivoting
+    mutable std::vector<double> scratch; //!< permuted solve workspace
 };
 
 } // namespace tg

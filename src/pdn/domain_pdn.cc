@@ -28,6 +28,10 @@ DomainPdn::DomainPdn(const floorplan::Chip &chip, int domain,
               " != domain VR count ", dom.vrs.size());
     }
     buildTopology();
+    if (vrCount() > 64)
+        fatal("factorisation cache keys active sets as a 64-bit mask; "
+              "domain has ", vrCount(), " VRs");
+    buildBaseFactors();
     buildTransferResistances();
     // Default: everything on.
     std::vector<int> all(vrNodes.size());
@@ -70,16 +74,16 @@ DomainPdn::buildTopology()
 
     auto node_at = [&](int r, int c) { return r * gridW + c; };
 
-    // R-mesh conductances.
-    gGrid = Matrix(static_cast<std::size_t>(nNodes),
-                   static_cast<std::size_t>(nNodes), 0.0);
+    // R-mesh conductances, stamped as triplets and assembled in CSR.
+    std::vector<Triplet> stamps;
+    stamps.reserve(static_cast<std::size_t>(nNodes) * 8);
     auto couple = [&](int a, int b, double cond) {
         std::size_t ua = static_cast<std::size_t>(a);
         std::size_t ub = static_cast<std::size_t>(b);
-        gGrid(ua, ua) += cond;
-        gGrid(ub, ub) += cond;
-        gGrid(ua, ub) -= cond;
-        gGrid(ub, ua) -= cond;
+        stamps.push_back({ua, ua, cond});
+        stamps.push_back({ub, ub, cond});
+        stamps.push_back({ua, ub, -cond});
+        stamps.push_back({ub, ua, -cond});
     };
     for (int r = 0; r < gridH; ++r) {
         for (int c = 0; c < gridW; ++c) {
@@ -91,6 +95,9 @@ DomainPdn::buildTopology()
                        (cell_h / cell_w) / prm.sheetResistance);
         }
     }
+    gGrid = SparseMatrix::fromTriplets(static_cast<std::size_t>(nNodes),
+                                       static_cast<std::size_t>(nNodes),
+                                       std::move(stamps));
 
     // Decap per node.
     decap.assign(static_cast<std::size_t>(nNodes),
@@ -175,33 +182,113 @@ DomainPdn::buildTopology()
     }
 }
 
-namespace {
-
-/**
- * Assemble the bordered steady-state matrix [[G, -B], [B^T, R]] for
- * the given active branches.
- */
-Matrix
-steadyMatrix(const Matrix &g_grid, const std::vector<int> &vr_nodes,
-             const std::vector<int> &active, double r_out)
+void
+DomainPdn::buildBaseFactors()
 {
-    std::size_t n = g_grid.rows();
-    std::size_t m = active.size();
-    Matrix a(n + m, n + m, 0.0);
+    std::size_t n = static_cast<std::size_t>(nNodes);
+    double dt = prm.cycleTime;
+    double r_out = design.outputResistance;
+
+    // Reduced matrices with EVERY branch connected: eliminating the
+    // branch row of VR k folds it into a diagonal conductance 1/R_k
+    // at its attach node (R_k = R_out steady, L_k/dt + R_out
+    // transient).
+    std::vector<Triplet> steady;
+    steady.reserve(gGrid.nonZeros() + vrNodes.size());
     for (std::size_t r = 0; r < n; ++r)
-        for (std::size_t c = 0; c < n; ++c)
-            a(r, c) = g_grid(r, c);
-    for (std::size_t k = 0; k < m; ++k) {
-        std::size_t node = static_cast<std::size_t>(
-            vr_nodes[static_cast<std::size_t>(active[k])]);
-        a(node, n + k) = -1.0;   // branch current into the node
-        a(n + k, node) = 1.0;    // branch voltage equation
-        a(n + k, n + k) = r_out;
+        for (std::size_t p = gGrid.rowPtr()[r]; p < gGrid.rowPtr()[r + 1];
+             ++p)
+            steady.push_back({r, gGrid.colIdx()[p], gGrid.values()[p]});
+    std::vector<Triplet> transient(steady);
+    for (std::size_t i = 0; i < n; ++i)
+        transient.push_back({i, i, decap[i] / dt});
+    for (std::size_t k = 0; k < vrNodes.size(); ++k) {
+        std::size_t node = static_cast<std::size_t>(vrNodes[k]);
+        steady.push_back({node, node, 1.0 / r_out});
+        transient.push_back({node, node,
+                             1.0 / (vrLoopL[k] / dt + r_out)});
     }
-    return a;
+    steadyBase = std::make_unique<SparseLdltSolver>(
+        SparseMatrix::fromTriplets(n, n, std::move(steady)));
+    transientBase = std::make_unique<SparseLdltSolver>(
+        SparseMatrix::fromTriplets(n, n, std::move(transient)));
 }
 
-} // namespace
+DomainPdn::Downdate
+DomainPdn::makeDowndate(const SparseLdltSolver &base,
+                        const std::vector<int> &removed,
+                        const std::vector<double> &removed_r) const
+{
+    std::size_t n = static_cast<std::size_t>(nNodes);
+    std::size_t r = removed.size();
+    Downdate dd;
+    dd.nodes.reserve(r);
+    for (int k : removed)
+        dd.nodes.push_back(vrNodes[static_cast<std::size_t>(k)]);
+    if (r == 0)
+        return dd;
+
+    // W = M0^{-1} E, one base solve per removed branch.
+    dd.w = Matrix(n, r, 0.0);
+    std::vector<double> col(n);
+    for (std::size_t j = 0; j < r; ++j) {
+        std::fill(col.begin(), col.end(), 0.0);
+        col[static_cast<std::size_t>(dd.nodes[j])] = 1.0;
+        base.solveInPlace(col);
+        for (std::size_t i = 0; i < n; ++i)
+            dd.w(i, j) = col[i];
+    }
+
+    // Capacitance matrix (D^{-1} - E^T W), inverted once; it is r x r
+    // with r <= vrCount, so a dense LU is cheap.
+    Matrix cap(r, r, 0.0);
+    for (std::size_t i = 0; i < r; ++i)
+        for (std::size_t j = 0; j < r; ++j)
+            cap(i, j) = (i == j ? removed_r[i] : 0.0) -
+                        dd.w(static_cast<std::size_t>(dd.nodes[i]), j);
+    LuSolver lu(cap);
+    dd.capInverse = Matrix(r, r, 0.0);
+    std::vector<double> unit(r);
+    for (std::size_t j = 0; j < r; ++j) {
+        std::fill(unit.begin(), unit.end(), 0.0);
+        unit[j] = 1.0;
+        lu.solveInPlace(unit);
+        for (std::size_t i = 0; i < r; ++i)
+            dd.capInverse(i, j) = unit[i];
+    }
+    return dd;
+}
+
+void
+DomainPdn::solveReduced(const SparseLdltSolver &base, const Downdate &dd,
+                        std::vector<double> &x) const
+{
+    base.solveInPlace(x);
+    std::size_t r = dd.nodes.size();
+    if (r == 0)
+        return;
+    // Woodbury correction: x += W capInverse (E^T x).
+    std::size_t n = static_cast<std::size_t>(nNodes);
+    smallScratch.resize(2 * r);
+    double *s = smallScratch.data();
+    double *u = s + r;
+    for (std::size_t a = 0; a < r; ++a)
+        s[a] = x[static_cast<std::size_t>(dd.nodes[a])];
+    for (std::size_t a = 0; a < r; ++a) {
+        const double *ca = dd.capInverse.row(a);
+        double acc = 0.0;
+        for (std::size_t b = 0; b < r; ++b)
+            acc += ca[b] * s[b];
+        u[a] = acc;
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+        const double *wi = dd.w.row(i);
+        double acc = 0.0;
+        for (std::size_t a = 0; a < r; ++a)
+            acc += wi[a] * u[a];
+        x[i] += acc;
+    }
+}
 
 void
 DomainPdn::setActive(const std::vector<int> &active_local)
@@ -210,34 +297,77 @@ DomainPdn::setActive(const std::vector<int> &active_local)
               "a domain must keep at least one VR active");
     for (int k : active_local)
         TG_ASSERT(k >= 0 && k < vrCount(), "bad local VR index ", k);
-    activeSet = active_local;
-    std::sort(activeSet.begin(), activeSet.end());
+    std::vector<int> sorted(active_local);
+    std::sort(sorted.begin(), sorted.end());
+    sorted.erase(std::unique(sorted.begin(), sorted.end()),
+                 sorted.end());
+    if (current != nullptr && sorted == activeSet)
+        return;  // unchanged configuration: keep the factorisation
+    activeSet = std::move(sorted);
 
-    std::size_t n = static_cast<std::size_t>(nNodes);
+    std::uint64_t key = 0;
+    for (int k : activeSet)
+        key |= std::uint64_t{1} << k;
+    auto hit = cacheMap.find(key);
+    if (hit != cacheMap.end()) {
+        ++cacheHits;
+        cacheList.splice(cacheList.begin(), cacheList, hit->second);
+        current = &cacheList.front().second;
+        return;
+    }
 
-    luSteady = std::make_unique<LuSolver>(steadyMatrix(
-        gGrid, vrNodes, activeSet, design.outputResistance));
-
-    // Implicit-Euler transient matrix:
-    //   rows 0..n-1:   (C/dt + G) V' - B I' = C/dt V - I_load
-    //   rows n..n+m-1: B^T V' + (L_k/dt + R) I' = L_k/dt I + Vdd
+    ++cacheMisses;
     double dt = prm.cycleTime;
-    Matrix a = steadyMatrix(gGrid, vrNodes, activeSet,
-                            design.outputResistance);
-    for (std::size_t i = 0; i < n; ++i)
-        a(i, i) += decap[i] / dt;
-    for (std::size_t k = 0; k < activeSet.size(); ++k)
-        a(n + k, n + k) +=
-            vrLoopL[static_cast<std::size_t>(activeSet[k])] / dt;
-    luTransient = std::make_unique<LuSolver>(a);
+    double r_out = design.outputResistance;
+    std::vector<int> removed;
+    std::vector<double> r_steady;
+    std::vector<double> r_transient;
+    for (int k = 0; k < vrCount(); ++k) {
+        if (std::binary_search(activeSet.begin(), activeSet.end(), k))
+            continue;
+        removed.push_back(k);
+        r_steady.push_back(r_out);
+        r_transient.push_back(
+            vrLoopL[static_cast<std::size_t>(k)] / dt + r_out);
+    }
+    Factorization f;
+    f.steady = makeDowndate(*steadyBase, removed, r_steady);
+    f.transient = makeDowndate(*transientBase, removed, r_transient);
+    cacheList.emplace_front(key, std::move(f));
+    cacheMap[key] = cacheList.begin();
+    current = &cacheList.front().second;
+
+    std::size_t cap = static_cast<std::size_t>(
+        std::max(1, prm.factorCacheCapacity));
+    while (cacheList.size() > cap) {
+        cacheMap.erase(cacheList.back().first);
+        cacheList.pop_back();
+    }
+}
+
+void
+DomainPdn::clearFactorCache()
+{
+    cacheList.clear();
+    cacheMap.clear();
+    current = nullptr;
 }
 
 std::vector<Amperes>
 DomainPdn::nodeCurrents(const std::vector<Watts> &block_power) const
 {
+    std::vector<Amperes> out;
+    nodeCurrentsInto(block_power, out);
+    return out;
+}
+
+void
+DomainPdn::nodeCurrentsInto(const std::vector<Watts> &block_power,
+                            std::vector<Amperes> &out) const
+{
     TG_ASSERT(block_power.size() == blockNodes.size(),
               "block power size mismatch");
-    std::vector<Amperes> out(static_cast<std::size_t>(nNodes), 0.0);
+    out.assign(static_cast<std::size_t>(nNodes), 0.0);
     double vdd = chipRef.params.vdd;
     for (std::size_t b = 0; b < blockNodes.size(); ++b) {
         if (blockNodes[b].empty() || block_power[b] == 0.0)
@@ -246,7 +376,6 @@ DomainPdn::nodeCurrents(const std::vector<Watts> &block_power) const
         for (const auto &[node, w] : blockNodes[b])
             out[static_cast<std::size_t>(node)] += w * i;
     }
-    return out;
 }
 
 std::vector<Volts>
@@ -254,17 +383,19 @@ DomainPdn::steadyVoltages(const std::vector<Amperes> &node_currents) const
 {
     TG_ASSERT(static_cast<int>(node_currents.size()) == nNodes,
               "node current size mismatch");
+    TG_ASSERT(current != nullptr, "setActive() must precede solves");
     std::size_t n = static_cast<std::size_t>(nNodes);
-    std::size_t m = activeSet.size();
-    std::vector<double> rhs(n + m);
+    // Reduced rhs: f + B R^{-1} g with g_k = Vdd for every active
+    // branch.
+    std::vector<double> v(n);
     for (std::size_t i = 0; i < n; ++i)
-        rhs[i] = -node_currents[i];
-    double vdd = chipRef.params.vdd;
-    for (std::size_t k = 0; k < m; ++k)
-        rhs[n + k] = vdd;
-    luSteady->solveInPlace(rhs);
-    rhs.resize(n);
-    return rhs;
+        v[i] = -node_currents[i];
+    double inj = chipRef.params.vdd / design.outputResistance;
+    for (int k : activeSet)
+        v[static_cast<std::size_t>(
+            vrNodes[static_cast<std::size_t>(k)])] += inj;
+    solveReduced(*steadyBase, current->steady, v);
+    return v;
 }
 
 double
@@ -288,45 +419,75 @@ DomainPdn::transientWindow(
     TG_ASSERT(warmup >= 0 &&
                   warmup < static_cast<int>(cycle_currents.size()),
               "warmup must leave analysis cycles");
+    TG_ASSERT(current != nullptr, "setActive() must precede solves");
 
     std::size_t n = static_cast<std::size_t>(nNodes);
     std::size_t m = activeSet.size();
     double vdd = chipRef.params.vdd;
     double dt = prm.cycleTime;
+    double r_out = design.outputResistance;
 
-    // Initial condition: steady state at the first cycle's load.
-    std::vector<double> x(n + m);
-    {
-        std::vector<double> rhs(n + m);
-        for (std::size_t i = 0; i < n; ++i)
-            rhs[i] = -cycle_currents[0][i];
-        for (std::size_t k = 0; k < m; ++k)
-            rhs[n + k] = vdd;
-        x = luSteady->solve(rhs);
-    }
+    // Per-branch transient resistance R_k = L_k/dt + R_out.
+    branchR.resize(m);
+    for (std::size_t k = 0; k < m; ++k)
+        branchR[k] =
+            vrLoopL[static_cast<std::size_t>(activeSet[k])] / dt + r_out;
+
+    // Initial condition: steady state at the first cycle's load; the
+    // branch currents follow from Vdd = V_node + R_out I.
+    voltScratch.resize(n);
+    for (std::size_t i = 0; i < n; ++i)
+        voltScratch[i] = -cycle_currents[0][i];
+    for (std::size_t k = 0; k < m; ++k)
+        voltScratch[static_cast<std::size_t>(
+            vrNodes[static_cast<std::size_t>(activeSet[k])])] +=
+            vdd / r_out;
+    solveReduced(*steadyBase, current->steady, voltScratch);
+    branchScratch.resize(m);
+    for (std::size_t k = 0; k < m; ++k)
+        branchScratch[k] =
+            (vdd - voltScratch[static_cast<std::size_t>(
+                       vrNodes[static_cast<std::size_t>(
+                           activeSet[k])])]) /
+            r_out;
 
     NoiseResult res;
     if (keep_trace)
         res.trace.reserve(cycle_currents.size());
 
-    std::vector<double> rhs(n + m);
+    // Implicit Euler in reduced form:
+    //   (C/dt + G + sum 1/R_k) V' = C/dt V - I_load + sum g_k/R_k e_k
+    //   I'_k = (g_k - V'_{node_k}) / R_k,  g_k = L_k/dt I_k + Vdd.
+    rhsScratch.resize(n);
+    branchRhs.resize(m);
     for (std::size_t cyc = 0; cyc < cycle_currents.size(); ++cyc) {
         const auto &load = cycle_currents[cyc];
         TG_ASSERT(load.size() == n, "cycle current size mismatch");
         for (std::size_t i = 0; i < n; ++i)
-            rhs[i] = decap[i] / dt * x[i] - load[i];
-        for (std::size_t k = 0; k < m; ++k)
-            rhs[n + k] =
+            rhsScratch[i] = decap[i] / dt * voltScratch[i] - load[i];
+        for (std::size_t k = 0; k < m; ++k) {
+            branchRhs[k] =
                 vrLoopL[static_cast<std::size_t>(activeSet[k])] / dt *
-                    x[n + k] +
+                    branchScratch[k] +
                 vdd;
-        luTransient->solveInPlace(rhs);
-        x = rhs;
+            rhsScratch[static_cast<std::size_t>(
+                vrNodes[static_cast<std::size_t>(activeSet[k])])] +=
+                branchRhs[k] / branchR[k];
+        }
+        solveReduced(*transientBase, current->transient, rhsScratch);
+        voltScratch.swap(rhsScratch);
+        for (std::size_t k = 0; k < m; ++k)
+            branchScratch[k] =
+                (branchRhs[k] -
+                 voltScratch[static_cast<std::size_t>(
+                     vrNodes[static_cast<std::size_t>(activeSet[k])])]) /
+                branchR[k];
 
         double droop = 0.0;
         for (std::size_t i = 0; i < n; ++i)
             if (loadNode[i])
-                droop = std::max(droop, (vdd - x[i]) / vdd);
+                droop = std::max(droop,
+                                 (vdd - voltScratch[i]) / vdd);
         if (keep_trace)
             res.trace.push_back(droop);
         if (static_cast<int>(cyc) >= warmup) {
@@ -352,19 +513,76 @@ void
 DomainPdn::buildTransferResistances()
 {
     std::size_t n = static_cast<std::size_t>(nNodes);
-    transferR = Matrix(n, vrNodes.size(), 0.0);
-    double vdd = chipRef.params.vdd;
-    for (std::size_t k = 0; k < vrNodes.size(); ++k) {
-        LuSolver lu(steadyMatrix(gGrid, vrNodes,
-                                 {static_cast<int>(k)},
-                                 design.outputResistance));
-        std::vector<double> rhs(n + 1);
+    std::size_t m = vrNodes.size();
+    transferR = Matrix(n, m, 0.0);
+    double r_out = design.outputResistance;
+
+    // transferR(j, k) is the droop at node j per ampere drawn there
+    // when VR k alone is active: with rhs (-e_j, Vdd) the bordered
+    // solve gives Vdd - v_j = (M_k^{-1})_{jj} for the single-branch
+    // reduced matrix M_k (G 1 = 0 makes Vdd*1 absorb the source
+    // term). M_k is the all-branches base M0 minus the other m-1
+    // branch conductances, so every column is a Woodbury downdate of
+    // shared work: one base factorisation, n solves for
+    // diag(M0^{-1}), and m solves for the branch columns Z — instead
+    // of the m full factorisations and n*m solves of the dense path.
+    std::vector<double> col(n);
+    std::vector<double> d0(n);
+    for (std::size_t j = 0; j < n; ++j) {
+        std::fill(col.begin(), col.end(), 0.0);
+        col[j] = 1.0;
+        steadyBase->solveInPlace(col);
+        d0[j] = col[j];
+    }
+    Matrix z(n, m, 0.0);
+    for (std::size_t k = 0; k < m; ++k) {
+        std::fill(col.begin(), col.end(), 0.0);
+        col[static_cast<std::size_t>(vrNodes[k])] = 1.0;
+        steadyBase->solveInPlace(col);
+        for (std::size_t i = 0; i < n; ++i)
+            z(i, k) = col[i];
+    }
+
+    std::vector<std::size_t> others(m > 0 ? m - 1 : 0);
+    for (std::size_t k = 0; k < m; ++k) {
+        std::size_t r = 0;
+        for (std::size_t i = 0; i < m; ++i)
+            if (i != k)
+                others[r++] = i;
+        if (r == 0) {
+            for (std::size_t j = 0; j < n; ++j)
+                transferR(j, k) = d0[j];
+            continue;
+        }
+        // (M_k^{-1})_{jj} = d0[j] + w_j^T cap^{-1} w_j with
+        // w_j[a] = z(j, others[a]) and cap = R_out I - E^T Z_others.
+        Matrix cap(r, r, 0.0);
+        for (std::size_t a = 0; a < r; ++a)
+            for (std::size_t b = 0; b < r; ++b)
+                cap(a, b) =
+                    (a == b ? r_out : 0.0) -
+                    z(static_cast<std::size_t>(vrNodes[others[a]]),
+                      others[b]);
+        LuSolver lu(cap);
+        Matrix cap_inv(r, r, 0.0);
+        std::vector<double> unit(r);
+        for (std::size_t b = 0; b < r; ++b) {
+            std::fill(unit.begin(), unit.end(), 0.0);
+            unit[b] = 1.0;
+            lu.solveInPlace(unit);
+            for (std::size_t a = 0; a < r; ++a)
+                cap_inv(a, b) = unit[a];
+        }
         for (std::size_t j = 0; j < n; ++j) {
-            std::fill(rhs.begin(), rhs.end(), 0.0);
-            rhs[j] = -1.0;  // 1 A drawn at node j
-            rhs[n] = vdd;
-            auto v = lu.solve(rhs);
-            transferR(j, k) = vdd - v[j];
+            double quad = 0.0;
+            for (std::size_t a = 0; a < r; ++a) {
+                const double *ca = cap_inv.row(a);
+                double acc = 0.0;
+                for (std::size_t b = 0; b < r; ++b)
+                    acc += ca[b] * z(j, others[b]);
+                quad += z(j, others[a]) * acc;
+            }
+            transferR(j, k) = d0[j] + quad;
         }
     }
 }
@@ -372,8 +590,12 @@ DomainPdn::buildTransferResistances()
 double
 DomainPdn::transferResistance(int node, int vr_local) const
 {
-    return transferR.at(static_cast<std::size_t>(node),
-                        static_cast<std::size_t>(vr_local));
+    double r = transferR.at(static_cast<std::size_t>(node),
+                            static_cast<std::size_t>(vr_local));
+    TG_ASSERT(r > -1e-12, "negative transfer resistance at node ",
+              node, " vr ", vr_local);
+    // Floor to keep 1/r finite for callers; see kTransferRFloor.
+    return std::max(r, kTransferRFloor);
 }
 
 double
@@ -401,8 +623,7 @@ DomainPdn::estimateNoise(const std::vector<int> &active_local,
             continue;
         double inv_sum = 0.0;
         for (int k : active_local)
-            inv_sum += 1.0 / transferR.at(
-                                 j, static_cast<std::size_t>(k));
+            inv_sum += 1.0 / transferResistance(static_cast<int>(j), k);
         double r_eff = 1.0 / inv_sum;
         double steady = node_currents[j] * r_eff;
         double transient = didt * node_currents[j] * z_char;

@@ -12,25 +12,47 @@
  *  - a steady-state solve giving the IR-drop map for a constant load
  *    (used for initial conditions and the policy-facing estimates);
  *  - a cycle-resolution transient solve (implicit Euler at the core
- *    clock, cached LU per active set) giving the droop waveform the
- *    noise figures report. The inductive branch is what makes load
- *    steps ring: a buck phase's ~1.5 nH output inductor produces the
- *    large droops of Fig. 11, while the LDO's near-resistive output
- *    explains the Fig. 15 advantage.
+ *    clock) giving the droop waveform the noise figures report. The
+ *    inductive branch is what makes load steps ring: a buck phase's
+ *    ~1.5 nH output inductor produces the large droops of Fig. 11,
+ *    while the LDO's near-resistive output explains the Fig. 15
+ *    advantage.
+ *
+ * Solver structure: the bordered systems [[G, -B], [B^T, R]] are
+ * never assembled. Eliminating the m branch rows reduces them to the
+ * n-node SPD system (G + B R^{-1} B^T) V = f + B R^{-1} g, i.e. the
+ * grid Laplacian with a diagonal conductance boost at each active
+ * VR's attach node. The grid block is factored ONCE per domain (all
+ * branches in, sparse envelope LDL^T under an RCM ordering); a
+ * specific active set is then a low-rank diagonal downdate handled
+ * with the Woodbury identity, so setActive() never refactors the
+ * grid. The per-active-set Woodbury data (a handful of solved
+ * columns plus a tiny dense capacitance-matrix inverse) is kept in
+ * an LRU cache keyed by the active-set bitmask: a governor flipping
+ * among a small set of configurations pays the build cost once.
  *
  * Voltage noise is reported as the paper reports it: the maximum of
  * (Vdd - V_node)/Vdd over the domain's load nodes, with a voltage
  * emergency flagged when it exceeds 10% of nominal.
+ *
+ * Solves reuse internal scratch buffers (no per-cycle heap
+ * allocation), so one DomainPdn must not be driven concurrently from
+ * multiple threads; the sweep engine builds one Simulation — hence
+ * one PDN set — per worker.
  */
 
 #ifndef TG_PDN_DOMAIN_PDN_HH
 #define TG_PDN_DOMAIN_PDN_HH
 
+#include <cstdint>
+#include <list>
 #include <memory>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "common/matrix.hh"
+#include "common/sparse.hh"
 #include "common/units.hh"
 #include "floorplan/power8.hh"
 #include "vreg/design.hh"
@@ -54,6 +76,13 @@ struct PdnParams
     double gridInductancePerM = 2.5e-7;
     Seconds cycleTime = 0.25e-9; //!< transient step = clock period [s]
     double emergencyFrac = 0.10; //!< voltage-emergency threshold
+    /**
+     * Active-set factorisations kept alive (LRU). The governor flips
+     * among a handful of configurations per domain, so a small cache
+     * removes nearly all Woodbury rebuilds; each entry costs a few
+     * n-vectors of memory.
+     */
+    int factorCacheCapacity = 16;
 };
 
 /** Result of one transient noise window. */
@@ -69,13 +98,20 @@ struct NoiseResult
 /**
  * The PDN of one Vdd-domain.
  *
- * setActive() selects and factors the active-VR configuration; the
- * solvers then run against it. Local VR indices are positions within
- * the domain's VR list (0 .. vrCount()-1).
+ * setActive() selects the active-VR configuration; the solvers then
+ * run against it. Local VR indices are positions within the domain's
+ * VR list (0 .. vrCount()-1).
  */
 class DomainPdn
 {
   public:
+    /**
+     * Transfer resistances are bounded below by the VR output
+     * resistance (~1e-2 ohm); this floor only guards a degenerate
+     * entry from being divided to infinity in the noise estimators.
+     */
+    static constexpr double kTransferRFloor = 1e-9;
+
     /**
      * @param custom_vr_sites when non-empty, overrides the floorplan
      *        VR positions of this domain (same count required) —
@@ -97,11 +133,27 @@ class DomainPdn
     std::vector<Amperes>
     nodeCurrents(const std::vector<Watts> &block_power) const;
 
-    /** Select the active VR set (local indices) and factor it. */
+    /** nodeCurrents() into a caller-owned (resized) buffer. */
+    void nodeCurrentsInto(const std::vector<Watts> &block_power,
+                          std::vector<Amperes> &out) const;
+
+    /**
+     * Select the active VR set (local indices; duplicates are
+     * collapsed). Reuses a cached factorisation when this
+     * configuration was seen recently, and short-circuits entirely
+     * when the set is unchanged.
+     */
     void setActive(const std::vector<int> &active_local);
 
-    /** Currently active local VR indices. */
+    /** Currently active local VR indices (sorted, unique). */
     const std::vector<int> &active() const { return activeSet; }
+
+    /** Active-set factorisations served from the LRU cache. */
+    std::uint64_t factorCacheHits() const { return cacheHits; }
+    /** Active-set factorisations built from scratch. */
+    std::uint64_t factorCacheMisses() const { return cacheMisses; }
+    /** Drop all cached factorisations (benchmarks / tests). */
+    void clearFactorCache();
 
     /** Steady-state node voltages for constant node currents [V]. */
     std::vector<Volts>
@@ -125,7 +177,8 @@ class DomainPdn
      * `vr_local` [ohm]: the droop at `node` per ampere drawn there
      * when `vr_local` is the only active VR (includes the VR output
      * resistance). Policies use these to estimate the noise impact
-     * of a candidate active set without a transient solve.
+     * of a candidate active set without a transient solve. Values
+     * are floored at kTransferRFloor so callers may divide freely.
      */
     double transferResistance(int node, int vr_local) const;
 
@@ -142,6 +195,18 @@ class DomainPdn
 
     /** Mesh node nearest to a VR site (local VR index). */
     int vrAttachNode(int vr_local) const { return vrNodes[vr_local]; }
+
+    /** Branch loop inductance of a VR [H] (tests / benches). */
+    double branchInductance(int vr_local) const
+    {
+        return vrLoopL[static_cast<std::size_t>(vr_local)];
+    }
+
+    /** Mesh conductance matrix G (tests / dense reference). */
+    const SparseMatrix &gridConductance() const { return gGrid; }
+
+    /** Per-node decoupling capacitance [F] (tests / benches). */
+    const std::vector<double> &nodeDecaps() const { return decap; }
 
     /** Centre of mesh node `node` in floorplan coordinates [mm]. */
     std::pair<double, double> nodePosition(int node) const;
@@ -170,7 +235,7 @@ class DomainPdn
     double originY = 0.0;
     double pitchMm = 0.0;
 
-    Matrix gGrid;                     //!< mesh conductances (n x n)
+    SparseMatrix gGrid;               //!< mesh conductances (n x n)
     std::vector<double> decap;        //!< per-node capacitance [F]
     std::vector<int> vrNodes;         //!< attach node per local VR
     std::vector<double> vrLoopL;      //!< per-VR branch inductance [H]
@@ -178,14 +243,68 @@ class DomainPdn
     /** Per block: (node, weight) pairs, weights summing to 1. */
     std::vector<std::vector<std::pair<int, double>>> blockNodes;
 
+    /**
+     * Base factorisations with EVERY branch connected: the reduced
+     * steady matrix G + sum_k (1/R_out) e_k e_k^T and the reduced
+     * implicit-Euler matrix G + C/dt + sum_k (1/(L_k/dt + R_out))
+     * e_k e_k^T. Factored once; active subsets are downdates.
+     */
+    std::unique_ptr<SparseLdltSolver> steadyBase;
+    std::unique_ptr<SparseLdltSolver> transientBase;
+
+    /**
+     * Woodbury downdate removing the inactive branches from a base
+     * factorisation: M_S = M0 - E D E^T with E the attach-node
+     * columns and D the removed branch conductances. A solve against
+     * M_S is one base solve plus a rank-r correction through the
+     * precomputed capacitance-matrix inverse:
+     *   M_S^{-1} x = t + W (D^{-1} - E^T W)^{-1} E^T t,
+     * where t = M0^{-1} x and W = M0^{-1} E.
+     */
+    struct Downdate
+    {
+        std::vector<int> nodes; //!< attach nodes of removed branches
+        Matrix w;               //!< n x r solved columns M0^{-1} E
+        Matrix capInverse;      //!< r x r (D^{-1} - E^T W)^{-1}
+    };
+
+    /** Cached per-active-set solver state. */
+    struct Factorization
+    {
+        Downdate steady;
+        Downdate transient;
+    };
+
+    /** LRU cache of factorisations keyed by active-set bitmask. */
+    std::list<std::pair<std::uint64_t, Factorization>> cacheList;
+    std::unordered_map<
+        std::uint64_t,
+        std::list<std::pair<std::uint64_t, Factorization>>::iterator>
+        cacheMap;
+    const Factorization *current = nullptr;
+    std::uint64_t cacheHits = 0;
+    std::uint64_t cacheMisses = 0;
+
     std::vector<int> activeSet;
-    std::unique_ptr<LuSolver> luSteady;    //!< [[G,-B],[B^T,R]]
-    std::unique_ptr<LuSolver> luTransient; //!< implicit-Euler matrix
 
     Matrix transferR;  //!< nodeCount x vrCount transfer resistances
 
+    // Reusable solve workspaces (see thread-safety note above).
+    mutable std::vector<double> voltScratch;   //!< node voltages
+    mutable std::vector<double> rhsScratch;    //!< reduced-system rhs
+    mutable std::vector<double> branchScratch; //!< branch currents
+    mutable std::vector<double> branchRhs;     //!< branch rhs g_k
+    mutable std::vector<double> branchR;       //!< branch R (L/dt+R)
+    mutable std::vector<double> smallScratch;  //!< rank-r correction
+
     void buildTopology();
+    void buildBaseFactors();
     void buildTransferResistances();
+    Downdate makeDowndate(const SparseLdltSolver &base,
+                          const std::vector<int> &removed,
+                          const std::vector<double> &removed_r) const;
+    void solveReduced(const SparseLdltSolver &base, const Downdate &dd,
+                      std::vector<double> &x) const;
 };
 
 } // namespace pdn

@@ -23,15 +23,15 @@ GlobalGrid::GlobalGrid(const floorplan::Chip &chip,
     cellW = plan.width() / gridW;
     cellH = plan.height() / gridH;
 
-    Matrix g(static_cast<std::size_t>(nNodes),
-             static_cast<std::size_t>(nNodes), 0.0);
+    std::vector<Triplet> stamps;
+    stamps.reserve(static_cast<std::size_t>(nNodes) * 8);
     auto couple = [&](int a, int b, double cond) {
         std::size_t ua = static_cast<std::size_t>(a);
         std::size_t ub = static_cast<std::size_t>(b);
-        g(ua, ua) += cond;
-        g(ub, ub) += cond;
-        g(ua, ub) -= cond;
-        g(ub, ua) -= cond;
+        stamps.push_back({ua, ua, cond});
+        stamps.push_back({ub, ub, cond});
+        stamps.push_back({ua, ub, -cond});
+        stamps.push_back({ub, ua, -cond});
     };
     for (int r = 0; r < gridH; ++r) {
         for (int c = 0; c < gridW; ++c) {
@@ -55,13 +55,15 @@ GlobalGrid::GlobalGrid(const floorplan::Chip &chip,
              c += prm.padPitchNodes) {
             int n = r * gridW + c;
             padNodes.push_back(n);
-            g(static_cast<std::size_t>(n),
-              static_cast<std::size_t>(n)) +=
-                1.0 / prm.padResistance;
+            stamps.push_back({static_cast<std::size_t>(n),
+                              static_cast<std::size_t>(n),
+                              1.0 / prm.padResistance});
         }
     }
     TG_ASSERT(!padNodes.empty(), "no C4 pads on the grid");
-    lu = std::make_unique<LuSolver>(g);
+    lu = std::make_unique<SparseLdltSolver>(SparseMatrix::fromTriplets(
+        static_cast<std::size_t>(nNodes),
+        static_cast<std::size_t>(nNodes), std::move(stamps)));
 
     // VR sites -> nodes.
     for (const auto &vr : plan.vrs())

@@ -26,7 +26,7 @@
 #include <memory>
 #include <vector>
 
-#include "common/matrix.hh"
+#include "common/sparse.hh"
 #include "common/units.hh"
 #include "floorplan/power8.hh"
 #include "vreg/network.hh"
@@ -95,7 +95,8 @@ class GlobalGrid
     /** Per block: (node, weight) pairs for unregulated blocks. */
     std::vector<std::vector<std::pair<int, double>>> blockNodes;
 
-    std::unique_ptr<LuSolver> lu;  //!< G with pad conductances
+    /** Sparse factor of G with pad conductances (SPD mesh). */
+    std::unique_ptr<SparseLdltSolver> lu;
 
     int nodeAt(double x_mm, double y_mm) const;
 };

@@ -404,6 +404,7 @@ Simulation::runMixed(
         for (std::size_t b = 0; b < last_block_power.size(); ++b)
             last_block_power[b] += leak[b];
     }
+    std::vector<Watts> nodal_power;  //!< reused every thermal step
 
     // Per-epoch mean and peak dynamic power: oracular policies
     // provision n_on for the epoch's demand *excursions*, not just
@@ -498,8 +499,9 @@ Simulation::runMixed(
                 st.vrLossNextPerActive = op_next.plossTotal /
                                          non_next;
 
-                st.nodeCurrents = pdn.nodeCurrents(
-                    oracular_inputs ? mean_power : last_block_power);
+                pdn.nodeCurrentsInto(
+                    oracular_inputs ? mean_power : last_block_power,
+                    st.nodeCurrents);
 
                 core::PolicyToolkit kit;
                 kit.pdn = &pdn;
@@ -520,7 +522,8 @@ Simulation::runMixed(
                          .empty()) {
                     // Determine the ground truth: would this
                     // selection suffer an emergency this epoch?
-                    pdn.setActive(decision.active);
+                    if (decision.active != pdn.active())
+                        pdn.setActive(decision.active);
                     bool truth = false;
                     for (int s :
                          samples_of_epoch[static_cast<std::size_t>(
@@ -543,7 +546,9 @@ Simulation::runMixed(
 
                 active_sets[static_cast<std::size_t>(d)] =
                     decision.active;
-                pdn.setActive(decision.active);
+                // Unchanged selections keep the cached factorisation.
+                if (decision.active != pdn.active())
+                    pdn.setActive(decision.active);
                 governor.recordActivity(
                     d, decision.active,
                     static_cast<int>(dom.vrs.size()),
@@ -639,7 +644,8 @@ Simulation::runMixed(
             ploss_stats.add(ploss_total);
             active_stats.add(active_total);
 
-            tm.advance(temps, tm.powerVector(block_power, vr_loss));
+            tm.powerVectorInto(block_power, vr_loss, nodal_power);
+            tm.advance(temps, nodal_power);
 
             Celsius tmax = tm.maxDieTemp(temps);
             Celsius grad = tm.gradient(temps);

@@ -43,7 +43,8 @@ ThermalModel::assemble()
     nSpread = static_cast<std::size_t>(prm.spreaderN) * prm.spreaderN;
     nNodes = nDie + nVr + nSpread;
 
-    g = Matrix(nNodes, nNodes, 0.0);
+    std::vector<Triplet> stamps;
+    stamps.reserve(8 * nNodes);
     capacitance.assign(nNodes, 0.0);
     ambientIn.assign(nNodes, 0.0);
 
@@ -54,10 +55,10 @@ ThermalModel::assemble()
     const double cell_area = cell_w * cell_h;
 
     auto couple = [&](std::size_t a, std::size_t b, double cond) {
-        g(a, a) += cond;
-        g(b, b) += cond;
-        g(a, b) -= cond;
-        g(b, a) -= cond;
+        stamps.push_back({a, a, cond});
+        stamps.push_back({b, b, cond});
+        stamps.push_back({a, b, -cond});
+        stamps.push_back({b, a, -cond});
     };
 
     // --- Die cells -----------------------------------------------------
@@ -123,7 +124,7 @@ ThermalModel::assemble()
                 couple(n, spread_node(r + 1, c), cond);
             }
             // Convection to ambient: diagonal term plus injection.
-            g(n, n) += g_amb;
+            stamps.push_back({n, n, g_amb});
             ambientIn[n] = g_amb * prm.ambient;
         }
     }
@@ -190,27 +191,42 @@ ThermalModel::assemble()
     }
 
     // --- Factorisations ------------------------------------------------
-    Matrix a = g;
+    // Both systems are SPD (the spreader's ambient conductances
+    // ground the network), so the sparse envelope LDL^T with an RCM
+    // ordering factors them with fill confined to a narrow band.
+    std::vector<Triplet> transient(stamps);
     for (std::size_t n = 0; n < nNodes; ++n)
-        a(n, n) += capacitance[n] / prm.step;
-    luTransient = std::make_unique<LuSolver>(a);
-    luSteady = std::make_unique<LuSolver>(g);
+        transient.push_back({n, n, capacitance[n] / prm.step});
+    g = SparseMatrix::fromTriplets(nNodes, nNodes, std::move(stamps));
+    luTransient = std::make_unique<SparseLdltSolver>(
+        SparseMatrix::fromTriplets(nNodes, nNodes,
+                                   std::move(transient)));
+    luSteady = std::make_unique<SparseLdltSolver>(g);
 }
 
 std::vector<Watts>
 ThermalModel::powerVector(const std::vector<Watts> &block_power,
                           const std::vector<Watts> &vr_loss) const
 {
+    std::vector<Watts> p;
+    powerVectorInto(block_power, vr_loss, p);
+    return p;
+}
+
+void
+ThermalModel::powerVectorInto(const std::vector<Watts> &block_power,
+                              const std::vector<Watts> &vr_loss,
+                              std::vector<Watts> &out) const
+{
     TG_ASSERT(block_power.size() == blockCells.size(),
               "block power size mismatch");
     TG_ASSERT(vr_loss.size() == nVr, "VR loss size mismatch");
-    std::vector<Watts> p(nNodes, 0.0);
+    out.assign(nNodes, 0.0);
     for (std::size_t b = 0; b < blockCells.size(); ++b)
         for (const auto &[node, w] : blockCells[b])
-            p[static_cast<std::size_t>(node)] += w * block_power[b];
+            out[static_cast<std::size_t>(node)] += w * block_power[b];
     for (std::size_t v = 0; v < nVr; ++v)
-        p[nDie + v] += vr_loss[v];
-    return p;
+        out[nDie + v] += vr_loss[v];
 }
 
 std::vector<Celsius>
@@ -226,12 +242,12 @@ ThermalModel::advance(std::vector<Celsius> &temps,
     TG_ASSERT(temps.size() == nNodes && p.size() == nNodes,
               "state/power size mismatch");
     // (C/dt + G) T' = C/dt T + P + b_amb
-    std::vector<double> rhs(nNodes);
+    rhsScratch.resize(nNodes);
     for (std::size_t n = 0; n < nNodes; ++n)
-        rhs[n] =
+        rhsScratch[n] =
             capacitance[n] / prm.step * temps[n] + p[n] + ambientIn[n];
-    luTransient->solveInPlace(rhs);
-    temps = std::move(rhs);
+    luTransient->solveInPlace(rhsScratch);
+    temps.swap(rhsScratch);
 }
 
 std::vector<Celsius>

@@ -19,8 +19,12 @@
  *
  * The network C dT/dt = -G T + P(t) + G_amb T_amb is integrated with
  * unconditionally-stable implicit Euler; the system matrix for a
- * fixed step is factored once (dense LU) and back-substituted every
- * step. A steady-state solve (G T = P + b) shares the machinery.
+ * fixed step is assembled in CSR form, factored once with the sparse
+ * envelope LDL^T solver under an RCM ordering, and back-substituted
+ * every step (the matrix is a 5-point die/spreader stencil plus
+ * rank-1 VR borders, so the sparse factor is ~100x cheaper than the
+ * dense LU it replaces). A steady-state solve (G T = P + b) shares
+ * the machinery.
  */
 
 #ifndef TG_THERMAL_MODEL_HH
@@ -30,7 +34,7 @@
 #include <utility>
 #include <vector>
 
-#include "common/matrix.hh"
+#include "common/sparse.hh"
 #include "common/units.hh"
 #include "floorplan/power8.hh"
 
@@ -102,10 +106,25 @@ class ThermalModel
     powerVector(const std::vector<Watts> &block_power,
                 const std::vector<Watts> &vr_loss) const;
 
+    /**
+     * powerVector() into a caller-owned buffer (resized to the node
+     * count): lets the per-frame simulation loop reuse one vector
+     * instead of allocating a fresh one every step.
+     */
+    void powerVectorInto(const std::vector<Watts> &block_power,
+                         const std::vector<Watts> &vr_loss,
+                         std::vector<Watts> &out) const;
+
     /** State with every node at temperature `t`. */
     std::vector<Celsius> uniformState(Celsius t) const;
 
-    /** Advance `temps` by one step under nodal power `p`. */
+    /**
+     * Advance `temps` by one step under nodal power `p`. Reuses an
+     * internal right-hand-side scratch buffer, so stepping performs
+     * no heap allocation; a single model must therefore not advance
+     * concurrently from multiple threads (the sweep engine builds one
+     * model per worker).
+     */
     void advance(std::vector<Celsius> &temps,
                  const std::vector<Watts> &p) const;
 
@@ -143,6 +162,19 @@ class ThermalModel
     std::vector<Celsius>
     dieGrid(const std::vector<Celsius> &temps) const;
 
+    /** Assembled conductance matrix G (tests / dense reference). */
+    const SparseMatrix &conductance() const { return g; }
+    /** Per-node heat capacities [J/K] (tests / dense reference). */
+    const std::vector<double> &heatCapacities() const
+    {
+        return capacitance;
+    }
+    /** Per-node ambient injection G_amb * T_amb [W]. */
+    const std::vector<double> &ambientInjection() const
+    {
+        return ambientIn;
+    }
+
   private:
     const floorplan::Chip &chipRef;
     ThermalParams prm;
@@ -152,11 +184,12 @@ class ThermalModel
     std::size_t nSpread = 0;   //!< spreader cells, rest
     std::size_t nNodes = 0;
 
-    Matrix g;                        //!< conductance matrix
+    SparseMatrix g;                  //!< conductance matrix (CSR)
     std::vector<double> capacitance; //!< per-node heat capacity [J/K]
     std::vector<double> ambientIn;   //!< G_amb * T_amb injection [W]
-    std::unique_ptr<LuSolver> luTransient; //!< (C/dt + G)
-    std::unique_ptr<LuSolver> luSteady;    //!< G
+    std::unique_ptr<SparseLdltSolver> luTransient; //!< (C/dt + G)
+    std::unique_ptr<SparseLdltSolver> luSteady;    //!< G
+    mutable std::vector<double> rhsScratch; //!< advance() workspace
 
     /** Per block: list of (cell node, weight) with weights summing 1. */
     std::vector<std::vector<std::pair<int, double>>> blockCells;

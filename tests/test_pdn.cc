@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/matrix.hh"
 #include "floorplan/power8.hh"
 #include "pdn/domain_pdn.hh"
 #include "vreg/design.hh"
@@ -38,6 +39,41 @@ class PdnTest : public ::testing::Test
         for (std::size_t i = 0; i < v.size(); ++i)
             v[i] = static_cast<int>(i);
         return v;
+    }
+
+    /**
+     * Dense bordered reference matrix [[G, -B], [B^T, R]] the
+     * production solver no longer assembles: the equivalence tests
+     * rebuild it from the exported topology and solve it with the
+     * dense LU.
+     */
+    Matrix
+    borderedMatrix(const std::vector<int> &active,
+                   bool transient) const
+    {
+        std::size_t n = static_cast<std::size_t>(dp.nodeCount());
+        std::size_t m = active.size();
+        Matrix a(n + m, n + m, 0.0);
+        Matrix g = dp.gridConductance().toDense();
+        for (std::size_t r = 0; r < n; ++r)
+            for (std::size_t c = 0; c < n; ++c)
+                a(r, c) = g(r, c);
+        double r_out = vreg::fivrDesign().outputResistance;
+        double dt = dp.params().cycleTime;
+        for (std::size_t k = 0; k < m; ++k) {
+            std::size_t node = static_cast<std::size_t>(
+                dp.vrAttachNode(active[k]));
+            a(node, n + k) = -1.0;
+            a(n + k, node) = 1.0;
+            a(n + k, n + k) = r_out;
+            if (transient)
+                a(n + k, n + k) +=
+                    dp.branchInductance(active[k]) / dt;
+        }
+        if (transient)
+            for (std::size_t i = 0; i < n; ++i)
+                a(i, i) += dp.nodeDecaps()[i] / dt;
+        return a;
     }
 
     floorplan::Chip chip;
@@ -224,6 +260,145 @@ TEST_F(PdnTest, LdoDesignLessTransientNoiseThanBuck)
     auto buck_res = dp.transientWindow(window, 100);
     auto ldo_res = ldo.transientWindow(window, 100);
     EXPECT_LT(ldo_res.maxNoiseFrac, buck_res.maxNoiseFrac);
+}
+
+// ---- Sparse-vs-dense equivalence ----------------------------------------
+// The production path never assembles the bordered matrices; these
+// tests do, and check the Schur/Woodbury solver against the dense LU.
+
+TEST_F(PdnTest, SteadyMatchesDenseBorderedReference)
+{
+    auto load = domainLoad(1.3);
+    double vdd = chip.params.vdd;
+    std::vector<std::vector<int>> sets = {{0}, {0, 4, 8}, allVrs()};
+    for (const auto &s : sets) {
+        dp.setActive(s);
+        auto sparse = dp.steadyVoltages(load);
+
+        std::size_t n = static_cast<std::size_t>(dp.nodeCount());
+        LuSolver dense(borderedMatrix(s, false));
+        std::vector<double> rhs(n + s.size(), vdd);
+        for (std::size_t i = 0; i < n; ++i)
+            rhs[i] = -load[i];
+        dense.solveInPlace(rhs);
+        for (std::size_t i = 0; i < n; ++i)
+            ASSERT_NEAR(sparse[i], rhs[i], 1e-9)
+                << "set size " << s.size() << " node " << i;
+    }
+}
+
+TEST_F(PdnTest, TransientMatchesDenseBorderedReference)
+{
+    std::vector<int> set = {0, 4, 8};
+    dp.setActive(set);
+    auto low = domainLoad(0.4);
+    auto high = domainLoad(1.6);
+    std::vector<std::vector<Amperes>> window(240, low);
+    for (std::size_t c = 120; c < 240; ++c)
+        window[c] = high;
+    auto sparse = dp.transientWindow(window, 40, true);
+
+    // Dense bordered implicit Euler, state x = (V, I_branch).
+    std::size_t n = static_cast<std::size_t>(dp.nodeCount());
+    std::size_t m = set.size();
+    double vdd = chip.params.vdd;
+    double dt = dp.params().cycleTime;
+    LuSolver steady(borderedMatrix(set, false));
+    LuSolver trans(borderedMatrix(set, true));
+    std::vector<double> x(n + m, vdd);
+    for (std::size_t i = 0; i < n; ++i)
+        x[i] = -window[0][i];
+    steady.solveInPlace(x);
+    std::vector<double> rhs(n + m);
+    for (std::size_t cyc = 0; cyc < window.size(); ++cyc) {
+        for (std::size_t i = 0; i < n; ++i)
+            rhs[i] = dp.nodeDecaps()[i] / dt * x[i] - window[cyc][i];
+        for (std::size_t k = 0; k < m; ++k)
+            rhs[n + k] =
+                dp.branchInductance(set[k]) / dt * x[n + k] + vdd;
+        trans.solveInPlace(rhs);
+        x = rhs;
+        // The trace maxes over load nodes; those are exactly the
+        // nodes the uniform domain load maps current onto.
+        double droop = 0.0;
+        for (std::size_t i = 0; i < n; ++i)
+            if (high[i] > 0.0)
+                droop = std::max(droop, (vdd - x[i]) / vdd);
+        ASSERT_NEAR(sparse.trace[cyc], droop, 1e-9)
+            << "cycle " << cyc;
+    }
+}
+
+TEST_F(PdnTest, TransferResistancesMatchDenseBorderedReference)
+{
+    std::size_t n = static_cast<std::size_t>(dp.nodeCount());
+    double vdd = chip.params.vdd;
+    for (int k = 0; k < dp.vrCount(); ++k) {
+        LuSolver dense(borderedMatrix({k}, false));
+        std::vector<double> rhs(n + 1);
+        for (std::size_t j = 0; j < n; ++j) {
+            std::fill(rhs.begin(), rhs.end(), 0.0);
+            rhs[j] = -1.0;  // 1 A drawn at node j
+            rhs[n] = vdd;
+            auto v = dense.solve(rhs);
+            ASSERT_NEAR(dp.transferResistance(static_cast<int>(j), k),
+                        vdd - v[j], 1e-9)
+                << "node " << j << " vr " << k;
+        }
+    }
+}
+
+TEST_F(PdnTest, CachedFactorisationMatchesFresh)
+{
+    auto load = domainLoad(1.1);
+    std::vector<std::vector<Amperes>> window(120, load);
+
+    dp.setActive({0, 4, 8});  // cache miss: built from scratch
+    auto fresh_v = dp.steadyVoltages(load);
+    double fresh_noise = dp.transientWindow(window, 40).maxNoiseFrac;
+
+    std::uint64_t hits = dp.factorCacheHits();
+    dp.setActive(allVrs());   // hit: cached since construction
+    dp.setActive({0, 4, 8});  // hit
+    EXPECT_EQ(dp.factorCacheHits(), hits + 2);
+    auto cached_v = dp.steadyVoltages(load);
+    for (std::size_t i = 0; i < cached_v.size(); ++i)
+        EXPECT_EQ(cached_v[i], fresh_v[i]) << "node " << i;
+    EXPECT_EQ(dp.transientWindow(window, 40).maxNoiseFrac,
+              fresh_noise);
+
+    // Rebuilding after a cache flush reproduces the factorisation
+    // bit for bit (the determinism the parallel sweep relies on).
+    std::uint64_t misses = dp.factorCacheMisses();
+    dp.clearFactorCache();
+    dp.setActive({0, 4, 8});
+    EXPECT_EQ(dp.factorCacheMisses(), misses + 1);
+    auto rebuilt_v = dp.steadyVoltages(load);
+    for (std::size_t i = 0; i < rebuilt_v.size(); ++i)
+        EXPECT_EQ(rebuilt_v[i], fresh_v[i]) << "node " << i;
+}
+
+TEST_F(PdnTest, SetActiveShortCircuitsUnchangedSets)
+{
+    dp.setActive({0, 4, 8});
+    std::uint64_t hits = dp.factorCacheHits();
+    std::uint64_t misses = dp.factorCacheMisses();
+    // Same set, permuted and with a duplicate: no cache traffic.
+    dp.setActive({8, 0, 4, 4});
+    EXPECT_EQ(dp.factorCacheHits(), hits);
+    EXPECT_EQ(dp.factorCacheMisses(), misses);
+    std::vector<int> expect = {0, 4, 8};
+    EXPECT_EQ(dp.active(), expect);
+}
+
+TEST_F(PdnTest, TransferResistanceIsFloored)
+{
+    // The accessor promises a strictly positive value so the noise
+    // estimators may divide freely.
+    for (int j = 0; j < dp.nodeCount(); ++j)
+        for (int k = 0; k < dp.vrCount(); ++k)
+            EXPECT_GE(dp.transferResistance(j, k),
+                      DomainPdn::kTransferRFloor);
 }
 
 TEST_F(PdnTest, DeathOnBadInputs)

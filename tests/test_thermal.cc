@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/matrix.hh"
 #include "floorplan/power8.hh"
 #include "thermal/model.hh"
 
@@ -247,6 +248,59 @@ TEST_P(GridResolution, SteadyTmaxStableAcrossGrids)
 
 INSTANTIATE_TEST_SUITE_P(Grids, GridResolution,
                          ::testing::Values(16, 20, 24, 32));
+
+// ---- Sparse-vs-dense equivalence ----------------------------------------
+// The production solver is the sparse envelope LDL^T; these tests
+// rebuild the dense systems from the model's assembled matrices and
+// check the two paths never diverge past solver round-off.
+
+TEST_F(ThermalTest, SparseSteadyMatchesDenseReference)
+{
+    auto p = model.powerVector(uniformBlockPower(1.5), noVrLoss());
+    auto sparse = model.steadyState(p);
+
+    Matrix g = model.conductance().toDense();
+    LuSolver dense(g);
+    std::vector<double> rhs(model.nodeCount());
+    const auto &amb = model.ambientInjection();
+    for (std::size_t n = 0; n < rhs.size(); ++n)
+        rhs[n] = p[n] + amb[n];
+    auto ref = dense.solve(rhs);
+
+    for (std::size_t n = 0; n < ref.size(); ++n)
+        EXPECT_NEAR(sparse[n], ref[n], 1e-9) << "node " << n;
+}
+
+TEST_F(ThermalTest, SparseTransientMatchesDenseReference)
+{
+    std::size_t n = model.nodeCount();
+    double dt = model.step();
+    const auto &cap = model.heatCapacities();
+    const auto &amb = model.ambientInjection();
+
+    Matrix a = model.conductance().toDense();
+    for (std::size_t i = 0; i < n; ++i)
+        a(i, i) += cap[i] / dt;
+    LuSolver dense(a);
+
+    auto temps = model.uniformState(model.params().ambient);
+    std::vector<Celsius> ref(temps);
+    std::vector<double> rhs(n);
+    for (int step = 0; step < 50; ++step) {
+        // Power ramps over the window so every step solves a fresh
+        // system, not a settled fixed point.
+        auto p = model.powerVector(
+            uniformBlockPower(0.5 + 0.05 * step), noVrLoss());
+        model.advance(temps, p);
+        for (std::size_t i = 0; i < n; ++i)
+            rhs[i] = cap[i] / dt * ref[i] + p[i] + amb[i];
+        dense.solveInPlace(rhs);
+        ref = rhs;
+        for (std::size_t i = 0; i < n; ++i)
+            ASSERT_NEAR(temps[i], ref[i], 1e-9)
+                << "step " << step << " node " << i;
+    }
+}
 
 } // namespace
 } // namespace thermal
