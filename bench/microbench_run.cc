@@ -1,0 +1,96 @@
+/**
+ * @file
+ * google-benchmark timings of whole Simulation::run invocations, the
+ * quantity the zero-allocation run-loop work optimises end to end:
+ * one fixed benchmark profile through each policy tier on the full
+ * POWER8 chip at default settings, plus a noise-free variant that
+ * isolates the frame kernel (thermal step + regulator accounting)
+ * from the sampled PDN windows.
+ *
+ * CI runs this as a smoke test and archives the JSON next to the
+ * solver benchmarks; tools/check_bench_regression.py flags runs that
+ * regress more than 25% against a checked-in baseline.
+ *
+ * Single-core caveat: the per-sample noise windows fan out across
+ * domains on a thread pool (SimConfig::jobs / TG_JOBS), so wall-clock
+ * gains beyond the allocation elimination need a multi-core host;
+ * results are bit-identical at every worker count.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "floorplan/power8.hh"
+#include "sim/simulation.hh"
+#include "workload/profile.hh"
+
+using namespace tg;
+
+namespace {
+
+/**
+ * One Simulation per benchmarked policy, built lazily and kept for
+ * the whole process so the thermal factorisations, the fitted
+ * predictor and the warm scratch buffers are shared across benchmark
+ * iterations — the steady-state cost is what the numbers track.
+ */
+sim::Simulation &
+sharedSim()
+{
+    static const floorplan::Chip chip = floorplan::buildPower8Chip();
+    static sim::Simulation s(chip, sim::SimConfig{});
+    return s;
+}
+
+void
+runPolicy(benchmark::State &state, core::PolicyKind policy,
+          int noise_samples_override)
+{
+    auto &s = sharedSim();
+    const auto &profile = workload::profileByName("fft");
+    sim::RecordOptions opts;
+    opts.noiseSamplesOverride = noise_samples_override;
+    for (auto _ : state) {
+        auto res = s.run(profile, policy, opts);
+        benchmark::DoNotOptimize(res.maxTmax);
+    }
+}
+
+void
+BM_RunAllOn(benchmark::State &state)
+{
+    runPolicy(state, core::PolicyKind::AllOn, -1);
+}
+BENCHMARK(BM_RunAllOn)->Unit(benchmark::kMillisecond);
+
+void
+BM_RunOracT(benchmark::State &state)
+{
+    runPolicy(state, core::PolicyKind::OracT, -1);
+}
+BENCHMARK(BM_RunOracT)->Unit(benchmark::kMillisecond);
+
+void
+BM_RunOracVT(benchmark::State &state)
+{
+    runPolicy(state, core::PolicyKind::OracVT, -1);
+}
+BENCHMARK(BM_RunOracVT)->Unit(benchmark::kMillisecond);
+
+void
+BM_RunPracVT(benchmark::State &state)
+{
+    runPolicy(state, core::PolicyKind::PracVT, -1);
+}
+BENCHMARK(BM_RunPracVT)->Unit(benchmark::kMillisecond);
+
+/** Frame kernel only: no noise windows, so no PDN transients. */
+void
+BM_RunFrameLoopOnly(benchmark::State &state)
+{
+    runPolicy(state, core::PolicyKind::OracT, 0);
+}
+BENCHMARK(BM_RunFrameLoopOnly)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

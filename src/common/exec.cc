@@ -158,6 +158,17 @@ parallelFor(std::size_t n, int jobs,
     pool.wait();
 }
 
+void
+parallelForOn(ThreadPool &pool, std::size_t n,
+              const std::function<void(int worker, std::size_t index)> &fn)
+{
+    if (n == 0)
+        return;
+    for (std::size_t i = 0; i < n; ++i)
+        pool.submit([&fn, i] { fn(ThreadPool::workerIndex(), i); });
+    pool.wait();
+}
+
 ProgressSink::ProgressSink(bool enabled_in, std::size_t total_in)
     : enabled(enabled_in), total(total_in)
 {

@@ -132,6 +132,17 @@ void parallelFor(std::size_t n, int jobs,
                  const std::function<void(int worker, std::size_t index)> &fn);
 
 /**
+ * parallelFor() over an existing pool: run fn(worker, index) for
+ * every index in [0, n) on `pool`'s workers and wait for completion.
+ * Callers with a per-frame or per-sample fan-out keep one long-lived
+ * pool instead of paying thread creation on every call. The usual
+ * pool rules apply: must not be called from one of `pool`'s own
+ * workers, and `worker` is the pool's stable workerIndex().
+ */
+void parallelForOn(ThreadPool &pool, std::size_t n,
+                   const std::function<void(int worker, std::size_t index)> &fn);
+
+/**
  * Thread-safe progress reporter: one stderr line per completed task,
  * prefixed with a [done/total] counter. Lines from concurrent
  * workers never interleave mid-line.

@@ -180,6 +180,10 @@ DomainPdn::buildTopology()
             loadNode[static_cast<std::size_t>(node)] = true;
         }
     }
+    loadIdx.clear();
+    for (int i = 0; i < nNodes; ++i)
+        if (loadNode[static_cast<std::size_t>(i)])
+            loadIdx.push_back(i);
 }
 
 void
@@ -416,8 +420,28 @@ DomainPdn::transientWindow(
     bool keep_trace) const
 {
     TG_ASSERT(!cycle_currents.empty(), "empty transient window");
-    TG_ASSERT(warmup >= 0 &&
-                  warmup < static_cast<int>(cycle_currents.size()),
+    std::size_t n = static_cast<std::size_t>(nNodes);
+    windowScratch.resize(cycle_currents.size() * n);
+    for (std::size_t cyc = 0; cyc < cycle_currents.size(); ++cyc) {
+        const auto &load = cycle_currents[cyc];
+        TG_ASSERT(load.size() == n, "cycle current size mismatch");
+        std::copy(load.begin(), load.end(),
+                  windowScratch.begin() +
+                      static_cast<std::ptrdiff_t>(cyc * n));
+    }
+    return transientWindow(windowScratch.data(), cycle_currents.size(),
+                           n, warmup, keep_trace);
+}
+
+NoiseResult
+DomainPdn::transientWindow(const Amperes *currents, std::size_t cycles,
+                           std::size_t stride, int warmup,
+                           bool keep_trace) const
+{
+    TG_ASSERT(cycles > 0, "empty transient window");
+    TG_ASSERT(stride >= static_cast<std::size_t>(nNodes),
+              "cycle stride below node count");
+    TG_ASSERT(warmup >= 0 && warmup < static_cast<int>(cycles),
               "warmup must leave analysis cycles");
     TG_ASSERT(current != nullptr, "setActive() must precede solves");
 
@@ -437,7 +461,7 @@ DomainPdn::transientWindow(
     // branch currents follow from Vdd = V_node + R_out I.
     voltScratch.resize(n);
     for (std::size_t i = 0; i < n; ++i)
-        voltScratch[i] = -cycle_currents[0][i];
+        voltScratch[i] = -currents[i];
     for (std::size_t k = 0; k < m; ++k)
         voltScratch[static_cast<std::size_t>(
             vrNodes[static_cast<std::size_t>(activeSet[k])])] +=
@@ -453,16 +477,15 @@ DomainPdn::transientWindow(
 
     NoiseResult res;
     if (keep_trace)
-        res.trace.reserve(cycle_currents.size());
+        res.trace.reserve(cycles);
 
     // Implicit Euler in reduced form:
     //   (C/dt + G + sum 1/R_k) V' = C/dt V - I_load + sum g_k/R_k e_k
     //   I'_k = (g_k - V'_{node_k}) / R_k,  g_k = L_k/dt I_k + Vdd.
     rhsScratch.resize(n);
     branchRhs.resize(m);
-    for (std::size_t cyc = 0; cyc < cycle_currents.size(); ++cyc) {
-        const auto &load = cycle_currents[cyc];
-        TG_ASSERT(load.size() == n, "cycle current size mismatch");
+    for (std::size_t cyc = 0; cyc < cycles; ++cyc) {
+        const Amperes *load = currents + cyc * stride;
         for (std::size_t i = 0; i < n; ++i)
             rhsScratch[i] = decap[i] / dt * voltScratch[i] - load[i];
         for (std::size_t k = 0; k < m; ++k) {
@@ -484,10 +507,10 @@ DomainPdn::transientWindow(
                 branchR[k];
 
         double droop = 0.0;
-        for (std::size_t i = 0; i < n; ++i)
-            if (loadNode[i])
-                droop = std::max(droop,
-                                 (vdd - voltScratch[i]) / vdd);
+        for (int i : loadIdx)
+            droop = std::max(
+                droop,
+                (vdd - voltScratch[static_cast<std::size_t>(i)]) / vdd);
         if (keep_trace)
             res.trace.push_back(droop);
         if (static_cast<int>(cyc) >= warmup) {

@@ -173,6 +173,19 @@ class DomainPdn
                     int warmup, bool keep_trace = false) const;
 
     /**
+     * transientWindow() over a flat row-major cycle buffer: the load
+     * currents of cycle c are the `nodeCount()` values starting at
+     * `currents + c * stride` (stride >= nodeCount()). The run loop's
+     * noise sampler builds one contiguous window per domain and hands
+     * a strided view here, so no per-cycle row vectors exist; the
+     * vector-of-rows overload packs into this form.
+     */
+    NoiseResult transientWindow(const Amperes *currents,
+                                std::size_t cycles, std::size_t stride,
+                                int warmup,
+                                bool keep_trace = false) const;
+
+    /**
      * Steady-state transfer resistance from mesh node `node` to VR
      * `vr_local` [ohm]: the droop at `node` per ampere drawn there
      * when `vr_local` is the only active VR (includes the VR output
@@ -240,6 +253,7 @@ class DomainPdn
     std::vector<int> vrNodes;         //!< attach node per local VR
     std::vector<double> vrLoopL;      //!< per-VR branch inductance [H]
     std::vector<bool> loadNode;       //!< nodes with load current
+    std::vector<int> loadIdx;         //!< load nodes, ascending
     /** Per block: (node, weight) pairs, weights summing to 1. */
     std::vector<std::vector<std::pair<int, double>>> blockNodes;
 
@@ -296,6 +310,7 @@ class DomainPdn
     mutable std::vector<double> branchRhs;     //!< branch rhs g_k
     mutable std::vector<double> branchR;       //!< branch R (L/dt+R)
     mutable std::vector<double> smallScratch;  //!< rank-r correction
+    mutable std::vector<double> windowScratch; //!< packed cycle rows
 
     void buildTopology();
     void buildBaseFactors();

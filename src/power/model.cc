@@ -63,12 +63,20 @@ PowerModel::PowerModel(const floorplan::Chip &chip, PowerParams params)
 std::vector<Watts>
 PowerModel::dynamicFrame(const uarch::ActivityFrame &frame) const
 {
+    std::vector<Watts> out;
+    dynamicFrameInto(frame, out);
+    return out;
+}
+
+void
+PowerModel::dynamicFrameInto(const uarch::ActivityFrame &frame,
+                             std::vector<Watts> &out) const
+{
     TG_ASSERT(frame.block.size() == peakDyn.size(),
               "activity frame block count mismatch");
-    std::vector<Watts> out(peakDyn.size());
+    out.resize(peakDyn.size());
     for (std::size_t i = 0; i < peakDyn.size(); ++i)
         out[i] = peakDyn[i] * frame.block[i];
-    return out;
 }
 
 Watts
@@ -81,12 +89,20 @@ PowerModel::leakage(int b, Celsius t) const
 std::vector<Watts>
 PowerModel::leakageFrame(const std::vector<Celsius> &temps) const
 {
+    std::vector<Watts> out;
+    leakageFrameInto(temps, out);
+    return out;
+}
+
+void
+PowerModel::leakageFrameInto(const std::vector<Celsius> &temps,
+                             std::vector<Watts> &out) const
+{
     TG_ASSERT(temps.size() == leakRef.size(),
               "temperature vector block count mismatch");
-    std::vector<Watts> out(leakRef.size());
+    out.resize(leakRef.size());
     for (std::size_t i = 0; i < leakRef.size(); ++i)
         out[i] = leakage(static_cast<int>(i), temps[i]);
-    return out;
 }
 
 Watts

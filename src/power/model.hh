@@ -74,12 +74,24 @@ class PowerModel
     std::vector<Watts>
     dynamicFrame(const uarch::ActivityFrame &frame) const;
 
+    /**
+     * dynamicFrame() into a caller-owned buffer (resized to the block
+     * count): the per-frame run loop and the PowerTrace builder reuse
+     * one buffer instead of allocating per frame.
+     */
+    void dynamicFrameInto(const uarch::ActivityFrame &frame,
+                          std::vector<Watts> &out) const;
+
     /** Leakage power of block `b` at temperature `t` [W]. */
     Watts leakage(int b, Celsius t) const;
 
     /** Leakage of every block given per-block temperatures [W]. */
     std::vector<Watts>
     leakageFrame(const std::vector<Celsius> &temps) const;
+
+    /** leakageFrame() into a caller-owned (resized) buffer. */
+    void leakageFrameInto(const std::vector<Celsius> &temps,
+                          std::vector<Watts> &out) const;
 
     /** Chip-wide leakage at a uniform temperature [W]. */
     Watts uniformLeakage(Celsius t) const;

@@ -1,0 +1,70 @@
+#include "power/trace.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace tg {
+namespace power {
+
+void
+PowerTrace::rebuild(const PowerModel &pm,
+                    const uarch::ActivityTrace &activity,
+                    int frames_per_epoch)
+{
+    TG_ASSERT(!activity.frames.empty(), "empty activity trace");
+    TG_ASSERT(frames_per_epoch >= 1, "need at least one frame/epoch");
+
+    nFrames = activity.frames.size();
+    nBlocks = activity.frames[0].block.size();
+    fpe = frames_per_epoch;
+    nEpochs = (static_cast<long>(nFrames) + fpe - 1) / fpe;
+
+    dyn.resize(nFrames * nBlocks);
+    std::size_t n_epoch_rows =
+        static_cast<std::size_t>(nEpochs) * nBlocks;
+    meanRows.assign(n_epoch_rows, 0.0);
+    peakRows.assign(n_epoch_rows, 0.0);
+    provisionRows.resize(n_epoch_rows);
+
+    // One pass: map each frame through the power model into its row,
+    // folding the epoch mean/peak as rows complete (in frame order,
+    // so the reduction matches a per-frame reference fold exactly).
+    for (std::size_t f = 0; f < nFrames; ++f) {
+        const auto &frame = activity.frames[f];
+        TG_ASSERT(frame.block.size() == nBlocks,
+                  "activity frame block count mismatch");
+        Watts *row = dyn.data() + f * nBlocks;
+        for (std::size_t b = 0; b < nBlocks; ++b)
+            row[b] = pm.peakDynamic(static_cast<int>(b)) *
+                     frame.block[b];
+
+        std::size_t e = f / static_cast<std::size_t>(fpe);
+        Watts *mean = meanRows.data() + e * nBlocks;
+        Watts *peak = peakRows.data() + e * nBlocks;
+        for (std::size_t b = 0; b < nBlocks; ++b) {
+            mean[b] += row[b];
+            peak[b] = std::max(peak[b], row[b]);
+        }
+    }
+
+    for (long e = 0; e < nEpochs; ++e) {
+        std::size_t f0 = static_cast<std::size_t>(e) *
+                         static_cast<std::size_t>(fpe);
+        std::size_t f1 = std::min(
+            nFrames, f0 + static_cast<std::size_t>(fpe));
+        double inv = 1.0 / static_cast<double>(f1 - f0);
+        std::size_t off = static_cast<std::size_t>(e) * nBlocks;
+        for (std::size_t b = 0; b < nBlocks; ++b) {
+            // Same expression (and evaluation order) as the run
+            // loop's historical per-epoch fold: 0.5 * (mean + peak)
+            // with mean = sum * inv.
+            provisionRows[off + b] =
+                0.5 * (meanRows[off + b] * inv + peakRows[off + b]);
+            meanRows[off + b] *= inv;
+        }
+    }
+}
+
+} // namespace power
+} // namespace tg

@@ -1,5 +1,6 @@
 #include "sensors/thermal_sensor.hh"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/logging.hh"
@@ -28,44 +29,68 @@ ThermalSensorBank::record(Seconds now, const std::vector<Celsius> &temps)
 {
     TG_ASSERT(static_cast<int>(temps.size()) == nSensors,
               "sensor record size mismatch");
-    TG_ASSERT(buffer.empty() || now >= buffer.back().time,
+    TG_ASSERT(used == 0 || now >= at(used - 1).time,
               "sensor samples must be recorded in time order");
-    buffer.push_back({now, temps});
+    if (used == ring.size()) {
+        // Grow the ring (warm-up only: once the depth covers the
+        // staleness horizon, eviction below balances insertion and
+        // the recycled slots make record() allocation-free).
+        std::rotate(ring.begin(),
+                    ring.begin() + static_cast<std::ptrdiff_t>(head),
+                    ring.end());
+        head = 0;
+        ring.emplace_back();
+    }
+    Sample &slot = ring[(head + used) % ring.size()];
+    slot.time = now;
+    slot.temps.assign(temps.begin(), temps.end());
+    ++used;
     // Keep only what could still be served: one sample older than the
     // horizon suffices as the fallback. The epsilon absorbs the
     // floating-point error of repeated time arithmetic.
-    while (buffer.size() >= 2 &&
-           buffer[1].time <= now - prm.delay + kTimeEps)
-        buffer.pop_front();
+    while (used >= 2 && at(1).time <= now - prm.delay + kTimeEps) {
+        head = (head + 1) % ring.size();
+        --used;
+    }
 }
 
 std::vector<Celsius>
 ThermalSensorBank::read(Seconds now)
 {
-    TG_ASSERT(!buffer.empty(), "reading an empty sensor bank");
+    std::vector<Celsius> out;
+    readInto(now, out);
+    return out;
+}
+
+void
+ThermalSensorBank::readInto(Seconds now, std::vector<Celsius> &out)
+{
+    TG_ASSERT(used > 0, "reading an empty sensor bank");
 
     // Newest sample at least `delay` old; otherwise the oldest one.
-    const Sample *chosen = &buffer.front();
-    for (const auto &s : buffer) {
+    const Sample *chosen = &at(0);
+    for (std::size_t i = 0; i < used; ++i) {
+        const Sample &s = at(i);
         if (s.time <= now - prm.delay + kTimeEps)
             chosen = &s;
         else
             break;
     }
 
-    std::vector<Celsius> out(chosen->temps);
+    out.assign(chosen->temps.begin(), chosen->temps.end());
     for (auto &t : out) {
         if (prm.noiseSigma > 0.0)
             t += rng.gaussian(0.0, prm.noiseSigma);
         t = std::round(t / prm.quantization) * prm.quantization;
     }
-    return out;
 }
 
 void
 ThermalSensorBank::reset()
 {
-    buffer.clear();
+    ring.clear();
+    head = 0;
+    used = 0;
 }
 
 } // namespace sensors

@@ -16,7 +16,6 @@
 #define TG_SENSORS_THERMAL_SENSOR_HH
 
 #include <cstdint>
-#include <deque>
 #include <vector>
 
 #include "common/rng.hh"
@@ -55,6 +54,9 @@ class ThermalSensorBank
      */
     std::vector<Celsius> read(Seconds now);
 
+    /** read() into a caller-owned (resized) buffer. */
+    void readInto(Seconds now, std::vector<Celsius> &out);
+
     /** Drop all buffered samples (e.g. between runs). */
     void reset();
 
@@ -67,10 +69,25 @@ class ThermalSensorBank
 
     struct Sample
     {
-        Seconds time;
+        Seconds time = 0.0;
         std::vector<Celsius> temps;
     };
-    std::deque<Sample> buffer;
+
+    /**
+     * Recycling ring of buffered samples: the i-th oldest sample is
+     * ring[(head + i) % ring.size()]. Evicted slots keep their temps
+     * vector, so the per-frame record() path stops allocating once
+     * the ring has grown to the steady-state depth.
+     */
+    std::vector<Sample> ring;
+    std::size_t head = 0;  //!< index of the oldest buffered sample
+    std::size_t used = 0;  //!< buffered sample count
+
+    Sample &at(std::size_t i) { return ring[(head + i) % ring.size()]; }
+    const Sample &at(std::size_t i) const
+    {
+        return ring[(head + i) % ring.size()];
+    }
 };
 
 } // namespace sensors

@@ -187,48 +187,56 @@ Simulation::NoiseWindowResult
 Simulation::noiseWindow(int domain, long epoch, int sample,
                         const std::vector<Watts> &block_power,
                         double didt, std::uint64_t run_seed,
-                        bool keep_trace) const
+                        bool keep_trace, NoiseScratch &scratch,
+                        std::uint64_t power_stamp) const
 {
     const auto &plan = chipRef.plan;
     const auto &pdn = *pdns[static_cast<std::size_t>(domain)];
     const auto &dom = plan.domains()[static_cast<std::size_t>(domain)];
 
-    // Split the domain's power into logic and memory groups; they
-    // fluctuate with different depths.
-    std::vector<Watts> p_logic(block_power.size(), 0.0);
-    std::vector<Watts> p_mem(block_power.size(), 0.0);
-    for (int b : dom.blocks) {
-        std::size_t ub = static_cast<std::size_t>(b);
-        if (floorplan::isLogicUnit(plan.blocks()[ub].kind))
-            p_logic[ub] = block_power[ub];
-        else
-            p_mem[ub] = block_power[ub];
+    // Split the domain's power into logic and memory groups (they
+    // fluctuate with different depths) and project each onto the PDN
+    // nodes. The split depends only on the power vector, so repeated
+    // windows against the same power reuse the cached base currents.
+    if (scratch.stamp != power_stamp || scratch.baseLogic.empty()) {
+        scratch.pLogic.assign(block_power.size(), 0.0);
+        scratch.pMem.assign(block_power.size(), 0.0);
+        for (int b : dom.blocks) {
+            std::size_t ub = static_cast<std::size_t>(b);
+            if (floorplan::isLogicUnit(plan.blocks()[ub].kind))
+                scratch.pLogic[ub] = block_power[ub];
+            else
+                scratch.pMem[ub] = block_power[ub];
+        }
+        pdn.nodeCurrentsInto(scratch.pLogic, scratch.baseLogic);
+        pdn.nodeCurrentsInto(scratch.pMem, scratch.baseMem);
+        scratch.stamp = power_stamp;
     }
-    auto base_logic = pdn.nodeCurrents(p_logic);
-    auto base_mem = pdn.nodeCurrents(p_mem);
+    const auto &base_logic = scratch.baseLogic;
+    const auto &base_mem = scratch.baseMem;
 
     int cycles = cfg.noiseCyclesTotal;
     Rng rng(mixSeed(mixSeed(run_seed, static_cast<std::uint64_t>(
                                           epoch * 1315423911ll)),
                     mixSeed(static_cast<std::uint64_t>(sample),
                             static_cast<std::uint64_t>(domain))));
-    auto mult = workload::synthesizeCycleMultipliers(
-        didt, static_cast<std::size_t>(cycles), rng);
+    workload::synthesizeCycleMultipliersInto(
+        didt, static_cast<std::size_t>(cycles), rng, scratch.mult);
 
     std::size_t n = static_cast<std::size_t>(pdn.nodeCount());
-    std::vector<std::vector<Amperes>> window(
-        static_cast<std::size_t>(cycles),
-        std::vector<Amperes>(n, 0.0));
+    scratch.window.resize(static_cast<std::size_t>(cycles) * n);
     for (int c = 0; c < cycles; ++c) {
-        double ml = mult[static_cast<std::size_t>(c)];
+        double ml = scratch.mult[static_cast<std::size_t>(c)];
         double mm = 1.0 + 0.35 * (ml - 1.0);  // caches swing less
-        auto &row = window[static_cast<std::size_t>(c)];
+        Amperes *row =
+            scratch.window.data() + static_cast<std::size_t>(c) * n;
         for (std::size_t i = 0; i < n; ++i)
             row[i] = base_logic[i] * ml + base_mem[i] * mm;
     }
 
-    auto res = pdn.transientWindow(window, cfg.noiseWarmupCycles,
-                                   keep_trace);
+    auto res = pdn.transientWindow(scratch.window.data(),
+                                   static_cast<std::size_t>(cycles), n,
+                                   cfg.noiseWarmupCycles, keep_trace);
     NoiseWindowResult out;
     out.maxNoise = res.maxNoiseFrac;
     out.emergencyCycles = res.emergencyCycles;
@@ -258,7 +266,6 @@ Simulation::runMixed(
     const auto &domains = plan.domains();
     const int n_domains = static_cast<int>(domains.size());
     const int n_vrs = static_cast<int>(plan.vrs().size());
-    const Volts vdd = chipRef.params.vdd;
 
     if (core::isThermallyAware(policy))
         thermalPredictor();  // ensure thetas exist
@@ -298,6 +305,13 @@ Simulation::runMixed(
     const long n_epochs =
         (static_cast<long>(n_frames) + fpe - 1) / fpe;
 
+    // Precompute the whole dynamic-power trace (plus its per-epoch
+    // mean/peak reductions) once: the frame loop and the epoch
+    // provisioning below read rows instead of re-deriving per-block
+    // power from activity counters frame by frame.
+    powerTrace.rebuild(pm, activity, fpe);
+    const std::size_t n_blocks = plan.blocks().size();
+
     // --- Noise sample schedule -----------------------------------------
     int n_samples = opts.noiseSamplesOverride >= 0
                         ? opts.noiseSamplesOverride
@@ -318,6 +332,24 @@ Simulation::runMixed(
     }
 
     // --- Infrastructure -------------------------------------------------
+    // Noise windows of one sample frame are independent across
+    // domains (per-domain PDN scratch, per-domain NoiseScratch, RNG
+    // streams keyed by (run_seed, epoch, sample, domain)), so they
+    // fan out across a long-lived pool. Results are reduced serially
+    // in domain order, so any worker count is bit-identical to the
+    // serial path. Sweep workers (already on a pool thread) stay
+    // serial instead of oversubscribing the machine.
+    noiseScratch.resize(static_cast<std::size_t>(n_domains));
+    domainNoise.resize(static_cast<std::size_t>(n_domains));
+    if (!noisePool && n_samples > 0 && n_domains > 1 &&
+        exec::ThreadPool::workerIndex() < 0) {
+        int noise_jobs =
+            std::min(exec::resolveJobs(cfg.jobs), n_domains);
+        if (noise_jobs > 1)
+            noisePool =
+                std::make_unique<exec::ThreadPool>(noise_jobs);
+    }
+
     core::Governor governor(policy, n_domains);
     core::AgingModel aging(n_vrs);
     sensors::ThermalSensorBank sensor_bank(
@@ -347,14 +379,14 @@ Simulation::runMixed(
 
     std::vector<Celsius> temps;
     {
-        auto dyn0 = pm.dynamicFrame(activity.frames[0]);
+        const Watts *dyn0 = powerTrace.frame(0);
         temps = tm.uniformState(cfg.thermalParams.ambient + 12.0);
         for (int it = 0; it < 4; ++it) {
-            auto block_t = tm.blockTemps(temps);
-            auto leak = pm.leakageFrame(block_t);
-            std::vector<Watts> block_power(dyn0);
+            tm.blockTempsInto(temps, fs.blockT);
+            pm.leakageFrameInto(fs.blockT, fs.leak);
+            std::vector<Watts> block_power(dyn0, dyn0 + n_blocks);
             for (std::size_t b = 0; b < block_power.size(); ++b)
-                block_power[b] += leak[b];
+                block_power[b] += fs.leak[b];
             std::fill(vr_loss.begin(), vr_loss.end(), 0.0);
             if (!off_chip) {
                 for (int d = 0; d < n_domains; ++d) {
@@ -377,10 +409,10 @@ Simulation::runMixed(
         }
     }
     {
-        std::vector<Celsius> vr_t(static_cast<std::size_t>(n_vrs));
+        fs.vrT.resize(static_cast<std::size_t>(n_vrs));
         for (int v = 0; v < n_vrs; ++v)
-            vr_t[static_cast<std::size_t>(v)] = tm.vrTemp(temps, v);
-        sensor_bank.record(0.0, vr_t);
+            fs.vrT[static_cast<std::size_t>(v)] = tm.vrTemp(temps, v);
+        sensor_bank.record(0.0, fs.vrT);
     }
 
     // --- Result accumulators ---------------------------------------------
@@ -397,38 +429,14 @@ Simulation::runMixed(
     long analysed_cycles = 0;
     double best_trace_noise = -1.0;
 
-    std::vector<Watts> last_block_power = pm.dynamicFrame(
-        activity.frames[0]);
+    std::vector<Watts> last_block_power(
+        powerTrace.frame(0), powerTrace.frame(0) + n_blocks);
     {
-        auto leak = pm.leakageFrame(tm.blockTemps(temps));
+        tm.blockTempsInto(temps, fs.blockT);
+        pm.leakageFrameInto(fs.blockT, fs.leak);
         for (std::size_t b = 0; b < last_block_power.size(); ++b)
-            last_block_power[b] += leak[b];
+            last_block_power[b] += fs.leak[b];
     }
-    std::vector<Watts> nodal_power;  //!< reused every thermal step
-
-    // Per-epoch mean and peak dynamic power: oracular policies
-    // provision n_on for the epoch's demand *excursions*, not just
-    // its mean, so intra-epoch swings do not push the active VRs far
-    // past their peak-efficiency load.
-    auto epoch_dynamic = [&](long e) {
-        std::vector<Watts> mean(plan.blocks().size(), 0.0);
-        std::vector<Watts> peak(plan.blocks().size(), 0.0);
-        std::size_t f0 = static_cast<std::size_t>(e) *
-                         static_cast<std::size_t>(fpe);
-        std::size_t f1 =
-            std::min(n_frames, f0 + static_cast<std::size_t>(fpe));
-        for (std::size_t f = f0; f < f1; ++f) {
-            auto dyn = pm.dynamicFrame(activity.frames[f]);
-            for (std::size_t b = 0; b < mean.size(); ++b) {
-                mean[b] += dyn[b];
-                peak[b] = std::max(peak[b], dyn[b]);
-            }
-        }
-        double inv = 1.0 / static_cast<double>(f1 - f0);
-        for (std::size_t b = 0; b < mean.size(); ++b)
-            mean[b] = 0.5 * (mean[b] * inv + peak[b]);
-        return mean;
-    };
 
     // =====================================================================
     // Main loop: one gating decision per epoch, thermal steps per
@@ -443,18 +451,26 @@ Simulation::runMixed(
 
         // ---- Decisions ---------------------------------------------------
         if (!off_chip) {
-            auto mean_dyn = epoch_dynamic(e);
-            auto leak_now = pm.leakageFrame(tm.blockTemps(temps));
-            std::vector<Watts> mean_power(mean_dyn);
-            for (std::size_t b = 0; b < mean_power.size(); ++b)
-                mean_power[b] += leak_now[b];
+            // Epoch provisioning power: the trace's blended mean/peak
+            // row (oracular policies provision n_on for the epoch's
+            // demand *excursions*, not just its mean) plus leakage at
+            // the current temperatures.
+            const Watts *mean_dyn = powerTrace.epochDynamic(e);
+            tm.blockTempsInto(temps, fs.blockT);
+            pm.leakageFrameInto(fs.blockT, fs.leak);
+            fs.meanPower.resize(n_blocks);
+            for (std::size_t b = 0; b < n_blocks; ++b)
+                fs.meanPower[b] = mean_dyn[b] + fs.leak[b];
+            const std::vector<Watts> &mean_power = fs.meanPower;
+            const std::uint64_t mean_stamp = ++powerStamp;
 
-            std::vector<Celsius> vr_true(
-                static_cast<std::size_t>(n_vrs));
+            std::vector<Celsius> &vr_true = fs.vrT;
+            vr_true.resize(static_cast<std::size_t>(n_vrs));
             for (int v = 0; v < n_vrs; ++v)
                 vr_true[static_cast<std::size_t>(v)] =
                     tm.vrTemp(temps, v);
-            auto vr_sensor = sensor_bank.read(epoch_t);
+            sensor_bank.readInto(epoch_t, fs.vrSensor);
+            const std::vector<Celsius> &vr_sensor = fs.vrSensor;
 
             for (int d = 0; d < n_domains; ++d) {
                 const auto &dom =
@@ -471,7 +487,7 @@ Simulation::runMixed(
                 forecaster.observe(demand_now);
                 Amperes wma_next = forecaster.predict();
 
-                core::DomainState st;
+                core::DomainState &st = fs.st;
                 st.domain = d;
                 st.decision = e;
                 st.demandNow = demand_now;
@@ -481,6 +497,7 @@ Simulation::runMixed(
                         : std::max(wma_next, demand_now) *
                               (1.0 + cfg.practicalDemandMargin);
                 st.didt = domain_didt(d);
+                st.headroomVrs = 0;
                 if (!oracular_inputs &&
                     policy != PolicyKind::OffChip)
                     st.headroomVrs = cfg.practicalHeadroomVrs;
@@ -506,13 +523,14 @@ Simulation::runMixed(
                 core::PolicyToolkit kit;
                 kit.pdn = &pdn;
                 kit.network = &net;
-                std::vector<double> thetas;
                 if (predictor) {
-                    thetas.resize(dom.vrs.size());
+                    fs.thetas.resize(dom.vrs.size());
                     for (std::size_t l = 0; l < dom.vrs.size(); ++l)
-                        thetas[l] = predictor->theta(dom.vrs[l]);
+                        fs.thetas[l] = predictor->theta(dom.vrs[l]);
+                } else {
+                    fs.thetas.clear();
                 }
-                kit.thetas = &thetas;
+                kit.thetas = &fs.thetas;
 
                 core::Decision decision =
                     governor.decide(st, kit, false);
@@ -528,9 +546,11 @@ Simulation::runMixed(
                     for (int s :
                          samples_of_epoch[static_cast<std::size_t>(
                              e)]) {
-                        auto w = noiseWindow(d, e, s, mean_power,
-                                             st.didt, run_seed,
-                                             false);
+                        auto w = noiseWindow(
+                            d, e, s, mean_power, st.didt, run_seed,
+                            false,
+                            noiseScratch[static_cast<std::size_t>(d)],
+                            mean_stamp);
                         if (w.emergencyCycles > 0) {
                             truth = true;
                             break;
@@ -564,13 +584,14 @@ Simulation::runMixed(
             // the all-on maximum).
             if (e == 0) {
                 for (int it = 0; it < 3; ++it) {
-                    auto block_t = tm.blockTemps(temps);
-                    auto leak = pm.leakageFrame(block_t);
-                    auto dyn0 = pm.dynamicFrame(activity.frames[0]);
-                    std::vector<Watts> block_power(dyn0);
+                    tm.blockTempsInto(temps, fs.blockT);
+                    pm.leakageFrameInto(fs.blockT, fs.leak);
+                    const Watts *dyn0 = powerTrace.frame(0);
+                    std::vector<Watts> block_power(dyn0,
+                                                   dyn0 + n_blocks);
                     for (std::size_t b = 0; b < block_power.size();
                          ++b)
-                        block_power[b] += leak[b];
+                        block_power[b] += fs.leak[b];
                     std::fill(vr_loss.begin(), vr_loss.end(), 0.0);
                     for (int d = 0; d < n_domains; ++d) {
                         const auto &dom =
@@ -594,26 +615,30 @@ Simulation::runMixed(
                     temps = tm.steadyState(
                         tm.powerVector(block_power, vr_loss));
                 }
-                last_block_power = pm.dynamicFrame(activity.frames[0]);
-                auto leak = pm.leakageFrame(tm.blockTemps(temps));
+                const Watts *dyn0 = powerTrace.frame(0);
+                last_block_power.assign(dyn0, dyn0 + n_blocks);
+                tm.blockTempsInto(temps, fs.blockT);
+                pm.leakageFrameInto(fs.blockT, fs.leak);
                 for (std::size_t b = 0;
                      b < last_block_power.size(); ++b)
-                    last_block_power[b] += leak[b];
+                    last_block_power[b] += fs.leak[b];
             }
         }
 
         // ---- Frames ---------------------------------------------------
         for (std::size_t f = f0; f < f1; ++f) {
             Seconds now = static_cast<double>(f) * dt;
-            auto block_t = tm.blockTemps(temps);
-            auto dyn = pm.dynamicFrame(activity.frames[f]);
-            auto leak = pm.leakageFrame(block_t);
-            std::vector<Watts> block_power(dyn);
+            tm.blockTempsInto(temps, fs.blockT);
+            const Watts *dyn = powerTrace.frame(f);
+            pm.leakageFrameInto(fs.blockT, fs.leak);
+            std::vector<Watts> &block_power = fs.blockPower;
+            block_power.resize(n_blocks);
             Watts total_load = 0.0;
             for (std::size_t b = 0; b < block_power.size(); ++b) {
-                block_power[b] += leak[b];
+                block_power[b] = dyn[b] + fs.leak[b];
                 total_load += block_power[b];
             }
+            const std::uint64_t frame_stamp = ++powerStamp;
             last_block_power = block_power;
             power_stats.add(total_load);
 
@@ -644,8 +669,8 @@ Simulation::runMixed(
             ploss_stats.add(ploss_total);
             active_stats.add(active_total);
 
-            tm.powerVectorInto(block_power, vr_loss, nodal_power);
-            tm.advance(temps, nodal_power);
+            tm.powerVectorInto(block_power, vr_loss, fs.nodalPower);
+            tm.advance(temps, fs.nodalPower);
 
             Celsius tmax = tm.maxDieTemp(temps);
             Celsius grad = tm.gradient(temps);
@@ -674,8 +699,8 @@ Simulation::runMixed(
             }
             res.maxGradient = std::max(res.maxGradient, grad);
 
-            std::vector<Celsius> vr_t(
-                static_cast<std::size_t>(n_vrs));
+            std::vector<Celsius> &vr_t = fs.vrT;
+            vr_t.resize(static_cast<std::size_t>(n_vrs));
             for (int v = 0; v < n_vrs; ++v)
                 vr_t[static_cast<std::size_t>(v)] =
                     tm.vrTemp(temps, v);
@@ -715,15 +740,36 @@ Simulation::runMixed(
                     if (sample_frame[static_cast<std::size_t>(s)] !=
                         static_cast<int>(f))
                         continue;
+                    const bool want_trace = opts.noiseTrace;
+                    // Evaluate every domain's window concurrently;
+                    // each worker touches only its own domain's PDN
+                    // and scratch, and the RNG stream is a pure
+                    // function of (run_seed, epoch, sample, domain).
+                    auto eval_domain = [&](std::size_t d) {
+                        domainNoise[d] = noiseWindow(
+                            static_cast<int>(d), e, s, block_power,
+                            domain_didt(static_cast<int>(d)),
+                            run_seed, want_trace, noiseScratch[d],
+                            frame_stamp);
+                    };
+                    if (noisePool) {
+                        exec::parallelForOn(
+                            *noisePool,
+                            static_cast<std::size_t>(n_domains),
+                            [&](int, std::size_t d) {
+                                eval_domain(d);
+                            });
+                    } else {
+                        for (int d = 0; d < n_domains; ++d)
+                            eval_domain(static_cast<std::size_t>(d));
+                    }
+                    // Serial reduction in domain order keeps the
+                    // result bit-identical at any worker count.
                     int em_max = 0;
                     int analysed = 0;
                     for (int d = 0; d < n_domains; ++d) {
-                        double didt = domain_didt(d);
-                        bool want_trace =
-                            opts.noiseTrace;
-                        auto w = noiseWindow(d, e, s, block_power,
-                                             didt, run_seed,
-                                             want_trace);
+                        auto &w =
+                            domainNoise[static_cast<std::size_t>(d)];
                         if (core::hasEmergencyOverride(policy)) {
                             // Even when the *predictive* path missed
                             // (PracVT's 90% sensitivity), the runtime
@@ -779,7 +825,6 @@ Simulation::runMixed(
                 governor.activityRate(d, l);
         }
 
-    (void)vdd;
     return res;
 }
 

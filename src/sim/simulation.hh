@@ -14,15 +14,18 @@
 #ifndef TG_SIM_SIMULATION_HH
 #define TG_SIM_SIMULATION_HH
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "common/exec.hh"
 #include "core/governor.hh"
 #include "core/thermal_predictor.hh"
 #include "floorplan/power8.hh"
 #include "pdn/domain_pdn.hh"
 #include "power/model.hh"
+#include "power/trace.hh"
 #include "sim/config.hh"
 #include "sim/result.hh"
 #include "thermal/model.hh"
@@ -121,15 +124,70 @@ class Simulation
     };
 
     /**
+     * Per-domain reusable buffers of the noise sampler. The
+     * logic/memory base-current split depends only on the block-power
+     * vector, so it is cached and keyed by `powerStamp`: repeated
+     * windows against the same power (the emergency ground-truth loop,
+     * multiple samples in one frame) skip the recompute. One scratch
+     * per domain also makes the per-sample fan-out across domains
+     * race-free without locks.
+     */
+    struct NoiseScratch
+    {
+        std::uint64_t stamp = 0;          //!< powerStamp of the split
+        std::vector<Watts> pLogic;        //!< domain logic power
+        std::vector<Watts> pMem;          //!< domain memory power
+        std::vector<Amperes> baseLogic;   //!< node currents, logic
+        std::vector<Amperes> baseMem;     //!< node currents, memory
+        std::vector<double> mult;         //!< cycle multipliers
+        std::vector<Amperes> window;      //!< flat cycle x node rows
+    };
+
+    /**
+     * Reusable buffers of the per-epoch/per-frame kernel, so the
+     * steady-state run loop performs no heap allocation: every vector
+     * reaches its final size during the first epoch and is refilled
+     * in place afterwards.
+     */
+    struct FrameScratch
+    {
+        std::vector<Celsius> blockT;    //!< per-block temperatures
+        std::vector<Watts> leak;        //!< per-block leakage
+        std::vector<Watts> blockPower;  //!< dynamic + leakage
+        std::vector<Watts> meanPower;   //!< epoch provisioning power
+        std::vector<Celsius> vrT;       //!< true per-VR temperatures
+        std::vector<Celsius> vrSensor;  //!< sensed per-VR temperatures
+        std::vector<Watts> nodalPower;  //!< thermal-grid power vector
+        std::vector<double> thetas;     //!< per-local-VR theta slice
+        core::DomainState st;           //!< reused decision inputs
+    };
+
+    power::PowerTrace powerTrace;  //!< per-run dynamic-power trace
+    FrameScratch fs;
+    std::vector<NoiseScratch> noiseScratch;      //!< one per domain
+    std::vector<NoiseWindowResult> domainNoise;  //!< fan-out results
+    std::uint64_t powerStamp = 0;  //!< bumped per power recompute
+
+    /**
+     * Pool for the per-sample noise fan-out across domains; created
+     * lazily on first use, only on threads that are not already pool
+     * workers (sweep workers stay serial instead of oversubscribing).
+     */
+    std::unique_ptr<exec::ThreadPool> noisePool;
+
+    /**
      * Run the voltage-noise window of (epoch, sample) for `domain`
      * against the PDN's current active set. The load waveform is
      * seeded independently of the policy so all policies see the
-     * same workload.
+     * same workload. `power_stamp` identifies the content of
+     * `block_power` for the scratch's base-current cache.
      */
     NoiseWindowResult
     noiseWindow(int domain, long epoch, int sample,
                 const std::vector<Watts> &block_power, double didt,
-                std::uint64_t run_seed, bool keep_trace) const;
+                std::uint64_t run_seed, bool keep_trace,
+                NoiseScratch &scratch,
+                std::uint64_t power_stamp) const;
 };
 
 } // namespace sim

@@ -276,10 +276,18 @@ ThermalModel::blockTemp(const std::vector<Celsius> &temps,
 std::vector<Celsius>
 ThermalModel::blockTemps(const std::vector<Celsius> &temps) const
 {
-    std::vector<Celsius> out(blockCells.size());
+    std::vector<Celsius> out;
+    blockTempsInto(temps, out);
+    return out;
+}
+
+void
+ThermalModel::blockTempsInto(const std::vector<Celsius> &temps,
+                             std::vector<Celsius> &out) const
+{
+    out.resize(blockCells.size());
     for (std::size_t b = 0; b < blockCells.size(); ++b)
         out[b] = blockTemp(temps, static_cast<int>(b));
-    return out;
 }
 
 Celsius

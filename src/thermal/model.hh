@@ -136,6 +136,10 @@ class ThermalModel
     /** Temperatures of every block [degC]. */
     std::vector<Celsius>
     blockTemps(const std::vector<Celsius> &temps) const;
+
+    /** blockTemps() into a caller-owned (resized) buffer. */
+    void blockTempsInto(const std::vector<Celsius> &temps,
+                        std::vector<Celsius> &out) const;
     /** Temperature of a VR node [degC]. */
     Celsius vrTemp(const std::vector<Celsius> &temps, int vr) const;
 

@@ -141,11 +141,9 @@ buildActivityTrace(
         frame.ipc.assign(n_cores, 0.0);
 
         double total_traffic = 0.0;
-        double total_mem_intensity = 0.0;
         std::vector<double> core_traffic(n_cores, 0.0);
         for (int c = 0; c < n_cores; ++c) {
             const auto &p = *per_core[static_cast<std::size_t>(c)];
-            total_mem_intensity += p.memoryIntensity;
             CoreActivity a = core_model.evaluate(dframe.coreUtil[c], p);
             frame.block[cores[c].ifu] = a.ifu;
             frame.block[cores[c].isu] = a.isu;
@@ -161,7 +159,6 @@ buildActivityTrace(
         // L3 banks: data homes on the bank paired with its core; the
         // NoC spreads the remainder chip-wide. With fewer banks than
         // cores (mini chips) the pairing wraps around.
-        double avg_mem_intensity = total_mem_intensity / n_cores;
         double avg_l3_miss = 0.0;
         for (int c = 0; c < n_cores; ++c)
             avg_l3_miss +=
@@ -179,7 +176,6 @@ buildActivityTrace(
             frame.block[l3_banks[k]] =
                 std::clamp(0.15 + traffic * mem_scale, 0.0, 1.0);
         }
-        (void)avg_mem_intensity;
         for (int idx : noc_blocks)
             frame.block[idx] =
                 std::clamp(0.20 + avg_traffic * 0.7, 0.0, 1.0);

@@ -11,10 +11,19 @@ namespace workload {
 std::vector<double>
 synthesizeCycleMultipliers(double didt, std::size_t n_cycles, Rng &rng)
 {
+    std::vector<double> out;
+    synthesizeCycleMultipliersInto(didt, n_cycles, rng, out);
+    return out;
+}
+
+void
+synthesizeCycleMultipliersInto(double didt, std::size_t n_cycles,
+                               Rng &rng, std::vector<double> &out)
+{
     TG_ASSERT(didt >= 0.0 && didt <= 1.0, "didt outside [0, 1]");
     TG_ASSERT(n_cycles > 0, "empty cycle window");
 
-    std::vector<double> out(n_cycles);
+    out.resize(n_cycles);
 
     // Rare Poisson load-step events ride on a small AR(1) ripple.
     // Event *depth* is randomised so the noise is heavy-tailed in
@@ -56,7 +65,6 @@ synthesizeCycleMultipliers(double didt, std::size_t n_cycles, Rng &rng)
                                     rng.gaussian(0.0, ripple_sigma);
         out[c] = std::max(0.0, level + ripple);
     }
-    return out;
 }
 
 } // namespace workload

@@ -36,6 +36,15 @@ std::vector<double> synthesizeCycleMultipliers(double didt,
                                                std::size_t n_cycles,
                                                Rng &rng);
 
+/**
+ * synthesizeCycleMultipliers() into a caller-owned (resized) buffer:
+ * the noise-window sampler reuses one buffer per domain instead of
+ * allocating a window-sized vector per sample. Draws the identical
+ * random stream as the allocating form.
+ */
+void synthesizeCycleMultipliersInto(double didt, std::size_t n_cycles,
+                                    Rng &rng, std::vector<double> &out);
+
 } // namespace workload
 } // namespace tg
 

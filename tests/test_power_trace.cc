@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Tests of the precomputed dynamic-power trace: every stored frame
+ * row and per-epoch reduction must reproduce the on-the-fly values
+ * the run loop historically computed, including the partial final
+ * epoch, so swapping evaluation for trace reads is bit-identical.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "floorplan/power8.hh"
+#include "power/model.hh"
+#include "power/trace.hh"
+#include "uarch/core_model.hh"
+#include "workload/demand.hh"
+#include "workload/profile.hh"
+
+namespace tg {
+namespace power {
+namespace {
+
+class PowerTraceTest : public ::testing::Test
+{
+  protected:
+    PowerTraceTest() : chip(floorplan::buildMiniChip(2)), pm(chip)
+    {
+        std::vector<const workload::BenchmarkProfile *> per_core(
+            static_cast<std::size_t>(chip.params.cores),
+            &workload::profileByName("fft"));
+        per_core.back() = &workload::profileByName("radix");
+        auto demand = workload::generateMixedDemandTrace(
+            per_core, 0x9e11u, 100e-6);
+        activity = uarch::buildActivityTrace(chip, per_core, demand);
+    }
+
+    /** A frames-per-epoch that leaves the last epoch partial. */
+    int partialFpe() const
+    {
+        std::size_t n = activity.frames.size();
+        for (int fpe = 7; fpe < static_cast<int>(n); ++fpe)
+            if (n % static_cast<std::size_t>(fpe) != 0)
+                return fpe;
+        return static_cast<int>(n) + 1;
+    }
+
+    floorplan::Chip chip;
+    PowerModel pm;
+    uarch::ActivityTrace activity;
+};
+
+TEST_F(PowerTraceTest, FrameRowsMatchDynamicFrameExactly)
+{
+    int fpe = partialFpe();
+    PowerTrace trace(pm, activity, fpe);
+    ASSERT_EQ(trace.frames(), activity.frames.size());
+    ASSERT_EQ(trace.blocks(), chip.plan.blocks().size());
+
+    for (std::size_t f = 0; f < trace.frames(); ++f) {
+        auto ref = pm.dynamicFrame(activity.frames[f]);
+        const Watts *row = trace.frame(f);
+        for (std::size_t b = 0; b < trace.blocks(); ++b) {
+            ASSERT_EQ(row[b], ref[b])
+                << "frame " << f << " block " << b;
+            ASSERT_NEAR(row[b], ref[b], 1e-12);
+        }
+    }
+}
+
+TEST_F(PowerTraceTest, EpochReductionsMatchReferenceFold)
+{
+    // Reference: the run loop's historical per-epoch fold — sum and
+    // running peak in frame order, then 0.5 * (mean + peak) — which
+    // the trace's build-time reduction must reproduce bit for bit,
+    // including over the trailing partial epoch.
+    int fpe = partialFpe();
+    PowerTrace trace(pm, activity, fpe);
+    std::size_t n_frames = activity.frames.size();
+    ASSERT_NE(n_frames % static_cast<std::size_t>(fpe), 0u)
+        << "fixture must exercise a partial last epoch";
+    ASSERT_EQ(trace.epochs(),
+              (static_cast<long>(n_frames) + fpe - 1) / fpe);
+
+    for (long e = 0; e < trace.epochs(); ++e) {
+        std::vector<Watts> mean(trace.blocks(), 0.0);
+        std::vector<Watts> peak(trace.blocks(), 0.0);
+        std::size_t f0 = static_cast<std::size_t>(e) *
+                         static_cast<std::size_t>(fpe);
+        std::size_t f1 =
+            std::min(n_frames, f0 + static_cast<std::size_t>(fpe));
+        for (std::size_t f = f0; f < f1; ++f) {
+            auto dyn = pm.dynamicFrame(activity.frames[f]);
+            for (std::size_t b = 0; b < mean.size(); ++b) {
+                mean[b] += dyn[b];
+                peak[b] = std::max(peak[b], dyn[b]);
+            }
+        }
+        double inv = 1.0 / static_cast<double>(f1 - f0);
+        for (std::size_t b = 0; b < trace.blocks(); ++b) {
+            ASSERT_EQ(trace.epochDynamic(e)[b],
+                      0.5 * (mean[b] * inv + peak[b]))
+                << "epoch " << e << " block " << b;
+            ASSERT_EQ(trace.epochMean(e)[b], mean[b] * inv);
+            ASSERT_EQ(trace.epochPeak(e)[b], peak[b]);
+        }
+    }
+}
+
+TEST_F(PowerTraceTest, RebuildReusesBuffersAndMatchesFresh)
+{
+    PowerTrace trace(pm, activity, partialFpe());
+    // Rebuilding with a different epoch length must fully refresh the
+    // reductions (no stale accumulator state from the first build).
+    trace.rebuild(pm, activity, 3);
+    PowerTrace fresh(pm, activity, 3);
+    ASSERT_EQ(trace.epochs(), fresh.epochs());
+    for (long e = 0; e < trace.epochs(); ++e)
+        for (std::size_t b = 0; b < trace.blocks(); ++b) {
+            ASSERT_EQ(trace.epochDynamic(e)[b],
+                      fresh.epochDynamic(e)[b]);
+            ASSERT_EQ(trace.epochMean(e)[b], fresh.epochMean(e)[b]);
+            ASSERT_EQ(trace.epochPeak(e)[b], fresh.epochPeak(e)[b]);
+        }
+}
+
+} // namespace
+} // namespace power
+} // namespace tg

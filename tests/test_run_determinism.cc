@@ -1,0 +1,247 @@
+/**
+ * @file
+ * Determinism and allocation-discipline tests of the run loop.
+ *
+ * The noise windows of a sample frame are evaluated concurrently
+ * across domains when SimConfig::jobs allows it; results must be
+ * bit-identical to the serial path at every worker count, and
+ * independent of whether droop traces are kept. The steady-state
+ * per-frame kernel must not touch the heap: a counting global
+ * operator new verifies both the individual *Into primitives and a
+ * whole warmed-up run.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+#include <vector>
+
+#include "common/rng.hh"
+#include "floorplan/power8.hh"
+#include "sim/simulation.hh"
+#include "workload/cycles.hh"
+#include "workload/profile.hh"
+
+namespace {
+
+std::atomic<long> g_allocCount{0};
+
+} // namespace
+
+void *
+operator new(std::size_t size)
+{
+    g_allocCount.fetch_add(1, std::memory_order_relaxed);
+    if (void *p = std::malloc(size))
+        return p;
+    throw std::bad_alloc();
+}
+
+void *
+operator new[](std::size_t size)
+{
+    g_allocCount.fetch_add(1, std::memory_order_relaxed);
+    if (void *p = std::malloc(size))
+        return p;
+    throw std::bad_alloc();
+}
+
+void
+operator delete(void *p) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete(void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
+
+namespace tg {
+namespace sim {
+namespace {
+
+SimConfig
+miniConfig(int jobs)
+{
+    SimConfig cfg;
+    cfg.noiseSamples = 4;
+    cfg.profilingEpochs = 8;
+    cfg.jobs = jobs;
+    return cfg;
+}
+
+void
+expectIdentical(const RunResult &a, const RunResult &b)
+{
+    EXPECT_EQ(a.benchmark, b.benchmark);
+    EXPECT_EQ(a.policy, b.policy);
+    EXPECT_EQ(a.maxTmax, b.maxTmax);
+    EXPECT_EQ(a.hottestSpot, b.hottestSpot);
+    EXPECT_EQ(a.maxGradient, b.maxGradient);
+    EXPECT_EQ(a.maxNoiseFrac, b.maxNoiseFrac);
+    EXPECT_EQ(a.emergencyFrac, b.emergencyFrac);
+    EXPECT_EQ(a.avgRegulatorLoss, b.avgRegulatorLoss);
+    EXPECT_EQ(a.avgEta, b.avgEta);
+    EXPECT_EQ(a.avgActiveVrs, b.avgActiveVrs);
+    EXPECT_EQ(a.meanPower, b.meanPower);
+    EXPECT_EQ(a.overrideCount, b.overrideCount);
+    EXPECT_EQ(a.agingImbalance, b.agingImbalance);
+    EXPECT_EQ(a.vrActivity, b.vrActivity);
+    EXPECT_EQ(a.vrAging, b.vrAging);
+}
+
+TEST(RunDeterminism, SerialAndPooledNoiseWindowsBitIdentical)
+{
+    // jobs=1 evaluates every domain's noise window inline; jobs=4
+    // fans them out across a pool. The RNG streams are functions of
+    // (run_seed, epoch, sample, domain) and the reduction is serial
+    // in domain order, so every field must match bit for bit.
+    auto chip = floorplan::buildMiniChip(2);
+    Simulation serial(chip, miniConfig(1));
+    Simulation pooled(chip, miniConfig(4));
+
+    for (auto policy :
+         {core::PolicyKind::AllOn, core::PolicyKind::OracVT,
+          core::PolicyKind::PracVT}) {
+        auto a = serial.run(workload::profileByName("fft"), policy);
+        auto b = pooled.run(workload::profileByName("fft"), policy);
+        expectIdentical(a, b);
+    }
+}
+
+TEST(RunDeterminism, KeepingDroopTracesDoesNotChangeMetrics)
+{
+    auto chip = floorplan::buildMiniChip(1);
+    Simulation s(chip, miniConfig(1));
+
+    RecordOptions plain;
+    RecordOptions traced;
+    traced.noiseTrace = true;
+    auto a =
+        s.run(workload::profileByName("rayt"),
+              core::PolicyKind::OracVT, plain);
+    auto b =
+        s.run(workload::profileByName("rayt"),
+              core::PolicyKind::OracVT, traced);
+    expectIdentical(a, b);
+    EXPECT_TRUE(a.noiseTrace.empty());
+    EXPECT_FALSE(b.noiseTrace.empty());
+    EXPECT_GE(b.noiseTraceDomain, 0);
+}
+
+TEST(RunDeterminism, RepeatedRunsOnOneInstanceBitIdentical)
+{
+    // Scratch buffers (frame kernel, noise sampler, sensor ring) are
+    // reused across runs; stale contents must never leak into a
+    // later run's results.
+    auto chip = floorplan::buildMiniChip(1);
+    Simulation s(chip, miniConfig(1));
+    auto a = s.run(workload::profileByName("fft"),
+                   core::PolicyKind::PracVT);
+    s.run(workload::profileByName("lu_cb"),
+          core::PolicyKind::AllOn);
+    auto b = s.run(workload::profileByName("fft"),
+                   core::PolicyKind::PracVT);
+    expectIdentical(a, b);
+}
+
+TEST(AllocationDiscipline, WarmKernelPrimitivesDoNotAllocate)
+{
+    auto chip = floorplan::buildMiniChip(1);
+    SimConfig cfg = miniConfig(1);
+    Simulation s(chip, cfg);
+
+    const auto &tm = s.thermalModel();
+    const auto &pm = s.powerModel();
+    const auto &pdn = s.domainPdn(0);
+
+    auto temps = tm.uniformState(55.0);
+    std::vector<Celsius> block_t;
+    std::vector<Watts> leak;
+    std::vector<Watts> vr_loss(chip.plan.vrs().size(), 0.05);
+    std::vector<Watts> nodal;
+    std::vector<Amperes> currents;
+    std::vector<double> mult;
+    Rng rng(17);
+
+    // Warm-up pass sizes every buffer (and the solver scratches).
+    tm.blockTempsInto(temps, block_t);
+    pm.leakageFrameInto(block_t, leak);
+    tm.powerVectorInto(leak, vr_loss, nodal);
+    tm.advance(temps, nodal);
+    pdn.nodeCurrentsInto(leak, currents);
+    workload::synthesizeCycleMultipliersInto(0.5, 256, rng, mult);
+    std::vector<Amperes> window(
+        256 * static_cast<std::size_t>(pdn.nodeCount()));
+    for (std::size_t c = 0; c < 256; ++c)
+        for (std::size_t i = 0;
+             i < static_cast<std::size_t>(pdn.nodeCount()); ++i)
+            window[c * static_cast<std::size_t>(pdn.nodeCount()) + i] =
+                currents[i] * mult[c];
+    pdn.transientWindow(window.data(), 256,
+                        static_cast<std::size_t>(pdn.nodeCount()), 64);
+
+    long before = g_allocCount.load(std::memory_order_relaxed);
+    for (int it = 0; it < 3; ++it) {
+        tm.blockTempsInto(temps, block_t);
+        pm.leakageFrameInto(block_t, leak);
+        tm.powerVectorInto(leak, vr_loss, nodal);
+        tm.advance(temps, nodal);
+        pdn.nodeCurrentsInto(leak, currents);
+        workload::synthesizeCycleMultipliersInto(0.5, 256, rng, mult);
+        pdn.transientWindow(window.data(), 256,
+                            static_cast<std::size_t>(pdn.nodeCount()),
+                            64);
+    }
+    long after = g_allocCount.load(std::memory_order_relaxed);
+    EXPECT_EQ(after - before, 0)
+        << "warm per-frame primitives must not touch the heap";
+}
+
+TEST(AllocationDiscipline, WarmRunAllocationsAreBounded)
+{
+    // A full warmed-up run still allocates for genuinely per-run
+    // products (the demand/activity traces, the power trace growth on
+    // first use, per-epoch decision vectors) but must stay far below
+    // the historical per-frame/per-cycle churn: the old loop paid ~6
+    // vector allocations per frame plus one row vector per transient
+    // cycle (hundreds per noise window).
+    auto chip = floorplan::buildMiniChip(1);
+    Simulation s(chip, miniConfig(1));
+    const auto &profile = workload::profileByName("fft");
+    s.run(profile, core::PolicyKind::PracVT);  // warm-up
+
+    RecordOptions series;
+    series.timeSeries = true;
+    auto probe = s.run(profile, core::PolicyKind::PracVT, series);
+    long n_frames = static_cast<long>(probe.timeUs.size());
+    ASSERT_GT(n_frames, 0);
+
+    long before = g_allocCount.load(std::memory_order_relaxed);
+    s.run(profile, core::PolicyKind::PracVT);
+    long after = g_allocCount.load(std::memory_order_relaxed);
+    long per_frame_budget = 5;  // activity/demand trace construction
+    EXPECT_LT(after - before, 4096 + per_frame_budget * n_frames)
+        << "warm run allocated " << (after - before) << " times over "
+        << n_frames << " frames";
+}
+
+} // namespace
+} // namespace sim
+} // namespace tg

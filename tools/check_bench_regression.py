@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Compare a google-benchmark JSON result against a checked-in baseline.
+
+Usage: check_bench_regression.py CURRENT.json BASELINE.json [--threshold 0.25]
+
+Fails (exit 1) when any benchmark shared by both files is slower than
+baseline by more than the threshold fraction of real_time. Benchmarks
+present in only one file are reported but never fail the check, so
+adding or retiring benchmarks does not require touching the baseline
+in the same change. When the baseline file does not exist the check is
+skipped with exit 0: CI machines vary enough that a baseline is only
+meaningful once a maintainer records one from the same runner class
+(copy a CI BENCH_run_*.json artifact to bench/baselines/).
+"""
+
+import argparse
+import json
+import os
+import sys
+
+
+def load_times(path):
+    """Map benchmark name -> (real_time, unit) from benchmark JSON."""
+    with open(path) as fh:
+        doc = json.load(fh)
+    times = {}
+    for entry in doc.get("benchmarks", []):
+        if entry.get("run_type", "iteration") == "aggregate":
+            continue
+        times[entry["name"]] = (float(entry["real_time"]),
+                                entry.get("time_unit", "ns"))
+    return times
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("current")
+    ap.add_argument("baseline")
+    ap.add_argument("--threshold", type=float, default=0.25,
+                    help="allowed slowdown fraction (default 0.25)")
+    args = ap.parse_args()
+
+    if not os.path.exists(args.baseline):
+        print(f"no baseline at {args.baseline}; skipping regression "
+              "check")
+        return 0
+
+    current = load_times(args.current)
+    baseline = load_times(args.baseline)
+
+    failures = []
+    for name in sorted(baseline):
+        if name not in current:
+            print(f"  [gone]    {name} (baseline only)")
+            continue
+        base, base_unit = baseline[name]
+        cur, unit = current[name]
+        ratio = cur / base if base > 0 else float("inf")
+        marker = "ok"
+        if unit != base_unit:
+            marker = "UNIT?"  # incomparable; report, never fail
+        elif ratio > 1.0 + args.threshold:
+            marker = "REGRESSED"
+            failures.append((name, ratio))
+        print(f"  [{marker:9s}] {name}: {cur:.0f} {unit} vs "
+              f"{base:.0f} {base_unit} ({ratio:.2f}x)")
+    for name in sorted(set(current) - set(baseline)):
+        print(f"  [new]     {name} (no baseline)")
+
+    if failures:
+        worst = max(failures, key=lambda f: f[1])
+        print(f"FAIL: {len(failures)} benchmark(s) regressed more "
+              f"than {args.threshold:.0%} (worst: {worst[0]} at "
+              f"{worst[1]:.2f}x)")
+        return 1
+    print("benchmarks within regression threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
