@@ -91,6 +91,103 @@ BM_RunFrameLoopOnly(benchmark::State &state)
 }
 BENCHMARK(BM_RunFrameLoopOnly)->Unit(benchmark::kMillisecond);
 
+/**
+ * The batched lockstep transient kernel in isolation: Arg is the
+ * batch width, and each iteration advances `width` independent noise
+ * windows through domain 0's current factorisation in one
+ * transientWindowBatch() call. Throughput is reported as
+ * window-cycles per second (items/s), so the widths are directly
+ * comparable: the results are bit-identical at every width, only the
+ * rate moves.
+ */
+void
+BM_TransientKernelBatch(benchmark::State &state)
+{
+    auto &s = sharedSim();
+    const auto &pdn = s.domainPdn(0);
+    const std::size_t n = static_cast<std::size_t>(pdn.nodeCount());
+    constexpr std::size_t kCycles = 512;
+    constexpr int kWarmup = 128;
+
+    // Eight distinct load-step windows, built once per process.
+    static const std::vector<std::vector<Amperes>> windows =
+        [&]() {
+            const auto &chip = s.chip();
+            std::vector<std::vector<Amperes>> w;
+            for (int i = 0; i < 8; ++i) {
+                std::vector<Watts> bp(chip.plan.blocks().size(), 0.0);
+                for (int b : chip.plan.domains()[0].blocks)
+                    bp[static_cast<std::size_t>(b)] = 0.6 + 0.15 * i;
+                auto base = pdn.nodeCurrents(bp);
+                std::vector<Amperes> win(kCycles * n);
+                for (std::size_t c = 0; c < kCycles; ++c) {
+                    double m = 1.0 + 0.5 * ((c / 64) % 2);
+                    for (std::size_t j = 0; j < n; ++j)
+                        win[c * n + j] = base[j] * m;
+                }
+                w.push_back(std::move(win));
+            }
+            return w;
+        }();
+
+    int width = static_cast<int>(state.range(0));
+    std::vector<pdn::DomainPdn::WindowSpec> specs;
+    for (int i = 0; i < width; ++i)
+        specs.push_back(
+            {windows[static_cast<std::size_t>(i)].data(), n});
+    std::vector<pdn::NoiseResult> out(
+        static_cast<std::size_t>(width));
+    for (auto _ : state) {
+        pdn.transientWindowBatch(specs.data(), width, kCycles,
+                                 kWarmup, false, out.data());
+        benchmark::DoNotOptimize(out[0].maxNoiseFrac);
+    }
+    state.SetItemsProcessed(
+        state.iterations() * static_cast<std::int64_t>(width) *
+        static_cast<std::int64_t>(kCycles));
+}
+BENCHMARK(BM_TransientKernelBatch)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+/**
+ * Repo-independent calibration workload: a fixed dense
+ * matrix-multiply over plain buffers, touching nothing in tg::.
+ * tools/check_bench_regression.py divides every benchmark's time by
+ * this one before comparing against the checked-in baseline
+ * (--normalize-by), so a baseline recorded on one machine class
+ * still gates a faster or slower CI runner.
+ */
+void
+BM_MachineCalibration(benchmark::State &state)
+{
+    constexpr int kN = 144;
+    static std::vector<double> a, b, c;
+    if (a.empty()) {
+        a.resize(kN * kN);
+        b.resize(kN * kN);
+        c.resize(kN * kN, 0.0);
+        for (int i = 0; i < kN * kN; ++i) {
+            a[static_cast<std::size_t>(i)] = 1.0 + (i % 7) * 0.125;
+            b[static_cast<std::size_t>(i)] = 2.0 - (i % 5) * 0.25;
+        }
+    }
+    for (auto _ : state) {
+        for (int i = 0; i < kN; ++i)
+            for (int k = 0; k < kN; ++k) {
+                double aik = a[static_cast<std::size_t>(i * kN + k)];
+                for (int j = 0; j < kN; ++j)
+                    c[static_cast<std::size_t>(i * kN + j)] +=
+                        aik * b[static_cast<std::size_t>(k * kN + j)];
+            }
+        benchmark::DoNotOptimize(c.data());
+    }
+}
+BENCHMARK(BM_MachineCalibration)->Unit(benchmark::kMillisecond);
+
 } // namespace
 
 BENCHMARK_MAIN();

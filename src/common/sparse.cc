@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "common/logging.hh"
+#include "common/simd.hh"
 
 namespace tg {
 
@@ -307,6 +308,12 @@ void
 SparseLdltSolver::solveInPlace(std::vector<double> &bx) const
 {
     TG_ASSERT(bx.size() == n, "rhs size mismatch in LDL^T solve");
+    solveInPlace(bx.data());
+}
+
+void
+SparseLdltSolver::solveInPlace(double *bx) const
+{
     scratch.resize(n);
     std::vector<double> &y = scratch;
     for (std::size_t i = 0; i < n; ++i)
@@ -336,6 +343,114 @@ SparseLdltSolver::solveInPlace(std::vector<double> &bx) const
 
     for (std::size_t i = 0; i < n; ++i)
         bx[perm[i]] = y[i];
+}
+
+/**
+ * Fixed-width lockstep solve: identical substitution loops to the
+ * scalar solveInPlace(), with every row operation applied to all W
+ * lanes before moving on. Lane l therefore sees the scalar op
+ * sequence exactly, and the W-wide inner loops auto-vectorise.
+ */
+template <int W>
+void
+SparseLdltSolver::solveBatchFixed(double *bx) const
+{
+    using B = DoubleBatch<W>;
+    batchScratch.resize(n * W);
+    double *y = batchScratch.data();
+    for (std::size_t i = 0; i < n; ++i)
+        B::load(bx + perm[i] * W).store(y + i * W);
+
+    // Forward substitution with unit-diagonal L.
+    for (std::size_t i = 0; i < n; ++i) {
+        const double *li = low.data() + rowStart[i];
+        std::size_t fi = first[i];
+        B acc = B::load(y + i * W);
+        for (std::size_t j = fi; j < i; ++j)
+            acc -= B::load(y + j * W) * li[j - fi];
+        acc.store(y + i * W);
+    }
+
+    // Diagonal scaling, then back substitution with L^T.
+    for (std::size_t i = 0; i < n; ++i)
+        (B::load(y + i * W) / diag[i]).store(y + i * W);
+    for (std::size_t i = n; i-- > 0;) {
+        const double *li = low.data() + rowStart[i];
+        std::size_t fi = first[i];
+        B yi = B::load(y + i * W);
+        for (std::size_t j = fi; j < i; ++j)
+            (B::load(y + j * W) - yi * li[j - fi]).store(y + j * W);
+    }
+
+    for (std::size_t i = 0; i < n; ++i)
+        B::load(y + i * W).store(bx + perm[i] * W);
+}
+
+/** Runtime-width fallback with the same per-lane operation order. */
+void
+SparseLdltSolver::solveBatchGeneric(double *bx, std::size_t width) const
+{
+    const std::size_t w = width;
+    batchScratch.resize(n * w);
+    double *y = batchScratch.data();
+    for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t l = 0; l < w; ++l)
+            y[i * w + l] = bx[perm[i] * w + l];
+
+    for (std::size_t i = 0; i < n; ++i) {
+        const double *li = low.data() + rowStart[i];
+        std::size_t fi = first[i];
+        double *yi = y + i * w;
+        for (std::size_t j = fi; j < i; ++j) {
+            const double c = li[j - fi];
+            const double *yj = y + j * w;
+            for (std::size_t l = 0; l < w; ++l)
+                yi[l] -= c * yj[l];
+        }
+    }
+
+    for (std::size_t i = 0; i < n; ++i) {
+        const double d = diag[i];
+        for (std::size_t l = 0; l < w; ++l)
+            y[i * w + l] /= d;
+    }
+    for (std::size_t i = n; i-- > 0;) {
+        const double *li = low.data() + rowStart[i];
+        std::size_t fi = first[i];
+        const double *yi = y + i * w;
+        for (std::size_t j = fi; j < i; ++j) {
+            const double c = li[j - fi];
+            double *yj = y + j * w;
+            for (std::size_t l = 0; l < w; ++l)
+                yj[l] -= c * yi[l];
+        }
+    }
+
+    for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t l = 0; l < w; ++l)
+            bx[perm[i] * w + l] = y[i * w + l];
+}
+
+void
+SparseLdltSolver::solveBatchInPlace(double *bx, std::size_t width) const
+{
+    TG_ASSERT(width > 0, "batched solve needs at least one lane");
+    switch (width) {
+      case 1: solveInPlace(bx); return;
+      case 2: solveBatchFixed<2>(bx); return;
+      case 4: solveBatchFixed<4>(bx); return;
+      case 8: solveBatchFixed<8>(bx); return;
+      default: solveBatchGeneric(bx, width); return;
+    }
+}
+
+void
+SparseLdltSolver::solveInPlace(Matrix &bx) const
+{
+    TG_ASSERT(bx.rows() == n, "multi-RHS rows mismatch in LDL^T solve");
+    TG_ASSERT(bx.cols() > 0, "multi-RHS solve needs columns");
+    // Row-major n x k storage IS the interleaved lane layout.
+    solveBatchInPlace(bx.row(0), bx.cols());
 }
 
 std::size_t

@@ -128,6 +128,30 @@ class SparseLdltSolver
      */
     void solveInPlace(std::vector<double> &bx) const;
 
+    /** solveInPlace() over a raw buffer of size() doubles. */
+    void solveInPlace(double *bx) const;
+
+    /**
+     * Multi-RHS solve: `bx` is a size() x k row-major matrix whose k
+     * columns are independent right-hand sides, solved in one
+     * envelope traversal (the L structure's index/pointer traffic is
+     * amortised across all columns). Column j of the result is
+     * bit-identical to a scalar solveInPlace() of column j: each
+     * lane executes the same floating-point ops in the same order.
+     */
+    void solveInPlace(Matrix &bx) const;
+
+    /**
+     * Batched solve over `width` interleaved right-hand sides: lane
+     * l of row i lives at bx[i * width + l] (a row-major n x width
+     * buffer). One envelope traversal advances every lane in
+     * lockstep; per-lane results are bit-identical to scalar
+     * solveInPlace(). Widths 2/4/8 dispatch to fixed-width SIMD
+     * kernels; other widths use a runtime-width loop. No heap
+     * allocation after the first call at a given width.
+     */
+    void solveBatchInPlace(double *bx, std::size_t width) const;
+
     /** Dimension of the factored system. */
     std::size_t size() const { return n; }
 
@@ -138,6 +162,10 @@ class SparseLdltSolver
     std::size_t envelopeBandwidth() const;
 
   private:
+    template <int W>
+    void solveBatchFixed(double *bx) const;
+    void solveBatchGeneric(double *bx, std::size_t width) const;
+
     std::size_t n = 0;
     std::vector<std::size_t> perm;  //!< perm[new] = old
     std::vector<std::size_t> first; //!< leftmost column of row's envelope
@@ -145,6 +173,7 @@ class SparseLdltSolver
     std::vector<double> low;        //!< packed strictly-lower L entries
     std::vector<double> diag;       //!< D of the LDL^T factorisation
     mutable std::vector<double> scratch; //!< permuted solve workspace
+    mutable std::vector<double> batchScratch; //!< n x width workspace
 };
 
 } // namespace tg

@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "common/logging.hh"
+#include "common/simd.hh"
 
 namespace tg {
 namespace pdn {
@@ -232,16 +233,13 @@ DomainPdn::makeDowndate(const SparseLdltSolver &base,
     if (r == 0)
         return dd;
 
-    // W = M0^{-1} E, one base solve per removed branch.
+    // W = M0^{-1} E: all removed-branch columns advance through one
+    // multi-RHS envelope traversal, each column bit-identical to the
+    // per-column scalar solves this replaces.
     dd.w = Matrix(n, r, 0.0);
-    std::vector<double> col(n);
-    for (std::size_t j = 0; j < r; ++j) {
-        std::fill(col.begin(), col.end(), 0.0);
-        col[static_cast<std::size_t>(dd.nodes[j])] = 1.0;
-        base.solveInPlace(col);
-        for (std::size_t i = 0; i < n; ++i)
-            dd.w(i, j) = col[i];
-    }
+    for (std::size_t j = 0; j < r; ++j)
+        dd.w(static_cast<std::size_t>(dd.nodes[j]), j) = 1.0;
+    base.solveInPlace(dd.w);
 
     // Capacitance matrix (D^{-1} - E^T W), inverted once; it is r x r
     // with r <= vrCount, so a dense LU is cheap.
@@ -337,12 +335,21 @@ DomainPdn::setActive(const std::vector<int> &active_local)
     Factorization f;
     f.steady = makeDowndate(*steadyBase, removed, r_steady);
     f.transient = makeDowndate(*transientBase, removed, r_transient);
+    if (prm.factorCacheCapacity <= 0) {
+        // Caching disabled: build-and-discard. The factorisation
+        // lives in a dedicated slot outside the LRU structures so it
+        // cannot be evicted from under `current` and no insert/evict
+        // bookkeeping runs at all.
+        uncached = std::move(f);
+        current = &uncached;
+        return;
+    }
     cacheList.emplace_front(key, std::move(f));
     cacheMap[key] = cacheList.begin();
     current = &cacheList.front().second;
 
-    std::size_t cap = static_cast<std::size_t>(
-        std::max(1, prm.factorCacheCapacity));
+    std::size_t cap =
+        static_cast<std::size_t>(prm.factorCacheCapacity);
     while (cacheList.size() > cap) {
         cacheMap.erase(cacheList.back().first);
         cacheList.pop_back();
@@ -523,6 +530,204 @@ DomainPdn::transientWindow(const Amperes *currents, std::size_t cycles,
     return res;
 }
 
+/**
+ * Woodbury-corrected solve for W interleaved lanes (lane l of row i
+ * at x[i*W + l]): one batched base solve, then the rank-r correction
+ * applied lane-wise in the exact scalar operation order.
+ */
+template <int W>
+void
+DomainPdn::solveReducedBatch(const SparseLdltSolver &base,
+                             const Downdate &dd, double *x) const
+{
+    base.solveBatchInPlace(x, W);
+    std::size_t r = dd.nodes.size();
+    if (r == 0)
+        return;
+    using B = DoubleBatch<W>;
+    std::size_t n = static_cast<std::size_t>(nNodes);
+    smallScratch.resize(2 * r * W);
+    double *s = smallScratch.data();
+    double *u = s + r * W;
+    for (std::size_t a = 0; a < r; ++a)
+        B::load(x + static_cast<std::size_t>(dd.nodes[a]) * W)
+            .store(s + a * W);
+    for (std::size_t a = 0; a < r; ++a) {
+        const double *ca = dd.capInverse.row(a);
+        B acc = B::broadcast(0.0);
+        for (std::size_t b = 0; b < r; ++b)
+            acc += B::load(s + b * W) * ca[b];
+        acc.store(u + a * W);
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+        const double *wi = dd.w.row(i);
+        B acc = B::broadcast(0.0);
+        for (std::size_t a = 0; a < r; ++a)
+            acc += B::load(u + a * W) * wi[a];
+        (B::load(x + i * W) + acc).store(x + i * W);
+    }
+}
+
+/**
+ * Fixed-width lockstep transient kernel: W independent cycle-current
+ * windows advance through the shared factorisation, one lane each.
+ * Every per-cycle step mirrors the scalar transientWindow() loop
+ * with the lane dimension innermost, so lane l's floating-point
+ * op sequence — rhs assembly, solve, branch update, droop max — is
+ * the scalar sequence exactly.
+ */
+template <int W>
+void
+DomainPdn::transientWindowLockstep(const WindowSpec *windows,
+                                   std::size_t cycles, int warmup,
+                                   bool keep_trace,
+                                   NoiseResult *out) const
+{
+    using B = DoubleBatch<W>;
+    std::size_t n = static_cast<std::size_t>(nNodes);
+    std::size_t m = activeSet.size();
+    double vdd = chipRef.params.vdd;
+    double dt = prm.cycleTime;
+    double r_out = design.outputResistance;
+
+    branchR.resize(m);
+    for (std::size_t k = 0; k < m; ++k)
+        branchR[k] =
+            vrLoopL[static_cast<std::size_t>(activeSet[k])] / dt + r_out;
+
+    // Initial condition per lane: steady state at the lane's first
+    // cycle, branch currents from Vdd = V_node + R_out I.
+    batchVolt.resize(n * W);
+    for (std::size_t i = 0; i < n; ++i)
+        for (int l = 0; l < W; ++l)
+            batchVolt[i * W + l] = -windows[l].currents[i];
+    for (std::size_t k = 0; k < m; ++k) {
+        std::size_t node = static_cast<std::size_t>(
+            vrNodes[static_cast<std::size_t>(activeSet[k])]);
+        for (int l = 0; l < W; ++l)
+            batchVolt[node * W + l] += vdd / r_out;
+    }
+    solveReducedBatch<W>(*steadyBase, current->steady,
+                         batchVolt.data());
+    batchBranch.resize(m * W);
+    for (std::size_t k = 0; k < m; ++k) {
+        std::size_t node = static_cast<std::size_t>(
+            vrNodes[static_cast<std::size_t>(activeSet[k])]);
+        for (int l = 0; l < W; ++l)
+            batchBranch[k * W + l] =
+                (vdd - batchVolt[node * W + l]) / r_out;
+    }
+
+    for (int l = 0; l < W; ++l) {
+        out[l].maxNoiseFrac = 0.0;
+        out[l].emergencyCycles = 0;
+        out[l].analysedCycles = 0;
+        out[l].trace.clear();
+        if (keep_trace)
+            out[l].trace.reserve(cycles);
+    }
+
+    batchRhs.resize(n * W);
+    batchBranchRhs.resize(m * W);
+    for (std::size_t cyc = 0; cyc < cycles; ++cyc) {
+        const Amperes *rows[W];
+        for (int l = 0; l < W; ++l)
+            rows[l] = windows[l].currents + cyc * windows[l].stride;
+        for (std::size_t i = 0; i < n; ++i) {
+            const double g = decap[i] / dt;
+            double cur[W];
+            for (int l = 0; l < W; ++l)
+                cur[l] = rows[l][i];
+            // Lane l: g * volt - current, the scalar rhs expression
+            // (batch * scalar multiplies lane-first, bit-commutative).
+            (B::load(batchVolt.data() + i * W) * g - B::load(cur))
+                .store(batchRhs.data() + i * W);
+        }
+        for (std::size_t k = 0; k < m; ++k) {
+            const double l_dt =
+                vrLoopL[static_cast<std::size_t>(activeSet[k])] / dt;
+            std::size_t node = static_cast<std::size_t>(
+                vrNodes[static_cast<std::size_t>(activeSet[k])]);
+            B g_k = B::load(batchBranch.data() + k * W) * l_dt +
+                    B::broadcast(vdd);
+            g_k.store(batchBranchRhs.data() + k * W);
+            (B::load(batchRhs.data() + node * W) + g_k / branchR[k])
+                .store(batchRhs.data() + node * W);
+        }
+        solveReducedBatch<W>(*transientBase, current->transient,
+                             batchRhs.data());
+        batchVolt.swap(batchRhs);
+        for (std::size_t k = 0; k < m; ++k) {
+            std::size_t node = static_cast<std::size_t>(
+                vrNodes[static_cast<std::size_t>(activeSet[k])]);
+            ((B::load(batchBranchRhs.data() + k * W) -
+              B::load(batchVolt.data() + node * W)) /
+             branchR[k])
+                .store(batchBranch.data() + k * W);
+        }
+
+        B droop = B::broadcast(0.0);
+        for (int i : loadIdx) {
+            B v = B::load(batchVolt.data() +
+                          static_cast<std::size_t>(i) * W);
+            droop = B::max(droop, (B::broadcast(vdd) - v) / vdd);
+        }
+        for (int l = 0; l < W; ++l) {
+            const double d = droop[l];
+            if (keep_trace)
+                out[l].trace.push_back(d);
+            if (static_cast<int>(cyc) >= warmup) {
+                ++out[l].analysedCycles;
+                out[l].maxNoiseFrac = std::max(out[l].maxNoiseFrac, d);
+                if (d > prm.emergencyFrac)
+                    ++out[l].emergencyCycles;
+            }
+        }
+    }
+}
+
+void
+DomainPdn::transientWindowBatch(const WindowSpec *windows, int count,
+                                std::size_t cycles, int warmup,
+                                bool keep_trace,
+                                NoiseResult *out) const
+{
+    TG_ASSERT(count > 0, "empty window batch");
+    TG_ASSERT(cycles > 0, "empty transient window");
+    TG_ASSERT(warmup >= 0 && warmup < static_cast<int>(cycles),
+              "warmup must leave analysis cycles");
+    TG_ASSERT(current != nullptr, "setActive() must precede solves");
+    for (int i = 0; i < count; ++i)
+        TG_ASSERT(windows[i].stride >=
+                      static_cast<std::size_t>(nNodes),
+                  "cycle stride below node count");
+
+    // Chunk into the widest fixed kernels, scalar ragged tail. Any
+    // chunking yields the same bits: lanes never interact.
+    int done = 0;
+    while (done < count) {
+        int left = count - done;
+        if (left >= 8) {
+            transientWindowLockstep<8>(windows + done, cycles, warmup,
+                                       keep_trace, out + done);
+            done += 8;
+        } else if (left >= 4) {
+            transientWindowLockstep<4>(windows + done, cycles, warmup,
+                                       keep_trace, out + done);
+            done += 4;
+        } else if (left >= 2) {
+            transientWindowLockstep<2>(windows + done, cycles, warmup,
+                                       keep_trace, out + done);
+            done += 2;
+        } else {
+            out[done] = transientWindow(windows[done].currents, cycles,
+                                        windows[done].stride, warmup,
+                                        keep_trace);
+            ++done;
+        }
+    }
+}
+
 std::pair<double, double>
 DomainPdn::nodePosition(int node) const
 {
@@ -549,22 +754,32 @@ DomainPdn::buildTransferResistances()
     // shared work: one base factorisation, n solves for
     // diag(M0^{-1}), and m solves for the branch columns Z — instead
     // of the m full factorisations and n*m solves of the dense path.
-    std::vector<double> col(n);
+    // diag(M0^{-1}): n unit solves advanced kMaxWindowBatch lanes at
+    // a time through one envelope traversal per chunk (the dominant
+    // construction cost; per-lane bit-identical to scalar solves).
     std::vector<double> d0(n);
-    for (std::size_t j = 0; j < n; ++j) {
-        std::fill(col.begin(), col.end(), 0.0);
-        col[j] = 1.0;
-        steadyBase->solveInPlace(col);
-        d0[j] = col[j];
+    {
+        constexpr std::size_t kW =
+            static_cast<std::size_t>(kMaxWindowBatch);
+        std::vector<double> cols(n * kW);
+        for (std::size_t j0 = 0; j0 < n; j0 += kW) {
+            std::size_t w = std::min(kW, n - j0);
+            std::fill(cols.begin(),
+                      cols.begin() + static_cast<std::ptrdiff_t>(n * w),
+                      0.0);
+            for (std::size_t l = 0; l < w; ++l)
+                cols[(j0 + l) * w + l] = 1.0;
+            steadyBase->solveBatchInPlace(cols.data(), w);
+            for (std::size_t l = 0; l < w; ++l)
+                d0[j0 + l] = cols[(j0 + l) * w + l];
+        }
     }
+    // Branch columns Z = M0^{-1} E, one multi-RHS traversal.
     Matrix z(n, m, 0.0);
-    for (std::size_t k = 0; k < m; ++k) {
-        std::fill(col.begin(), col.end(), 0.0);
-        col[static_cast<std::size_t>(vrNodes[k])] = 1.0;
-        steadyBase->solveInPlace(col);
-        for (std::size_t i = 0; i < n; ++i)
-            z(i, k) = col[i];
-    }
+    for (std::size_t k = 0; k < m; ++k)
+        z(static_cast<std::size_t>(vrNodes[k]), k) = 1.0;
+    if (m > 0)
+        steadyBase->solveInPlace(z);
 
     std::vector<std::size_t> others(m > 0 ? m - 1 : 0);
     for (std::size_t k = 0; k < m; ++k) {

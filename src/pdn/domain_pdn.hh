@@ -80,7 +80,10 @@ struct PdnParams
      * Active-set factorisations kept alive (LRU). The governor flips
      * among a handful of configurations per domain, so a small cache
      * removes nearly all Woodbury rebuilds; each entry costs a few
-     * n-vectors of memory.
+     * n-vectors of memory. Zero (or negative) cleanly disables
+     * caching: every new active set is built and discarded when the
+     * next one replaces it, and every non-short-circuited
+     * setActive() counts as a miss.
      */
     int factorCacheCapacity = 16;
 };
@@ -184,6 +187,33 @@ class DomainPdn
                                 std::size_t cycles, std::size_t stride,
                                 int warmup,
                                 bool keep_trace = false) const;
+
+    /** One window of a lockstep batch: a flat strided cycle buffer. */
+    struct WindowSpec
+    {
+        const Amperes *currents = nullptr; //!< cycle-major load rows
+        std::size_t stride = 0;            //!< row stride >= nodeCount()
+    };
+
+    /** Widest lockstep kernel instantiated (see common/simd.hh). */
+    static constexpr int kMaxWindowBatch = 8;
+
+    /**
+     * Advance `count` independent transient windows through the
+     * current factorisation in SIMD lockstep: per-cycle base solve,
+     * Woodbury rank-r correction, branch update, and droop scan all
+     * execute once per cycle for the whole batch, with each window
+     * occupying one lane. Lane arithmetic preserves the exact scalar
+     * operation order, so out[i] is bit-identical to
+     * transientWindow(windows[i].currents, cycles, windows[i].stride,
+     * warmup, keep_trace) at every batch width. `count` is chunked
+     * internally into fixed widths (8/4/2) with a scalar ragged
+     * tail; all windows share cycles/warmup. No heap allocation
+     * after the first call at a given width (trace buffers aside).
+     */
+    void transientWindowBatch(const WindowSpec *windows, int count,
+                              std::size_t cycles, int warmup,
+                              bool keep_trace, NoiseResult *out) const;
 
     /**
      * Steady-state transfer resistance from mesh node `node` to VR
@@ -295,6 +325,12 @@ class DomainPdn
         std::uint64_t,
         std::list<std::pair<std::uint64_t, Factorization>>::iterator>
         cacheMap;
+    /**
+     * Build-and-discard slot used when factorCacheCapacity <= 0:
+     * holds the one live factorisation outside the LRU structures so
+     * `current` stays valid without any insert/evict bookkeeping.
+     */
+    Factorization uncached;
     const Factorization *current = nullptr;
     std::uint64_t cacheHits = 0;
     std::uint64_t cacheMisses = 0;
@@ -311,6 +347,10 @@ class DomainPdn
     mutable std::vector<double> branchR;       //!< branch R (L/dt+R)
     mutable std::vector<double> smallScratch;  //!< rank-r correction
     mutable std::vector<double> windowScratch; //!< packed cycle rows
+    mutable std::vector<double> batchVolt;     //!< n x W lane voltages
+    mutable std::vector<double> batchRhs;      //!< n x W lane rhs
+    mutable std::vector<double> batchBranch;   //!< m x W lane currents
+    mutable std::vector<double> batchBranchRhs; //!< m x W lane g_k
 
     void buildTopology();
     void buildBaseFactors();
@@ -320,6 +360,14 @@ class DomainPdn
                           const std::vector<double> &removed_r) const;
     void solveReduced(const SparseLdltSolver &base, const Downdate &dd,
                       std::vector<double> &x) const;
+    template <int W>
+    void solveReducedBatch(const SparseLdltSolver &base,
+                           const Downdate &dd, double *x) const;
+    template <int W>
+    void transientWindowLockstep(const WindowSpec *windows,
+                                 std::size_t cycles, int warmup,
+                                 bool keep_trace,
+                                 NoiseResult *out) const;
 };
 
 } // namespace pdn

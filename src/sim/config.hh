@@ -42,6 +42,15 @@ struct SimConfig
     int noiseCyclesTotal = 600;  //!< cycles per window
     int noiseWarmupCycles = 200; //!< leading cycles excluded
 
+    /**
+     * Lockstep lanes of the batched transient kernel: a domain's
+     * noise windows of one epoch advance through the shared
+     * factorisation up to this many at a time (1 = scalar window
+     * solves; clamped to pdn::DomainPdn::kMaxWindowBatch). Purely a
+     * throughput knob — results are bit-identical at every width.
+     */
+    int noiseBatchWidth = 4;
+
     /** Epochs of the theta-profiling pass (Section 6.3). */
     int profilingEpochs = 24;
 

@@ -183,12 +183,20 @@ Simulation::calibrateThetas()
     predictorR2 = predictor->rSquared();
 }
 
-Simulation::NoiseWindowResult
-Simulation::noiseWindow(int domain, long epoch, int sample,
-                        const std::vector<Watts> &block_power,
-                        double didt, std::uint64_t run_seed,
-                        bool keep_trace, NoiseScratch &scratch,
-                        std::uint64_t power_stamp) const
+int
+Simulation::noiseBatchWidth() const
+{
+    return std::clamp(cfg.noiseBatchWidth, 1,
+                      pdn::DomainPdn::kMaxWindowBatch);
+}
+
+void
+Simulation::buildNoiseWindowInto(int domain, long epoch, int sample,
+                                 const std::vector<Watts> &block_power,
+                                 double didt, std::uint64_t run_seed,
+                                 NoiseScratch &scratch,
+                                 std::uint64_t power_stamp,
+                                 Amperes *dst) const
 {
     const auto &plan = chipRef.plan;
     const auto &pdn = *pdns[static_cast<std::size_t>(domain)];
@@ -224,25 +232,58 @@ Simulation::noiseWindow(int domain, long epoch, int sample,
         didt, static_cast<std::size_t>(cycles), rng, scratch.mult);
 
     std::size_t n = static_cast<std::size_t>(pdn.nodeCount());
-    scratch.window.resize(static_cast<std::size_t>(cycles) * n);
     for (int c = 0; c < cycles; ++c) {
         double ml = scratch.mult[static_cast<std::size_t>(c)];
         double mm = 1.0 + 0.35 * (ml - 1.0);  // caches swing less
-        Amperes *row =
-            scratch.window.data() + static_cast<std::size_t>(c) * n;
+        Amperes *row = dst + static_cast<std::size_t>(c) * n;
         for (std::size_t i = 0; i < n; ++i)
             row[i] = base_logic[i] * ml + base_mem[i] * mm;
     }
+}
 
-    auto res = pdn.transientWindow(scratch.window.data(),
-                                   static_cast<std::size_t>(cycles), n,
-                                   cfg.noiseWarmupCycles, keep_trace);
-    NoiseWindowResult out;
-    out.maxNoise = res.maxNoiseFrac;
-    out.emergencyCycles = res.emergencyCycles;
-    out.analysedCycles = res.analysedCycles;
-    out.trace = std::move(res.trace);
-    return out;
+bool
+Simulation::epochEmergencyTruth(int domain, long epoch,
+                                const std::vector<int> &samples,
+                                const std::vector<Watts> &block_power,
+                                double didt, std::uint64_t run_seed,
+                                NoiseScratch &scratch,
+                                std::uint64_t power_stamp) const
+{
+    const auto &pdn = *pdns[static_cast<std::size_t>(domain)];
+    std::size_t n = static_cast<std::size_t>(pdn.nodeCount());
+    std::size_t cycles =
+        static_cast<std::size_t>(cfg.noiseCyclesTotal);
+    std::size_t win = cycles * n;
+    int width = noiseBatchWidth();
+    int k = static_cast<int>(samples.size());
+    std::size_t uw = static_cast<std::size_t>(width);
+    if (scratch.queue.size() < uw * win)
+        scratch.queue.resize(uw * win);
+    if (scratch.specs.size() < uw)
+        scratch.specs.resize(uw);
+    if (scratch.results.size() < uw)
+        scratch.results.resize(uw);
+    for (int q0 = 0; q0 < k; q0 += width) {
+        int cnt = std::min(width, k - q0);
+        for (int j = 0; j < cnt; ++j) {
+            Amperes *dst =
+                scratch.queue.data() + static_cast<std::size_t>(j) * win;
+            buildNoiseWindowInto(domain, epoch,
+                                 samples[static_cast<std::size_t>(
+                                     q0 + j)],
+                                 block_power, didt, run_seed, scratch,
+                                 power_stamp, dst);
+            scratch.specs[static_cast<std::size_t>(j)] = {dst, n};
+        }
+        pdn.transientWindowBatch(scratch.specs.data(), cnt, cycles,
+                                 cfg.noiseWarmupCycles, false,
+                                 scratch.results.data());
+        for (int j = 0; j < cnt; ++j)
+            if (scratch.results[static_cast<std::size_t>(j)]
+                    .emergencyCycles > 0)
+                return true;
+    }
+    return false;
 }
 
 RunResult
@@ -332,15 +373,16 @@ Simulation::runMixed(
     }
 
     // --- Infrastructure -------------------------------------------------
-    // Noise windows of one sample frame are independent across
-    // domains (per-domain PDN scratch, per-domain NoiseScratch, RNG
-    // streams keyed by (run_seed, epoch, sample, domain)), so they
-    // fan out across a long-lived pool. Results are reduced serially
-    // in domain order, so any worker count is bit-identical to the
-    // serial path. Sweep workers (already on a pool thread) stay
-    // serial instead of oversubscribing the machine.
+    // Noise windows are independent across domains (per-domain PDN
+    // scratch, per-domain NoiseScratch, RNG streams keyed by
+    // (run_seed, epoch, sample, domain)), so window synthesis and the
+    // end-of-epoch batched drain fan out across a long-lived pool.
+    // Results are reduced serially in (sample, domain) order, so any
+    // worker count is bit-identical to the serial path. Sweep workers
+    // (already on a pool thread) stay serial instead of
+    // oversubscribing the machine.
     noiseScratch.resize(static_cast<std::size_t>(n_domains));
-    domainNoise.resize(static_cast<std::size_t>(n_domains));
+    noiseQueue.clear();
     if (!noisePool && n_samples > 0 && n_domains > 1 &&
         exec::ThreadPool::workerIndex() < 0) {
         int noise_jobs =
@@ -542,20 +584,12 @@ Simulation::runMixed(
                     // selection suffer an emergency this epoch?
                     if (decision.active != pdn.active())
                         pdn.setActive(decision.active);
-                    bool truth = false;
-                    for (int s :
-                         samples_of_epoch[static_cast<std::size_t>(
-                             e)]) {
-                        auto w = noiseWindow(
-                            d, e, s, mean_power, st.didt, run_seed,
-                            false,
-                            noiseScratch[static_cast<std::size_t>(d)],
-                            mean_stamp);
-                        if (w.emergencyCycles > 0) {
-                            truth = true;
-                            break;
-                        }
-                    }
+                    bool truth = epochEmergencyTruth(
+                        d, e,
+                        samples_of_epoch[static_cast<std::size_t>(e)],
+                        mean_power, st.didt, run_seed,
+                        noiseScratch[static_cast<std::size_t>(d)],
+                        mean_stamp);
                     bool alert =
                         policy == PolicyKind::OracVT
                             ? truth
@@ -734,71 +768,134 @@ Simulation::runMixed(
             }
 
             // ---- Noise windows scheduled at this frame -------------
+            // Each window's load waveform is synthesised HERE, against
+            // this frame's block power, but its transient solve is
+            // deferred to the end-of-epoch batched drain below (the
+            // active set only changes at epoch decisions, so the
+            // deferred solves run against the same factorisation the
+            // immediate ones did).
             if (!off_chip) {
+                std::size_t cycles =
+                    static_cast<std::size_t>(cfg.noiseCyclesTotal);
                 for (int s :
                      samples_of_epoch[static_cast<std::size_t>(e)]) {
                     if (sample_frame[static_cast<std::size_t>(s)] !=
                         static_cast<int>(f))
                         continue;
-                    const bool want_trace = opts.noiseTrace;
-                    // Evaluate every domain's window concurrently;
-                    // each worker touches only its own domain's PDN
-                    // and scratch, and the RNG stream is a pure
-                    // function of (run_seed, epoch, sample, domain).
-                    auto eval_domain = [&](std::size_t d) {
-                        domainNoise[d] = noiseWindow(
+                    std::size_t q = noiseQueue.size();
+                    noiseQueue.push_back({s, now * 1e6});
+                    // Synthesis is concurrent across domains; each
+                    // worker touches only its own domain's scratch,
+                    // and the RNG stream is a pure function of
+                    // (run_seed, epoch, sample, domain).
+                    auto build_domain = [&](std::size_t d) {
+                        const auto &pdn = *pdns[d];
+                        auto &sc = noiseScratch[d];
+                        std::size_t win =
+                            cycles * static_cast<std::size_t>(
+                                         pdn.nodeCount());
+                        if (sc.queue.size() < (q + 1) * win)
+                            sc.queue.resize((q + 1) * win);
+                        buildNoiseWindowInto(
                             static_cast<int>(d), e, s, block_power,
                             domain_didt(static_cast<int>(d)),
-                            run_seed, want_trace, noiseScratch[d],
-                            frame_stamp);
+                            run_seed, sc, frame_stamp,
+                            sc.queue.data() + q * win);
                     };
                     if (noisePool) {
                         exec::parallelForOn(
                             *noisePool,
                             static_cast<std::size_t>(n_domains),
                             [&](int, std::size_t d) {
-                                eval_domain(d);
+                                build_domain(d);
                             });
                     } else {
                         for (int d = 0; d < n_domains; ++d)
-                            eval_domain(static_cast<std::size_t>(d));
+                            build_domain(static_cast<std::size_t>(d));
                     }
-                    // Serial reduction in domain order keeps the
-                    // result bit-identical at any worker count.
-                    int em_max = 0;
-                    int analysed = 0;
-                    for (int d = 0; d < n_domains; ++d) {
-                        auto &w =
-                            domainNoise[static_cast<std::size_t>(d)];
-                        if (core::hasEmergencyOverride(policy)) {
-                            // Even when the *predictive* path missed
-                            // (PracVT's 90% sensitivity), the runtime
-                            // emergency detector fires on the first
-                            // threshold crossing and snaps the domain
-                            // to all-on within the droop, capping the
-                            // excursion shortly past the threshold.
-                            double cap =
-                                cfg.pdnParams.emergencyFrac * 1.32;
-                            if (w.maxNoise > cap)
-                                w.maxNoise = cap;
-                        }
-                        res.maxNoiseFrac = std::max(
-                            res.maxNoiseFrac, w.maxNoise);
-                        em_max = std::max(em_max,
-                                          w.emergencyCycles);
-                        analysed = w.analysedCycles;
-                        if (want_trace &&
-                            w.maxNoise > best_trace_noise) {
-                            best_trace_noise = w.maxNoise;
-                            res.noiseTrace = std::move(w.trace);
-                            res.noiseTraceDomain = d;
-                            res.noiseTraceTimeUs = now * 1e6;
-                        }
-                    }
-                    emergency_cycles += em_max;
-                    analysed_cycles += analysed;
                 }
             }
+        }
+
+        // ---- Batched drain of the epoch's noise windows ----------------
+        if (!off_chip && !noiseQueue.empty()) {
+            const bool want_trace = opts.noiseTrace;
+            const std::size_t cycles =
+                static_cast<std::size_t>(cfg.noiseCyclesTotal);
+            const int k = static_cast<int>(noiseQueue.size());
+            const int width = noiseBatchWidth();
+            // Solve every domain's queue concurrently, each queue in
+            // lockstep chunks of the configured width. Per-window
+            // results are bit-identical at every width and worker
+            // count, so the serial (sample, domain) reduction below
+            // reproduces the immediate-evaluation path exactly.
+            auto drain_domain = [&](std::size_t d) {
+                const auto &pdn = *pdns[d];
+                auto &sc = noiseScratch[d];
+                std::size_t n =
+                    static_cast<std::size_t>(pdn.nodeCount());
+                std::size_t win = cycles * n;
+                std::size_t uk = static_cast<std::size_t>(k);
+                if (sc.specs.size() < uk)
+                    sc.specs.resize(uk);
+                if (sc.results.size() < uk)
+                    sc.results.resize(uk);
+                for (int q = 0; q < k; ++q)
+                    sc.specs[static_cast<std::size_t>(q)] = {
+                        sc.queue.data() +
+                            static_cast<std::size_t>(q) * win,
+                        n};
+                for (int q0 = 0; q0 < k; q0 += width)
+                    pdn.transientWindowBatch(
+                        sc.specs.data() + q0, std::min(width, k - q0),
+                        cycles, cfg.noiseWarmupCycles, want_trace,
+                        sc.results.data() + q0);
+            };
+            if (noisePool) {
+                exec::parallelForOn(
+                    *noisePool, static_cast<std::size_t>(n_domains),
+                    [&](int, std::size_t d) { drain_domain(d); });
+            } else {
+                for (int d = 0; d < n_domains; ++d)
+                    drain_domain(static_cast<std::size_t>(d));
+            }
+
+            for (int q = 0; q < k; ++q) {
+                int em_max = 0;
+                int analysed = 0;
+                for (int d = 0; d < n_domains; ++d) {
+                    auto &w = noiseScratch[static_cast<std::size_t>(d)]
+                                  .results[static_cast<std::size_t>(q)];
+                    double max_noise = w.maxNoiseFrac;
+                    if (core::hasEmergencyOverride(policy)) {
+                        // Even when the *predictive* path missed
+                        // (PracVT's 90% sensitivity), the runtime
+                        // emergency detector fires on the first
+                        // threshold crossing and snaps the domain
+                        // to all-on within the droop, capping the
+                        // excursion shortly past the threshold.
+                        double cap =
+                            cfg.pdnParams.emergencyFrac * 1.32;
+                        if (max_noise > cap)
+                            max_noise = cap;
+                    }
+                    res.maxNoiseFrac =
+                        std::max(res.maxNoiseFrac, max_noise);
+                    em_max = std::max(em_max, w.emergencyCycles);
+                    analysed = w.analysedCycles;
+                    if (want_trace && max_noise > best_trace_noise) {
+                        best_trace_noise = max_noise;
+                        res.noiseTrace = std::move(w.trace);
+                        res.noiseTraceDomain = d;
+                        res.noiseTraceTimeUs =
+                            noiseQueue[static_cast<std::size_t>(q)]
+                                .timeUs;
+                    }
+                }
+                emergency_cycles += em_max;
+                analysed_cycles += analysed;
+            }
+            noiseQueue.clear();
         }
     }
 

@@ -115,14 +115,6 @@ class Simulation
 
     void calibrateThetas();
 
-    struct NoiseWindowResult
-    {
-        double maxNoise = 0.0;
-        int emergencyCycles = 0;
-        int analysedCycles = 0;
-        std::vector<double> trace;
-    };
-
     /**
      * Per-domain reusable buffers of the noise sampler. The
      * logic/memory base-current split depends only on the block-power
@@ -131,6 +123,15 @@ class Simulation
      * multiple samples in one frame) skip the recompute. One scratch
      * per domain also makes the per-sample fan-out across domains
      * race-free without locks.
+     *
+     * `queue` holds the epoch's built-but-unsolved windows
+     * back-to-back (window q at offset q * cycles * nodeCount): each
+     * window is synthesised at its scheduled frame, against that
+     * frame's block power, and the whole queue drains through the
+     * PDN's lockstep transientWindowBatch() at the end of the epoch
+     * (the active set is fixed between decisions, so deferring the
+     * solves never crosses a setActive()). `results` receives one
+     * NoiseResult per queued window.
      */
     struct NoiseScratch
     {
@@ -140,7 +141,16 @@ class Simulation
         std::vector<Amperes> baseLogic;   //!< node currents, logic
         std::vector<Amperes> baseMem;     //!< node currents, memory
         std::vector<double> mult;         //!< cycle multipliers
-        std::vector<Amperes> window;      //!< flat cycle x node rows
+        std::vector<Amperes> queue;       //!< queued window buffers
+        std::vector<pdn::DomainPdn::WindowSpec> specs; //!< batch views
+        std::vector<pdn::NoiseResult> results; //!< per-window results
+    };
+
+    /** One queued noise sample of the current epoch. */
+    struct QueuedNoiseSample
+    {
+        int sample = 0;     //!< global sample index
+        double timeUs = 0.0; //!< scheduled frame time [us] (traces)
     };
 
     /**
@@ -164,8 +174,8 @@ class Simulation
 
     power::PowerTrace powerTrace;  //!< per-run dynamic-power trace
     FrameScratch fs;
-    std::vector<NoiseScratch> noiseScratch;      //!< one per domain
-    std::vector<NoiseWindowResult> domainNoise;  //!< fan-out results
+    std::vector<NoiseScratch> noiseScratch;   //!< one per domain
+    std::vector<QueuedNoiseSample> noiseQueue; //!< epoch batch queue
     std::uint64_t powerStamp = 0;  //!< bumped per power recompute
 
     /**
@@ -175,19 +185,37 @@ class Simulation
      */
     std::unique_ptr<exec::ThreadPool> noisePool;
 
+    /** cfg.noiseBatchWidth clamped to [1, kMaxWindowBatch]. */
+    int noiseBatchWidth() const;
+
     /**
-     * Run the voltage-noise window of (epoch, sample) for `domain`
-     * against the PDN's current active set. The load waveform is
-     * seeded independently of the policy so all policies see the
-     * same workload. `power_stamp` identifies the content of
-     * `block_power` for the scratch's base-current cache.
+     * Synthesise the load waveform of noise window (epoch, sample)
+     * for `domain` into `dst` (noiseCyclesTotal x nodeCount rows).
+     * The waveform is seeded independently of the policy so all
+     * policies see the same workload; `power_stamp` identifies the
+     * content of `block_power` for the scratch's base-current cache.
      */
-    NoiseWindowResult
-    noiseWindow(int domain, long epoch, int sample,
-                const std::vector<Watts> &block_power, double didt,
-                std::uint64_t run_seed, bool keep_trace,
-                NoiseScratch &scratch,
-                std::uint64_t power_stamp) const;
+    void buildNoiseWindowInto(int domain, long epoch, int sample,
+                              const std::vector<Watts> &block_power,
+                              double didt, std::uint64_t run_seed,
+                              NoiseScratch &scratch,
+                              std::uint64_t power_stamp,
+                              Amperes *dst) const;
+
+    /**
+     * Ground truth for the emergency-override path: would `domain`'s
+     * current active set suffer a voltage emergency in any of the
+     * epoch's scheduled sample windows? Windows advance through
+     * transientWindowBatch() noiseBatchWidth() at a time with an
+     * early exit between chunks — the OR over windows is what the
+     * per-window early-exit loop computed, bit-identically.
+     */
+    bool epochEmergencyTruth(int domain, long epoch,
+                             const std::vector<int> &samples,
+                             const std::vector<Watts> &block_power,
+                             double didt, std::uint64_t run_seed,
+                             NoiseScratch &scratch,
+                             std::uint64_t power_stamp) const;
 };
 
 } // namespace sim

@@ -125,6 +125,98 @@ TEST(RunDeterminism, SerialAndPooledNoiseWindowsBitIdentical)
     }
 }
 
+TEST(RunDeterminism, BatchWidthSweepBitIdenticalAcrossJobs)
+{
+    // The lockstep batching of a domain's per-epoch noise windows is
+    // a pure throughput knob: widths 1 (scalar solves), 2, 4 and 8
+    // must produce bit-identical RunResults, at any worker count.
+    auto chip = floorplan::buildMiniChip(2);
+    SimConfig base = miniConfig(1);
+    base.noiseSamples = 24;  // 4 windows per epoch: real batches
+
+    for (auto policy :
+         {core::PolicyKind::AllOn, core::PolicyKind::PracVT}) {
+        RunResult ref;
+        bool have_ref = false;
+        for (int jobs : {1, 4}) {
+            for (int width : {1, 2, 4, 8}) {
+                SimConfig cfg = base;
+                cfg.jobs = jobs;
+                cfg.noiseBatchWidth = width;
+                Simulation s(chip, cfg);
+                auto r =
+                    s.run(workload::profileByName("fft"), policy);
+                if (!have_ref) {
+                    ref = r;
+                    have_ref = true;
+                } else {
+                    expectIdentical(ref, r);
+                }
+            }
+        }
+    }
+}
+
+TEST(RunDeterminism, GoldenResultsMatchPreBatchingScalarPath)
+{
+    // Full-precision goldens captured from the tree BEFORE the
+    // batched transient kernel existed (per-window scalar solves,
+    // immediate evaluation at the sample frame). The batched sampler
+    // must reproduce them bit for bit; a drift here means the
+    // "bit-identical at every width" contract broke, not that a
+    // tolerance needs loosening.
+    struct Golden
+    {
+        core::PolicyKind policy;
+        double maxTmax;
+        double maxGradient;
+        double maxNoiseFrac;
+        double avgRegulatorLoss;
+        double avgEta;
+        double avgActiveVrs;
+        double meanPower;
+        double agingImbalance;
+        long overrideCount;
+        const char *hottestSpot;
+    };
+    const Golden goldens[] = {
+        {core::PolicyKind::AllOn, 0x1.f6e04cf2063d9p+5,
+         0x1.cb9628139c82p+3, 0x1.91a559199e6c2p-5,
+         0x1.9eb022a2f6572p+1, 0x1.b4b8e56353779p-1, 0x1.8p+4,
+         0x1.2be39b60c59cbp+4, 0x1.40d3b16183bd1p+0, 0,
+         "core0.vr8"},
+        {core::PolicyKind::OracVT, 0x1.ecc81346d6dap+5,
+         0x1.a40c8aac6f22cp+3, 0x1.06045784fa272p-4,
+         0x1.2e3e4e8b8003p+1, 0x1.c6b05a56b5db7p-1,
+         0x1.baaaaaaaaaaa7p+3, 0x1.2b0468e36b51dp+4,
+         0x1.9be351c636f6ep+0, 0, "core0.vr4"},
+        {core::PolicyKind::PracVT, 0x1.ec72adb46772ep+5,
+         0x1.a2b3b234839b4p+3, 0x1.2966db34f5acp-4,
+         0x1.587b32b6dabd1p+1, 0x1.bfdd61564727dp-1,
+         0x1.0d55555555549p+4, 0x1.2b40d60d2ea86p+4,
+         0x1.608b943f395dfp+0, 0, "core0.vr7"},
+    };
+
+    auto chip = floorplan::buildMiniChip(2);
+    SimConfig cfg = miniConfig(1);
+    cfg.noiseSamples = 24;
+    Simulation s(chip, cfg);
+    for (const auto &g : goldens) {
+        auto r = s.run(workload::profileByName("fft"), g.policy);
+        EXPECT_EQ(r.maxTmax, g.maxTmax);
+        EXPECT_EQ(r.maxGradient, g.maxGradient);
+        EXPECT_EQ(r.maxNoiseFrac, g.maxNoiseFrac);
+        EXPECT_EQ(r.emergencyFrac, 0.0);
+        EXPECT_EQ(r.avgRegulatorLoss, g.avgRegulatorLoss);
+        EXPECT_EQ(r.avgEta, g.avgEta);
+        EXPECT_EQ(r.avgActiveVrs, g.avgActiveVrs);
+        EXPECT_EQ(r.meanPower, g.meanPower);
+        EXPECT_EQ(r.agingImbalance, g.agingImbalance);
+        EXPECT_EQ(r.overrideCount, g.overrideCount);
+        EXPECT_EQ(r.hottestSpot, g.hottestSpot);
+    }
+}
+
 TEST(RunDeterminism, KeepingDroopTracesDoesNotChangeMetrics)
 {
     auto chip = floorplan::buildMiniChip(1);
@@ -196,6 +288,15 @@ TEST(AllocationDiscipline, WarmKernelPrimitivesDoNotAllocate)
                 currents[i] * mult[c];
     pdn.transientWindow(window.data(), 256,
                         static_cast<std::size_t>(pdn.nodeCount()), 64);
+    // Batched kernel warm-up: 4 lanes over the same cycle buffer
+    // sizes every n x W scratch.
+    pdn::DomainPdn::WindowSpec specs[4] = {
+        {window.data(), static_cast<std::size_t>(pdn.nodeCount())},
+        {window.data(), static_cast<std::size_t>(pdn.nodeCount())},
+        {window.data(), static_cast<std::size_t>(pdn.nodeCount())},
+        {window.data(), static_cast<std::size_t>(pdn.nodeCount())}};
+    pdn::NoiseResult batch_out[4];
+    pdn.transientWindowBatch(specs, 4, 256, 64, false, batch_out);
 
     long before = g_allocCount.load(std::memory_order_relaxed);
     for (int it = 0; it < 3; ++it) {
@@ -208,6 +309,7 @@ TEST(AllocationDiscipline, WarmKernelPrimitivesDoNotAllocate)
         pdn.transientWindow(window.data(), 256,
                             static_cast<std::size_t>(pdn.nodeCount()),
                             64);
+        pdn.transientWindowBatch(specs, 4, 256, 64, false, batch_out);
     }
     long after = g_allocCount.load(std::memory_order_relaxed);
     EXPECT_EQ(after - before, 0)

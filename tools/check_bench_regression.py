@@ -1,16 +1,26 @@
 #!/usr/bin/env python3
 """Compare a google-benchmark JSON result against a checked-in baseline.
 
-Usage: check_bench_regression.py CURRENT.json BASELINE.json [--threshold 0.25]
+Usage: check_bench_regression.py CURRENT.json BASELINE.json
+           [--threshold 0.25] [--normalize-by NAME]
 
 Fails (exit 1) when any benchmark shared by both files is slower than
 baseline by more than the threshold fraction of real_time. Benchmarks
 present in only one file are reported but never fail the check, so
 adding or retiring benchmarks does not require touching the baseline
 in the same change. When the baseline file does not exist the check is
-skipped with exit 0: CI machines vary enough that a baseline is only
-meaningful once a maintainer records one from the same runner class
-(copy a CI BENCH_run_*.json artifact to bench/baselines/).
+skipped with exit 0.
+
+--normalize-by NAME divides every benchmark's time by NAME's time
+from the same file before comparing (a ratio of ratios). With a
+machine-speed probe such as BM_MachineCalibration — fixed arithmetic
+that never changes with the repo — this cancels the absolute speed of
+the host, so a baseline recorded on one machine class still gates a
+faster or slower CI runner; only a benchmark that got slower relative
+to the calibration workload trips the check. The normalizer itself is
+reported but never failed. Without --normalize-by, raw real_time is
+compared, which is only meaningful when baseline and current ran on
+the same runner class.
 """
 
 import argparse
@@ -32,12 +42,29 @@ def load_times(path):
     return times
 
 
+def normalize(times, name, label):
+    """Divide every time by `name`'s time; unit becomes a ratio."""
+    if name not in times:
+        print(f"normalizer {name} missing from {label}; "
+              "comparing raw times")
+        return times
+    ref = times[name][0]
+    if ref <= 0:
+        print(f"normalizer {name} has non-positive time in {label}; "
+              "comparing raw times")
+        return times
+    return {k: (t / ref, "x-cal") for k, (t, _) in times.items()}
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("current")
     ap.add_argument("baseline")
     ap.add_argument("--threshold", type=float, default=0.25,
                     help="allowed slowdown fraction (default 0.25)")
+    ap.add_argument("--normalize-by", metavar="NAME", default=None,
+                    help="benchmark whose time divides all others "
+                         "before comparison (machine-speed probe)")
     args = ap.parse_args()
 
     if not os.path.exists(args.baseline):
@@ -47,6 +74,9 @@ def main():
 
     current = load_times(args.current)
     baseline = load_times(args.baseline)
+    if args.normalize_by:
+        current = normalize(current, args.normalize_by, "current")
+        baseline = normalize(baseline, args.normalize_by, "baseline")
 
     failures = []
     for name in sorted(baseline):
@@ -59,11 +89,13 @@ def main():
         marker = "ok"
         if unit != base_unit:
             marker = "UNIT?"  # incomparable; report, never fail
+        elif name == args.normalize_by:
+            marker = "cal"  # the probe itself: reported, never failed
         elif ratio > 1.0 + args.threshold:
             marker = "REGRESSED"
             failures.append((name, ratio))
-        print(f"  [{marker:9s}] {name}: {cur:.0f} {unit} vs "
-              f"{base:.0f} {base_unit} ({ratio:.2f}x)")
+        print(f"  [{marker:9s}] {name}: {cur:.3g} {unit} vs "
+              f"{base:.3g} {base_unit} ({ratio:.2f}x)")
     for name in sorted(set(current) - set(baseline)):
         print(f"  [new]     {name} (no baseline)")
 
