@@ -16,6 +16,11 @@ namespace {
 thread_local int tlWorkerIndex = -1;
 thread_local const void *tlPool = nullptr;
 
+/** Upper bound on TG_JOBS: far beyond any sane machine, but keeps a
+ *  fat-fingered value (or a strtol overflow) from trying to spawn
+ *  hundreds of thousands of threads. */
+constexpr long kMaxJobs = 1 << 12;
+
 } // namespace
 
 int
@@ -33,9 +38,19 @@ resolveJobs(int requested)
     if (const char *env = std::getenv("TG_JOBS")) {
         char *end = nullptr;
         long v = std::strtol(env, &end, 10);
-        if (end != env && *end == '\0' && v > 0)
-            return static_cast<int>(std::min<long>(v, 1 << 12));
-        warn("ignoring invalid TG_JOBS value '", env, "'");
+        if (end == env || *end != '\0') {
+            warn("TG_JOBS value '", env, "' is not a number; using ",
+                 "the hardware thread count");
+        } else if (v <= 0) {
+            warn("TG_JOBS value ", v, " is not positive; using the ",
+                 "hardware thread count");
+        } else if (v > kMaxJobs) {
+            warn("TG_JOBS value '", env, "' is absurdly large; ",
+                 "clamping to ", kMaxJobs);
+            return static_cast<int>(kMaxJobs);
+        } else {
+            return static_cast<int>(v);
+        }
     }
     return hardwareThreads();
 }

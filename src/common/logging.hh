@@ -93,6 +93,20 @@ inform(Args &&...args)
         }                                                               \
     } while (0)
 
+/**
+ * Debug-only invariant check for per-element sweeps on solver hot
+ * paths (e.g. "every solve output is finite"). Compiled out unless
+ * the build enables -DTG_DEBUG_CHECKS (CMake option TG_DEBUG_CHECKS),
+ * so release benchmarks pay nothing for it.
+ */
+#ifdef TG_DEBUG_CHECKS
+#define TG_DEBUG_ASSERT(cond, ...) TG_ASSERT(cond, ##__VA_ARGS__)
+#else
+#define TG_DEBUG_ASSERT(cond, ...)                                      \
+    do {                                                                \
+    } while (0)
+#endif
+
 } // namespace tg
 
 #endif // TG_COMMON_LOGGING_HH

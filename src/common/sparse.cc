@@ -343,6 +343,12 @@ SparseLdltSolver::solveInPlace(double *bx) const
 
     for (std::size_t i = 0; i < n; ++i)
         bx[perm[i]] = y[i];
+
+#ifdef TG_DEBUG_CHECKS
+    for (std::size_t i = 0; i < n; ++i)
+        TG_DEBUG_ASSERT(std::isfinite(bx[i]),
+                        "non-finite LDL^T solution at row ", i);
+#endif
 }
 
 /**
@@ -436,12 +442,19 @@ SparseLdltSolver::solveBatchInPlace(double *bx, std::size_t width) const
 {
     TG_ASSERT(width > 0, "batched solve needs at least one lane");
     switch (width) {
-      case 1: solveInPlace(bx); return;
-      case 2: solveBatchFixed<2>(bx); return;
-      case 4: solveBatchFixed<4>(bx); return;
-      case 8: solveBatchFixed<8>(bx); return;
-      default: solveBatchGeneric(bx, width); return;
+      case 1: solveInPlace(bx); break;
+      case 2: solveBatchFixed<2>(bx); break;
+      case 4: solveBatchFixed<4>(bx); break;
+      case 8: solveBatchFixed<8>(bx); break;
+      default: solveBatchGeneric(bx, width); break;
     }
+
+#ifdef TG_DEBUG_CHECKS
+    for (std::size_t i = 0; i < n * width; ++i)
+        TG_DEBUG_ASSERT(std::isfinite(bx[i]),
+                        "non-finite LDL^T batch solution at element ",
+                        i, " (width ", width, ")");
+#endif
 }
 
 void

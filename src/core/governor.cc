@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <numeric>
+#include <utility>
 
 #include "common/logging.hh"
 
@@ -34,6 +35,10 @@ Governor::decide(const DomainState &state, const PolicyToolkit &kit,
                      kit.network->requiredActive(state.demandNext) +
                          state.headroomVrs);
 
+    if (!state.vrUnavailable.empty() || !state.vrForcedOn.empty())
+        return decideDegraded(state, kit, emergency_alert,
+                              std::move(d));
+
     if (policyKind == PolicyKind::AllOn) {
         d.active.resize(static_cast<std::size_t>(n_vrs));
         std::iota(d.active.begin(), d.active.end(), 0);
@@ -55,6 +60,93 @@ Governor::decide(const DomainState &state, const PolicyToolkit &kit,
     TG_ASSERT(static_cast<int>(d.active.size()) == d.non,
               "policy returned ", d.active.size(),
               " regulators, expected ", d.non);
+    return d;
+}
+
+Decision
+Governor::decideDegraded(const DomainState &state,
+                         const PolicyToolkit &kit, bool emergency_alert,
+                         Decision d)
+{
+    int n_vrs = static_cast<int>(state.vrTemps.size());
+    auto unavailable = [&](int i) {
+        return static_cast<std::size_t>(i) <
+                   state.vrUnavailable.size() &&
+               state.vrUnavailable[static_cast<std::size_t>(i)];
+    };
+    auto forcedOn = [&](int i) {
+        // Stuck-off wins over stuck-on: a VR cannot be both.
+        return !unavailable(i) &&
+               static_cast<std::size_t>(i) < state.vrForcedOn.size() &&
+               state.vrForcedOn[static_cast<std::size_t>(i)];
+    };
+
+    std::vector<int> avail, forced;
+    avail.reserve(static_cast<std::size_t>(n_vrs));
+    for (int i = 0; i < n_vrs; ++i) {
+        if (unavailable(i))
+            continue;
+        avail.push_back(i);
+        if (forcedOn(i))
+            forced.push_back(i);
+    }
+    int n_avail = static_cast<int>(avail.size());
+
+    if (n_avail < n_vrs || !forced.empty())
+        ++degradedDecisions;
+
+    if (n_avail == 0) {
+        // Unreachable through the injector (last-survivor rule) but a
+        // hand-built scenario can get here: the domain is dark.
+        ++underSupplied;
+        d.non = 0;
+        d.active.clear();
+        return d;
+    }
+
+    // Minimum-supply floor. Under degradation the governor does not
+    // trust the forecast below present demand: it provisions for the
+    // worse of now/next so a shrunken population cannot ride a
+    // falling forecast into a silent under-supply.
+    int floor_need = kit.network->minFeasibleActive(
+        std::max(state.demandNow, state.demandNext));
+    if (n_avail < floor_need)
+        ++underSupplied;  // even all-survivors-on runs overloaded
+
+    if (policyKind == PolicyKind::AllOn ||
+        (hasEmergencyOverride(policyKind) && emergency_alert)) {
+        // All-on means every VR that still works (stuck-on VRs are
+        // part of that set by construction).
+        d.active = std::move(avail);
+        if (policyKind != PolicyKind::AllOn) {
+            d.overridden = true;
+            ++overrides;
+        }
+        return d;
+    }
+
+    int target = std::min(d.non, n_avail);
+    int floor_cap = std::min(floor_need, n_avail);
+    if (target < floor_cap) {
+        target = floor_cap;
+        ++floorEngagements;
+    }
+    d.non = target;
+
+    // Stuck-on regulators are active whether selected or not; the
+    // policy only picks the remainder, from VRs that are neither
+    // failed nor forced. target <= n_avail guarantees the remainder
+    // fits in the selectable population.
+    int extra = target - static_cast<int>(forced.size());
+    d.active = std::move(forced);
+    if (extra > 0) {
+        auto sel = policy->select(state, extra, kit);
+        TG_ASSERT(static_cast<int>(sel.size()) == extra,
+                  "policy returned ", sel.size(),
+                  " regulators, expected ", extra);
+        d.active.insert(d.active.end(), sel.begin(), sel.end());
+    }
+    std::sort(d.active.begin(), d.active.end());
     return d;
 }
 

@@ -74,6 +74,14 @@ class Governor
     /** Total decisions drawn. */
     long decisionCount() const { return decisions; }
 
+    /** Decisions taken with at least one faulted regulator. */
+    long degradedDecisionCount() const { return degradedDecisions; }
+    /** Decisions where the minimum-supply floor raised the target. */
+    long floorEngagementCount() const { return floorEngagements; }
+    /** Decisions where even every surviving VR could not meet the
+     *  floor (the domain ran overloaded for the interval). */
+    long underSuppliedCount() const { return underSupplied; }
+
   private:
     PolicyKind policyKind;
     std::unique_ptr<GatingPolicy> policy;
@@ -81,6 +89,15 @@ class Governor
     std::vector<Seconds> accounted;            //!< [domain]
     long overrides = 0;
     long decisions = 0;
+    long degradedDecisions = 0;
+    long floorEngagements = 0;
+    long underSupplied = 0;
+
+    /** decide() under regulator faults (vrUnavailable/vrForcedOn
+     *  non-empty). `d` arrives with d.non = the healthy target. */
+    Decision decideDegraded(const DomainState &state,
+                            const PolicyToolkit &kit,
+                            bool emergency_alert, Decision d);
 };
 
 } // namespace core

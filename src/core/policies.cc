@@ -83,6 +83,37 @@ sortedByKey(const std::vector<double> &key)
     return idx;
 }
 
+/** Number of VRs a policy may choose from (all, when no faults). */
+int
+selectableCount(const DomainState &state)
+{
+    int n = 0;
+    for (std::size_t i = 0; i < state.vrTemps.size(); ++i)
+        if (state.selectable(i))
+            ++n;
+    return n;
+}
+
+/** First `non` selectable entries of a ranked index list. */
+std::vector<int>
+takeSelectable(const DomainState &state, const std::vector<int> &order,
+               int non)
+{
+    std::vector<int> out;
+    out.reserve(static_cast<std::size_t>(non));
+    for (int i : order) {
+        if (!state.selectable(static_cast<std::size_t>(i)))
+            continue;
+        out.push_back(i);
+        if (static_cast<int>(out.size()) == non)
+            break;
+    }
+    TG_ASSERT(static_cast<int>(out.size()) == non,
+              "policy asked for ", non, " VRs but only ", out.size(),
+              " are selectable");
+    return out;
+}
+
 /** Baseline: every regulator stays on all the time. */
 class AllOnPolicy : public GatingPolicy
 {
@@ -90,8 +121,14 @@ class AllOnPolicy : public GatingPolicy
     std::vector<int>
     select(const DomainState &state, int, const PolicyToolkit &) override
     {
-        std::vector<int> all(state.vrTemps.size());
-        std::iota(all.begin(), all.end(), 0);
+        // Every VR that still works is on; a failed (stuck-off) one
+        // cannot be. vrUnavailable is empty on the healthy path.
+        std::vector<int> all;
+        all.reserve(state.vrTemps.size());
+        for (std::size_t i = 0; i < state.vrTemps.size(); ++i)
+            if (i >= state.vrUnavailable.size() ||
+                !state.vrUnavailable[i])
+                all.push_back(static_cast<int>(i));
         return all;
     }
 
@@ -126,12 +163,9 @@ class NaivePolicy : public GatingPolicy
     select(const DomainState &state, int non,
            const PolicyToolkit &) override
     {
-        TG_ASSERT(non >= 1 &&
-                      non <= static_cast<int>(state.vrTemps.size()),
+        TG_ASSERT(non >= 1 && non <= selectableCount(state),
                   "bad n_on");
-        auto order = sortedByKey(state.vrTemps);
-        order.resize(static_cast<std::size_t>(non));
-        return order;
+        return takeSelectable(state, sortedByKey(state.vrTemps), non);
     }
 
     PolicyKind kind() const override { return PolicyKind::Naive; }
@@ -159,7 +193,8 @@ class AnticipatedTempPolicy : public GatingPolicy
            const PolicyToolkit &kit) override
     {
         std::size_t n = state.vrTemps.size();
-        TG_ASSERT(non >= 1 && non <= static_cast<int>(n), "bad n_on");
+        TG_ASSERT(non >= 1 && non <= selectableCount(state),
+                  "bad n_on");
         TG_ASSERT(kit.thetas && kit.thetas->size() == n,
                   "anticipated-temperature policy needs thetas");
         TG_ASSERT(state.vrLossNow.size() == n,
@@ -172,9 +207,7 @@ class AnticipatedTempPolicy : public GatingPolicy
             anticipated[i] =
                 state.vrTemps[i] + (*kit.thetas)[i] * d_p;
         }
-        auto order = sortedByKey(anticipated);
-        order.resize(static_cast<std::size_t>(non));
-        return order;
+        return takeSelectable(state, sortedByKey(anticipated), non);
     }
 
     PolicyKind kind() const override { return myKind; }
@@ -201,7 +234,8 @@ class NoiseAwarePolicy : public GatingPolicy
            const PolicyToolkit &kit) override
     {
         int n = static_cast<int>(state.vrTemps.size());
-        TG_ASSERT(non >= 1 && non <= n, "bad n_on");
+        TG_ASSERT(non >= 1 && non <= selectableCount(state),
+                  "bad n_on");
         TG_ASSERT(kit.pdn, "noise-aware policy needs the domain PDN");
         TG_ASSERT(static_cast<int>(state.nodeCurrents.size()) ==
                       kit.pdn->nodeCount(),
@@ -230,8 +264,7 @@ class NoiseAwarePolicy : public GatingPolicy
         for (int k = 0; k < n; ++k)
             key[static_cast<std::size_t>(k)] =
                 kit.pdn->transferResistance(worst_node, k);
-        auto order = sortedByKey(key);
-        order.resize(static_cast<std::size_t>(non));
+        auto order = takeSelectable(state, sortedByKey(key), non);
         std::sort(order.begin(), order.end());
         return order;
     }

@@ -17,6 +17,7 @@
 #ifndef TG_CORE_POLICY_HH
 #define TG_CORE_POLICY_HH
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -80,6 +81,28 @@ struct DomainState
     std::vector<Amperes> nodeCurrents;
     /** Workload di/dt intensity in [0, 1]. */
     double didt = 0.0;
+
+    /**
+     * Graceful-degradation inputs (fault injection). Empty means
+     * every VR is healthy — the common path; when non-empty they are
+     * sized like vrTemps. An unavailable (failed stuck-off) VR must
+     * never appear in a selection; a forced-on (failed stuck-on,
+     * ungateable) VR is added to the active set by the governor and
+     * must not be selected by the policy either.
+     */
+    std::vector<std::uint8_t> vrUnavailable;
+    std::vector<std::uint8_t> vrForcedOn;
+
+    /** Whether local VR `i` may be chosen by a selection policy. */
+    bool
+    selectable(std::size_t i) const
+    {
+        if (i < vrUnavailable.size() && vrUnavailable[i])
+            return false;
+        if (i < vrForcedOn.size() && vrForcedOn[i])
+            return false;
+        return true;
+    }
 };
 
 /** Read-only helpers a policy may use. */

@@ -1,0 +1,214 @@
+#include "fault/injector.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+
+namespace tg {
+namespace fault {
+
+FaultInjector::FaultInjector(const FaultScenario &scenario,
+                             std::vector<int> vr_domain, int n_sensors,
+                             std::uint64_t run_seed)
+    : scen(scenario), vrDomain(std::move(vr_domain)),
+      nSensors(n_sensors),
+      noiseSeed(mixSeed(scenario.seed(), run_seed))
+{
+    TG_ASSERT(!vrDomain.empty(), "injector needs the VR population");
+    TG_ASSERT(nSensors >= 1, "injector needs at least one sensor");
+    nDomains = 1 + *std::max_element(vrDomain.begin(), vrDomain.end());
+
+    for (const auto &e : scen.events()) {
+        if (isSensorFault(e.kind))
+            TG_ASSERT(e.target < nSensors, "sensor fault target ",
+                      e.target, " outside [0, ", nSensors, ")");
+        else if (isVrFault(e.kind))
+            TG_ASSERT(e.target < static_cast<int>(vrDomain.size()),
+                      "VR fault target ", e.target, " outside [0, ",
+                      vrDomain.size(), ")");
+        else
+            TG_ASSERT(e.target < nDomains, "alert fault target ",
+                      e.target, " outside [0, ", nDomains, ")");
+    }
+
+    activeEvent.assign(scen.events().size(), 0);
+    frozenLatch.assign(scen.events().size(), 0.0);
+    frozenValid.assign(scen.events().size(), 0);
+    failedNow.assign(vrDomain.size(), 0);
+    stuckOnNow.assign(vrDomain.size(), 0);
+    lossMult.assign(vrDomain.size(), 1.0);
+    sensorOnset.assign(static_cast<std::size_t>(nSensors), -1.0);
+    survivorWarned.assign(static_cast<std::size_t>(nDomains), 0);
+}
+
+void
+FaultInjector::advanceTo(Seconds now)
+{
+    TG_ASSERT(now >= clock, "injector time must be monotonic");
+    clock = now;
+
+    activeCount = 0;
+    vrFaultCount = 0;
+    std::fill(failedNow.begin(), failedNow.end(), 0);
+    std::fill(stuckOnNow.begin(), stuckOnNow.end(), 0);
+    std::fill(lossMult.begin(), lossMult.end(), 1.0);
+    std::fill(sensorOnset.begin(), sensorOnset.end(), -1.0);
+
+    const auto &events = scen.events();
+    for (std::size_t i = 0; i < events.size(); ++i) {
+        const FaultEvent &e = events[i];
+        bool active = e.activeAt(now);
+        activeEvent[i] = active ? 1 : 0;
+        if (!active) {
+            // A frozen fault that lapsed re-arms: a later window of
+            // the same event latches afresh.
+            frozenValid[i] = 0;
+            continue;
+        }
+        ++activeCount;
+        std::size_t t = static_cast<std::size_t>(e.target);
+        switch (e.kind) {
+          case FaultKind::VrStuckOff:
+            failedNow[t] = 1;
+            ++vrFaultCount;
+            break;
+          case FaultKind::VrStuckOn:
+            stuckOnNow[t] = 1;
+            ++vrFaultCount;
+            break;
+          case FaultKind::VrDerated:
+            lossMult[t] = std::max(lossMult[t], e.magnitude);
+            ++vrFaultCount;
+            break;
+          default:
+            if (isSensorFault(e.kind) &&
+                (sensorOnset[t] < 0.0 || e.start < sensorOnset[t]))
+                sensorOnset[t] = e.start;
+            break;
+        }
+    }
+
+    // A VR cannot be both: a failed (stuck-off) regulator is dead, so
+    // stuck-off wins over stuck-on and derating.
+    for (std::size_t v = 0; v < failedNow.size(); ++v)
+        if (failedNow[v]) {
+            stuckOnNow[v] = 0;
+            lossMult[v] = 1.0;
+        }
+
+    // Last-survivor rule: never let a whole domain go dark.
+    for (int d = 0; d < nDomains; ++d) {
+        int first = -1;
+        bool any_alive = false;
+        for (std::size_t v = 0; v < vrDomain.size(); ++v) {
+            if (vrDomain[v] != d)
+                continue;
+            if (first < 0)
+                first = static_cast<int>(v);
+            if (!failedNow[v]) {
+                any_alive = true;
+                break;
+            }
+        }
+        if (!any_alive && first >= 0) {
+            failedNow[static_cast<std::size_t>(first)] = 0;
+            if (!survivorWarned[static_cast<std::size_t>(d)]) {
+                warn("fault scenario would kill every VR of domain ",
+                     d, "; keeping VR ", first,
+                     " alive (last-survivor rule)");
+                survivorWarned[static_cast<std::size_t>(d)] = 1;
+            }
+        }
+    }
+}
+
+void
+FaultInjector::corruptSensors(Seconds now, long epoch,
+                              std::vector<Celsius> &readings)
+{
+    TG_ASSERT(static_cast<int>(readings.size()) == nSensors,
+              "sensor corruption size mismatch");
+    const auto &events = scen.events();
+    for (std::size_t i = 0; i < events.size(); ++i) {
+        if (!activeEvent[i])
+            continue;
+        const FaultEvent &e = events[i];
+        if (!isSensorFault(e.kind))
+            continue;
+        Celsius &r = readings[static_cast<std::size_t>(e.target)];
+        switch (e.kind) {
+          case FaultKind::SensorStuckAt:
+            r = e.magnitude;
+            break;
+          case FaultKind::SensorFrozen:
+            // Latch the first reading seen while active (the last
+            // pre-fault value at decision granularity) and repeat it.
+            if (!frozenValid[i]) {
+                frozenLatch[i] = r;
+                frozenValid[i] = 1;
+            }
+            r = frozenLatch[i];
+            break;
+          case FaultKind::SensorDrift:
+            r += e.magnitude * (now - e.start);
+            break;
+          case FaultKind::SensorDropout:
+            r = std::numeric_limits<double>::quiet_NaN();
+            break;
+          case FaultKind::SensorNoisy: {
+            // Stream keyed by (scenario x run seed, epoch, event,
+            // target): independent of call order and of every other
+            // corruption.
+            Rng rng(mixSeed(
+                mixSeed(noiseSeed, static_cast<std::uint64_t>(epoch)),
+                mixSeed(static_cast<std::uint64_t>(i),
+                        static_cast<std::uint64_t>(e.target))));
+            r += rng.gaussian(0.0, e.magnitude);
+            break;
+          }
+          default:
+            break;
+        }
+    }
+}
+
+bool
+FaultInjector::perturbAlert(int domain, long decision, bool alert,
+                            long *suppressed, long *injected) const
+{
+    const auto &events = scen.events();
+    for (std::size_t i = 0; i < events.size(); ++i) {
+        if (!activeEvent[i])
+            continue;
+        const FaultEvent &e = events[i];
+        if (!isAlertFault(e.kind) || e.target != domain)
+            continue;
+        double p = e.magnitude <= 0.0 ? 1.0 : e.magnitude;
+        bool fires = true;
+        if (p < 1.0) {
+            Rng rng(mixSeed(
+                mixSeed(noiseSeed,
+                        static_cast<std::uint64_t>(decision)),
+                mixSeed(0xa1e7ull, static_cast<std::uint64_t>(i))));
+            fires = rng.bernoulli(p);
+        }
+        if (!fires)
+            continue;
+        if (e.kind == FaultKind::AlertMissed && alert) {
+            alert = false;
+            if (suppressed)
+                ++*suppressed;
+        } else if (e.kind == FaultKind::AlertSpurious && !alert) {
+            alert = true;
+            if (injected)
+                ++*injected;
+        }
+    }
+    return alert;
+}
+
+} // namespace fault
+} // namespace tg

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Fault injector: interprets a FaultScenario against a live run.
+ *
+ * The injector sits between the simulated ground truth and its
+ * consumers. It never perturbs the physics — the thermal RC model,
+ * the PDN and the power model keep simulating reality — it corrupts
+ * what the *control loop* observes and what the hardware can still
+ * do:
+ *
+ *  - thermal-sensor readings are corrupted in place right after
+ *    ThermalSensorBank::readInto() (stuck-at, frozen, drift, dropout,
+ *    inflated noise);
+ *  - failed (stuck-off) regulators are masked out of the feasible set
+ *    handed to Governor::decide(), stuck-on regulators are forced
+ *    into every active set, and derated regulators dissipate a
+ *    multiple of their nominal conversion loss;
+ *  - the voltage-emergency alert line is suppressed or spuriously
+ *    raised per the alert fault events.
+ *
+ * Determinism: all mutable state advances monotonically with
+ * simulation time through advanceTo(), and every stochastic
+ * corruption draws from an Rng that is a pure function of
+ * (scenario seed, run seed, epoch, target) — never of call order —
+ * so a faulted run is bit-identical across worker counts, batch
+ * widths and re-runs.
+ */
+
+#ifndef TG_FAULT_INJECTOR_HH
+#define TG_FAULT_INJECTOR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/units.hh"
+#include "fault/scenario.hh"
+
+namespace tg {
+namespace fault {
+
+/** Live interpretation of one FaultScenario during one run. */
+class FaultInjector
+{
+  public:
+    /**
+     * @param scenario  schedule to interpret (referenced, not copied;
+     *                  must outlive the injector)
+     * @param vr_domain owning domain id per chip VR index (defines
+     *                  the VR population and the domain count)
+     * @param n_sensors thermal-sensor count (one per VR here)
+     * @param run_seed  per-run fork for the stochastic corruptions
+     */
+    FaultInjector(const FaultScenario &scenario,
+                  std::vector<int> vr_domain, int n_sensors,
+                  std::uint64_t run_seed);
+
+    /**
+     * Advance the active-event state to time `now` [s]. Faults are
+     * sampled at decision granularity: the caller invokes this once
+     * per decision epoch, and the per-VR masks stay fixed until the
+     * next call. Time must be monotonically non-decreasing.
+     *
+     * Degradation guarantee (last-survivor rule): if every VR of a
+     * domain would be stuck-off simultaneously, the lowest-indexed
+     * one is kept available (with a one-time warning) so the domain
+     * is never left entirely unsupplied — total-domain loss is a
+     * chip-death scenario outside this model's scope.
+     */
+    void advanceTo(Seconds now);
+
+    /** Any fault event active as of the last advanceTo(). */
+    bool anyActive() const { return activeCount > 0; }
+    /** Any regulator fault active as of the last advanceTo(). */
+    bool anyVrFault() const { return vrFaultCount > 0; }
+
+    /**
+     * Corrupt a sensor reading vector in place. `epoch` indexes the
+     * decision point (for the per-epoch noise streams); `now` is the
+     * read time used by drift faults.
+     */
+    void corruptSensors(Seconds now, long epoch,
+                        std::vector<Celsius> &readings);
+
+    /** Whether chip VR `vr` is stuck-off (failed, unavailable). */
+    bool vrFailed(int vr) const
+    {
+        return failedNow[static_cast<std::size_t>(vr)];
+    }
+
+    /** Whether chip VR `vr` is stuck-on (ungateable). */
+    bool vrStuckOn(int vr) const
+    {
+        return stuckOnNow[static_cast<std::size_t>(vr)];
+    }
+
+    /** Conversion-loss multiplier of chip VR `vr` (>= 1). */
+    double vrLossMultiplier(int vr) const
+    {
+        return lossMult[static_cast<std::size_t>(vr)];
+    }
+
+    /**
+     * Apply the active alert faults to a predicted emergency alert
+     * for `domain` at decision `decision`. Returns the perturbed
+     * alert; `suppressed`/`injected` (may be null) are incremented
+     * when a true alert was masked or a false one raised.
+     */
+    bool perturbAlert(int domain, long decision, bool alert,
+                      long *suppressed, long *injected) const;
+
+    /**
+     * Onset time of the earliest *active* sensor fault on `sensor`,
+     * or a negative value when none is active. Drives the
+     * detection-latency accounting in RunResult.
+     */
+    Seconds sensorFaultOnset(int sensor) const
+    {
+        return sensorOnset[static_cast<std::size_t>(sensor)];
+    }
+
+    int vrCount() const { return static_cast<int>(vrDomain.size()); }
+    int sensorCount() const { return nSensors; }
+    int domainCount() const { return nDomains; }
+
+  private:
+    const FaultScenario &scen;
+    std::vector<int> vrDomain;  //!< chip VR -> owning domain
+    int nSensors;
+    int nDomains;
+    std::uint64_t noiseSeed;  //!< fork for stochastic corruptions
+
+    Seconds clock = -1.0;  //!< last advanceTo() time
+    int activeCount = 0;   //!< events active at `clock`
+    int vrFaultCount = 0;  //!< VR events active at `clock`
+
+    std::vector<char> activeEvent;     //!< per scenario event
+    std::vector<double> frozenLatch;   //!< per event: latched value
+    std::vector<char> frozenValid;     //!< per event: latch filled
+    std::vector<char> failedNow;       //!< per chip VR
+    std::vector<char> stuckOnNow;      //!< per chip VR
+    std::vector<double> lossMult;      //!< per chip VR
+    std::vector<Seconds> sensorOnset;  //!< per sensor; < 0 = none
+    std::vector<char> survivorWarned;  //!< per domain
+};
+
+} // namespace fault
+} // namespace tg
+
+#endif // TG_FAULT_INJECTOR_HH

@@ -1,0 +1,200 @@
+#include "fault/scenario.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+
+namespace tg {
+namespace fault {
+
+const char *
+faultKindName(FaultKind kind)
+{
+    switch (kind) {
+      case FaultKind::SensorStuckAt: return "sensor-stuck-at";
+      case FaultKind::SensorFrozen: return "sensor-frozen";
+      case FaultKind::SensorDrift: return "sensor-drift";
+      case FaultKind::SensorDropout: return "sensor-dropout";
+      case FaultKind::SensorNoisy: return "sensor-noisy";
+      case FaultKind::VrStuckOff: return "vr-stuck-off";
+      case FaultKind::VrStuckOn: return "vr-stuck-on";
+      case FaultKind::VrDerated: return "vr-derated";
+      case FaultKind::AlertMissed: return "alert-missed";
+      case FaultKind::AlertSpurious: return "alert-spurious";
+    }
+    panic("unknown fault kind");
+}
+
+bool
+isSensorFault(FaultKind kind)
+{
+    switch (kind) {
+      case FaultKind::SensorStuckAt:
+      case FaultKind::SensorFrozen:
+      case FaultKind::SensorDrift:
+      case FaultKind::SensorDropout:
+      case FaultKind::SensorNoisy:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+isVrFault(FaultKind kind)
+{
+    return kind == FaultKind::VrStuckOff ||
+           kind == FaultKind::VrStuckOn ||
+           kind == FaultKind::VrDerated;
+}
+
+bool
+isAlertFault(FaultKind kind)
+{
+    return kind == FaultKind::AlertMissed ||
+           kind == FaultKind::AlertSpurious;
+}
+
+FaultScenario &
+FaultScenario::add(const FaultEvent &event)
+{
+    TG_ASSERT(event.target >= 0, "fault target must be non-negative");
+    TG_ASSERT(event.start >= 0.0, "fault start must be non-negative");
+    TG_ASSERT(event.duration > 0.0, "fault duration must be positive");
+    if (event.kind == FaultKind::VrDerated)
+        TG_ASSERT(event.magnitude >= 1.0,
+                  "a derated VR needs a loss multiplier >= 1, got ",
+                  event.magnitude);
+    if (event.kind == FaultKind::SensorNoisy)
+        TG_ASSERT(event.magnitude >= 0.0,
+                  "noise sigma must be non-negative");
+    if (isAlertFault(event.kind))
+        TG_ASSERT(event.magnitude <= 1.0,
+                  "alert fault probability must be <= 1");
+    list.push_back(event);
+    // Keep the schedule sorted by onset (stable so the insertion
+    // order breaks ties deterministically).
+    std::stable_sort(list.begin(), list.end(),
+                     [](const FaultEvent &a, const FaultEvent &b) {
+                         return a.start < b.start;
+                     });
+    return *this;
+}
+
+std::vector<FaultEvent>
+FaultScenario::eventsFor(FaultKind kind, int target) const
+{
+    std::vector<FaultEvent> out;
+    for (const auto &e : list)
+        if (e.kind == kind && e.target == target)
+            out.push_back(e);
+    return out;
+}
+
+FaultScenario
+randomScenario(std::uint64_t seed, const RandomScenarioSpec &spec)
+{
+    TG_ASSERT(spec.horizon > 0.0, "scenario horizon must be positive");
+    TG_ASSERT(spec.faultsPerSecond >= 0.0, "negative fault rate");
+
+    FaultScenario scenario(seed);
+    if (spec.faultsPerSecond <= 0.0)
+        return scenario;
+    TG_ASSERT(spec.sensors > 0 || spec.vrs > 0 || spec.domains > 0,
+              "random scenario needs at least one target population");
+
+    Rng rng(mixSeed(seed, 0xfa17ull));
+
+    // Expected count lambda = rate * horizon, drawn as a small
+    // Poisson via inversion (lambda is tiny for realistic rates).
+    double lambda = spec.faultsPerSecond * spec.horizon;
+    int count = 0;
+    {
+        double p = std::exp(-lambda);
+        double cdf = p;
+        double u = rng.uniform();
+        while (u > cdf && count < 1000) {
+            ++count;
+            p *= lambda / count;
+            cdf += p;
+        }
+    }
+
+    static const FaultKind sensor_kinds[] = {
+        FaultKind::SensorStuckAt, FaultKind::SensorFrozen,
+        FaultKind::SensorDrift, FaultKind::SensorDropout,
+        FaultKind::SensorNoisy,
+    };
+    static const FaultKind vr_kinds[] = {
+        FaultKind::VrStuckOff, FaultKind::VrStuckOn,
+        FaultKind::VrDerated,
+    };
+    static const FaultKind alert_kinds[] = {
+        FaultKind::AlertMissed, FaultKind::AlertSpurious,
+    };
+
+    for (int i = 0; i < count; ++i) {
+        FaultEvent e;
+        // Category mix: 1/2 sensor, 1/3 regulator, 1/6 alert —
+        // re-rolled into an available category when the preferred
+        // one has no targets.
+        double cat = rng.uniform();
+        bool want_sensor = cat < 0.5 && spec.sensors > 0;
+        bool want_vr = !want_sensor && cat < 5.0 / 6.0 && spec.vrs > 0;
+        bool want_alert = !want_sensor && !want_vr && spec.domains > 0;
+        if (!want_sensor && !want_vr && !want_alert) {
+            want_sensor = spec.sensors > 0;
+            want_vr = !want_sensor && spec.vrs > 0;
+            want_alert = !want_sensor && !want_vr;
+        }
+
+        if (want_sensor) {
+            e.kind = sensor_kinds[rng.uniformInt(0, 4)];
+            e.target = rng.uniformInt(0, spec.sensors - 1);
+        } else if (want_vr) {
+            e.kind = vr_kinds[rng.uniformInt(0, 2)];
+            e.target = rng.uniformInt(0, spec.vrs - 1);
+        } else {
+            e.kind = alert_kinds[rng.uniformInt(0, 1)];
+            e.target = rng.uniformInt(0, spec.domains - 1);
+        }
+
+        e.start = rng.uniform(0.0, spec.horizon);
+        // A third of the faults are permanent (hard failures); the
+        // rest are transient with an exponential-ish duration.
+        if (rng.uniform() < 1.0 / 3.0)
+            e.duration = kForever;
+        else
+            e.duration = std::max(
+                1e-6, -spec.meanDuration * std::log(rng.uniform(
+                          std::numeric_limits<double>::min(), 1.0)));
+
+        switch (e.kind) {
+          case FaultKind::SensorStuckAt:
+            e.magnitude = rng.uniform(20.0, 140.0);  // plausible degC
+            break;
+          case FaultKind::SensorDrift:
+            e.magnitude = rng.uniform(-4e3, 4e3);  // degC/s at ms scale
+            break;
+          case FaultKind::SensorNoisy:
+            e.magnitude = rng.uniform(1.0, 8.0);
+            break;
+          case FaultKind::VrDerated:
+            e.magnitude = rng.uniform(1.2, 3.0);
+            break;
+          case FaultKind::AlertMissed:
+          case FaultKind::AlertSpurious:
+            e.magnitude = 1.0;
+            break;
+          default:
+            break;  // frozen/dropout/stuck-off/stuck-on: no magnitude
+        }
+        scenario.add(e);
+    }
+    return scenario;
+}
+
+} // namespace fault
+} // namespace tg

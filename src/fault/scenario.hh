@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Deterministic fault scenarios.
+ *
+ * A FaultScenario is a schedule of timed fault events against the
+ * hardware the control loop depends on: the thermal sensors the
+ * practical policies steer on (paper Section 6.3), the population of
+ * component regulators the governor gates, and the voltage-emergency
+ * alert line behind the *VT policies. Scenarios are plain data — a
+ * sorted list of (kind, target, start, duration, magnitude) events
+ * plus a seed from which every stochastic corruption (inflated sensor
+ * noise, probabilistic alert faults) forks — so a scenario replays
+ * bit-identically at any worker count and batch width, and two runs
+ * of the same (scenario, benchmark, policy) agree exactly.
+ *
+ * The FaultInjector (fault/injector.hh) interprets a scenario against
+ * a live simulation; randomScenario() draws one from a rate
+ * specification for the fault-rate sweeps.
+ */
+
+#ifndef TG_FAULT_SCENARIO_HH
+#define TG_FAULT_SCENARIO_HH
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "common/units.hh"
+
+namespace tg {
+namespace fault {
+
+/** The fault taxonomy (see DESIGN.md "Fault model"). */
+enum class FaultKind
+{
+    // --- thermal-sensor faults (target = chip sensor/VR index) ----
+    SensorStuckAt, //!< reads `magnitude` [degC] regardless of truth
+    SensorFrozen,  //!< repeats the last pre-fault reading forever
+    SensorDrift,   //!< offset growing at `magnitude` [degC/s]
+    SensorDropout, //!< delivers no reading (NaN) while active
+    SensorNoisy,   //!< adds gaussian noise, sigma = `magnitude` [degC]
+
+    // --- regulator faults (target = chip VR index) -----------------
+    VrStuckOff, //!< failed open: cannot be activated at all
+    VrStuckOn,  //!< failed closed: cannot be gated off
+    VrDerated,  //!< conversion loss multiplied by `magnitude` (> 1)
+
+    // --- emergency-predictor faults (target = domain id) -----------
+    AlertMissed,  //!< suppresses alerts with prob `magnitude` (0 -> 1)
+    AlertSpurious, //!< injects alerts with prob `magnitude` (0 -> 1)
+};
+
+/** Display name of a fault kind ("sensor-stuck-at", ...). */
+const char *faultKindName(FaultKind kind);
+
+/** True for the thermal-sensor fault kinds. */
+bool isSensorFault(FaultKind kind);
+/** True for the regulator fault kinds. */
+bool isVrFault(FaultKind kind);
+/** True for the emergency-predictor fault kinds. */
+bool isAlertFault(FaultKind kind);
+
+/** Event duration meaning "until the end of the run". */
+constexpr Seconds kForever = std::numeric_limits<double>::infinity();
+
+/** One timed fault event. */
+struct FaultEvent
+{
+    FaultKind kind = FaultKind::SensorStuckAt;
+    /** Sensor index, chip VR index, or domain id (per kind). */
+    int target = 0;
+    Seconds start = 0.0;       //!< onset time [s]
+    Seconds duration = kForever; //!< active span; kForever = permanent
+    /**
+     * Kind-specific magnitude: stuck-at value [degC], drift rate
+     * [degC/s], noise sigma [degC], loss multiplier, or alert fault
+     * probability (<= 0 means 1, i.e. every alert affected).
+     */
+    double magnitude = 0.0;
+
+    /** One past the last active instant (kForever-safe). */
+    Seconds end() const { return start + duration; }
+    /** Whether the event is active at time `t`. */
+    bool activeAt(Seconds t) const { return t >= start && t < end(); }
+};
+
+/**
+ * A deterministic schedule of fault events.
+ *
+ * The scenario is immutable once handed to a run; the injector keeps
+ * all mutable interpretation state (frozen-value latches, active
+ * masks) on its side, so one scenario may back many concurrent runs.
+ */
+class FaultScenario
+{
+  public:
+    /** @param seed fork point for the scenario's stochastic streams */
+    explicit FaultScenario(std::uint64_t seed = 0x7fa17ull)
+        : seedValue(seed)
+    {
+    }
+
+    /** Append one event (validated); returns *this for chaining. */
+    FaultScenario &add(const FaultEvent &event);
+
+    const std::vector<FaultEvent> &events() const { return list; }
+    bool empty() const { return list.empty(); }
+    std::uint64_t seed() const { return seedValue; }
+
+    /** Events of `kind` whose target equals `target`. */
+    std::vector<FaultEvent> eventsFor(FaultKind kind, int target) const;
+
+  private:
+    std::uint64_t seedValue;
+    std::vector<FaultEvent> list;
+};
+
+/** Rate specification for randomScenario(). */
+struct RandomScenarioSpec
+{
+    /** Scenario horizon [s]: events start uniformly in [0, horizon). */
+    Seconds horizon = 3e-3;
+    /** Expected fault events per simulated second (all kinds). */
+    double faultsPerSecond = 0.0;
+    /** Mean event duration [s]; a third of the draws are permanent. */
+    Seconds meanDuration = 1e-3;
+    int sensors = 0;  //!< sensor count (sensor-fault targets)
+    int vrs = 0;      //!< chip VR count (regulator-fault targets)
+    int domains = 0;  //!< domain count (alert-fault targets)
+};
+
+/**
+ * Draw a random scenario from a rate specification. Deterministic in
+ * (seed, spec): the event count, kinds, targets, times and magnitudes
+ * are all functions of the seed. Kind mix: half sensor faults, a
+ * third regulator faults, the rest alert faults (skipping categories
+ * whose target count is zero).
+ */
+FaultScenario randomScenario(std::uint64_t seed,
+                             const RandomScenarioSpec &spec);
+
+} // namespace fault
+} // namespace tg
+
+#endif // TG_FAULT_SCENARIO_HH

@@ -452,6 +452,15 @@ DomainPdn::transientWindow(const Amperes *currents, std::size_t cycles,
               "warmup must leave analysis cycles");
     TG_ASSERT(current != nullptr, "setActive() must precede solves");
 
+#ifdef TG_DEBUG_CHECKS
+    for (std::size_t cyc = 0; cyc < cycles; ++cyc)
+        for (int i = 0; i < nNodes; ++i)
+            TG_DEBUG_ASSERT(
+                std::isfinite(currents[cyc * stride +
+                                       static_cast<std::size_t>(i)]),
+                "non-finite load current at cycle ", cyc, " node ", i);
+#endif
+
     std::size_t n = static_cast<std::size_t>(nNodes);
     std::size_t m = activeSet.size();
     double vdd = chipRef.params.vdd;
@@ -527,6 +536,8 @@ DomainPdn::transientWindow(const Amperes *currents, std::size_t cycles,
                 ++res.emergencyCycles;
         }
     }
+    TG_DEBUG_ASSERT(std::isfinite(res.maxNoiseFrac),
+                    "non-finite max droop from transient window");
     return res;
 }
 
@@ -726,6 +737,13 @@ DomainPdn::transientWindowBatch(const WindowSpec *windows, int count,
             ++done;
         }
     }
+
+#ifdef TG_DEBUG_CHECKS
+    for (int i = 0; i < count; ++i)
+        TG_DEBUG_ASSERT(std::isfinite(out[i].maxNoiseFrac),
+                        "non-finite max droop from window batch lane ",
+                        i);
+#endif
 }
 
 std::pair<double, double>

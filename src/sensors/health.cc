@@ -1,0 +1,164 @@
+#include "sensors/health.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace tg {
+namespace sensors {
+
+SensorHealthMonitor::SensorHealthMonitor(
+    std::vector<std::pair<double, double>> positions,
+    HealthParams params)
+    : prm(params), state(positions.size())
+{
+    TG_ASSERT(!positions.empty(), "health monitor needs sensors");
+    TG_ASSERT(prm.maxPlausible > prm.minPlausible,
+              "empty plausible temperature range");
+    TG_ASSERT(prm.freezeReads >= 1 && prm.readmitReads >= 1,
+              "streak lengths must be >= 1");
+
+    // Precompute each sensor's neighbour ordering by distance, with
+    // the index as a deterministic tie-break.
+    std::size_t n = positions.size();
+    neighbourOrder.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        auto &order = neighbourOrder[i];
+        order.reserve(n - 1);
+        for (std::size_t j = 0; j < n; ++j)
+            if (j != i)
+                order.push_back(static_cast<int>(j));
+        auto dist2 = [&](int j) {
+            double dx = positions[static_cast<std::size_t>(j)].first -
+                        positions[i].first;
+            double dy = positions[static_cast<std::size_t>(j)].second -
+                        positions[i].second;
+            return dx * dx + dy * dy;
+        };
+        std::stable_sort(order.begin(), order.end(),
+                         [&](int a, int b) {
+                             double da = dist2(a), db = dist2(b);
+                             if (da != db)
+                                 return da < db;
+                             return a < b;
+                         });
+    }
+}
+
+Celsius
+SensorHealthMonitor::neighbourEstimate(std::size_t i,
+                                       Celsius fallback) const
+{
+    for (int j : neighbourOrder[i]) {
+        const SensorState &s = state[static_cast<std::size_t>(j)];
+        if (!s.quarantined && s.hasAccepted)
+            return s.lastAccepted;
+    }
+    return fallback;
+}
+
+int
+SensorHealthMonitor::quarantinedCount() const
+{
+    int n = 0;
+    for (const auto &s : state)
+        if (s.quarantined)
+            ++n;
+    return n;
+}
+
+void
+SensorHealthMonitor::filter(Seconds, std::vector<Celsius> &readings)
+{
+    TG_ASSERT(readings.size() == state.size(),
+              "health filter size mismatch");
+    std::size_t n = state.size();
+
+    // Neighbour estimates are computed against the PREVIOUS epoch's
+    // accepted values for every sensor before any state updates, so
+    // the result does not depend on the sensor iteration order.
+    std::vector<Celsius> estimate(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        const SensorState &s = state[i];
+        Celsius fb = s.hasAccepted
+                         ? s.lastAccepted
+                         : 0.5 * (prm.minPlausible + prm.maxPlausible);
+        estimate[i] = neighbourEstimate(i, fb);
+    }
+
+    for (std::size_t i = 0; i < n; ++i) {
+        SensorState &s = state[i];
+        Celsius raw = readings[i];
+        bool finite = std::isfinite(raw);
+
+        // Freeze tracking runs on the raw stream regardless of
+        // quarantine state (a frozen sensor stays frozen inside
+        // quarantine, which keeps it there).
+        if (finite && s.hasRaw &&
+            std::abs(raw - s.lastRaw) <= prm.freezeEps) {
+            if (s.frozenStreak == 0)
+                s.freezeEstRef = estimate[i];
+            ++s.frozenStreak;
+        } else {
+            s.frozenStreak = 0;
+        }
+        s.lastRaw = finite ? raw : s.lastRaw;
+        s.hasRaw = s.hasRaw || finite;
+
+        bool implausible = !finite || raw < prm.minPlausible ||
+                           raw > prm.maxPlausible;
+        // Rate-of-change: a physical VR temperature cannot jump this
+        // far between consecutive decisions.
+        if (!implausible && s.hasAccepted &&
+            std::abs(raw - s.lastAccepted) > prm.maxStep)
+            implausible = true;
+        // Spatial coherence: far off every healthy neighbour.
+        if (!implausible && s.hasAccepted &&
+            std::abs(raw - estimate[i]) > prm.neighbourTolerance)
+            implausible = true;
+        // Frozen while the neighbourhood moved.
+        if (!implausible && s.frozenStreak >= prm.freezeReads &&
+            std::abs(estimate[i] - s.freezeEstRef) >
+                prm.freezeNeighbourMove)
+            implausible = true;
+
+        if (!s.quarantined) {
+            if (implausible) {
+                s.quarantined = true;
+                s.agreeStreak = 0;
+                ++events;
+            } else {
+                s.lastAccepted = raw;
+                s.hasAccepted = true;
+                continue;  // healthy: reading passes through
+            }
+        } else {
+            // Probation: release after sustained agreement with the
+            // neighbourhood on plausible raw readings. The jump
+            // check deliberately does not apply here: the sensor's
+            // last accepted value is the substitute, which a healthy
+            // reading may legitimately be far from.
+            bool agrees = finite && raw >= prm.minPlausible &&
+                          raw <= prm.maxPlausible &&
+                          std::abs(raw - estimate[i]) <=
+                              prm.readmitTolerance;
+            s.agreeStreak = agrees ? s.agreeStreak + 1 : 0;
+            if (s.agreeStreak >= prm.readmitReads) {
+                s.quarantined = false;
+                s.frozenStreak = 0;
+                s.lastAccepted = raw;
+                s.hasAccepted = true;
+                continue;
+            }
+        }
+
+        // Quarantined (or just quarantined): serve the substitute.
+        readings[i] = estimate[i];
+        s.lastAccepted = estimate[i];
+        s.hasAccepted = true;
+    }
+}
+
+} // namespace sensors
+} // namespace tg

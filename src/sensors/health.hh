@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Sensor-health monitoring and graceful degradation.
+ *
+ * Closed-loop thermal control is sensitive to sensor error: a lying
+ * sensor steers the governor into gating the wrong regulators (and a
+ * frozen one hides an emerging hot spot entirely). The monitor
+ * screens every decision-time reading with cheap plausibility checks
+ * — finite, inside the physical range, rate-of-change bounded, not
+ * frozen while its neighbourhood moves — quarantines sensors that
+ * fail them, and substitutes the nearest healthy neighbour's reading
+ * (VR thermal fields are spatially smooth at the mm scale, so the
+ * neighbour estimate is the best cheap stand-in). A quarantined
+ * sensor is re-admitted after its raw readings re-agree with the
+ * neighbour estimate for a probation period.
+ *
+ * The monitor is deterministic (no RNG) and pure in its input
+ * sequence, so faulted runs replay bit-identically.
+ */
+
+#ifndef TG_SENSORS_HEALTH_HH
+#define TG_SENSORS_HEALTH_HH
+
+#include <utility>
+#include <vector>
+
+#include "common/units.hh"
+
+namespace tg {
+namespace sensors {
+
+/** Quarantine heuristics (see DESIGN.md "Fault model"). */
+struct HealthParams
+{
+    Celsius minPlausible = 0.0;    //!< below = implausible [degC]
+    Celsius maxPlausible = 150.0;  //!< above = implausible [degC]
+    /** Largest credible change between consecutive reads [degC]. */
+    Celsius maxStep = 25.0;
+    /** Reads with |delta| below this count towards a freeze. */
+    Celsius freezeEps = 1e-9;
+    /** Consecutive frozen reads before quarantine. */
+    int freezeReads = 3;
+    /** A freeze only quarantines once the neighbour estimate has
+     *  moved by more than this since the freeze began (a genuinely
+     *  steady thermal field keeps every sensor static). [degC] */
+    Celsius freezeNeighbourMove = 1.0;
+    /** Largest credible deviation from the neighbour estimate
+     *  [degC]; beyond it the sensor is quarantined (stuck-at). */
+    Celsius neighbourTolerance = 30.0;
+    /** Agreement band for re-admission [degC]. */
+    Celsius readmitTolerance = 5.0;
+    /** Consecutive in-band reads before re-admission. */
+    int readmitReads = 3;
+};
+
+/**
+ * Health monitor over a bank of spatially distributed sensors.
+ *
+ * filter() is called once per decision epoch with the (possibly
+ * corrupted) readings; it sanitises them in place and maintains the
+ * per-sensor quarantine state the resilience accounting reports.
+ */
+class SensorHealthMonitor
+{
+  public:
+    /**
+     * @param positions sensor coordinates [mm] (e.g. VR site
+     *                  centres) for the nearest-neighbour ordering
+     */
+    SensorHealthMonitor(std::vector<std::pair<double, double>> positions,
+                        HealthParams params = {});
+
+    /**
+     * Screen and sanitise one epoch's readings in place: quarantined
+     * (or newly implausible) entries are replaced by the nearest
+     * healthy neighbour's accepted reading (or the sensor's last
+     * accepted value when every neighbour is unhealthy).
+     */
+    void filter(Seconds now, std::vector<Celsius> &readings);
+
+    /** Whether sensor `i` is currently quarantined. */
+    bool quarantined(int i) const
+    {
+        return state[static_cast<std::size_t>(i)].quarantined;
+    }
+
+    /** Currently quarantined sensor count. */
+    int quarantinedCount() const;
+
+    /** Quarantine entries so far (re-quarantines count again). */
+    long quarantineEvents() const { return events; }
+
+    int size() const { return static_cast<int>(state.size()); }
+
+    const HealthParams &params() const { return prm; }
+
+  private:
+    struct SensorState
+    {
+        bool quarantined = false;
+        bool hasAccepted = false;
+        Celsius lastAccepted = 0.0;  //!< last healthy (or substituted)
+        Celsius lastRaw = 0.0;       //!< last raw reading seen
+        bool hasRaw = false;
+        int frozenStreak = 0;   //!< consecutive unchanged raw reads
+        Celsius freezeEstRef = 0.0; //!< neighbour est. at freeze start
+        int agreeStreak = 0;    //!< consecutive in-band reads (readmit)
+    };
+
+    HealthParams prm;
+    std::vector<SensorState> state;
+    /** Per sensor: every other sensor ordered by distance. */
+    std::vector<std::vector<int>> neighbourOrder;
+    long events = 0;
+
+    /** Nearest healthy neighbour's accepted value, else fallback. */
+    Celsius neighbourEstimate(std::size_t i, Celsius fallback) const;
+};
+
+} // namespace sensors
+} // namespace tg
+
+#endif // TG_SENSORS_HEALTH_HH

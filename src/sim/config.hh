@@ -12,6 +12,7 @@
 #include "pdn/domain_pdn.hh"
 #include "power/model.hh"
 #include "sensors/emergency_predictor.hh"
+#include "sensors/health.hh"
 #include "sensors/thermal_sensor.hh"
 #include "thermal/model.hh"
 
@@ -90,6 +91,9 @@ struct SimConfig
     pdn::PdnParams pdnParams;
     sensors::SensorParams sensorParams;
     sensors::PredictorParams predictorParams;
+    /** Sensor quarantine heuristics, used only when a run injects a
+     *  fault scenario (RecordOptions::faultScenario). */
+    sensors::HealthParams healthParams;
 };
 
 } // namespace sim

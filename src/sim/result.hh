@@ -13,6 +13,11 @@
 #include "core/policy.hh"
 
 namespace tg {
+
+namespace fault {
+class FaultScenario;
+}
+
 namespace sim {
 
 /** What extra data a run should record beyond the scalar metrics. */
@@ -29,6 +34,45 @@ struct RecordOptions
     /** Override SimConfig::noiseSamples; <0 keeps the default and 0
      *  disables noise sampling entirely (thermal-only studies). */
     int noiseSamplesOverride = -1;
+    /** Fault schedule to inject (nullptr or empty = clean run; the
+     *  clean path is bit-identical to a run without this option).
+     *  The scenario must outlive the run. */
+    const fault::FaultScenario *faultScenario = nullptr;
+};
+
+/** Resilience accounting of a (possibly) fault-injected run. */
+struct ResilienceStats
+{
+    /** Scheduled fault events in the scenario (0 = clean run). */
+    long scheduledFaults = 0;
+    /** Decision epochs during which at least one fault was active. */
+    long faultedEpochs = 0;
+    /** Governor decisions taken with a faulted regulator set. */
+    long degradedDecisions = 0;
+    /** Decisions where the minimum-supply floor raised the target. */
+    long floorEngagements = 0;
+    /** Decisions where even every surviving VR missed the floor. */
+    long underSuppliedDecisions = 0;
+
+    /** Sensor quarantine entries over the run. */
+    long quarantineEvents = 0;
+    /** Decision epochs with at least one sensor quarantined. */
+    long quarantinedEpochs = 0;
+    /** Peak simultaneous quarantined sensor count. */
+    int peakQuarantined = 0;
+    /** Seconds from first sensor-fault onset to first quarantine;
+     *  negative when nothing was (or needed to be) detected. */
+    Seconds detectionLatency = -1.0;
+
+    /** True emergency alerts suppressed by an AlertMissed fault. */
+    long alertsSuppressed = 0;
+    /** Spurious alerts raised by an AlertSpurious fault. */
+    long alertsInjected = 0;
+
+    /** Emergency cycles split by whether any fault was active during
+     *  the epoch they occurred in (thermal/noise cost attribution). */
+    long emergencyCyclesFaulted = 0;
+    long emergencyCyclesClean = 0;
 };
 
 /** Everything one simulated (benchmark, policy) run produces. */
@@ -76,6 +120,10 @@ struct RunResult
     std::vector<double> vrAging;
     /** Max-over-mean aging damage: 1.0 = perfectly balanced wear. */
     double agingImbalance = 1.0;
+
+    /** Fault-injection / graceful-degradation accounting. All zeros
+     *  (and detectionLatency = -1) on a clean run. */
+    ResilienceStats resilience;
 };
 
 } // namespace sim

@@ -8,7 +8,9 @@
 #include "common/rng.hh"
 #include "common/stats.hh"
 #include "core/aging.hh"
+#include "fault/injector.hh"
 #include "sensors/emergency_predictor.hh"
+#include "sensors/health.hh"
 #include "sensors/thermal_sensor.hh"
 #include "uarch/core_model.hh"
 #include "vreg/design.hh"
@@ -401,6 +403,37 @@ Simulation::runMixed(
     std::vector<WmaForecaster> wma(static_cast<std::size_t>(n_domains),
                                    WmaForecaster(3));
 
+    // --- Fault injection (optional) --------------------------------------
+    // An empty (or absent) scenario takes the exact code paths of a
+    // clean run: every fault hook below is gated on `injector`, so
+    // results stay bit-identical to a run without the option.
+    const fault::FaultScenario *scenario =
+        (opts.faultScenario && !opts.faultScenario->empty())
+            ? opts.faultScenario
+            : nullptr;
+    std::unique_ptr<fault::FaultInjector> injector;
+    std::unique_ptr<sensors::SensorHealthMonitor> health;
+    if (scenario) {
+        std::vector<int> vr_domain(vrLocal.size());
+        for (std::size_t v = 0; v < vrLocal.size(); ++v)
+            vr_domain[v] = vrLocal[v].first;
+        injector = std::make_unique<fault::FaultInjector>(
+            *scenario, std::move(vr_domain), n_vrs, run_seed);
+        std::vector<std::pair<double, double>> positions;
+        positions.reserve(plan.vrs().size());
+        for (const auto &site : plan.vrs())
+            positions.emplace_back(site.rect.cx(), site.rect.cy());
+        health = std::make_unique<sensors::SensorHealthMonitor>(
+            std::move(positions), cfg.healthParams);
+    }
+    long faulted_epochs = 0;
+    long quarantined_epochs = 0;
+    int peak_quarantined = 0;
+    long alerts_suppressed = 0;
+    long alerts_injected = 0;
+    long em_cycles_faulted = 0;
+    long em_cycles_clean = 0;
+
     const bool oracular_inputs = core::isOracular(policy) ||
                                  policy == PolicyKind::Naive ||
                                  policy == PolicyKind::AllOn;
@@ -491,6 +524,16 @@ Simulation::runMixed(
             std::min(n_frames, f0 + static_cast<std::size_t>(fpe));
         Seconds epoch_t = static_cast<double>(f0) * dt;
 
+        // Fault state advances at decision granularity and stays
+        // fixed for the whole epoch.
+        bool epoch_faulted = false;
+        if (injector) {
+            injector->advanceTo(epoch_t);
+            epoch_faulted = injector->anyActive();
+            if (epoch_faulted)
+                ++faulted_epochs;
+        }
+
         // ---- Decisions ---------------------------------------------------
         if (!off_chip) {
             // Epoch provisioning power: the trace's blended mean/peak
@@ -512,6 +555,31 @@ Simulation::runMixed(
                 vr_true[static_cast<std::size_t>(v)] =
                     tm.vrTemp(temps, v);
             sensor_bank.readInto(epoch_t, fs.vrSensor);
+            if (injector) {
+                // Corrupt what the control loop observes, then let the
+                // health monitor quarantine and substitute. Ground
+                // truth (fs.vrT, the thermal model) is untouched.
+                injector->corruptSensors(epoch_t, e, fs.vrSensor);
+                health->filter(epoch_t, fs.vrSensor);
+                int qn = health->quarantinedCount();
+                if (qn > 0)
+                    ++quarantined_epochs;
+                peak_quarantined = std::max(peak_quarantined, qn);
+                if (res.resilience.detectionLatency < 0.0 && qn > 0) {
+                    // First quarantine: latency from the earliest
+                    // still-active fault on a quarantined sensor.
+                    for (int v = 0; v < n_vrs; ++v) {
+                        if (!health->quarantined(v))
+                            continue;
+                        Seconds onset = injector->sensorFaultOnset(v);
+                        if (onset >= 0.0 && epoch_t >= onset) {
+                            res.resilience.detectionLatency =
+                                epoch_t - onset;
+                            break;
+                        }
+                    }
+                }
+            }
             const std::vector<Celsius> &vr_sensor = fs.vrSensor;
 
             for (int d = 0; d < n_domains; ++d) {
@@ -552,6 +620,23 @@ Simulation::runMixed(
                     st.vrTemps[l] = oracular_inputs ? vr_true[v]
                                                     : vr_sensor[v];
                     st.vrLossNow[l] = vr_loss[v];
+                }
+                // Regulator-fault masks (fs.st is reused, so the
+                // clean path must leave them empty).
+                if (injector && injector->anyVrFault()) {
+                    st.vrUnavailable.resize(dom.vrs.size());
+                    st.vrForcedOn.resize(dom.vrs.size());
+                    for (std::size_t l = 0; l < dom.vrs.size();
+                         ++l) {
+                        int v = dom.vrs[l];
+                        st.vrUnavailable[l] =
+                            injector->vrFailed(v) ? 1 : 0;
+                        st.vrForcedOn[l] =
+                            injector->vrStuckOn(v) ? 1 : 0;
+                    }
+                } else {
+                    st.vrUnavailable.clear();
+                    st.vrForcedOn.clear();
                 }
                 int non_next = net.requiredActive(st.demandNext);
                 auto op_next = net.evaluate(st.demandNext, non_next);
@@ -594,6 +679,10 @@ Simulation::runMixed(
                         policy == PolicyKind::OracVT
                             ? truth
                             : em_predictor.predict(d, e, truth);
+                    if (injector)
+                        alert = injector->perturbAlert(
+                            d, e, alert, &alerts_suppressed,
+                            &alerts_injected);
                     if (alert)
                         decision = governor.decide(st, kit, true);
                 }
@@ -685,15 +774,31 @@ Simulation::runMixed(
                         domains[static_cast<std::size_t>(d)];
                     const auto &set =
                         active_sets[static_cast<std::size_t>(d)];
+                    if (set.empty())
+                        continue;  // dark domain (total VR loss)
                     Amperes i_d = pm.domainCurrent(block_power, d);
                     auto op =
                         networks[static_cast<std::size_t>(d)]
                             .evaluate(i_d,
                                       static_cast<int>(set.size()));
-                    for (int l : set)
-                        vr_loss[static_cast<std::size_t>(
-                            dom.vrs[static_cast<std::size_t>(l)])] =
-                            op.plossTotal / set.size();
+                    if (injector && injector->anyVrFault()) {
+                        // A derated VR dissipates a multiple of its
+                        // nominal share; the physics sees the extra
+                        // heat even though the governor does not.
+                        for (int l : set) {
+                            std::size_t v = static_cast<std::size_t>(
+                                dom.vrs[static_cast<std::size_t>(l)]);
+                            vr_loss[v] =
+                                (op.plossTotal / set.size()) *
+                                injector->vrLossMultiplier(
+                                    static_cast<int>(v));
+                        }
+                    } else {
+                        for (int l : set)
+                            vr_loss[static_cast<std::size_t>(
+                                dom.vrs[static_cast<std::size_t>(
+                                    l)])] = op.plossTotal / set.size();
+                    }
                     ploss_total += op.plossTotal;
                     active_total += static_cast<int>(set.size());
                     eta_weighted += op.eta * i_d;
@@ -894,6 +999,12 @@ Simulation::runMixed(
                 }
                 emergency_cycles += em_max;
                 analysed_cycles += analysed;
+                if (injector) {
+                    if (epoch_faulted)
+                        em_cycles_faulted += em_max;
+                    else
+                        em_cycles_clean += em_max;
+                }
             }
             noiseQueue.clear();
         }
@@ -911,6 +1022,23 @@ Simulation::runMixed(
             ? static_cast<double>(emergency_cycles) /
                   static_cast<double>(analysed_cycles)
             : 0.0;
+
+    if (scenario) {
+        auto &rs = res.resilience;
+        rs.scheduledFaults =
+            static_cast<long>(scenario->events().size());
+        rs.faultedEpochs = faulted_epochs;
+        rs.degradedDecisions = governor.degradedDecisionCount();
+        rs.floorEngagements = governor.floorEngagementCount();
+        rs.underSuppliedDecisions = governor.underSuppliedCount();
+        rs.quarantineEvents = health->quarantineEvents();
+        rs.quarantinedEpochs = quarantined_epochs;
+        rs.peakQuarantined = peak_quarantined;
+        rs.alertsSuppressed = alerts_suppressed;
+        rs.alertsInjected = alerts_injected;
+        rs.emergencyCyclesFaulted = em_cycles_faulted;
+        rs.emergencyCyclesClean = em_cycles_clean;
+    }
 
     res.vrAging = aging.damages();
     res.agingImbalance = aging.imbalance();

@@ -77,7 +77,7 @@ SweepResult::at(const std::string &benchmark,
 SweepResult
 runSweep(Simulation &simulation, std::vector<std::string> benchmarks,
          std::vector<core::PolicyKind> policies, bool progress,
-         int jobs)
+         int jobs, const RecordOptions &opts)
 {
     if (benchmarks.empty())
         for (const auto &p : workload::splashProfiles())
@@ -112,7 +112,7 @@ runSweep(Simulation &simulation, std::vector<std::string> benchmarks,
         std::size_t b = task / policies.size();
         std::size_t p = task % policies.size();
         const auto &profile = workload::profileByName(benchmarks[b]);
-        RunResult r = ctx.run(profile, policies[p]);
+        RunResult r = ctx.run(profile, policies[p], opts);
         std::ostringstream line;
         char buf[96];
         std::snprintf(buf, sizeof buf,

@@ -63,12 +63,16 @@ struct SweepResult
  * @param jobs     worker count; 0 defers to simulation.config().jobs
  *                 and the TG_JOBS / hardware-concurrency ladder of
  *                 exec::resolveJobs().
+ * @param opts     RecordOptions applied to every run of the grid
+ *                 (e.g. a fault scenario for the resilience sweeps;
+ *                 any referenced scenario must outlive the call).
  */
 SweepResult
 runSweep(Simulation &simulation,
          std::vector<std::string> benchmarks = {},
          std::vector<core::PolicyKind> policies = {},
-         bool progress = false, int jobs = 0);
+         bool progress = false, int jobs = 0,
+         const RecordOptions &opts = {});
 
 } // namespace sim
 } // namespace tg

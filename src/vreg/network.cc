@@ -1,5 +1,7 @@
 #include "vreg/network.hh"
 
+#include <cmath>
+
 #include "common/logging.hh"
 
 namespace tg {
@@ -35,6 +37,21 @@ RegulatorNetwork::requiredActive(Amperes demand) const
     if (best < 0)
         return nVrs;  // overloaded: everything on is the best we can do
     return best;
+}
+
+int
+RegulatorNetwork::minFeasibleActive(Amperes demand) const
+{
+    if (demand <= 0.0)
+        return 1;
+    // Smallest k with demand / k <= iMax; the epsilon-free ceil is
+    // safe because iMax is strictly positive.
+    double k = std::ceil(demand / vrDesign.iMax);
+    if (k < 1.0)
+        return 1;
+    if (k > static_cast<double>(nVrs))
+        return nVrs;
+    return static_cast<int>(k);
 }
 
 OperatingPoint

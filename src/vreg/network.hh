@@ -61,6 +61,18 @@ class RegulatorNetwork
     int requiredActive(Amperes demand) const;
 
     /**
+     * Minimum-supply floor: the smallest active count whose per-VR
+     * share of `demand` stays within the iMax limit, i.e.
+     * ceil(demand / iMax), clamped to [1, N]. Always <=
+     * requiredActive(demand). The governor never provisions below
+     * this, so a shrunken (faulted) regulator population cannot
+     * silently under-supply a domain into a voltage emergency; when
+     * even N is below the floor the domain is overloaded and
+     * everything available must be on.
+     */
+    int minFeasibleActive(Amperes demand) const;
+
+    /**
      * Evaluate the network with `active` regulators sharing `demand`
      * equally (component VRs are electrically identical, so parallel
      * operation splits the current evenly).

@@ -40,6 +40,40 @@ TEST(ExecResolveJobs, InvalidEnvFallsBackToHardware)
     EXPECT_GE(hardwareThreads(), 1);
 }
 
+TEST(ExecResolveJobs, NonNumericEnvFallsBackToHardware)
+{
+    for (const char *bad : {"", " ", "4x", "x4", "1.5", "0b10"}) {
+        setenv("TG_JOBS", bad, 1);
+        EXPECT_EQ(resolveJobs(0), hardwareThreads())
+            << "TG_JOBS='" << bad << "'";
+    }
+    unsetenv("TG_JOBS");
+}
+
+TEST(ExecResolveJobs, NonPositiveEnvFallsBackToHardware)
+{
+    for (const char *bad : {"0", "-1", "-4096"}) {
+        setenv("TG_JOBS", bad, 1);
+        EXPECT_EQ(resolveJobs(0), hardwareThreads())
+            << "TG_JOBS='" << bad << "'";
+    }
+    unsetenv("TG_JOBS");
+}
+
+TEST(ExecResolveJobs, AbsurdlyLargeEnvIsClamped)
+{
+    // Just past the cap, a fat-fingered value, and a strtol overflow:
+    // all clamp to the 4096 ceiling instead of spawning that many
+    // threads (or silently doing something else).
+    for (const char *huge : {"4097", "400000", "99999999999999999999"}) {
+        setenv("TG_JOBS", huge, 1);
+        EXPECT_EQ(resolveJobs(0), 4096) << "TG_JOBS='" << huge << "'";
+    }
+    setenv("TG_JOBS", "4096", 1);
+    EXPECT_EQ(resolveJobs(0), 4096);  // exactly at the cap: no clamp
+    unsetenv("TG_JOBS");
+}
+
 TEST(ExecTaskSeed, DistinctPerTaskAndBase)
 {
     std::set<std::uint64_t> seen;

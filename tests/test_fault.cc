@@ -1,0 +1,730 @@
+/**
+ * @file
+ * Unit tests for the fault subsystem: scenario schedules, the live
+ * injector, the sensor-health monitor, and the governor's degraded
+ * decision path under regulator faults.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <utility>
+#include <vector>
+
+#include "core/governor.hh"
+#include "core/policy.hh"
+#include "fault/injector.hh"
+#include "fault/scenario.hh"
+#include "floorplan/power8.hh"
+#include "pdn/domain_pdn.hh"
+#include "sensors/health.hh"
+#include "vreg/design.hh"
+#include "vreg/network.hh"
+
+namespace tg {
+namespace fault {
+namespace {
+
+FaultEvent
+event(FaultKind kind, int target, Seconds start,
+      Seconds duration = kForever, double magnitude = 0.0)
+{
+    FaultEvent e;
+    e.kind = kind;
+    e.target = target;
+    e.start = start;
+    e.duration = duration;
+    e.magnitude = magnitude;
+    return e;
+}
+
+// ---------------------------------------------------------------------
+// FaultScenario
+
+TEST(FaultScenario, KindNamesAndClassification)
+{
+    EXPECT_STREQ(faultKindName(FaultKind::SensorStuckAt),
+                 "sensor-stuck-at");
+    EXPECT_STREQ(faultKindName(FaultKind::VrStuckOff), "vr-stuck-off");
+    EXPECT_TRUE(isSensorFault(FaultKind::SensorDropout));
+    EXPECT_FALSE(isSensorFault(FaultKind::VrDerated));
+    EXPECT_TRUE(isVrFault(FaultKind::VrStuckOn));
+    EXPECT_FALSE(isVrFault(FaultKind::AlertMissed));
+    EXPECT_TRUE(isAlertFault(FaultKind::AlertSpurious));
+    EXPECT_FALSE(isAlertFault(FaultKind::SensorFrozen));
+}
+
+TEST(FaultScenario, AddKeepsEventsSortedByStart)
+{
+    FaultScenario s;
+    s.add(event(FaultKind::VrStuckOff, 1, 2e-3))
+        .add(event(FaultKind::SensorDropout, 0, 0.5e-3))
+        .add(event(FaultKind::AlertMissed, 0, 1e-3, kForever, 1.0));
+    ASSERT_EQ(s.events().size(), 3u);
+    EXPECT_EQ(s.events()[0].kind, FaultKind::SensorDropout);
+    EXPECT_EQ(s.events()[1].kind, FaultKind::AlertMissed);
+    EXPECT_EQ(s.events()[2].kind, FaultKind::VrStuckOff);
+    EXPECT_FALSE(s.empty());
+    EXPECT_TRUE(FaultScenario().empty());
+}
+
+TEST(FaultScenario, EventsForFiltersKindAndTarget)
+{
+    FaultScenario s;
+    s.add(event(FaultKind::VrStuckOff, 3, 1e-3))
+        .add(event(FaultKind::VrStuckOff, 4, 2e-3))
+        .add(event(FaultKind::VrStuckOn, 3, 0.0));
+    auto hits = s.eventsFor(FaultKind::VrStuckOff, 3);
+    ASSERT_EQ(hits.size(), 1u);
+    EXPECT_EQ(hits[0].start, 1e-3);
+    EXPECT_TRUE(s.eventsFor(FaultKind::SensorFrozen, 3).empty());
+}
+
+TEST(FaultScenario, ActiveWindowIsHalfOpen)
+{
+    auto e = event(FaultKind::SensorStuckAt, 0, 1e-3, 1e-3, 90.0);
+    EXPECT_FALSE(e.activeAt(0.999e-3));
+    EXPECT_TRUE(e.activeAt(1e-3));
+    EXPECT_TRUE(e.activeAt(1.999e-3));
+    EXPECT_FALSE(e.activeAt(2e-3));
+
+    auto p = event(FaultKind::SensorStuckAt, 0, 1e-3);  // permanent
+    EXPECT_TRUE(std::isinf(p.end()));
+    EXPECT_TRUE(p.activeAt(1e6));
+}
+
+TEST(FaultScenarioDeath, InvalidEventsRejected)
+{
+    FaultScenario s;
+    EXPECT_DEATH(s.add(event(FaultKind::VrStuckOff, -1, 0.0)),
+                 "target must be non-negative");
+    EXPECT_DEATH(s.add(event(FaultKind::VrStuckOff, 0, -1.0)),
+                 "start must be non-negative");
+    EXPECT_DEATH(s.add(event(FaultKind::VrStuckOff, 0, 0.0, 0.0)),
+                 "duration must be positive");
+    EXPECT_DEATH(
+        s.add(event(FaultKind::VrDerated, 0, 0.0, kForever, 0.5)),
+        "loss multiplier");
+    EXPECT_DEATH(
+        s.add(event(FaultKind::AlertMissed, 0, 0.0, kForever, 1.5)),
+        "probability must be <= 1");
+    EXPECT_DEATH(
+        s.add(event(FaultKind::SensorNoisy, 0, 0.0, kForever, -1.0)),
+        "sigma must be non-negative");
+}
+
+TEST(FaultScenario, RandomScenarioIsDeterministicInSeed)
+{
+    RandomScenarioSpec spec;
+    spec.faultsPerSecond = 4000.0;
+    spec.sensors = 8;
+    spec.vrs = 8;
+    spec.domains = 2;
+
+    auto a = randomScenario(17, spec);
+    auto b = randomScenario(17, spec);
+    ASSERT_EQ(a.events().size(), b.events().size());
+    EXPECT_FALSE(a.empty());
+    for (std::size_t i = 0; i < a.events().size(); ++i) {
+        EXPECT_EQ(a.events()[i].kind, b.events()[i].kind);
+        EXPECT_EQ(a.events()[i].target, b.events()[i].target);
+        EXPECT_EQ(a.events()[i].start, b.events()[i].start);
+        EXPECT_EQ(a.events()[i].duration, b.events()[i].duration);
+        EXPECT_EQ(a.events()[i].magnitude, b.events()[i].magnitude);
+    }
+    EXPECT_EQ(a.seed(), b.seed());
+}
+
+TEST(FaultScenario, RandomScenarioRespectsRateAndTargets)
+{
+    RandomScenarioSpec spec;
+    spec.faultsPerSecond = 0.0;
+    spec.sensors = 4;
+    spec.vrs = 4;
+    spec.domains = 1;
+    EXPECT_TRUE(randomScenario(3, spec).empty());
+
+    spec.faultsPerSecond = 5000.0;
+    spec.vrs = 0;       // no regulator population:
+    spec.domains = 0;   // every draw must fall back to sensor faults
+    auto s = randomScenario(5, spec);
+    ASSERT_FALSE(s.empty());
+    for (const auto &e : s.events()) {
+        EXPECT_TRUE(isSensorFault(e.kind)) << faultKindName(e.kind);
+        EXPECT_GE(e.target, 0);
+        EXPECT_LT(e.target, spec.sensors);
+        EXPECT_GE(e.start, 0.0);
+        EXPECT_LT(e.start, spec.horizon);
+    }
+}
+
+// ---------------------------------------------------------------------
+// FaultInjector
+
+TEST(FaultInjector, ActivationTracksTheScheduleWindows)
+{
+    FaultScenario s;
+    s.add(event(FaultKind::VrStuckOff, 2, 1e-3, 1e-3));
+    FaultInjector inj(s, {0, 0, 0, 0}, 4, 9);
+
+    inj.advanceTo(0.0);
+    EXPECT_FALSE(inj.anyActive());
+    EXPECT_FALSE(inj.anyVrFault());
+    EXPECT_FALSE(inj.vrFailed(2));
+
+    inj.advanceTo(1e-3);
+    EXPECT_TRUE(inj.anyActive());
+    EXPECT_TRUE(inj.anyVrFault());
+    EXPECT_TRUE(inj.vrFailed(2));
+    EXPECT_FALSE(inj.vrFailed(1));
+
+    inj.advanceTo(2.1e-3);  // past the window: fault clears
+    EXPECT_FALSE(inj.anyActive());
+    EXPECT_FALSE(inj.vrFailed(2));
+
+    EXPECT_EQ(inj.vrCount(), 4);
+    EXPECT_EQ(inj.sensorCount(), 4);
+    EXPECT_EQ(inj.domainCount(), 1);
+}
+
+TEST(FaultInjectorDeath, TimeMustBeMonotonic)
+{
+    FaultScenario s;
+    FaultInjector inj(s, {0}, 1, 1);
+    inj.advanceTo(1e-3);
+    EXPECT_DEATH(inj.advanceTo(0.5e-3), "monotonic");
+}
+
+TEST(FaultInjectorDeath, TargetsOutsideThePopulationRejected)
+{
+    FaultScenario bad_sensor;
+    bad_sensor.add(event(FaultKind::SensorFrozen, 7, 0.0));
+    EXPECT_DEATH(FaultInjector(bad_sensor, {0, 0}, 2, 1),
+                 "sensor fault target");
+
+    FaultScenario bad_vr;
+    bad_vr.add(event(FaultKind::VrStuckOn, 2, 0.0));
+    EXPECT_DEATH(FaultInjector(bad_vr, {0, 0}, 2, 1),
+                 "VR fault target");
+
+    FaultScenario bad_domain;
+    bad_domain.add(event(FaultKind::AlertMissed, 5, 0.0, kForever, 1.0));
+    EXPECT_DEATH(FaultInjector(bad_domain, {0, 0}, 2, 1),
+                 "alert fault target");
+}
+
+TEST(FaultInjector, StuckOffWinsOverStuckOnAndDerate)
+{
+    FaultScenario s;
+    s.add(event(FaultKind::VrStuckOn, 1, 0.0))
+        .add(event(FaultKind::VrDerated, 1, 0.0, kForever, 2.0))
+        .add(event(FaultKind::VrStuckOff, 1, 0.0));
+    FaultInjector inj(s, {0, 0, 0}, 3, 1);
+    inj.advanceTo(0.0);
+    EXPECT_TRUE(inj.vrFailed(1));
+    EXPECT_FALSE(inj.vrStuckOn(1));
+    EXPECT_EQ(inj.vrLossMultiplier(1), 1.0);
+}
+
+TEST(FaultInjector, OverlappingDeratesCombineByMax)
+{
+    FaultScenario s;
+    s.add(event(FaultKind::VrDerated, 0, 0.0, kForever, 1.5))
+        .add(event(FaultKind::VrDerated, 0, 0.0, kForever, 2.5));
+    FaultInjector inj(s, {0, 0}, 2, 1);
+    inj.advanceTo(0.0);
+    EXPECT_EQ(inj.vrLossMultiplier(0), 2.5);
+    EXPECT_EQ(inj.vrLossMultiplier(1), 1.0);
+}
+
+TEST(FaultInjector, LastSurvivorRuleKeepsOneVrPerDomain)
+{
+    // Kill every VR of domain 0; leave domain 1 healthy. The
+    // lowest-indexed VR of the dark domain must be revived.
+    FaultScenario s;
+    s.add(event(FaultKind::VrStuckOff, 0, 0.0))
+        .add(event(FaultKind::VrStuckOff, 1, 0.0))
+        .add(event(FaultKind::VrStuckOff, 2, 0.0));
+    FaultInjector inj(s, {0, 0, 0, 1, 1}, 5, 1);
+    inj.advanceTo(0.0);
+    EXPECT_FALSE(inj.vrFailed(0));  // revived
+    EXPECT_TRUE(inj.vrFailed(1));
+    EXPECT_TRUE(inj.vrFailed(2));
+    EXPECT_FALSE(inj.vrFailed(3));
+    EXPECT_FALSE(inj.vrFailed(4));
+}
+
+TEST(FaultInjector, StuckAtDriftAndDropoutCorruptions)
+{
+    FaultScenario s;
+    s.add(event(FaultKind::SensorStuckAt, 0, 0.0, kForever, 95.0))
+        .add(event(FaultKind::SensorDrift, 1, 1e-3, kForever, 4e3))
+        .add(event(FaultKind::SensorDropout, 2, 0.0));
+    FaultInjector inj(s, {0, 0, 0, 0}, 4, 1);
+
+    inj.advanceTo(2e-3);
+    std::vector<Celsius> r = {60.0, 61.0, 62.0, 63.0};
+    inj.corruptSensors(2e-3, 0, r);
+    EXPECT_EQ(r[0], 95.0);
+    // Drift: 4000 degC/s over the 1 ms since onset = +4 degC.
+    EXPECT_NEAR(r[1], 61.0 + 4.0, 1e-9);
+    EXPECT_TRUE(std::isnan(r[2]));
+    EXPECT_EQ(r[3], 63.0);  // untargeted sensor untouched
+}
+
+TEST(FaultInjector, FrozenLatchesFirstReadingAndReArms)
+{
+    FaultScenario s;
+    s.add(event(FaultKind::SensorFrozen, 0, 1e-3, 1e-3));
+    FaultInjector inj(s, {0}, 1, 1);
+
+    inj.advanceTo(1e-3);
+    std::vector<Celsius> r = {55.0};
+    inj.corruptSensors(1e-3, 0, r);
+    EXPECT_EQ(r[0], 55.0);  // first corrupted read latches itself
+
+    r[0] = 70.0;
+    inj.corruptSensors(1.5e-3, 1, r);
+    EXPECT_EQ(r[0], 55.0);  // truth moved; the reading did not
+
+    // Past the window the latch re-arms; a later window of the same
+    // event would latch the then-current value afresh.
+    inj.advanceTo(3e-3);
+    r[0] = 80.0;
+    inj.corruptSensors(3e-3, 2, r);
+    EXPECT_EQ(r[0], 80.0);
+}
+
+TEST(FaultInjector, NoisyCorruptionIsDeterministicPerEpoch)
+{
+    FaultScenario s;
+    s.add(event(FaultKind::SensorNoisy, 0, 0.0, kForever, 3.0));
+
+    FaultInjector a(s, {0}, 1, 42);
+    FaultInjector b(s, {0}, 1, 42);
+    a.advanceTo(0.0);
+    b.advanceTo(0.0);
+
+    std::vector<Celsius> ra = {60.0}, rb = {60.0};
+    a.corruptSensors(0.0, 5, ra);
+    b.corruptSensors(0.0, 5, rb);
+    EXPECT_EQ(ra[0], rb[0]);  // bit-identical across injectors
+    EXPECT_NE(ra[0], 60.0);   // and genuinely perturbed
+
+    // A different epoch draws from a different stream.
+    std::vector<Celsius> r2 = {60.0};
+    a.corruptSensors(0.0, 6, r2);
+    EXPECT_NE(r2[0], ra[0]);
+
+    // A different run seed forks the whole stream family.
+    FaultInjector c(s, {0}, 1, 43);
+    c.advanceTo(0.0);
+    std::vector<Celsius> rc = {60.0};
+    c.corruptSensors(0.0, 5, rc);
+    EXPECT_NE(rc[0], ra[0]);
+}
+
+TEST(FaultInjector, AlertFaultsSuppressAndInjectPerDomain)
+{
+    FaultScenario s;
+    // magnitude <= 0 means probability 1 (every alert affected).
+    s.add(event(FaultKind::AlertMissed, 0, 0.0, kForever, 0.0))
+        .add(event(FaultKind::AlertSpurious, 1, 0.0, kForever, 1.0));
+    FaultInjector inj(s, {0, 1}, 2, 1);
+    inj.advanceTo(0.0);
+
+    long suppressed = 0, injected = 0;
+    EXPECT_FALSE(inj.perturbAlert(0, 0, true, &suppressed, &injected));
+    EXPECT_EQ(suppressed, 1);
+    EXPECT_FALSE(inj.perturbAlert(0, 1, false, &suppressed, &injected));
+    EXPECT_EQ(suppressed, 1);  // nothing to suppress
+
+    EXPECT_TRUE(inj.perturbAlert(1, 0, false, &suppressed, &injected));
+    EXPECT_EQ(injected, 1);
+    EXPECT_TRUE(inj.perturbAlert(1, 1, true, &suppressed, &injected));
+    EXPECT_EQ(injected, 1);  // already alerting: nothing to inject
+
+    // The faults are per-domain: domain 1 alerts pass unsuppressed.
+    EXPECT_TRUE(inj.perturbAlert(1, 2, true, nullptr, nullptr));
+
+    // Before the injector advances into the window nothing fires.
+    FaultScenario late;
+    late.add(event(FaultKind::AlertMissed, 0, 1e-3, kForever, 1.0));
+    FaultInjector linj(late, {0}, 1, 1);
+    linj.advanceTo(0.0);
+    EXPECT_TRUE(linj.perturbAlert(0, 0, true, nullptr, nullptr));
+}
+
+TEST(FaultInjector, ProbabilisticAlertFaultIsDeterministic)
+{
+    FaultScenario s;
+    s.add(event(FaultKind::AlertMissed, 0, 0.0, kForever, 0.5));
+    FaultInjector a(s, {0}, 1, 7);
+    FaultInjector b(s, {0}, 1, 7);
+    a.advanceTo(0.0);
+    b.advanceTo(0.0);
+
+    int suppressed = 0;
+    for (long d = 0; d < 200; ++d) {
+        bool ra = a.perturbAlert(0, d, true, nullptr, nullptr);
+        bool rb = b.perturbAlert(0, d, true, nullptr, nullptr);
+        EXPECT_EQ(ra, rb);
+        if (!ra)
+            ++suppressed;
+    }
+    // p = 0.5 over 200 decisions: loose 4-sigma band.
+    EXPECT_GT(suppressed, 60);
+    EXPECT_LT(suppressed, 140);
+}
+
+TEST(FaultInjector, SensorFaultOnsetTracksEarliestActiveEvent)
+{
+    FaultScenario s;
+    s.add(event(FaultKind::SensorDrift, 0, 2e-3, kForever, 1e3))
+        .add(event(FaultKind::SensorStuckAt, 0, 1e-3, 0.5e-3, 90.0));
+    FaultInjector inj(s, {0}, 1, 1);
+
+    inj.advanceTo(0.0);
+    EXPECT_LT(inj.sensorFaultOnset(0), 0.0);  // nothing active yet
+
+    inj.advanceTo(1.2e-3);  // only the stuck-at window
+    EXPECT_EQ(inj.sensorFaultOnset(0), 1e-3);
+
+    inj.advanceTo(2.5e-3);  // stuck-at lapsed, drift active
+    EXPECT_EQ(inj.sensorFaultOnset(0), 2e-3);
+}
+
+} // namespace
+} // namespace fault
+
+// ---------------------------------------------------------------------
+// SensorHealthMonitor
+
+namespace sensors {
+namespace {
+
+/** Four sensors on a 1 mm pitch line: neighbour of i is i +- 1. */
+std::vector<std::pair<double, double>>
+linePositions(int n = 4)
+{
+    std::vector<std::pair<double, double>> pos;
+    for (int i = 0; i < n; ++i)
+        pos.emplace_back(static_cast<double>(i), 0.0);
+    return pos;
+}
+
+TEST(SensorHealth, HealthyReadingsPassThroughUntouched)
+{
+    SensorHealthMonitor mon(linePositions());
+    for (int e = 0; e < 5; ++e) {
+        std::vector<Celsius> r = {60.0 + e, 61.0 + e, 62.0 + e,
+                                  63.0 + e};
+        auto expect = r;
+        mon.filter(e * 1e-3, r);
+        EXPECT_EQ(r, expect);
+    }
+    EXPECT_EQ(mon.quarantinedCount(), 0);
+    EXPECT_EQ(mon.quarantineEvents(), 0);
+}
+
+TEST(SensorHealth, OutOfRangeReadingQuarantinedAndSubstituted)
+{
+    SensorHealthMonitor mon(linePositions());
+    std::vector<Celsius> r = {60.0, 61.0, 62.0, 63.0};
+    mon.filter(0.0, r);
+
+    r = {60.0, 61.0, 200.0, 63.0};  // far outside [0, 150]
+    mon.filter(1e-3, r);
+    EXPECT_TRUE(mon.quarantined(2));
+    EXPECT_EQ(mon.quarantinedCount(), 1);
+    EXPECT_EQ(mon.quarantineEvents(), 1);
+    // Substitute: the nearest healthy neighbour's accepted reading.
+    EXPECT_GE(r[2], 61.0);
+    EXPECT_LE(r[2], 63.0);
+}
+
+TEST(SensorHealth, NonFiniteReadingQuarantined)
+{
+    SensorHealthMonitor mon(linePositions());
+    std::vector<Celsius> r = {60.0, 61.0, 62.0, 63.0};
+    mon.filter(0.0, r);
+    r = {60.0, std::numeric_limits<double>::quiet_NaN(), 62.0, 63.0};
+    mon.filter(1e-3, r);
+    EXPECT_TRUE(mon.quarantined(1));
+    EXPECT_TRUE(std::isfinite(r[1]));
+}
+
+TEST(SensorHealth, ImplausibleJumpQuarantined)
+{
+    SensorHealthMonitor mon(linePositions());
+    std::vector<Celsius> r = {60.0, 61.0, 62.0, 63.0};
+    mon.filter(0.0, r);
+    // 30 degC in one decision interval: beyond the 25 degC rate bound
+    // (but inside the plausible absolute range).
+    r = {90.0, 61.0, 62.0, 63.0};
+    mon.filter(1e-3, r);
+    EXPECT_TRUE(mon.quarantined(0));
+    EXPECT_EQ(r[0], 61.0);  // nearest healthy neighbour's value
+}
+
+TEST(SensorHealth, FrozenSensorQuarantinedOnlyWhenFieldMoves)
+{
+    // Sensor 0 freezes at 60 while the rest of the field heats 2 degC
+    // per epoch: after freezeReads unchanged reads AND >1 degC of
+    // neighbour movement the freeze check must fire.
+    SensorHealthMonitor mon(linePositions());
+    std::vector<Celsius> r = {60.0, 60.0, 60.0, 60.0};
+    mon.filter(0.0, r);
+
+    int caught_at = -1;
+    for (int e = 1; e <= 6 && caught_at < 0; ++e) {
+        Celsius hot = 60.0 + 2.0 * e;
+        r = {60.0, hot, hot, hot};
+        mon.filter(e * 1e-3, r);
+        if (mon.quarantined(0))
+            caught_at = e;
+    }
+    ASSERT_GT(caught_at, 0) << "freeze never caught";
+    EXPECT_LE(caught_at, mon.params().freezeReads + 1);
+    EXPECT_GE(mon.quarantineEvents(), 1);
+
+    // A genuinely steady field keeps every (equally static) sensor.
+    SensorHealthMonitor steady(linePositions());
+    for (int e = 0; e < 10; ++e) {
+        std::vector<Celsius> flat = {55.0, 55.0, 55.0, 55.0};
+        steady.filter(e * 1e-3, flat);
+    }
+    EXPECT_EQ(steady.quarantinedCount(), 0);
+}
+
+TEST(SensorHealth, ReadmissionAfterSustainedAgreement)
+{
+    SensorHealthMonitor mon(linePositions());
+    std::vector<Celsius> r = {60.0, 61.0, 62.0, 63.0};
+    mon.filter(0.0, r);
+
+    r = {60.0, 61.0, 200.0, 63.0};
+    mon.filter(1e-3, r);
+    ASSERT_TRUE(mon.quarantined(2));
+
+    // The raw stream recovers and re-agrees with the neighbourhood;
+    // after readmitReads in-band reads the sensor is released and its
+    // raw reading passes through again.
+    int probation = mon.params().readmitReads;
+    for (int k = 1; k <= probation; ++k) {
+        r = {60.0, 61.0, 61.5, 63.0};
+        mon.filter((1 + k) * 1e-3, r);
+        if (k < probation) {
+            EXPECT_TRUE(mon.quarantined(2)) << "epoch " << k;
+            EXPECT_NE(r[2], 61.5);  // still substituted
+        }
+    }
+    EXPECT_FALSE(mon.quarantined(2));
+    EXPECT_EQ(r[2], 61.5);
+    EXPECT_EQ(mon.quarantineEvents(), 1);
+
+    // A relapse counts as a fresh quarantine event.
+    r = {60.0, 61.0, 200.0, 63.0};
+    mon.filter(10e-3, r);
+    EXPECT_TRUE(mon.quarantined(2));
+    EXPECT_EQ(mon.quarantineEvents(), 2);
+}
+
+TEST(SensorHealthDeath, InvalidConfigurationsRejected)
+{
+    EXPECT_DEATH(SensorHealthMonitor({}, {}), "needs sensors");
+    HealthParams bad;
+    bad.maxPlausible = bad.minPlausible;
+    EXPECT_DEATH(SensorHealthMonitor(linePositions(), bad),
+                 "plausible temperature range");
+}
+
+} // namespace
+} // namespace sensors
+
+// ---------------------------------------------------------------------
+// Governor degraded path
+
+namespace core {
+namespace {
+
+/** Domain 0 of the evaluation chip, as in test_policies.cc. */
+class DegradedGovernorTest : public ::testing::Test
+{
+  protected:
+    DegradedGovernorTest()
+        : chip(floorplan::buildPower8Chip()),
+          pdn(chip, 0, vreg::fivrDesign(), {}),
+          net(vreg::fivrDesign(), 9), thetas(9, 28.0)
+    {
+        kit.pdn = &pdn;
+        kit.network = &net;
+        kit.thetas = &thetas;
+
+        state.domain = 0;
+        state.demandNow = 7.0;
+        state.demandNext = 7.0;
+        state.vrTemps = {60, 61, 60.5, 63, 64, 63.5, 65, 66, 65.5};
+        state.vrLossNow.assign(9, 0.0);
+        state.vrLossNextPerActive = 0.19;
+        state.nodeCurrents.assign(
+            static_cast<std::size_t>(pdn.nodeCount()), 0.1);
+        state.didt = 0.4;
+    }
+
+    bool
+    contains(const std::vector<int> &set, int vr) const
+    {
+        return std::find(set.begin(), set.end(), vr) != set.end();
+    }
+
+    floorplan::Chip chip;
+    pdn::DomainPdn pdn;
+    vreg::RegulatorNetwork net;
+    std::vector<double> thetas;
+    PolicyToolkit kit;
+    DomainState state;
+};
+
+TEST_F(DegradedGovernorTest, AllZeroMasksMatchTheHealthyDecision)
+{
+    Governor healthy(PolicyKind::Naive, 1);
+    Governor masked(PolicyKind::Naive, 1);
+
+    auto a = healthy.decide(state, kit, false);
+    state.vrUnavailable.assign(9, 0);
+    state.vrForcedOn.assign(9, 0);
+    auto b = masked.decide(state, kit, false);
+
+    std::sort(a.active.begin(), a.active.end());
+    EXPECT_EQ(a.active, b.active);  // degraded path pre-sorts
+    EXPECT_EQ(a.non, b.non);
+    // All-zero masks are not a degraded condition.
+    EXPECT_EQ(masked.degradedDecisionCount(), 0);
+    EXPECT_EQ(masked.floorEngagementCount(), 0);
+    EXPECT_EQ(masked.underSuppliedCount(), 0);
+}
+
+TEST_F(DegradedGovernorTest, FailedVrsNeverSelected)
+{
+    Governor gov(PolicyKind::Naive, 1);
+    // Fail the two coolest VRs -- exactly the ones Naive prefers.
+    state.vrUnavailable.assign(9, 0);
+    state.vrUnavailable[0] = 1;
+    state.vrUnavailable[2] = 1;
+
+    auto d = gov.decide(state, kit, false);
+    EXPECT_FALSE(contains(d.active, 0));
+    EXPECT_FALSE(contains(d.active, 2));
+    EXPECT_EQ(static_cast<int>(d.active.size()), d.non);
+    EXPECT_GE(d.non, net.minFeasibleActive(7.0));
+    EXPECT_EQ(gov.degradedDecisionCount(), 1);
+    EXPECT_EQ(gov.underSuppliedCount(), 0);
+}
+
+TEST_F(DegradedGovernorTest, StuckOnVrIsAlwaysInTheActiveSet)
+{
+    Governor gov(PolicyKind::Naive, 1);
+    // Force the hottest VR on: Naive would never choose it.
+    state.vrForcedOn.assign(9, 0);
+    state.vrForcedOn[7] = 1;
+
+    auto d = gov.decide(state, kit, false);
+    EXPECT_TRUE(contains(d.active, 7));
+    EXPECT_EQ(static_cast<int>(d.active.size()), d.non);
+    // The forced VR displaces one policy pick, not adds to the count.
+    Governor ref(PolicyKind::Naive, 1);
+    DomainState clean = state;
+    clean.vrForcedOn.clear();
+    EXPECT_EQ(d.non, ref.decide(clean, kit, false).non);
+    EXPECT_EQ(gov.degradedDecisionCount(), 1);
+}
+
+TEST_F(DegradedGovernorTest, FloorBindsOnAFallingForecast)
+{
+    // Present demand 10 A, forecast 2 A: healthy provisioning would
+    // follow the forecast, but a degraded domain must not ride a
+    // falling forecast below the present feasibility floor.
+    Governor gov(PolicyKind::Naive, 1);
+    state.demandNow = 10.0;
+    state.demandNext = 2.0;
+    state.vrUnavailable.assign(9, 0);
+    state.vrUnavailable[4] = 1;
+
+    int floor_need = net.minFeasibleActive(10.0);  // ceil(10/2) = 5
+    ASSERT_EQ(floor_need, 5);
+    int want = std::min(net.size(), net.requiredActive(2.0));
+    ASSERT_LT(want, floor_need);  // the floor genuinely binds
+
+    auto d = gov.decide(state, kit, false);
+    EXPECT_EQ(d.non, floor_need);
+    EXPECT_EQ(static_cast<int>(d.active.size()), floor_need);
+    EXPECT_FALSE(contains(d.active, 4));
+    EXPECT_EQ(gov.floorEngagementCount(), 1);
+    EXPECT_EQ(gov.underSuppliedCount(), 0);
+}
+
+TEST_F(DegradedGovernorTest, UnderSuppliedWhenSurvivorsBelowFloor)
+{
+    Governor gov(PolicyKind::Naive, 1);
+    state.demandNow = 10.0;
+    state.demandNext = 10.0;
+    // Only three survivors against a 5-VR floor.
+    state.vrUnavailable.assign(9, 1);
+    state.vrUnavailable[1] = 0;
+    state.vrUnavailable[5] = 0;
+    state.vrUnavailable[8] = 0;
+
+    auto d = gov.decide(state, kit, false);
+    EXPECT_EQ(gov.underSuppliedCount(), 1);
+    // Everything that still works is on.
+    std::vector<int> survivors = {1, 5, 8};
+    EXPECT_EQ(d.active, survivors);
+}
+
+TEST_F(DegradedGovernorTest, FullyDarkDomainYieldsEmptyDecision)
+{
+    // Unreachable through the injector (last-survivor rule) but legal
+    // for a hand-built state: the governor must not crash or select.
+    Governor gov(PolicyKind::Naive, 1);
+    state.vrUnavailable.assign(9, 1);
+    auto d = gov.decide(state, kit, false);
+    EXPECT_TRUE(d.active.empty());
+    EXPECT_EQ(d.non, 0);
+    EXPECT_EQ(gov.underSuppliedCount(), 1);
+    EXPECT_EQ(gov.degradedDecisionCount(), 1);
+}
+
+TEST_F(DegradedGovernorTest, AllOnExcludesFailedRegulators)
+{
+    Governor gov(PolicyKind::AllOn, 1);
+    state.vrUnavailable.assign(9, 0);
+    state.vrUnavailable[4] = 1;
+    auto d = gov.decide(state, kit, false);
+    EXPECT_EQ(d.active.size(), 8u);
+    EXPECT_FALSE(contains(d.active, 4));
+    EXPECT_FALSE(d.overridden);
+}
+
+TEST_F(DegradedGovernorTest, EmergencyOverrideUsesEverySurvivor)
+{
+    Governor gov(PolicyKind::PracVT, 1);
+    state.vrUnavailable.assign(9, 0);
+    state.vrUnavailable[1] = 1;
+    state.vrForcedOn.assign(9, 0);
+    state.vrForcedOn[5] = 1;
+
+    auto d = gov.decide(state, kit, true);
+    EXPECT_TRUE(d.overridden);
+    EXPECT_EQ(d.active.size(), 8u);
+    EXPECT_FALSE(contains(d.active, 1));
+    EXPECT_TRUE(contains(d.active, 5));
+    EXPECT_EQ(gov.overrideCount(), 1);
+    EXPECT_EQ(gov.degradedDecisionCount(), 1);
+}
+
+} // namespace
+} // namespace core
+} // namespace tg

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <vector>
+
 #include "sensors/emergency_predictor.hh"
 #include "sensors/thermal_sensor.hh"
 
@@ -86,6 +88,82 @@ TEST(ThermalSensor, BufferPruningKeepsServableSamples)
     auto r = bank.read(10000 * 10e-6);
     // Expected: the sample at t = 99.9 ms (delay 100 us earlier).
     EXPECT_NEAR(r[0], 40.0 + 9990 * 0.01, 0.25);
+}
+
+TEST(ThermalSensor, IrregularCadenceMatchesNaiveReference)
+{
+    // The recycling ring must serve exactly what a keep-everything
+    // implementation would, even when record() arrives in bursts and
+    // gaps that make the ring grow, wrap and prune unevenly.
+    SensorParams p = idealSensors();
+    p.quantization = 1e-9;  // effectively exact
+    ThermalSensorBank bank(1, p, 1);
+
+    struct Ref { Seconds t; Celsius v; };
+    std::vector<Ref> all;
+    auto naive_read = [&](Seconds now) {
+        Celsius chosen = all.front().v;
+        for (const auto &s : all)
+            if (s.t <= now - p.delay + 1e-12)
+                chosen = s.v;
+            else
+                break;
+        return chosen;
+    };
+
+    // Bursty cadence: clusters of closely spaced samples separated by
+    // long silences (multiples of the 100 us staleness horizon).
+    Seconds t = 0.0;
+    int i = 0;
+    auto push = [&](Seconds dt) {
+        t += dt;
+        Celsius v = 40.0 + i++;
+        bank.record(t, {v});
+        all.push_back({t, v});
+    };
+    for (int burst = 0; burst < 8; ++burst) {
+        for (int k = 0; k < 5; ++k)
+            push(3e-6);
+        push(burst % 2 == 0 ? 250e-6 : 90e-6);
+        // Read inside the stream, between bursts and far ahead.
+        for (Seconds probe : {t, t + 50e-6, t + 400e-6})
+            EXPECT_NEAR(bank.read(probe)[0], naive_read(probe), 1e-6)
+                << "probe at " << probe;
+    }
+}
+
+TEST(ThermalSensor, ResetMidStreamStartsAFreshHistory)
+{
+    ThermalSensorBank bank(2, idealSensors(), 1);
+    for (int i = 0; i < 50; ++i)
+        bank.record(i * 20e-6, {50.0 + i, 60.0 + i});
+    ASSERT_GT(bank.read(1e-3)[0], 50.0);
+
+    bank.reset();
+    // Post-reset the clock may restart: earlier timestamps are legal
+    // again and none of the pre-reset samples may leak through.
+    bank.record(0.0, {20.0, 21.0});
+    auto r = bank.read(0.0);  // startup transient: oldest (only) one
+    EXPECT_NEAR(r[0], 20.0, 1e-9);
+    EXPECT_NEAR(r[1], 21.0, 1e-9);
+    bank.record(100e-6, {25.0, 26.0});
+    r = bank.read(200e-6);
+    EXPECT_NEAR(r[0], 25.0, 1e-9);
+}
+
+TEST(ThermalSensor, StartupTransientServesOldestAmongYoungSamples)
+{
+    // Several samples, all younger than the delay: the oldest is the
+    // closest thing to a sufficiently stale reading and must win.
+    ThermalSensorBank bank(1, idealSensors(), 1);
+    bank.record(0.0, {30.0});
+    bank.record(10e-6, {31.0});
+    bank.record(20e-6, {32.0});
+    EXPECT_NEAR(bank.read(25e-6)[0], 30.0, 1e-9);
+    // The moment the oldest crosses the horizon it is still the pick.
+    EXPECT_NEAR(bank.read(100e-6)[0], 30.0, 1e-9);
+    // And one step later the 10 us sample takes over.
+    EXPECT_NEAR(bank.read(110e-6)[0], 31.0, 1e-9);
 }
 
 TEST(ThermalSensorDeath, OutOfOrderRecordPanics)
