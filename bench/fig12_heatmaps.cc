@@ -12,6 +12,11 @@
 #include <cstdio>
 
 #include "bench_common.hh"
+#include "pdn/global_grid.hh"
+#include "power/model.hh"
+#include "uarch/core_model.hh"
+#include "vreg/design.hh"
+#include "vreg/network.hh"
 
 using namespace tg;
 
@@ -39,6 +44,84 @@ renderMap(const sim::RunResult &r, double lo, double hi)
         std::printf("\n");
     }
     std::printf("\n");
+}
+
+/**
+ * Companion panel: input-side (global grid) IR-drop maps for the
+ * all-on and gated regulator configurations at a representative chol
+ * frame. Both node-voltage columns come out of ONE multi-RHS
+ * GlobalGrid::solveBatch() pass over the shared factorization.
+ */
+void
+renderInputSideDroop(const floorplan::Chip &chip)
+{
+    pdn::GlobalGrid grid(chip);
+    power::PowerModel pm(chip);
+    auto design = vreg::fivrDesign();
+
+    const auto &profile = workload::profileByName("chol");
+    auto trace = uarch::buildActivityTrace(chip, profile, 3);
+    auto bp = pm.dynamicFrame(trace.frames[trace.frames.size() / 2]);
+    for (std::size_t b = 0; b < bp.size(); ++b)
+        bp[b] += pm.leakage(static_cast<int>(b), 65.0);
+
+    std::vector<Watts> vr_in_all(chip.plan.vrs().size(), 0.0);
+    std::vector<Watts> vr_in_gated(chip.plan.vrs().size(), 0.0);
+    for (const auto &dom : chip.plan.domains()) {
+        vreg::RegulatorNetwork net(design,
+                                   static_cast<int>(dom.vrs.size()));
+        net.setVout(chip.params.vdd);
+        Amperes demand = pm.domainCurrent(bp, dom.id);
+        auto all_on =
+            net.evaluate(demand, static_cast<int>(dom.vrs.size()));
+        auto gated = net.evaluateGated(demand);
+        double p_out = demand * chip.params.vdd;
+        for (std::size_t l = 0; l < dom.vrs.size(); ++l)
+            vr_in_all[static_cast<std::size_t>(dom.vrs[l])] =
+                (p_out + all_on.plossTotal) /
+                static_cast<double>(dom.vrs.size());
+        for (int l = 0; l < gated.active; ++l)
+            vr_in_gated[static_cast<std::size_t>(
+                dom.vrs[static_cast<std::size_t>(l)])] =
+                (p_out + gated.plossTotal) / gated.active;
+    }
+
+    std::vector<std::vector<Amperes>> maps = {
+        grid.nodeCurrents(bp, vr_in_all),
+        grid.nodeCurrents(bp, vr_in_gated)};
+    std::vector<pdn::GlobalDroop> droops;
+    Matrix volts;
+    grid.solveBatch(maps, droops, &volts);
+
+    double vin = grid.params().vin;
+    double worst =
+        std::max(droops[0].maxDroopFrac, droops[1].maxDroopFrac);
+    std::printf("input-side (C4/global grid) IR drop, chol mid-run "
+                "frame; scale 0 .. %.2f%% of Vin\n\n",
+                worst * 100.0);
+    static const char shades[] = " .:-=+*#%@";
+    const char *label[] = {"all-on", "gated"};
+    for (std::size_t j = 0; j < maps.size(); ++j) {
+        std::printf("%s: max %.3f%%  mean %.3f%%\n", label[j],
+                    droops[j].maxDroopFrac * 100.0,
+                    droops[j].meanDroopFrac * 100.0);
+        for (int row = grid.gridHeight() - 1; row >= 0; --row) {
+            std::printf("  ");
+            for (int col = 0; col < grid.gridWidth(); ++col) {
+                std::size_t n = static_cast<std::size_t>(
+                    row * grid.gridWidth() + col);
+                double droop = (vin - volts(n, j)) / vin;
+                int idx = worst > 0.0
+                              ? static_cast<int>(std::floor(
+                                    droop / worst * 9.999))
+                              : 0;
+                idx = std::clamp(idx, 0, 9);
+                std::printf("%c", shades[idx]);
+            }
+            std::printf("\n");
+        }
+        std::printf("\n");
+    }
 }
 
 } // namespace
@@ -77,6 +160,8 @@ main()
 
     std::printf("paper anchors: off-chip ~66, all-on ~73 (LSU/EXU "
                 "hotspots), OracT ~71.2 (hotspots removed), OracV "
-                ">90 degC\n");
+                ">90 degC\n\n");
+
+    renderInputSideDroop(bench::evaluationChip());
     return 0;
 }

@@ -22,10 +22,18 @@
  * 128-bit baselines. The nested-struct form keeps every half in a
  * register. Non-power-of-two widths (and other compilers) fall back
  * to a plain array with fixed trip-count loops — identical results
- * by construction. No intrinsics and no std::fma in either path; on
- * targets where the compiler contracts a*b+c into fused
- * multiply-adds it does so for the scalar path too (same expression
- * shapes), keeping the two paths aligned.
+ * by construction.
+ *
+ * When the target has 256-bit registers (`__AVX__`, e.g. a
+ * -DTG_ARCH=x86-64-v3 build) the four-lane base case is a single
+ * `vector_size(32)` vector instead of two 16-byte halves, so width-4
+ * batches occupy one YMM register and width-8 batches two. The lane
+ * values are unchanged — only the register carve-up differs — and
+ * bit-identity with the portable build is preserved because the
+ * whole project compiles with -ffp-contract=off: no a*b+c is ever
+ * contracted into an FMA, on either tier, in either the batched or
+ * the scalar path. No intrinsics and no std::fma anywhere; every
+ * lane executes the exact scalar op sequence.
  */
 
 #ifndef TG_COMMON_SIMD_HH
@@ -68,6 +76,8 @@ struct LaneStore
     double v[W];
 
     double get(int l) const { return v[l]; }
+    void loadFrom(const double *p) { std::memcpy(v, p, sizeof v); }
+    void storeTo(double *p) const { std::memcpy(p, v, sizeof v); }
     void fill(double s)
     {
         for (int l = 0; l < W; ++l)
@@ -117,9 +127,27 @@ template <>
 struct LaneStore<2, true>
 {
     typedef double Vec2 __attribute__((vector_size(16)));
+    /**
+     * Unaligned-view twin of Vec2 for memory traffic: element
+     * alignment only, plus may_alias so dereferencing a cast
+     * double* is sanctioned under TBAA. A plain memcpy here baits
+     * GCC into staging wide batches through 16-byte stack copies
+     * (a store-forwarding stall per matrix entry on AVX builds);
+     * the unaligned vector type compiles to one movupd/vmovupd.
+     */
+    typedef double Vec2U
+        __attribute__((vector_size(16), aligned(8), may_alias));
     Vec2 v;
 
     double get(int l) const { return v[l]; }
+    void loadFrom(const double *p)
+    {
+        v = *reinterpret_cast<const Vec2U *>(p);
+    }
+    void storeTo(double *p) const
+    {
+        *reinterpret_cast<Vec2U *>(p) = v;
+    }
     void fill(double s)
     {
         v[0] = s;
@@ -138,6 +166,56 @@ struct LaneStore<2, true>
     }
 };
 
+#if defined(__AVX__)
+
+/**
+ * Four lanes in one native 32-byte vector register. This full
+ * specialization outranks the recursive partial below, so on AVX
+ * targets the lo/hi recursion for W >= 8 bottoms out here instead
+ * of at the two-lane case: width 8 becomes two YMM registers.
+ * Exists only when the target really has 256-bit registers —
+ * on 128-bit baselines GCC would legalise it through stack slots.
+ */
+template <>
+struct LaneStore<4, true>
+{
+    typedef double Vec4 __attribute__((vector_size(32)));
+    /** Unaligned view for loads/stores — see LaneStore<2>::Vec2U. */
+    typedef double Vec4U
+        __attribute__((vector_size(32), aligned(8), may_alias));
+    Vec4 v;
+
+    double get(int l) const { return v[l]; }
+    void loadFrom(const double *p)
+    {
+        v = *reinterpret_cast<const Vec4U *>(p);
+    }
+    void storeTo(double *p) const
+    {
+        *reinterpret_cast<Vec4U *>(p) = v;
+    }
+    void fill(double s)
+    {
+        v[0] = s;
+        v[1] = s;
+        v[2] = s;
+        v[3] = s;
+    }
+    void add(const LaneStore &o) { v += o.v; }
+    void sub(const LaneStore &o) { v -= o.v; }
+    void mul(const LaneStore &o) { v *= o.v; }
+    void div(const LaneStore &o) { v /= o.v; }
+    void muls(double s) { v *= s; }
+    void divs(double s) { v /= s; }
+    /** std::max per lane: exactly (a < b ? b : a). */
+    void maxOf(const LaneStore &a, const LaneStore &b)
+    {
+        v = (a.v < b.v) ? b.v : a.v;
+    }
+};
+
+#endif // __AVX__
+
 /**
  * Wider powers of two recurse into named halves: `lo` holds lanes
  * [0, W/2), `hi` the rest, contiguous in memory. Named members —
@@ -154,6 +232,16 @@ struct LaneStore<W, true>
     double get(int l) const
     {
         return l < W / 2 ? lo.get(l) : hi.get(l - W / 2);
+    }
+    void loadFrom(const double *p)
+    {
+        lo.loadFrom(p);
+        hi.loadFrom(p + W / 2);
+    }
+    void storeTo(double *p) const
+    {
+        lo.storeTo(p);
+        hi.storeTo(p + W / 2);
     }
     void fill(double s)
     {
@@ -221,18 +309,18 @@ struct DoubleBatch
         return b;
     }
 
-    /** Load W contiguous doubles from `p`. */
+    /** Load W contiguous doubles from `p` (no alignment assumed). */
     static DoubleBatch load(const double *p)
     {
         DoubleBatch b;
-        std::memcpy(&b.s, p, W * sizeof(double));
+        b.s.loadFrom(p);
         return b;
     }
 
-    /** Store W contiguous doubles to `p`. */
+    /** Store W contiguous doubles to `p` (no alignment assumed). */
     void store(double *p) const
     {
-        std::memcpy(p, &s, W * sizeof(double));
+        s.storeTo(p);
     }
 
     /**

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
 #include "common/logging.hh"
 
@@ -113,11 +114,21 @@ std::vector<Amperes>
 GlobalGrid::nodeCurrents(const std::vector<Watts> &block_power,
                          const std::vector<Watts> &vr_input) const
 {
+    std::vector<Amperes> out;
+    nodeCurrentsInto(block_power, vr_input, out);
+    return out;
+}
+
+void
+GlobalGrid::nodeCurrentsInto(const std::vector<Watts> &block_power,
+                             const std::vector<Watts> &vr_input,
+                             std::vector<Amperes> &out) const
+{
     TG_ASSERT(block_power.size() == chipRef.plan.blocks().size(),
               "block power size mismatch");
     TG_ASSERT(vr_input.size() == vrNode.size(),
               "VR input size mismatch");
-    std::vector<Amperes> out(static_cast<std::size_t>(nNodes), 0.0);
+    out.assign(static_cast<std::size_t>(nNodes), 0.0);
     for (std::size_t v = 0; v < vrNode.size(); ++v)
         out[static_cast<std::size_t>(vrNode[v])] +=
             vr_input[v] / prm.vin;
@@ -125,7 +136,6 @@ GlobalGrid::nodeCurrents(const std::vector<Watts> &block_power,
         for (const auto &[node, w] : blockNodes[b])
             out[static_cast<std::size_t>(node)] +=
                 w * block_power[b] / prm.vin;
-    return out;
 }
 
 GlobalDroop
@@ -160,6 +170,59 @@ GlobalGrid::solve(const std::vector<Amperes> &node_currents) const
     if (res.totalCurrent > 0.0)
         res.meanDroopFrac = weighted / res.totalCurrent;
     return res;
+}
+
+void
+GlobalGrid::solveBatch(const std::vector<std::vector<Amperes>> &maps,
+                       std::vector<GlobalDroop> &out,
+                       Matrix *voltages) const
+{
+    out.assign(maps.size(), {});
+    if (maps.empty()) {
+        if (voltages)
+            *voltages = Matrix();
+        return;
+    }
+
+    // Same node equation as solve(), one column per map: the
+    // factorization is traversed once for the whole block instead of
+    // once per map.
+    std::size_t k = maps.size();
+    Matrix rhs(static_cast<std::size_t>(nNodes), k);
+    for (std::size_t j = 0; j < k; ++j) {
+        TG_ASSERT(static_cast<int>(maps[j].size()) == nNodes,
+                  "node current size mismatch");
+        for (int n = 0; n < nNodes; ++n)
+            rhs(static_cast<std::size_t>(n), j) =
+                -maps[j][static_cast<std::size_t>(n)];
+    }
+    for (int pad : padNodes)
+        for (std::size_t j = 0; j < k; ++j)
+            rhs(static_cast<std::size_t>(pad), j) +=
+                prm.vin / prm.padResistance;
+    lu->solveInPlace(rhs);
+
+    // Per-column droop reduction in the exact order of the scalar
+    // solve() loop, so batched results match it bit for bit.
+    for (std::size_t j = 0; j < k; ++j) {
+        GlobalDroop &res = out[j];
+        double weighted = 0.0;
+        for (int n = 0; n < nNodes; ++n) {
+            double droop =
+                (prm.vin - rhs(static_cast<std::size_t>(n), j)) /
+                prm.vin;
+            double i = maps[j][static_cast<std::size_t>(n)];
+            res.totalCurrent += i;
+            if (i > 0.0) {
+                res.maxDroopFrac = std::max(res.maxDroopFrac, droop);
+                weighted += droop * i;
+            }
+        }
+        if (res.totalCurrent > 0.0)
+            res.meanDroopFrac = weighted / res.totalCurrent;
+    }
+    if (voltages)
+        *voltages = std::move(rhs);
 }
 
 } // namespace pdn

@@ -63,6 +63,8 @@ class GlobalGrid
 
     int nodeCount() const { return nNodes; }
     int padCount() const { return static_cast<int>(padNodes.size()); }
+    int gridWidth() const { return gridW; }
+    int gridHeight() const { return gridH; }
     const GlobalGridParams &params() const { return prm; }
 
     /**
@@ -77,8 +79,35 @@ class GlobalGrid
     nodeCurrents(const std::vector<Watts> &block_power,
                  const std::vector<Watts> &vr_input) const;
 
+    /**
+     * nodeCurrents() without the allocation: writes the map into
+     * `out` (resized to nodeCount()), for callers assembling many
+     * maps into a solveBatch() block.
+     */
+    void nodeCurrentsInto(const std::vector<Watts> &block_power,
+                          const std::vector<Watts> &vr_input,
+                          std::vector<Amperes> &out) const;
+
     /** Steady droop of the global grid for the given currents. */
     GlobalDroop solve(const std::vector<Amperes> &node_currents) const;
+
+    /**
+     * Blocked droop evaluation: push every current map through ONE
+     * multi-RHS pass of the shared factorization instead of one
+     * envelope traversal per map. Column j of the block is
+     * bit-identical to solve(maps[j]) — SparseLdltSolver's multi-RHS
+     * path keeps columns independent, and the droop reduction here
+     * mirrors the scalar loop order exactly.
+     *
+     * @param maps      per-scenario node-current maps (each
+     *                  nodeCount() long)
+     * @param out       one GlobalDroop per map (resized to fit)
+     * @param voltages  optional: node voltages, nodeCount() rows x
+     *                  maps.size() columns (for heatmap rendering)
+     */
+    void solveBatch(const std::vector<std::vector<Amperes>> &maps,
+                    std::vector<GlobalDroop> &out,
+                    Matrix *voltages = nullptr) const;
 
   private:
     const floorplan::Chip &chipRef;

@@ -52,6 +52,17 @@ struct SimConfig
      */
     int noiseBatchWidth = 4;
 
+    /**
+     * Coalesce noise windows across consecutive epochs whose gating
+     * decision left the active set unchanged, draining only on a
+     * set change, an emergency-truth decision boundary, the batch
+     * width cap, or the end of the run. AllOn-style policies never
+     * change sets, so their windows always fill noiseBatchWidth
+     * lanes. Purely a throughput knob: results are bit-identical to
+     * the per-epoch drain (`false` restores it exactly).
+     */
+    bool coalesceNoiseEpochs = true;
+
     /** Epochs of the theta-profiling pass (Section 6.3). */
     int profilingEpochs = 24;
 

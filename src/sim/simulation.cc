@@ -385,6 +385,8 @@ Simulation::runMixed(
     // oversubscribing the machine.
     noiseScratch.resize(static_cast<std::size_t>(n_domains));
     noiseQueue.clear();
+    for (auto &sc : noiseScratch)
+        sc.solved = 0;
     if (!noisePool && n_samples > 0 && n_domains > 1 &&
         exec::ThreadPool::workerIndex() < 0) {
         int noise_jobs =
@@ -513,6 +515,114 @@ Simulation::runMixed(
             last_block_power[b] += fs.leak[b];
     }
 
+    // --- Noise queue flush/drain ----------------------------------------
+    // The queue of built-but-unsolved windows (one buffer per domain,
+    // indexed by the shared noiseQueue) drains in two stages.
+    // flush_domain(d) solves d's pending windows in lockstep chunks —
+    // called early when d's active set is about to change, so the
+    // solves still run under the factorisation the windows were
+    // scheduled against. drain_all() completes every domain's solves
+    // and reduces all results serially in global (sample, domain)
+    // order: the reduction executes the exact max/sum/compare
+    // sequence of the per-epoch path, so coalescing windows across
+    // epochs (cfg.coalesceNoiseEpochs) is bit-invisible. Lanes of a
+    // lockstep batch never interact, so chunk boundaries — which do
+    // shift when windows coalesce or flush early — are bit-irrelevant
+    // too.
+    const bool coalesce = cfg.coalesceNoiseEpochs;
+    const bool want_trace = opts.noiseTrace;
+    const std::size_t win_cycles =
+        static_cast<std::size_t>(cfg.noiseCyclesTotal);
+    const int width = noiseBatchWidth();
+
+    auto flush_domain = [&](int d) {
+        auto &sc = noiseScratch[static_cast<std::size_t>(d)];
+        const int k = static_cast<int>(noiseQueue.size());
+        if (static_cast<int>(sc.solved) >= k)
+            return;
+        const auto &pdn = *pdns[static_cast<std::size_t>(d)];
+        std::size_t n = static_cast<std::size_t>(pdn.nodeCount());
+        std::size_t win = win_cycles * n;
+        std::size_t uk = static_cast<std::size_t>(k);
+        if (sc.specs.size() < uk)
+            sc.specs.resize(uk);
+        if (sc.results.size() < uk)
+            sc.results.resize(uk);
+        for (int q = static_cast<int>(sc.solved); q < k; ++q)
+            sc.specs[static_cast<std::size_t>(q)] = {
+                sc.queue.data() + static_cast<std::size_t>(q) * win,
+                n};
+        for (int q0 = static_cast<int>(sc.solved); q0 < k;
+             q0 += width)
+            pdn.transientWindowBatch(
+                sc.specs.data() + q0, std::min(width, k - q0),
+                win_cycles, cfg.noiseWarmupCycles, want_trace,
+                sc.results.data() + q0);
+        sc.solved = uk;
+    };
+
+    auto drain_all = [&]() {
+        if (noiseQueue.empty())
+            return;
+        if (noisePool) {
+            exec::parallelForOn(
+                *noisePool, static_cast<std::size_t>(n_domains),
+                [&](int, std::size_t d) {
+                    flush_domain(static_cast<int>(d));
+                });
+        } else {
+            for (int d = 0; d < n_domains; ++d)
+                flush_domain(d);
+        }
+        const int k = static_cast<int>(noiseQueue.size());
+        for (int q = 0; q < k; ++q) {
+            int em_max = 0;
+            int analysed = 0;
+            for (int d = 0; d < n_domains; ++d) {
+                auto &w = noiseScratch[static_cast<std::size_t>(d)]
+                              .results[static_cast<std::size_t>(q)];
+                double max_noise = w.maxNoiseFrac;
+                if (core::hasEmergencyOverride(policy)) {
+                    // Even when the *predictive* path missed
+                    // (PracVT's 90% sensitivity), the runtime
+                    // emergency detector fires on the first
+                    // threshold crossing and snaps the domain to
+                    // all-on within the droop, capping the
+                    // excursion shortly past the threshold.
+                    double cap = cfg.pdnParams.emergencyFrac * 1.32;
+                    if (max_noise > cap)
+                        max_noise = cap;
+                }
+                res.maxNoiseFrac =
+                    std::max(res.maxNoiseFrac, max_noise);
+                em_max = std::max(em_max, w.emergencyCycles);
+                analysed = w.analysedCycles;
+                if (want_trace && max_noise > best_trace_noise) {
+                    best_trace_noise = max_noise;
+                    res.noiseTrace = std::move(w.trace);
+                    res.noiseTraceDomain = d;
+                    res.noiseTraceTimeUs =
+                        noiseQueue[static_cast<std::size_t>(q)]
+                            .timeUs;
+                }
+            }
+            emergency_cycles += em_max;
+            analysed_cycles += analysed;
+            if (injector) {
+                // Attributed to the epoch the sample was *scheduled*
+                // in (recorded at queue time), which is where the
+                // per-epoch path reduced it.
+                if (noiseQueue[static_cast<std::size_t>(q)].faulted)
+                    em_cycles_faulted += em_max;
+                else
+                    em_cycles_clean += em_max;
+            }
+        }
+        noiseQueue.clear();
+        for (auto &sc : noiseScratch)
+            sc.solved = 0;
+    };
+
     // =====================================================================
     // Main loop: one gating decision per epoch, thermal steps per
     // frame, noise windows at the scheduled sample frames.
@@ -536,6 +646,16 @@ Simulation::runMixed(
 
         // ---- Decisions ---------------------------------------------------
         if (!off_chip) {
+            // Emergency-truth epochs re-key the factorisation and
+            // reuse the queue buffers, so coalesced windows from
+            // earlier epochs must fully drain first (the flush rule's
+            // "decision boundary" case). Epochs the truth loop skips
+            // keep their queues pending.
+            if (coalesce && core::hasEmergencyOverride(policy) &&
+                !samples_of_epoch[static_cast<std::size_t>(e)]
+                     .empty())
+                drain_all();
+
             // Epoch provisioning power: the trace's blended mean/peak
             // row (oracular policies provision n_on for the epoch's
             // demand *excursions*, not just its mean) plus leakage at
@@ -667,8 +787,14 @@ Simulation::runMixed(
                          .empty()) {
                     // Determine the ground truth: would this
                     // selection suffer an emergency this epoch?
-                    if (decision.active != pdn.active())
+                    // (The decision-boundary drain above already
+                    // emptied the queue; the flush is a no-op kept
+                    // for the invariant that no setActive() ever
+                    // strands an unsolved window.)
+                    if (decision.active != pdn.active()) {
+                        flush_domain(d);
                         pdn.setActive(decision.active);
+                    }
                     bool truth = epochEmergencyTruth(
                         d, e,
                         samples_of_epoch[static_cast<std::size_t>(e)],
@@ -689,9 +815,14 @@ Simulation::runMixed(
 
                 active_sets[static_cast<std::size_t>(d)] =
                     decision.active;
-                // Unchanged selections keep the cached factorisation.
-                if (decision.active != pdn.active())
+                // Unchanged selections keep the cached factorisation
+                // AND any coalesced windows pending against it; a
+                // change solves this domain's pending windows under
+                // the outgoing set before re-keying.
+                if (decision.active != pdn.active()) {
+                    flush_domain(d);
                     pdn.setActive(decision.active);
+                }
                 governor.recordActivity(
                     d, decision.active,
                     static_cast<int>(dom.vrs.size()),
@@ -888,7 +1019,8 @@ Simulation::runMixed(
                         static_cast<int>(f))
                         continue;
                     std::size_t q = noiseQueue.size();
-                    noiseQueue.push_back({s, now * 1e6});
+                    noiseQueue.push_back({s, now * 1e6,
+                                          epoch_faulted});
                     // Synthesis is concurrent across domains; each
                     // worker touches only its own domain's scratch,
                     // and the RNG stream is a pure function of
@@ -918,97 +1050,29 @@ Simulation::runMixed(
                         for (int d = 0; d < n_domains; ++d)
                             build_domain(static_cast<std::size_t>(d));
                     }
+                    // Width cap: coalescing never queues more than
+                    // one full lockstep dispatch, bounding the
+                    // window buffers at width * windowSize per
+                    // domain (the per-epoch path's high-water mark
+                    // is the densest epoch instead).
+                    if (coalesce &&
+                        static_cast<int>(noiseQueue.size()) >= width)
+                        drain_all();
                 }
             }
         }
 
-        // ---- Batched drain of the epoch's noise windows ----------------
-        if (!off_chip && !noiseQueue.empty()) {
-            const bool want_trace = opts.noiseTrace;
-            const std::size_t cycles =
-                static_cast<std::size_t>(cfg.noiseCyclesTotal);
-            const int k = static_cast<int>(noiseQueue.size());
-            const int width = noiseBatchWidth();
-            // Solve every domain's queue concurrently, each queue in
-            // lockstep chunks of the configured width. Per-window
-            // results are bit-identical at every width and worker
-            // count, so the serial (sample, domain) reduction below
-            // reproduces the immediate-evaluation path exactly.
-            auto drain_domain = [&](std::size_t d) {
-                const auto &pdn = *pdns[d];
-                auto &sc = noiseScratch[d];
-                std::size_t n =
-                    static_cast<std::size_t>(pdn.nodeCount());
-                std::size_t win = cycles * n;
-                std::size_t uk = static_cast<std::size_t>(k);
-                if (sc.specs.size() < uk)
-                    sc.specs.resize(uk);
-                if (sc.results.size() < uk)
-                    sc.results.resize(uk);
-                for (int q = 0; q < k; ++q)
-                    sc.specs[static_cast<std::size_t>(q)] = {
-                        sc.queue.data() +
-                            static_cast<std::size_t>(q) * win,
-                        n};
-                for (int q0 = 0; q0 < k; q0 += width)
-                    pdn.transientWindowBatch(
-                        sc.specs.data() + q0, std::min(width, k - q0),
-                        cycles, cfg.noiseWarmupCycles, want_trace,
-                        sc.results.data() + q0);
-            };
-            if (noisePool) {
-                exec::parallelForOn(
-                    *noisePool, static_cast<std::size_t>(n_domains),
-                    [&](int, std::size_t d) { drain_domain(d); });
-            } else {
-                for (int d = 0; d < n_domains; ++d)
-                    drain_domain(static_cast<std::size_t>(d));
-            }
-
-            for (int q = 0; q < k; ++q) {
-                int em_max = 0;
-                int analysed = 0;
-                for (int d = 0; d < n_domains; ++d) {
-                    auto &w = noiseScratch[static_cast<std::size_t>(d)]
-                                  .results[static_cast<std::size_t>(q)];
-                    double max_noise = w.maxNoiseFrac;
-                    if (core::hasEmergencyOverride(policy)) {
-                        // Even when the *predictive* path missed
-                        // (PracVT's 90% sensitivity), the runtime
-                        // emergency detector fires on the first
-                        // threshold crossing and snaps the domain
-                        // to all-on within the droop, capping the
-                        // excursion shortly past the threshold.
-                        double cap =
-                            cfg.pdnParams.emergencyFrac * 1.32;
-                        if (max_noise > cap)
-                            max_noise = cap;
-                    }
-                    res.maxNoiseFrac =
-                        std::max(res.maxNoiseFrac, max_noise);
-                    em_max = std::max(em_max, w.emergencyCycles);
-                    analysed = w.analysedCycles;
-                    if (want_trace && max_noise > best_trace_noise) {
-                        best_trace_noise = max_noise;
-                        res.noiseTrace = std::move(w.trace);
-                        res.noiseTraceDomain = d;
-                        res.noiseTraceTimeUs =
-                            noiseQueue[static_cast<std::size_t>(q)]
-                                .timeUs;
-                    }
-                }
-                emergency_cycles += em_max;
-                analysed_cycles += analysed;
-                if (injector) {
-                    if (epoch_faulted)
-                        em_cycles_faulted += em_max;
-                    else
-                        em_cycles_clean += em_max;
-                }
-            }
-            noiseQueue.clear();
-        }
+        // ---- Per-epoch drain (coalescing off) --------------------------
+        // The PR 4 behaviour: every epoch's windows solve and reduce
+        // at its end. With coalescing the queue instead rides into
+        // the next epoch until a flush rule fires.
+        if (!off_chip && !coalesce)
+            drain_all();
     }
+
+    // Whatever still rides the queue at the end of the run.
+    if (!off_chip)
+        drain_all();
 
     res.avgRegulatorLoss = ploss_stats.mean();
     res.meanPower = power_stats.mean();

@@ -124,14 +124,18 @@ class Simulation
      * per domain also makes the per-sample fan-out across domains
      * race-free without locks.
      *
-     * `queue` holds the epoch's built-but-unsolved windows
-     * back-to-back (window q at offset q * cycles * nodeCount): each
-     * window is synthesised at its scheduled frame, against that
-     * frame's block power, and the whole queue drains through the
-     * PDN's lockstep transientWindowBatch() at the end of the epoch
-     * (the active set is fixed between decisions, so deferring the
-     * solves never crosses a setActive()). `results` receives one
-     * NoiseResult per queued window.
+     * `queue` holds built-but-unsolved windows back-to-back (window q
+     * at offset q * cycles * nodeCount): each window is synthesised
+     * at its scheduled frame, against that frame's block power, and
+     * drains through the PDN's lockstep transientWindowBatch() later.
+     * With cfg.coalesceNoiseEpochs the queue rides across epochs
+     * whose decision left the domain's active set unchanged, so
+     * rarely-gating policies fill maximally wide lanes; `solved`
+     * counts the leading windows already solved by an early
+     * per-domain flush (a setActive() with pending windows solves
+     * them under the outgoing factorisation first). `results`
+     * receives one NoiseResult per queued window and survives until
+     * the global reduction.
      */
     struct NoiseScratch
     {
@@ -144,13 +148,15 @@ class Simulation
         std::vector<Amperes> queue;       //!< queued window buffers
         std::vector<pdn::DomainPdn::WindowSpec> specs; //!< batch views
         std::vector<pdn::NoiseResult> results; //!< per-window results
+        std::size_t solved = 0; //!< windows already solved (flushes)
     };
 
-    /** One queued noise sample of the current epoch. */
+    /** One queued noise sample (possibly from an earlier epoch). */
     struct QueuedNoiseSample
     {
         int sample = 0;     //!< global sample index
         double timeUs = 0.0; //!< scheduled frame time [us] (traces)
+        bool faulted = false; //!< scheduling epoch had active faults
     };
 
     /**

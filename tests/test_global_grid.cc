@@ -109,6 +109,67 @@ TEST_F(GlobalGridTest, DeathOnBadSizes)
     EXPECT_DEATH(grid.solve(bad), "size mismatch");
 }
 
+TEST_F(GlobalGridTest, NodeCurrentsIntoMatchesAllocatingForm)
+{
+    auto bp = noBlocks();
+    bp[static_cast<std::size_t>(chip.plan.blockIndex("noc"))] = 3.0;
+    auto expect = grid.nodeCurrents(bp, uniformVrInput(1.2));
+    std::vector<Amperes> got(7, -1.0);  // wrong size: must reset
+    grid.nodeCurrentsInto(bp, uniformVrInput(1.2), got);
+    ASSERT_EQ(got.size(), expect.size());
+    for (std::size_t n = 0; n < got.size(); ++n)
+        EXPECT_EQ(got[n], expect[n]) << "node " << n;
+}
+
+TEST_F(GlobalGridTest, SolveBatchBitIdenticalToScalarSolves)
+{
+    // One factorization pass over a block of heterogeneous maps must
+    // reproduce per-map solve() exactly — droop stats AND voltages.
+    auto bp = noBlocks();
+    bp[static_cast<std::size_t>(chip.plan.blockIndex("noc"))] = 3.0;
+    std::vector<std::vector<Amperes>> maps;
+    maps.push_back(grid.nodeCurrents(noBlocks(), uniformVrInput(0.0)));
+    maps.push_back(grid.nodeCurrents(bp, uniformVrInput(1.2)));
+    std::vector<Watts> concentrated(chip.plan.vrs().size(), 0.0);
+    for (std::size_t v = 0; v < concentrated.size(); v += 3)
+        concentrated[v] = 110.0 / 32.0;
+    maps.push_back(grid.nodeCurrents(noBlocks(), concentrated));
+
+    std::vector<GlobalDroop> batch;
+    Matrix volts;
+    grid.solveBatch(maps, batch, &volts);
+    ASSERT_EQ(batch.size(), maps.size());
+    ASSERT_EQ(volts.rows(), static_cast<std::size_t>(grid.nodeCount()));
+    ASSERT_EQ(volts.cols(), maps.size());
+    for (std::size_t j = 0; j < maps.size(); ++j) {
+        auto scalar = grid.solve(maps[j]);
+        EXPECT_EQ(batch[j].maxDroopFrac, scalar.maxDroopFrac)
+            << "map " << j;
+        EXPECT_EQ(batch[j].meanDroopFrac, scalar.meanDroopFrac)
+            << "map " << j;
+        EXPECT_EQ(batch[j].totalCurrent, scalar.totalCurrent)
+            << "map " << j;
+    }
+    // Column symmetry: identical maps give identical voltages.
+    std::vector<std::vector<Amperes>> twin = {maps[1], maps[1]};
+    std::vector<GlobalDroop> twin_droop;
+    Matrix twin_v;
+    grid.solveBatch(twin, twin_droop, &twin_v);
+    for (std::size_t n = 0; n < twin_v.rows(); ++n)
+        EXPECT_EQ(twin_v(n, 0), twin_v(n, 1)) << "node " << n;
+}
+
+TEST_F(GlobalGridTest, SolveBatchHandlesEmptyAndBadSizes)
+{
+    std::vector<std::vector<Amperes>> none;
+    std::vector<GlobalDroop> out(3);
+    grid.solveBatch(none, out);
+    EXPECT_TRUE(out.empty());
+    std::vector<std::vector<Amperes>> bad = {
+        std::vector<Amperes>(3, 0.0)};
+    EXPECT_DEATH(grid.solveBatch(bad, out), "size mismatch");
+}
+
 } // namespace
 } // namespace pdn
 } // namespace tg

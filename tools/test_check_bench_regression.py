@@ -1,0 +1,147 @@
+#!/usr/bin/env python3
+"""Self-test for check_bench_regression.py.
+
+The script gates every CI run, so its behaviours are pinned here with
+synthetic google-benchmark JSON fixtures: a within-threshold pass, a
+beyond-threshold failure, benchmarks present on only one side (never
+fatal), a missing calibration probe (falls back to raw times), a
+missing baseline file (skip with exit 0), and the probe cancelling a
+uniform machine-speed difference.
+
+Run directly (python3 tools/test_check_bench_regression.py -v) or via
+the gcc CI leg.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import unittest
+
+SCRIPT = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                      "check_bench_regression.py")
+CAL = "BM_MachineCalibration"
+
+
+def bench_json(times, aggregates=None):
+    """Benchmark-JSON document from {name: real_time_ns}."""
+    entries = [{"name": name, "real_time": t, "time_unit": "ns"}
+               for name, t in times.items()]
+    for name, t in (aggregates or {}).items():
+        entries.append({"name": name, "real_time": t,
+                        "time_unit": "ns", "run_type": "aggregate"})
+    return {"context": {"note": "synthetic fixture"},
+            "benchmarks": entries}
+
+
+class CheckerTest(unittest.TestCase):
+    def setUp(self):
+        self.dir = tempfile.TemporaryDirectory()
+        self.addCleanup(self.dir.cleanup)
+
+    def write(self, name, doc):
+        path = os.path.join(self.dir.name, name)
+        with open(path, "w") as fh:
+            json.dump(doc, fh)
+        return path
+
+    def run_check(self, current, baseline, *extra):
+        return subprocess.run(
+            [sys.executable, SCRIPT, current, baseline, *extra],
+            capture_output=True, text=True)
+
+    def test_within_threshold_passes(self):
+        base = self.write("b.json", bench_json(
+            {"BM_Run": 100.0, CAL: 50.0}))
+        cur = self.write("c.json", bench_json(
+            {"BM_Run": 110.0, CAL: 50.0}))
+        r = self.run_check(cur, base, "--threshold", "0.25",
+                           "--normalize-by", CAL)
+        self.assertEqual(r.returncode, 0, r.stdout + r.stderr)
+        self.assertIn("within regression threshold", r.stdout)
+
+    def test_beyond_threshold_fails(self):
+        base = self.write("b.json", bench_json(
+            {"BM_Run": 100.0, CAL: 50.0}))
+        cur = self.write("c.json", bench_json(
+            {"BM_Run": 140.0, CAL: 50.0}))
+        r = self.run_check(cur, base, "--threshold", "0.25",
+                           "--normalize-by", CAL)
+        self.assertEqual(r.returncode, 1, r.stdout + r.stderr)
+        self.assertIn("REGRESSED", r.stdout)
+        self.assertIn("BM_Run", r.stdout)
+
+    def test_missing_benchmark_is_reported_not_fatal(self):
+        # Retired and newly-added benchmarks must not force a
+        # baseline refresh in the same change.
+        base = self.write("b.json", bench_json(
+            {"BM_Old": 100.0, "BM_Run": 100.0, CAL: 50.0}))
+        cur = self.write("c.json", bench_json(
+            {"BM_New": 10.0, "BM_Run": 100.0, CAL: 50.0}))
+        r = self.run_check(cur, base, "--normalize-by", CAL)
+        self.assertEqual(r.returncode, 0, r.stdout + r.stderr)
+        self.assertIn("[gone]", r.stdout)
+        self.assertIn("BM_Old", r.stdout)
+        self.assertIn("[new]", r.stdout)
+        self.assertIn("BM_New", r.stdout)
+
+    def test_missing_calibration_probe_falls_back_to_raw(self):
+        base = self.write("b.json", bench_json({"BM_Run": 100.0}))
+        cur = self.write("c.json", bench_json({"BM_Run": 100.0}))
+        r = self.run_check(cur, base, "--normalize-by", CAL)
+        self.assertEqual(r.returncode, 0, r.stdout + r.stderr)
+        self.assertIn("comparing raw times", r.stdout)
+
+    def test_missing_baseline_file_skips_with_success(self):
+        cur = self.write("c.json", bench_json({"BM_Run": 100.0}))
+        r = self.run_check(cur,
+                           os.path.join(self.dir.name, "absent.json"))
+        self.assertEqual(r.returncode, 0, r.stdout + r.stderr)
+        self.assertIn("skipping regression check", r.stdout)
+
+    def test_probe_cancels_machine_speed(self):
+        # Everything (probe included) 3x slower — a slower runner,
+        # not a regression. Raw comparison would fail; normalized
+        # must pass.
+        base = self.write("b.json", bench_json(
+            {"BM_Run": 100.0, CAL: 50.0}))
+        cur = self.write("c.json", bench_json(
+            {"BM_Run": 300.0, CAL: 150.0}))
+        raw = self.run_check(cur, base, "--threshold", "0.25")
+        self.assertEqual(raw.returncode, 1, raw.stdout + raw.stderr)
+        norm = self.run_check(cur, base, "--threshold", "0.25",
+                              "--normalize-by", CAL)
+        self.assertEqual(norm.returncode, 0,
+                         norm.stdout + norm.stderr)
+
+    def test_probe_itself_never_fails(self):
+        # The probe is fixed arithmetic; if IT drifts the runner
+        # changed, which is exactly what normalization absorbs.
+        base = self.write("b.json", bench_json(
+            {"BM_Run": 100.0, CAL: 50.0}))
+        cur = self.write("c.json", bench_json(
+            {"BM_Run": 100.0, CAL: 500.0}))
+        r = self.run_check(cur, base, "--threshold", "0.25")
+        self.assertEqual(r.returncode, 1, r.stdout + r.stderr)
+        self.assertIn("BM_Run", r.stdout)  # raw: both 10x apart…
+        r = self.run_check(cur, base, "--threshold", "0.25",
+                           "--normalize-by", CAL)
+        # …but normalized, BM_Run improved 10x and the probe's own
+        # 10x excursion is reported as [cal], never failed.
+        self.assertEqual(r.returncode, 0, r.stdout + r.stderr)
+        self.assertIn("[cal", r.stdout)
+
+    def test_aggregates_are_ignored(self):
+        base = self.write("b.json", bench_json(
+            {"BM_Run": 100.0, CAL: 50.0}))
+        cur = self.write("c.json", bench_json(
+            {"BM_Run": 100.0, CAL: 50.0},
+            aggregates={"BM_Run_mean": 900.0}))
+        r = self.run_check(cur, base, "--threshold", "0.25")
+        self.assertEqual(r.returncode, 0, r.stdout + r.stderr)
+        self.assertNotIn("BM_Run_mean", r.stdout)
+
+
+if __name__ == "__main__":
+    unittest.main()
