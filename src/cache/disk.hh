@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Optional on-disk cache tier.
+ *
+ * A DiskTier persists encoded artifacts under a directory (from
+ * `SimConfig::cacheDir` or the `TG_CACHE_DIR` environment variable)
+ * so warm state survives the process: repeated figure/bench CLIs and
+ * future tg::serve workers answer from disk instead of simulating.
+ *
+ * File format (little-endian):
+ *   u32 magic "TGC1" | u32 format version | u32 artifact kind
+ *   | u64 key.hi | u64 key.lo | provenance string (u64 len + bytes)
+ *   | u64 payload length | payload bytes
+ *   | u64 FNV-1a checksum over everything before this field
+ *
+ * Integrity: load() re-derives the checksum and verifies magic,
+ * version, kind, key, and lengths; any mismatch (bit rot, torn or
+ * truncated writes, foreign files) rejects the file — the caller
+ * falls back to recompute and the reject is counted. Writes go to a
+ * process-unique temp name in the same directory and are published
+ * with std::rename, which POSIX makes atomic: concurrent writers of
+ * the same key race benignly (identical contents) and readers never
+ * observe a half-written file.
+ */
+
+#ifndef TG_CACHE_DISK_HH
+#define TG_CACHE_DISK_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cache/fingerprint.hh"
+#include "cache/store.hh"
+
+namespace tg {
+namespace cache {
+
+class DiskTier
+{
+  public:
+    /**
+     * @param dir   cache directory (created on first save)
+     * @param stats counter sink; defaults to the process store so one
+     *              stats snapshot covers both tiers
+     */
+    explicit DiskTier(std::string dir, ArtifactStore *stats = nullptr);
+
+    /** Whether a directory was configured at all. */
+    bool active() const { return !root.empty(); }
+
+    /**
+     * Read and verify the artifact; false on absent or rejected
+     * (corrupt/truncated/mismatched) files. Counts hit/miss/reject.
+     */
+    bool load(ArtifactKind kind, const Fingerprint &key,
+              std::vector<std::uint8_t> &payload) const;
+
+    /**
+     * Persist via temp-file + atomic rename; false on I/O failure
+     * (the cache stays best-effort: callers proceed uncached).
+     */
+    bool save(ArtifactKind kind, const Fingerprint &key,
+              const std::vector<std::uint8_t> &payload,
+              const std::string &provenance) const;
+
+    /** Final path of an artifact ("<dir>/<kind>-<keyhex>.tgc"). */
+    std::string pathFor(ArtifactKind kind, const Fingerprint &key) const;
+
+  private:
+    std::string root;
+    ArtifactStore *counters;
+};
+
+} // namespace cache
+} // namespace tg
+
+#endif // TG_CACHE_DISK_HH

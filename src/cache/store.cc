@@ -1,0 +1,210 @@
+#include "cache/store.hh"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace tg {
+namespace cache {
+
+const char *artifactKindName(ArtifactKind kind)
+{
+    switch (kind) {
+    case ArtifactKind::PowerTrace:
+        return "power-trace";
+    case ArtifactKind::Predictor:
+        return "predictor";
+    case ArtifactKind::PdnBase:
+        return "pdn-base";
+    case ArtifactKind::RunResult:
+        return "run-result";
+    }
+    return "unknown";
+}
+
+std::uint64_t StoreStats::hitsTotal() const
+{
+    std::uint64_t t = 0;
+    for (const PerKind &k : kind)
+        t += k.hits;
+    return t;
+}
+
+std::uint64_t StoreStats::missesTotal() const
+{
+    std::uint64_t t = 0;
+    for (const PerKind &k : kind)
+        t += k.misses;
+    return t;
+}
+
+std::uint64_t StoreStats::bytesTotal() const
+{
+    std::uint64_t t = 0;
+    for (const PerKind &k : kind)
+        t += k.bytes;
+    return t;
+}
+
+std::string StoreStats::describe() const
+{
+    char line[512];
+    std::snprintf(
+        line, sizeof line,
+        "cache: hits=%llu misses=%llu resident=%.1fMiB evictions=%llu "
+        "[trace %llu/%llu, predictor %llu/%llu, pdn-base %llu/%llu, "
+        "run-result %llu/%llu] disk hits=%llu misses=%llu writes=%llu "
+        "rejects=%llu",
+        static_cast<unsigned long long>(hitsTotal()),
+        static_cast<unsigned long long>(missesTotal()),
+        static_cast<double>(bytesTotal()) / (1024.0 * 1024.0),
+        static_cast<unsigned long long>(evictions),
+        static_cast<unsigned long long>(kind[0].hits),
+        static_cast<unsigned long long>(kind[0].misses),
+        static_cast<unsigned long long>(kind[1].hits),
+        static_cast<unsigned long long>(kind[1].misses),
+        static_cast<unsigned long long>(kind[2].hits),
+        static_cast<unsigned long long>(kind[2].misses),
+        static_cast<unsigned long long>(kind[3].hits),
+        static_cast<unsigned long long>(kind[3].misses),
+        static_cast<unsigned long long>(diskHits),
+        static_cast<unsigned long long>(diskMisses),
+        static_cast<unsigned long long>(diskWrites),
+        static_cast<unsigned long long>(diskRejects));
+    return std::string(line);
+}
+
+ArtifactStore::ArtifactStore(std::size_t capacity_bytes)
+    : capacity(capacity_bytes)
+{
+}
+
+std::shared_ptr<const void> ArtifactStore::getRaw(ArtifactKind kind,
+                                                  const Fingerprint &key)
+{
+    KindCounters &kc = counters[static_cast<int>(kind)];
+    if (!enabledFlag.load(std::memory_order_relaxed)) {
+        kc.misses.fetch_add(1, std::memory_order_relaxed);
+        return nullptr;
+    }
+    Shard &s = shardFor(key);
+    const Key k{kind, key};
+    std::lock_guard<std::mutex> lock(s.mu);
+    auto it = s.map.find(k);
+    if (it == s.map.end()) {
+        kc.misses.fetch_add(1, std::memory_order_relaxed);
+        return nullptr;
+    }
+    s.lru.splice(s.lru.begin(), s.lru, it->second); // bump to front
+    kc.hits.fetch_add(1, std::memory_order_relaxed);
+    return it->second->value;
+}
+
+void ArtifactStore::putRaw(ArtifactKind kind, const Fingerprint &key,
+                           std::shared_ptr<const void> value,
+                           std::size_t bytes)
+{
+    if (!enabledFlag.load(std::memory_order_relaxed) || !value)
+        return;
+    Shard &s = shardFor(key);
+    const Key k{kind, key};
+    KindCounters &kc = counters[static_cast<int>(kind)];
+    std::lock_guard<std::mutex> lock(s.mu);
+    if (s.map.find(k) != s.map.end())
+        return; // first write wins (identical by determinism)
+    s.lru.push_front(Entry{k, std::move(value), bytes});
+    s.map.emplace(k, s.lru.begin());
+    s.bytes += bytes;
+    kc.inserts.fetch_add(1, std::memory_order_relaxed);
+    kc.bytes.fetch_add(bytes, std::memory_order_relaxed);
+    evictLocked(s, capacity.load(std::memory_order_relaxed) / kShards);
+}
+
+void ArtifactStore::evictLocked(Shard &s, std::size_t shard_budget)
+{
+    while (s.bytes > shard_budget && s.lru.size() > 1) {
+        const Entry &victim = s.lru.back();
+        KindCounters &kc = counters[static_cast<int>(victim.key.kind)];
+        kc.bytes.fetch_sub(victim.bytes, std::memory_order_relaxed);
+        s.bytes -= victim.bytes;
+        s.map.erase(victim.key);
+        s.lru.pop_back();
+        evictionCount.fetch_add(1, std::memory_order_relaxed);
+    }
+}
+
+void ArtifactStore::clear()
+{
+    for (Shard &s : shards) {
+        std::lock_guard<std::mutex> lock(s.mu);
+        for (const Entry &e : s.lru)
+            counters[static_cast<int>(e.key.kind)].bytes.fetch_sub(
+                e.bytes, std::memory_order_relaxed);
+        s.lru.clear();
+        s.map.clear();
+        s.bytes = 0;
+    }
+}
+
+void ArtifactStore::setCapacityBytes(std::size_t bytes)
+{
+    capacity.store(bytes);
+    for (Shard &s : shards) {
+        std::lock_guard<std::mutex> lock(s.mu);
+        evictLocked(s, bytes / kShards);
+    }
+}
+
+StoreStats ArtifactStore::stats() const
+{
+    StoreStats out;
+    for (int i = 0; i < kArtifactKinds; ++i) {
+        out.kind[static_cast<std::size_t>(i)] = StoreStats::PerKind{
+            counters[static_cast<std::size_t>(i)].hits.load(),
+            counters[static_cast<std::size_t>(i)].misses.load(),
+            counters[static_cast<std::size_t>(i)].inserts.load(),
+            counters[static_cast<std::size_t>(i)].bytes.load()};
+    }
+    out.evictions = evictionCount.load();
+    out.diskHits = diskHitCount.load();
+    out.diskMisses = diskMissCount.load();
+    out.diskWrites = diskWriteCount.load();
+    out.diskRejects = diskRejectCount.load();
+    return out;
+}
+
+void ArtifactStore::resetStats()
+{
+    for (KindCounters &kc : counters) {
+        kc.hits.store(0);
+        kc.misses.store(0);
+        kc.inserts.store(0);
+        // bytes tracks residency, not a rate — leave it.
+    }
+    evictionCount.store(0);
+    diskHitCount.store(0);
+    diskMissCount.store(0);
+    diskWriteCount.store(0);
+    diskRejectCount.store(0);
+}
+
+ArtifactStore &store()
+{
+    static ArtifactStore *instance = [] {
+        std::size_t cap = ArtifactStore::kDefaultCapacity;
+        if (const char *mb = std::getenv("TG_CACHE_MEM_MB")) {
+            const long v = std::strtol(mb, nullptr, 10);
+            if (v > 0)
+                cap = static_cast<std::size_t>(v) << 20;
+        }
+        auto *s = new ArtifactStore(cap);
+        if (const char *e = std::getenv("TG_CACHE")) {
+            if (e[0] == '0' && e[1] == '\0')
+                s->setEnabled(false);
+        }
+        return s;
+    }();
+    return *instance;
+}
+
+} // namespace cache
+} // namespace tg

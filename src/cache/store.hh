@@ -1,0 +1,243 @@
+/**
+ * @file
+ * Sharded, thread-safe, in-memory content-addressed artifact store.
+ *
+ * Artifacts are immutable once inserted (shared_ptr<const T>), so a
+ * stored object may be handed to any number of concurrent readers —
+ * the same read-only-after-build property that lets sweep workers
+ * share a PowerTrace. The store is sharded 16 ways by the low
+ * fingerprint bits with one mutex per shard, so concurrent sweep
+ * workers probing different keys almost never contend; each shard
+ * runs LRU eviction against its slice of the byte budget.
+ *
+ * Soundness: keys are canonical content fingerprints over every
+ * result-bit-relevant input (cache/fingerprint.hh), and every
+ * producer is bit-exactly deterministic, so replacing a recompute
+ * with a stored artifact cannot change any output bit. A racing
+ * double-build of the same key is therefore also harmless: both
+ * builders produce identical bytes and either copy may win.
+ *
+ * The process-wide singleton store() honours:
+ *  - TG_CACHE=0       disable entirely (every probe misses, puts drop)
+ *  - TG_CACHE_MEM_MB  in-memory byte budget (default 512 MiB)
+ */
+
+#ifndef TG_CACHE_STORE_HH
+#define TG_CACHE_STORE_HH
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+#include "cache/fingerprint.hh"
+
+namespace tg {
+namespace cache {
+
+/** Artifact classes kept in the store (separate key namespaces). */
+enum class ArtifactKind
+{
+    PowerTrace, //!< power::PowerTrace (profile x power model x epochs)
+    Predictor,  //!< thermal-predictor fit (chip x config)
+    PdnBase,    //!< PDN base factorisations + transfer resistances
+    RunResult,  //!< whole sim::RunResult (full run tuple)
+};
+constexpr int kArtifactKinds = 4;
+
+/** Display name ("power-trace", ...). */
+const char *artifactKindName(ArtifactKind kind);
+
+/** Aggregated counters (exec::Stats-style snapshot). */
+struct StoreStats
+{
+    struct PerKind
+    {
+        std::uint64_t hits = 0;
+        std::uint64_t misses = 0;
+        std::uint64_t inserts = 0;
+        std::uint64_t bytes = 0; //!< currently resident payload bytes
+    };
+    std::array<PerKind, kArtifactKinds> kind{};
+    std::uint64_t evictions = 0;
+
+    // Disk-tier counters (recorded by DiskTier via the store so one
+    // snapshot covers both tiers).
+    std::uint64_t diskHits = 0;
+    std::uint64_t diskMisses = 0;
+    std::uint64_t diskWrites = 0;
+    std::uint64_t diskRejects = 0; //!< corrupt/truncated files refused
+
+    std::uint64_t hitsTotal() const;
+    std::uint64_t missesTotal() const;
+    std::uint64_t bytesTotal() const;
+
+    /** One-line human-readable summary for bench/CLI reporting. */
+    std::string describe() const;
+};
+
+/**
+ * The in-memory tier. All methods are thread-safe.
+ *
+ * Payloads are type-erased; each ArtifactKind must be used with one
+ * consistent T (enforced by the typed accessors being the only
+ * callers in the tree).
+ */
+class ArtifactStore
+{
+  public:
+    explicit ArtifactStore(std::size_t capacity_bytes = kDefaultCapacity);
+
+    /** ~512 MiB: a full 14x8 sweep's artifacts fit comfortably. */
+    static constexpr std::size_t kDefaultCapacity =
+        std::size_t(512) << 20;
+
+    /** Probe; null on miss (or when disabled). Bumps hit/miss. */
+    std::shared_ptr<const void> getRaw(ArtifactKind kind,
+                                       const Fingerprint &key);
+
+    /**
+     * Insert (no-op when disabled). `bytes` is the payload's resident
+     * size for budget accounting. Re-inserting an existing key keeps
+     * the resident copy (first write wins — both are identical by the
+     * determinism argument above).
+     */
+    void putRaw(ArtifactKind kind, const Fingerprint &key,
+                std::shared_ptr<const void> value, std::size_t bytes);
+
+    template <class T>
+    std::shared_ptr<const T> get(ArtifactKind kind, const Fingerprint &key)
+    {
+        return std::static_pointer_cast<const T>(getRaw(kind, key));
+    }
+
+    template <class T>
+    void put(ArtifactKind kind, const Fingerprint &key,
+             std::shared_ptr<const T> value, std::size_t bytes)
+    {
+        putRaw(kind, key, std::static_pointer_cast<const void>(value),
+               bytes);
+    }
+
+    /**
+     * Probe, else build and insert. `build` returns
+     * shared_ptr<const T>; `bytes(const T&)` sizes it for the budget.
+     * The build runs outside every shard lock, so concurrent
+     * same-key builders may race — harmless (identical results).
+     */
+    template <class T, class Build, class Bytes>
+    std::shared_ptr<const T> getOrBuild(ArtifactKind kind,
+                                        const Fingerprint &key,
+                                        Build &&build, Bytes &&bytes)
+    {
+        if (auto hit = get<T>(kind, key))
+            return hit;
+        std::shared_ptr<const T> made = build();
+        if (made)
+            put<T>(kind, key, made, bytes(*made));
+        return made;
+    }
+
+    /** Drop everything (counters survive; see resetStats). */
+    void clear();
+
+    /** Runtime kill switch; a disabled store misses and drops puts. */
+    void setEnabled(bool on) { enabledFlag.store(on); }
+    bool enabled() const { return enabledFlag.load(); }
+
+    /** Change the byte budget (evicts immediately if over). */
+    void setCapacityBytes(std::size_t bytes);
+    std::size_t capacityBytes() const { return capacity.load(); }
+
+    StoreStats stats() const;
+    void resetStats();
+
+    // Disk-tier counter hooks (called by DiskTier).
+    void noteDiskHit() { ++diskHitCount; }
+    void noteDiskMiss() { ++diskMissCount; }
+    void noteDiskWrite() { ++diskWriteCount; }
+    void noteDiskReject() { ++diskRejectCount; }
+
+  private:
+    static constexpr int kShards = 16;
+
+    struct Key
+    {
+        ArtifactKind kind;
+        Fingerprint fp;
+        bool operator==(const Key &o) const
+        {
+            return kind == o.kind && fp == o.fp;
+        }
+    };
+    struct KeyHash
+    {
+        std::size_t operator()(const Key &k) const
+        {
+            // fp is already avalanche-mixed; fold the kind in.
+            return static_cast<std::size_t>(
+                k.fp.lo ^ (k.fp.hi * 0x9e3779b97f4a7c15ull) ^
+                static_cast<std::uint64_t>(k.kind));
+        }
+    };
+
+    struct Entry
+    {
+        Key key;
+        std::shared_ptr<const void> value;
+        std::size_t bytes = 0;
+    };
+
+    struct Shard
+    {
+        std::mutex mu;
+        std::list<Entry> lru; //!< front = most recently used
+        std::unordered_map<Key, std::list<Entry>::iterator, KeyHash> map;
+        std::size_t bytes = 0;
+    };
+
+    Shard &shardFor(const Fingerprint &key)
+    {
+        return shards[key.lo & (kShards - 1)];
+    }
+
+    /** Evict LRU entries of one shard down to its budget slice. */
+    void evictLocked(Shard &s, std::size_t shard_budget);
+
+    std::array<Shard, kShards> shards;
+    std::atomic<bool> enabledFlag{true};
+    std::atomic<std::size_t> capacity;
+
+    // Counters are relaxed atomics: exactness under contention is not
+    // worth a lock on the hit path; snapshots are advisory.
+    struct KindCounters
+    {
+        std::atomic<std::uint64_t> hits{0};
+        std::atomic<std::uint64_t> misses{0};
+        std::atomic<std::uint64_t> inserts{0};
+        std::atomic<std::uint64_t> bytes{0};
+    };
+    std::array<KindCounters, kArtifactKinds> counters;
+    std::atomic<std::uint64_t> evictionCount{0};
+    std::atomic<std::uint64_t> diskHitCount{0};
+    std::atomic<std::uint64_t> diskMissCount{0};
+    std::atomic<std::uint64_t> diskWriteCount{0};
+    std::atomic<std::uint64_t> diskRejectCount{0};
+};
+
+/**
+ * Process-wide store shared by every Simulation/sweep in the
+ * process. Construction honours TG_CACHE / TG_CACHE_MEM_MB.
+ */
+ArtifactStore &store();
+
+} // namespace cache
+} // namespace tg
+
+#endif // TG_CACHE_STORE_HH

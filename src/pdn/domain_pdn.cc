@@ -4,11 +4,77 @@
 #include <cmath>
 #include <limits>
 
+#include "cache/fingerprint.hh"
+#include "cache/store.hh"
 #include "common/logging.hh"
 #include "common/simd.hh"
 
 namespace tg {
 namespace pdn {
+
+namespace {
+
+/**
+ * Cached construction product of one DomainPdn: the two all-branch
+ * base factorisations plus the transfer-resistance matrix (whose
+ * n+m batched unit solves dominate construction). The artifact is
+ * immutable; each DomainPdn COPIES the solvers out of it, because a
+ * SparseLdltSolver carries mutable per-instance solve scratch that
+ * must not be shared across threads — the copy reuses the factor
+ * numerics (the expensive part) and gets fresh scratch.
+ */
+struct PdnBaseArtifact
+{
+    SparseLdltSolver steady;
+    SparseLdltSolver transient;
+    Matrix transferR;
+};
+
+std::size_t
+solverBytes(const SparseLdltSolver &s)
+{
+    // factor envelope + diag + permutation/pointer arrays
+    return sizeof(double) * (s.profileNonZeros() + s.size()) +
+           4 * sizeof(std::size_t) * s.size();
+}
+
+/**
+ * Everything the base factors and transfer resistances depend on:
+ * this domain's slice of the chip, the VR sites in use, the
+ * electrical design values the PDN reads, and the grid parameters
+ * (minus the bit-invisible factorCacheCapacity).
+ */
+cache::Fingerprint
+pdnBaseKey(const floorplan::Chip &chip, int domain,
+           const vreg::VrDesign &design, const PdnParams &prm,
+           const std::vector<floorplan::Rect> &sites)
+{
+    cache::Hasher h;
+    h.str("tg.key.pdn-base.v1");
+    h.fp(cache::chipFingerprint(chip));
+    h.i64(domain);
+    h.str(design.name)
+        .u64(static_cast<std::uint64_t>(design.topology))
+        .f64(design.curve.peakCurrent())
+        .f64(design.curve.peakEta())
+        .f64(design.areaMm2)
+        .f64(design.iMax)
+        .f64(design.responseTime)
+        .f64(design.outputResistance)
+        .f64(design.outputInductance);
+    h.f64(prm.nodePitch)
+        .f64(prm.sheetResistance)
+        .f64(prm.decapPerMm2)
+        .f64(prm.gridInductancePerM)
+        .f64(prm.cycleTime)
+        .f64(prm.emergencyFrac);
+    h.u64(sites.size());
+    for (const auto &r : sites)
+        h.f64(r.x).f64(r.y).f64(r.w).f64(r.h);
+    return h.digest();
+}
+
+} // namespace
 
 DomainPdn::DomainPdn(const floorplan::Chip &chip, int domain,
                      const vreg::VrDesign &design, PdnParams params,
@@ -32,8 +98,31 @@ DomainPdn::DomainPdn(const floorplan::Chip &chip, int domain,
     if (vrCount() > 64)
         fatal("factorisation cache keys active sets as a 64-bit mask; "
               "domain has ", vrCount(), " VRs");
-    buildBaseFactors();
-    buildTransferResistances();
+
+    // Base factors + transfer resistances are a pure function of the
+    // key below, so fresh instances (one per sweep worker, one per
+    // bench process iteration) clone the cached artifact instead of
+    // re-factoring and re-solving the n+m transfer columns.
+    const cache::Fingerprint key =
+        pdnBaseKey(chip, domain, design, prm, vrSites);
+    if (auto hit = cache::store().get<PdnBaseArtifact>(
+            cache::ArtifactKind::PdnBase, key)) {
+        steadyBase = std::make_unique<SparseLdltSolver>(hit->steady);
+        transientBase =
+            std::make_unique<SparseLdltSolver>(hit->transient);
+        transferR = hit->transferR;
+    } else {
+        buildBaseFactors();
+        buildTransferResistances();
+        auto made = std::make_shared<const PdnBaseArtifact>(
+            PdnBaseArtifact{*steadyBase, *transientBase, transferR});
+        cache::store().put<PdnBaseArtifact>(
+            cache::ArtifactKind::PdnBase, key, made,
+            solverBytes(made->steady) + solverBytes(made->transient) +
+                sizeof(double) * made->transferR.rows() *
+                    made->transferR.cols());
+    }
+
     // Default: everything on.
     std::vector<int> all(vrNodes.size());
     for (std::size_t i = 0; i < all.size(); ++i)

@@ -8,6 +8,7 @@
 #define TG_SIM_CONFIG_HH
 
 #include <cstdint>
+#include <string>
 
 #include "pdn/domain_pdn.hh"
 #include "power/model.hh"
@@ -96,6 +97,28 @@ struct SimConfig
      * at every worker count.
      */
     int jobs = 0;
+
+    /**
+     * On-disk artifact-cache directory. Empty defers to the
+     * TG_CACHE_DIR environment variable; when both are empty the disk
+     * tier is off and whole-run memoization (memoizeResults) stays
+     * inactive too. Purely a performance knob: cached artifacts are
+     * keyed by content fingerprints over every result-bit-relevant
+     * input (see cache/fingerprint.hh), so a hit is bit-identical to
+     * a recompute.
+     */
+    std::string cacheDir;
+
+    /**
+     * Memoize whole RunResults (in memory and, through cacheDir /
+     * TG_CACHE_DIR, on disk) keyed by the full run tuple. Only takes
+     * effect when a cache directory is configured — the explicit
+     * opt-in keeps timing benches and determinism cross-checks, which
+     * re-run identical tuples on purpose, measuring real work. The
+     * policy-independent prebuild caches (power trace, predictor
+     * fit, PDN base factors) are unaffected by this flag.
+     */
+    bool memoizeResults = true;
 
     thermal::ThermalParams thermalParams;
     power::PowerParams powerParams;

@@ -2,8 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
 #include <string>
 
+#include "cache/disk.hh"
+#include "cache/serialize.hh"
+#include "cache/store.hh"
 #include "common/logging.hh"
 #include "common/rng.hh"
 #include "common/stats.hh"
@@ -34,6 +38,22 @@ designFor(RegulatorChoice choice)
     panic("unknown regulator choice");
 }
 
+/** Cached thermal-predictor fit (keyed by chip x config). */
+struct PredictorArtifact
+{
+    core::ThermalPredictor fitted;
+    double r2 = 0.0;
+};
+
+std::size_t
+powerTraceBytes(const power::PowerTrace &t)
+{
+    return sizeof(power::PowerTrace) +
+           sizeof(Watts) * t.blocks() *
+               (t.frames() +
+                3 * static_cast<std::size_t>(t.epochs()));
+}
+
 } // namespace
 
 Simulation::Simulation(const floorplan::Chip &chip, SimConfig cfg_in)
@@ -57,6 +77,38 @@ Simulation::Simulation(const floorplan::Chip &chip, SimConfig cfg_in)
                 d.id, static_cast<int>(l)};
     for (std::size_t v = 0; v < vrLocal.size(); ++v)
         TG_ASSERT(vrLocal[v].first >= 0, "VR ", v, " has no domain");
+
+    chipFp = cache::chipFingerprint(chip);
+    cfgFp = cache::configFingerprint(cfg);
+    if (!cfg.cacheDir.empty()) {
+        cacheDirResolved = cfg.cacheDir;
+    } else if (const char *dir = std::getenv("TG_CACHE_DIR")) {
+        cacheDirResolved = dir;
+    }
+}
+
+bool
+Simulation::memoActive() const
+{
+    return cfg.memoizeResults && !cacheDirResolved.empty() &&
+           cache::store().enabled();
+}
+
+cache::Fingerprint
+Simulation::runKey(
+    const std::vector<const workload::BenchmarkProfile *> &per_core,
+    const std::string &label, PolicyKind policy,
+    const RecordOptions &opts) const
+{
+    cache::Hasher h;
+    h.str("tg.key.run-result.v1");
+    h.fp(chipFp).fp(cfgFp);
+    h.u64(static_cast<std::uint64_t>(policy)).str(label);
+    h.u64(per_core.size());
+    for (const auto *p : per_core)
+        h.fp(cache::profileFingerprint(*p));
+    h.fp(cache::recordOptionsFingerprint(opts));
+    return h.digest();
 }
 
 const vreg::RegulatorNetwork &
@@ -107,6 +159,23 @@ Simulation::calibrateThetas()
     // on->off and off->on transitions, then fit deltaT = theta_i *
     // deltaP_i from epoch-to-epoch observations against the full RC
     // model.
+    // The pass is a pure function of (chip, config), so its fit is a
+    // cacheable artifact: sibling contexts of a sweep — and any later
+    // Simulation with the same inputs in this process — adopt the
+    // cached fit instead of re-running the profiling epochs.
+    const cache::Fingerprint fit_key = cache::Hasher{}
+                                           .str("tg.key.predictor.v1")
+                                           .fp(chipFp)
+                                           .fp(cfgFp)
+                                           .digest();
+    if (auto hit = cache::store().get<PredictorArtifact>(
+            cache::ArtifactKind::Predictor, fit_key)) {
+        predictor =
+            std::make_unique<core::ThermalPredictor>(hit->fitted);
+        predictorR2 = hit->r2;
+        return;
+    }
+
     const auto &plan = chipRef.plan;
     const auto &domains = plan.domains();
     int n_vrs = static_cast<int>(plan.vrs().size());
@@ -183,6 +252,13 @@ Simulation::calibrateThetas()
     }
     predictor->fit();
     predictorR2 = predictor->rSquared();
+
+    cache::store().put<PredictorArtifact>(
+        cache::ArtifactKind::Predictor, fit_key,
+        std::make_shared<const PredictorArtifact>(
+            PredictorArtifact{*predictor, predictorR2}),
+        sizeof(PredictorArtifact) +
+            3 * sizeof(double) * static_cast<std::size_t>(n_vrs));
 }
 
 int
@@ -305,6 +381,37 @@ Simulation::runMixed(
     TG_ASSERT(static_cast<int>(per_core.size()) ==
                   chipRef.params.cores,
               "need one profile per core");
+
+    // --- Whole-run memoization -------------------------------------------
+    // The full tuple (chip, config, profiles, policy, record options)
+    // determines every bit of the result, so with memoization opted in
+    // (a cache directory + memoizeResults) a warm query returns the
+    // stored RunResult: first from the in-memory store, then from the
+    // disk tier (verified + promoted into memory). A corrupt or
+    // truncated disk entry is rejected and the run recomputes.
+    const bool memo = memoActive();
+    cache::Fingerprint memo_key{};
+    if (memo) {
+        memo_key = runKey(per_core, label, policy, opts);
+        if (auto hit = cache::store().get<RunResult>(
+                cache::ArtifactKind::RunResult, memo_key))
+            return *hit;
+        cache::DiskTier disk(cacheDirResolved);
+        std::vector<std::uint8_t> payload;
+        if (disk.load(cache::ArtifactKind::RunResult, memo_key,
+                      payload)) {
+            auto loaded = std::make_shared<RunResult>();
+            if (cache::decodeRunResult(payload.data(), payload.size(),
+                                       *loaded)) {
+                cache::store().put<RunResult>(
+                    cache::ArtifactKind::RunResult, memo_key,
+                    std::shared_ptr<const RunResult>(loaded),
+                    cache::runResultBytes(*loaded));
+                return *loaded;
+            }
+        }
+    }
+
     const auto &plan = chipRef.plan;
     const auto &domains = plan.domains();
     const int n_domains = static_cast<int>(domains.size());
@@ -314,13 +421,6 @@ Simulation::runMixed(
         thermalPredictor();  // ensure thetas exist
 
     std::uint64_t run_seed = mixSeed(cfg.seed, hashString(label));
-
-    // --- Workload and activity -----------------------------------------
-    auto demand =
-        workload::generateMixedDemandTrace(per_core, run_seed,
-                                           tm.step());
-    auto activity =
-        uarch::buildActivityTrace(chipRef, per_core, demand);
 
     // Per-domain di/dt intensity: a core domain inherits its own
     // program's character; an L3 bank sees the dampened average.
@@ -341,18 +441,47 @@ Simulation::runMixed(
         }
         return 0.5 * didt_avg;
     };
-    const std::size_t n_frames = activity.frames.size();
     const Seconds dt = tm.step();
     const int fpe = std::max(
         1, static_cast<int>(std::round(cfg.decisionInterval / dt)));
+
+    // --- Workload -> activity -> power trace (policy-independent) -------
+    // The whole demand/activity/dynamic-power pipeline depends on
+    // (chip, power model, step, frames-per-epoch, profiles, run seed)
+    // but NOT on the policy, so its product — the PowerTrace with its
+    // per-epoch mean/peak reductions — is a shared artifact: a sweep
+    // builds it once per benchmark row and every policy cell (and
+    // every worker context) reads the same immutable trace. On a hit
+    // the demand and activity synthesis is skipped entirely.
+    const cache::Fingerprint trace_key = [&] {
+        cache::Hasher h;
+        h.str("tg.key.power-trace.v1");
+        h.fp(chipFp)
+            .fp(cache::powerParamsFingerprint(cfg.powerParams))
+            .f64(dt)
+            .i64(fpe)
+            .u64(run_seed);
+        h.u64(per_core.size());
+        for (const auto *p : per_core)
+            h.fp(cache::profileFingerprint(*p));
+        return h.digest();
+    }();
+    std::shared_ptr<const power::PowerTrace> trace =
+        cache::store().getOrBuild<power::PowerTrace>(
+            cache::ArtifactKind::PowerTrace, trace_key,
+            [&] {
+                auto demand = workload::generateMixedDemandTrace(
+                    per_core, run_seed, dt);
+                auto activity = uarch::buildActivityTrace(
+                    chipRef, per_core, demand);
+                return std::make_shared<const power::PowerTrace>(
+                    pm, activity, fpe);
+            },
+            powerTraceBytes);
+
+    const std::size_t n_frames = trace->frames();
     const long n_epochs =
         (static_cast<long>(n_frames) + fpe - 1) / fpe;
-
-    // Precompute the whole dynamic-power trace (plus its per-epoch
-    // mean/peak reductions) once: the frame loop and the epoch
-    // provisioning below read rows instead of re-deriving per-block
-    // power from activity counters frame by frame.
-    powerTrace.rebuild(pm, activity, fpe);
     const std::size_t n_blocks = plan.blocks().size();
 
     // --- Noise sample schedule -----------------------------------------
@@ -456,7 +585,7 @@ Simulation::runMixed(
 
     std::vector<Celsius> temps;
     {
-        const Watts *dyn0 = powerTrace.frame(0);
+        const Watts *dyn0 = trace->frame(0);
         temps = tm.uniformState(cfg.thermalParams.ambient + 12.0);
         for (int it = 0; it < 4; ++it) {
             tm.blockTempsInto(temps, fs.blockT);
@@ -507,7 +636,7 @@ Simulation::runMixed(
     double best_trace_noise = -1.0;
 
     std::vector<Watts> last_block_power(
-        powerTrace.frame(0), powerTrace.frame(0) + n_blocks);
+        trace->frame(0), trace->frame(0) + n_blocks);
     {
         tm.blockTempsInto(temps, fs.blockT);
         pm.leakageFrameInto(fs.blockT, fs.leak);
@@ -660,7 +789,7 @@ Simulation::runMixed(
             // row (oracular policies provision n_on for the epoch's
             // demand *excursions*, not just its mean) plus leakage at
             // the current temperatures.
-            const Watts *mean_dyn = powerTrace.epochDynamic(e);
+            const Watts *mean_dyn = trace->epochDynamic(e);
             tm.blockTempsInto(temps, fs.blockT);
             pm.leakageFrameInto(fs.blockT, fs.leak);
             fs.meanPower.resize(n_blocks);
@@ -840,7 +969,7 @@ Simulation::runMixed(
                 for (int it = 0; it < 3; ++it) {
                     tm.blockTempsInto(temps, fs.blockT);
                     pm.leakageFrameInto(fs.blockT, fs.leak);
-                    const Watts *dyn0 = powerTrace.frame(0);
+                    const Watts *dyn0 = trace->frame(0);
                     std::vector<Watts> block_power(dyn0,
                                                    dyn0 + n_blocks);
                     for (std::size_t b = 0; b < block_power.size();
@@ -869,7 +998,7 @@ Simulation::runMixed(
                     temps = tm.steadyState(
                         tm.powerVector(block_power, vr_loss));
                 }
-                const Watts *dyn0 = powerTrace.frame(0);
+                const Watts *dyn0 = trace->frame(0);
                 last_block_power.assign(dyn0, dyn0 + n_blocks);
                 tm.blockTempsInto(temps, fs.blockT);
                 pm.leakageFrameInto(fs.blockT, fs.leak);
@@ -883,7 +1012,7 @@ Simulation::runMixed(
         for (std::size_t f = f0; f < f1; ++f) {
             Seconds now = static_cast<double>(f) * dt;
             tm.blockTempsInto(temps, fs.blockT);
-            const Watts *dyn = powerTrace.frame(f);
+            const Watts *dyn = trace->frame(f);
             pm.leakageFrameInto(fs.blockT, fs.leak);
             std::vector<Watts> &block_power = fs.blockPower;
             block_power.resize(n_blocks);
@@ -1113,6 +1242,19 @@ Simulation::runMixed(
             res.vrActivity[static_cast<std::size_t>(v)] =
                 governor.activityRate(d, l);
         }
+
+    if (memo) {
+        cache::store().put<RunResult>(
+            cache::ArtifactKind::RunResult, memo_key,
+            std::make_shared<const RunResult>(res),
+            cache::runResultBytes(res));
+        cache::DiskTier disk(cacheDirResolved);
+        disk.save(cache::ArtifactKind::RunResult, memo_key,
+                  cache::encodeRunResult(res),
+                  "tg run-result v1 " + label + " policy=" +
+                      core::policyName(policy) +
+                      " key=" + memo_key.hex());
+    }
 
     return res;
 }

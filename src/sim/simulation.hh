@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "cache/fingerprint.hh"
 #include "common/exec.hh"
 #include "core/governor.hh"
 #include "core/thermal_predictor.hh"
@@ -113,6 +114,27 @@ class Simulation
     /** chip VR index -> (domain, local index). */
     std::vector<std::pair<int, int>> vrLocal;
 
+    /**
+     * Content fingerprints of the immutable per-instance inputs,
+     * computed once in the constructor: every cache key below is a
+     * cheap combination of these with per-run inputs.
+     */
+    cache::Fingerprint chipFp;
+    cache::Fingerprint cfgFp;
+
+    /** cfg.cacheDir, else $TG_CACHE_DIR, else "" (disk tier off). */
+    std::string cacheDirResolved;
+
+    /** Whether whole-RunResult memoization applies (see SimConfig). */
+    bool memoActive() const;
+
+    /** Full-tuple key of one runMixed invocation. */
+    cache::Fingerprint
+    runKey(const std::vector<const workload::BenchmarkProfile *>
+               &per_core,
+           const std::string &label, core::PolicyKind policy,
+           const RecordOptions &opts) const;
+
     void calibrateThetas();
 
     /**
@@ -178,7 +200,6 @@ class Simulation
         core::DomainState st;           //!< reused decision inputs
     };
 
-    power::PowerTrace powerTrace;  //!< per-run dynamic-power trace
     FrameScratch fs;
     std::vector<NoiseScratch> noiseScratch;   //!< one per domain
     std::vector<QueuedNoiseSample> noiseQueue; //!< epoch batch queue

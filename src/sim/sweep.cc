@@ -107,11 +107,22 @@ runSweep(Simulation &simulation, std::vector<std::string> benchmarks,
     if (want_predictor)
         simulation.thermalPredictor();
 
+    // Resolve every benchmark name once up front: profileByName is a
+    // linear scan, and the task lambda would otherwise repeat it for
+    // all |policies| cells of a row (and re-validate names mid-sweep
+    // instead of failing before any work is queued). Profiles are
+    // stable storage (splashProfiles' static vector), so the pointers
+    // stay valid across the whole fan-out.
+    std::vector<const workload::BenchmarkProfile *> row_profiles;
+    row_profiles.reserve(benchmarks.size());
+    for (const auto &name : benchmarks)
+        row_profiles.push_back(&workload::profileByName(name));
+
     exec::ProgressSink sink(progress, n_tasks);
     auto run_one = [&](Simulation &ctx, std::size_t task) {
         std::size_t b = task / policies.size();
         std::size_t p = task % policies.size();
-        const auto &profile = workload::profileByName(benchmarks[b]);
+        const auto &profile = *row_profiles[b];
         RunResult r = ctx.run(profile, policies[p], opts);
         std::ostringstream line;
         char buf[96];

@@ -1,0 +1,751 @@
+/**
+ * @file
+ * Tests of the content-addressed artifact cache (src/cache): the
+ * fingerprint layer (golden digests + field sensitivity + knob
+ * invariance), the sharded in-memory store, the bit-exact RunResult
+ * serializer, the checksummed disk tier, and the end-to-end
+ * cache-hit-equals-recompute contract of Simulation memoization.
+ *
+ * The golden digests pin the exact key derivation: a failure here
+ * means the cache namespace silently moved (every existing disk
+ * artifact orphaned) or — worse — aliased. Bump the version tag
+ * inside the corresponding fingerprint function AND refresh the
+ * golden together; never "fix" a golden alone.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <thread>
+
+#include "cache/disk.hh"
+#include "cache/fingerprint.hh"
+#include "cache/serialize.hh"
+#include "cache/store.hh"
+#include "fault/scenario.hh"
+#include "floorplan/power8.hh"
+#include "sim/simulation.hh"
+#include "workload/profile.hh"
+
+namespace tg {
+namespace cache {
+namespace {
+
+// ===================================================================
+// Fingerprint layer
+// ===================================================================
+
+TEST(Fingerprint, GoldenDigestsArePinned)
+{
+    // Primitive-absorb goldens: any change to the mixing function,
+    // the domain-separation tags, or the finalizer shows up here.
+    EXPECT_EQ(Hasher{}.digest().hex(),
+              "01a01e22fd94a4f69be933f0394ae9f6");
+    EXPECT_EQ(Hasher{}.u64(0).digest().hex(),
+              "0a36a8711484967db701f8afdddc8508");
+    EXPECT_EQ(Hasher{}.u64(1).digest().hex(),
+              "469d30cecf437c4dc5e09e6cf695a41a");
+    EXPECT_EQ(Hasher{}.f64(1.0).digest().hex(),
+              "5c4c4cbc83ba99e5e2c701448a19f345");
+    EXPECT_EQ(Hasher{}.str("").digest().hex(),
+              "7338c45bccdc4fad99f70e546244e3fb");
+    EXPECT_EQ(Hasher{}.str("thermogater").digest().hex(),
+              "209eef87d203f0f0c6a2ebffb358f1ef");
+}
+
+TEST(Fingerprint, GoldenContentKeysArePinned)
+{
+    // Whole-input goldens: these are the actual cache-key components,
+    // so a drift here orphans (or aliases) every stored artifact.
+    EXPECT_EQ(chipFingerprint(floorplan::buildMiniChip(2)).hex(),
+              "5ef56da182bb32f7195a1a594c69f1b3");
+    EXPECT_EQ(chipFingerprint(floorplan::buildPower8Chip()).hex(),
+              "5bbfb9f39246898c93051dd47b342698");
+    EXPECT_EQ(configFingerprint(sim::SimConfig{}).hex(),
+              "c75c6ce7c69fa7aee7d65cc558a61549");
+    EXPECT_EQ(powerParamsFingerprint(power::PowerParams{}).hex(),
+              "aa763c21af940a79cd93b771018e4e64");
+    EXPECT_EQ(
+        profileFingerprint(workload::profileByName("fft")).hex(),
+        "4c9303a7c6b2dcac1f673f9f19a57fbc");
+    EXPECT_EQ(recordOptionsFingerprint(sim::RecordOptions{}).hex(),
+              "b3710d344b37c65823cc11992e9528b7");
+}
+
+TEST(Fingerprint, TypeTagsAndBoundariesDoNotAlias)
+{
+    // Domain separation: same raw payload through different typed
+    // absorbs must not collide.
+    EXPECT_NE(Hasher{}.u64(0).digest(), Hasher{}.f64(0.0).digest());
+    EXPECT_NE(Hasher{}.u64(0).digest(), Hasher{}.str("").digest());
+    // boolean() encodes true/false as u64 1/2 (a deliberate alias);
+    // the two truth values themselves must stay distinct.
+    EXPECT_NE(Hasher{}.boolean(true).digest(),
+              Hasher{}.boolean(false).digest());
+    // Field boundaries: concatenation must not alias across fields.
+    EXPECT_NE(Hasher{}.str("ab").str("c").digest(),
+              Hasher{}.str("a").str("bc").digest());
+    // Prefix of a stream never aliases the stream (length folded in).
+    EXPECT_NE(Hasher{}.u64(7).digest(),
+              Hasher{}.u64(7).u64(0).digest());
+    // -0.0 and +0.0 are distinct bit patterns, distinct hashes.
+    EXPECT_NE(Hasher{}.f64(0.0).digest(),
+              Hasher{}.f64(-0.0).digest());
+}
+
+TEST(Fingerprint, ConfigFieldsChangeTheKey)
+{
+    sim::SimConfig base;
+    const Fingerprint ref = configFingerprint(base);
+
+    sim::SimConfig c = base;
+    c.seed = base.seed + 1;
+    EXPECT_NE(configFingerprint(c), ref);
+
+    c = base;
+    c.noiseSamples += 1;
+    EXPECT_NE(configFingerprint(c), ref);
+
+    c = base;
+    c.decisionInterval *= 2.0;
+    EXPECT_NE(configFingerprint(c), ref);
+
+    c = base;
+    c.thermalParams.ambient += 1.0;
+    EXPECT_NE(configFingerprint(c), ref);
+
+    c = base;
+    c.powerParams.densityExu *= 1.01;
+    EXPECT_NE(configFingerprint(c), ref);
+
+    c = base;
+    c.pdnParams.emergencyFrac *= 0.5;
+    EXPECT_NE(configFingerprint(c), ref);
+
+    c = base;
+    c.healthParams.readmitReads += 1;
+    EXPECT_NE(configFingerprint(c), ref);
+}
+
+TEST(Fingerprint, BitInvisibleKnobsDoNotChangeTheKey)
+{
+    // These knobs are proven (tests/test_run_determinism.cc,
+    // test_epoch_coalescing.cc) not to move a single result bit, so
+    // runs differing only in them must share cache entries.
+    sim::SimConfig base;
+    const Fingerprint ref = configFingerprint(base);
+
+    sim::SimConfig c = base;
+    c.jobs = 4;
+    EXPECT_EQ(configFingerprint(c), ref);
+
+    c = base;
+    c.noiseBatchWidth = 2;
+    EXPECT_EQ(configFingerprint(c), ref);
+
+    c = base;
+    c.coalesceNoiseEpochs = !base.coalesceNoiseEpochs;
+    EXPECT_EQ(configFingerprint(c), ref);
+
+    c = base;
+    c.pdnParams.factorCacheCapacity += 7;
+    EXPECT_EQ(configFingerprint(c), ref);
+
+    c = base;
+    c.cacheDir = "/somewhere/else";
+    c.memoizeResults = !base.memoizeResults;
+    EXPECT_EQ(configFingerprint(c), ref);
+}
+
+TEST(Fingerprint, ProfileContentsChangeTheKey)
+{
+    workload::BenchmarkProfile p = workload::profileByName("fft");
+    const Fingerprint ref = profileFingerprint(p);
+    p.meanUtilization += 0.01;
+    EXPECT_NE(profileFingerprint(p), ref);
+
+    // Two distinct profiles never share a key.
+    EXPECT_NE(
+        profileFingerprint(workload::profileByName("barnes")), ref);
+}
+
+TEST(Fingerprint, NullAndEmptyFaultScenarioHashAlike)
+{
+    // runMixed treats a null scenario and an empty one identically
+    // (both take the clean path), so their record keys must match.
+    sim::RecordOptions plain;
+    fault::FaultScenario empty(1234);
+    sim::RecordOptions with_empty;
+    with_empty.faultScenario = &empty;
+    EXPECT_EQ(recordOptionsFingerprint(plain),
+              recordOptionsFingerprint(with_empty));
+
+    fault::FaultScenario faulted(1234);
+    fault::FaultEvent ev;
+    ev.kind = fault::FaultKind::VrStuckOff;
+    ev.target = 0;
+    ev.start = 1e-4;
+    ev.duration = 5e-4;
+    faulted.add(ev);
+    sim::RecordOptions with_fault;
+    with_fault.faultScenario = &faulted;
+    EXPECT_NE(recordOptionsFingerprint(plain),
+              recordOptionsFingerprint(with_fault));
+}
+
+TEST(Fingerprint, HexIsStableAndParseable)
+{
+    Fingerprint fp{0x0123456789abcdefull, 0xfedcba9876543210ull};
+    EXPECT_EQ(fp.hex(), "0123456789abcdeffedcba9876543210");
+    EXPECT_EQ(Fingerprint{}.hex(),
+              "0000000000000000""0000000000000000");
+}
+
+// ===================================================================
+// In-memory store
+// ===================================================================
+
+Fingerprint
+keyOf(std::uint64_t i)
+{
+    return Hasher{}.str("test-key").u64(i).digest();
+}
+
+TEST(ArtifactStore, PutGetHitMissAndClear)
+{
+    ArtifactStore s;
+    const Fingerprint k = keyOf(1);
+    EXPECT_EQ(s.get<int>(ArtifactKind::PowerTrace, k), nullptr);
+
+    s.put<int>(ArtifactKind::PowerTrace, k,
+               std::make_shared<const int>(42), sizeof(int));
+    auto hit = s.get<int>(ArtifactKind::PowerTrace, k);
+    ASSERT_NE(hit, nullptr);
+    EXPECT_EQ(*hit, 42);
+
+    // Kinds are separate namespaces: same key, different kind, miss.
+    EXPECT_EQ(s.get<int>(ArtifactKind::Predictor, k), nullptr);
+
+    auto st = s.stats();
+    EXPECT_EQ(st.kind[0].hits, 1u);
+    EXPECT_EQ(st.kind[0].misses, 1u);
+    EXPECT_EQ(st.kind[0].inserts, 1u);
+
+    s.clear();
+    EXPECT_EQ(s.get<int>(ArtifactKind::PowerTrace, k), nullptr);
+    EXPECT_EQ(s.stats().bytesTotal(), 0u);
+}
+
+TEST(ArtifactStore, FirstWriteWinsOnDuplicateKeys)
+{
+    // Racing same-key builders are benign by determinism; the store
+    // keeps the resident copy so outstanding readers stay coherent.
+    ArtifactStore s;
+    const Fingerprint k = keyOf(2);
+    s.put<int>(ArtifactKind::RunResult, k,
+               std::make_shared<const int>(1), sizeof(int));
+    s.put<int>(ArtifactKind::RunResult, k,
+               std::make_shared<const int>(2), sizeof(int));
+    EXPECT_EQ(*s.get<int>(ArtifactKind::RunResult, k), 1);
+}
+
+TEST(ArtifactStore, DisabledStoreMissesAndDropsPuts)
+{
+    ArtifactStore s;
+    s.setEnabled(false);
+    const Fingerprint k = keyOf(3);
+    s.put<int>(ArtifactKind::PdnBase, k,
+               std::make_shared<const int>(9), sizeof(int));
+    EXPECT_EQ(s.get<int>(ArtifactKind::PdnBase, k), nullptr);
+    s.setEnabled(true);
+    EXPECT_EQ(s.get<int>(ArtifactKind::PdnBase, k), nullptr);
+}
+
+TEST(ArtifactStore, EvictsLeastRecentlyUsedUnderPressure)
+{
+    // Tiny budget: entries land in per-key shards, each shard holds
+    // at most its slice. Insert many large entries into one shard by
+    // fixing the low fingerprint bits, then check older ones left.
+    ArtifactStore s(1024); // 64 bytes per shard slice
+    Fingerprint base = keyOf(4);
+    auto shard_key = [&](std::uint64_t i) {
+        Fingerprint f = keyOf(i);
+        f.lo = (f.lo & ~0xfull); // all in shard 0
+        return f;
+    };
+    for (std::uint64_t i = 0; i < 8; ++i)
+        s.put<int>(ArtifactKind::PowerTrace, shard_key(i),
+                   std::make_shared<const int>(int(i)), 48);
+    (void)base;
+    auto st = s.stats();
+    EXPECT_GT(st.evictions, 0u);
+    // The newest entry always survives (eviction keeps >= 1).
+    EXPECT_NE(s.get<int>(ArtifactKind::PowerTrace, shard_key(7)),
+              nullptr);
+    // The oldest was evicted.
+    EXPECT_EQ(s.get<int>(ArtifactKind::PowerTrace, shard_key(0)),
+              nullptr);
+}
+
+TEST(ArtifactStore, GetOrBuildBuildsOnceThenHits)
+{
+    ArtifactStore s;
+    const Fingerprint k = keyOf(5);
+    int builds = 0;
+    auto build = [&] {
+        ++builds;
+        return std::make_shared<const int>(7);
+    };
+    auto bytes = [](const int &) { return sizeof(int); };
+    auto a = s.getOrBuild<int>(ArtifactKind::Predictor, k, build, bytes);
+    auto b = s.getOrBuild<int>(ArtifactKind::Predictor, k, build, bytes);
+    EXPECT_EQ(builds, 1);
+    EXPECT_EQ(a.get(), b.get());
+    EXPECT_EQ(*b, 7);
+}
+
+TEST(ArtifactStore, ConcurrentMixedAccessIsSafe)
+{
+    ArtifactStore s;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 8; ++t) {
+        threads.emplace_back([&s, t] {
+            auto bytes = [](const int &) { return sizeof(int); };
+            for (std::uint64_t i = 0; i < 200; ++i) {
+                const Fingerprint k = keyOf(i % 37);
+                auto v = s.getOrBuild<int>(
+                    ArtifactKind::RunResult, k,
+                    [&] {
+                        return std::make_shared<const int>(
+                            int(i % 37));
+                    },
+                    bytes);
+                ASSERT_NE(v, nullptr);
+                // Whoever built it, content follows the key.
+                EXPECT_EQ(*v, int(i % 37));
+            }
+            (void)t;
+        });
+    }
+    for (auto &th : threads)
+        th.join();
+    auto st = s.stats();
+    EXPECT_EQ(st.kind[3].inserts, 37u);
+}
+
+// ===================================================================
+// Serialization + disk tier
+// ===================================================================
+
+/** A RunResult with every field (series included) populated. */
+sim::RunResult
+denseResult()
+{
+    sim::RunResult r;
+    r.benchmark = "fft+lu_cb";
+    r.policy = core::PolicyKind::PracVT;
+    r.maxTmax = 0x1.f6e04cf2063d9p+5;
+    r.hottestSpot = "core0.vr8";
+    r.maxGradient = 14.375;
+    r.maxNoiseFrac = 0.031;
+    r.emergencyFrac = 0.002;
+    r.avgRegulatorLoss = 3.25;
+    r.avgEta = 0.853;
+    r.avgActiveVrs = 13.5;
+    r.meanPower = 18.75;
+    r.overrideCount = 3;
+    r.timeUs = {0.0, 0.5, 1.0, -0.0};
+    r.totalPowerW = {18.0, 19.5};
+    r.activeVrs = {16.0, 12.0};
+    r.trackedVrTemp = {55.5, 56.25};
+    r.trackedVrOn = {1, 0, 1};
+    r.heatmap = {50.0, 51.0, 52.0, 53.0};
+    r.heatmapW = 2;
+    r.heatmapH = 2;
+    r.heatmapTimeUs = 123.5;
+    r.noiseTrace = {0.01, 0.02, 0.005};
+    r.noiseTraceDomain = 5;
+    r.noiseTraceTimeUs = 77.25;
+    r.vrActivity = {1.0, 0.5, 0.0};
+    r.vrAging = {2.0, 1.0, 0.25};
+    r.agingImbalance = 1.375;
+    r.resilience.scheduledFaults = 2;
+    r.resilience.faultedEpochs = 5;
+    r.resilience.degradedDecisions = 4;
+    r.resilience.floorEngagements = 1;
+    r.resilience.underSuppliedDecisions = 1;
+    r.resilience.quarantineEvents = 2;
+    r.resilience.quarantinedEpochs = 3;
+    r.resilience.peakQuarantined = 2;
+    r.resilience.detectionLatency = 1.5e-4;
+    r.resilience.alertsSuppressed = 1;
+    r.resilience.alertsInjected = 2;
+    r.resilience.emergencyCyclesFaulted = 12;
+    r.resilience.emergencyCyclesClean = 7;
+    return r;
+}
+
+void
+expectFullyIdentical(const sim::RunResult &a, const sim::RunResult &b)
+{
+    EXPECT_EQ(a.benchmark, b.benchmark);
+    EXPECT_EQ(a.policy, b.policy);
+    EXPECT_EQ(a.maxTmax, b.maxTmax);
+    EXPECT_EQ(a.hottestSpot, b.hottestSpot);
+    EXPECT_EQ(a.maxGradient, b.maxGradient);
+    EXPECT_EQ(a.maxNoiseFrac, b.maxNoiseFrac);
+    EXPECT_EQ(a.emergencyFrac, b.emergencyFrac);
+    EXPECT_EQ(a.avgRegulatorLoss, b.avgRegulatorLoss);
+    EXPECT_EQ(a.avgEta, b.avgEta);
+    EXPECT_EQ(a.avgActiveVrs, b.avgActiveVrs);
+    EXPECT_EQ(a.meanPower, b.meanPower);
+    EXPECT_EQ(a.overrideCount, b.overrideCount);
+    EXPECT_EQ(a.timeUs, b.timeUs);
+    EXPECT_EQ(a.totalPowerW, b.totalPowerW);
+    EXPECT_EQ(a.activeVrs, b.activeVrs);
+    EXPECT_EQ(a.trackedVrTemp, b.trackedVrTemp);
+    EXPECT_EQ(a.trackedVrOn, b.trackedVrOn);
+    EXPECT_EQ(a.heatmap, b.heatmap);
+    EXPECT_EQ(a.heatmapW, b.heatmapW);
+    EXPECT_EQ(a.heatmapH, b.heatmapH);
+    EXPECT_EQ(a.heatmapTimeUs, b.heatmapTimeUs);
+    EXPECT_EQ(a.noiseTrace, b.noiseTrace);
+    EXPECT_EQ(a.noiseTraceDomain, b.noiseTraceDomain);
+    EXPECT_EQ(a.noiseTraceTimeUs, b.noiseTraceTimeUs);
+    EXPECT_EQ(a.vrActivity, b.vrActivity);
+    EXPECT_EQ(a.vrAging, b.vrAging);
+    EXPECT_EQ(a.agingImbalance, b.agingImbalance);
+    EXPECT_EQ(a.resilience.scheduledFaults,
+              b.resilience.scheduledFaults);
+    EXPECT_EQ(a.resilience.faultedEpochs, b.resilience.faultedEpochs);
+    EXPECT_EQ(a.resilience.degradedDecisions,
+              b.resilience.degradedDecisions);
+    EXPECT_EQ(a.resilience.floorEngagements,
+              b.resilience.floorEngagements);
+    EXPECT_EQ(a.resilience.underSuppliedDecisions,
+              b.resilience.underSuppliedDecisions);
+    EXPECT_EQ(a.resilience.quarantineEvents,
+              b.resilience.quarantineEvents);
+    EXPECT_EQ(a.resilience.quarantinedEpochs,
+              b.resilience.quarantinedEpochs);
+    EXPECT_EQ(a.resilience.peakQuarantined,
+              b.resilience.peakQuarantined);
+    EXPECT_EQ(a.resilience.detectionLatency,
+              b.resilience.detectionLatency);
+    EXPECT_EQ(a.resilience.alertsSuppressed,
+              b.resilience.alertsSuppressed);
+    EXPECT_EQ(a.resilience.alertsInjected,
+              b.resilience.alertsInjected);
+    EXPECT_EQ(a.resilience.emergencyCyclesFaulted,
+              b.resilience.emergencyCyclesFaulted);
+    EXPECT_EQ(a.resilience.emergencyCyclesClean,
+              b.resilience.emergencyCyclesClean);
+}
+
+TEST(Serialize, RunResultRoundTripsBitExactly)
+{
+    const sim::RunResult r = denseResult();
+    auto bytes = encodeRunResult(r);
+    sim::RunResult back;
+    ASSERT_TRUE(decodeRunResult(bytes.data(), bytes.size(), back));
+    expectFullyIdentical(r, back);
+
+    // Default-constructed (empty-series) result round-trips too.
+    sim::RunResult empty;
+    auto ebytes = encodeRunResult(empty);
+    sim::RunResult eback;
+    ASSERT_TRUE(decodeRunResult(ebytes.data(), ebytes.size(), eback));
+    expectFullyIdentical(empty, eback);
+}
+
+TEST(Serialize, TruncationAndTrailingGarbageAreRejected)
+{
+    auto bytes = encodeRunResult(denseResult());
+    sim::RunResult out;
+    // Every truncation point must fail cleanly, never crash.
+    for (std::size_t cut : {std::size_t(0), std::size_t(1),
+                            std::size_t(4), bytes.size() / 2,
+                            bytes.size() - 1})
+        EXPECT_FALSE(decodeRunResult(bytes.data(), cut, out))
+            << "truncated at " << cut;
+    // Wrong magic.
+    auto bad = bytes;
+    bad[0] ^= 0xff;
+    EXPECT_FALSE(decodeRunResult(bad.data(), bad.size(), out));
+    // Trailing garbage (exhausted() check).
+    auto longer = bytes;
+    longer.push_back(0);
+    EXPECT_FALSE(decodeRunResult(longer.data(), longer.size(), out));
+}
+
+TEST(Serialize, AbsurdVectorLengthIsRejectedNotAllocated)
+{
+    // A corrupt length prefix must fail the sanity cap, not attempt a
+    // multi-gigabyte allocation.
+    ByteWriter w;
+    w.u32(0x54475231u); // kRunResultMagic
+    w.str("x");
+    w.u64(0);
+    ByteReader probe(w.bytes().data(), w.bytes().size());
+    (void)probe;
+    std::vector<std::uint8_t> bytes = w.bytes();
+    // Append a vector length far past the cap with no payload.
+    ByteWriter tail;
+    tail.u64(std::uint64_t(1) << 40);
+    bytes.insert(bytes.end(), tail.bytes().begin(),
+                 tail.bytes().end());
+    sim::RunResult out;
+    EXPECT_FALSE(decodeRunResult(bytes.data(), bytes.size(), out));
+}
+
+class DiskTierTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override
+    {
+        dir = std::filesystem::path(::testing::TempDir()) /
+              "tg-cache-test";
+        std::filesystem::remove_all(dir);
+        stats = std::make_unique<ArtifactStore>();
+    }
+    void TearDown() override { std::filesystem::remove_all(dir); }
+
+    std::filesystem::path dir;
+    std::unique_ptr<ArtifactStore> stats;
+};
+
+TEST_F(DiskTierTest, SaveEvictReloadRoundTripsBitExactly)
+{
+    DiskTier tier(dir.string(), stats.get());
+    const sim::RunResult r = denseResult();
+    const Fingerprint key = keyOf(100);
+
+    ASSERT_TRUE(tier.save(ArtifactKind::RunResult, key,
+                          encodeRunResult(r), "test provenance"));
+    EXPECT_TRUE(std::filesystem::exists(
+        tier.pathFor(ArtifactKind::RunResult, key)));
+
+    // Simulate memory-tier eviction: reload purely from disk.
+    std::vector<std::uint8_t> payload;
+    ASSERT_TRUE(tier.load(ArtifactKind::RunResult, key, payload));
+    sim::RunResult back;
+    ASSERT_TRUE(decodeRunResult(payload.data(), payload.size(), back));
+    expectFullyIdentical(r, back);
+
+    auto st = stats->stats();
+    EXPECT_EQ(st.diskWrites, 1u);
+    EXPECT_EQ(st.diskHits, 1u);
+    EXPECT_EQ(st.diskRejects, 0u);
+}
+
+TEST_F(DiskTierTest, MissingKindOrKeyMismatchMisses)
+{
+    DiskTier tier(dir.string(), stats.get());
+    std::vector<std::uint8_t> payload;
+    EXPECT_FALSE(
+        tier.load(ArtifactKind::RunResult, keyOf(101), payload));
+    EXPECT_EQ(stats->stats().diskMisses, 1u);
+
+    // A file saved under one kind must not answer another (the file
+    // header binds both kind and key).
+    ASSERT_TRUE(tier.save(ArtifactKind::RunResult, keyOf(102),
+                          encodeRunResult(denseResult()), "p"));
+    std::filesystem::copy_file(
+        tier.pathFor(ArtifactKind::RunResult, keyOf(102)),
+        tier.pathFor(ArtifactKind::RunResult, keyOf(103)));
+    EXPECT_FALSE(
+        tier.load(ArtifactKind::RunResult, keyOf(103), payload));
+    EXPECT_GT(stats->stats().diskRejects, 0u);
+}
+
+TEST_F(DiskTierTest, CorruptAndTruncatedFilesAreRejected)
+{
+    DiskTier tier(dir.string(), stats.get());
+    const Fingerprint key = keyOf(104);
+    ASSERT_TRUE(tier.save(ArtifactKind::RunResult, key,
+                          encodeRunResult(denseResult()), "p"));
+    const std::string path =
+        tier.pathFor(ArtifactKind::RunResult, key);
+
+    // Flip one payload byte: checksum must catch it.
+    {
+        std::fstream f(path, std::ios::in | std::ios::out |
+                                 std::ios::binary);
+        f.seekp(64);
+        char c;
+        f.seekg(64);
+        f.get(c);
+        c = static_cast<char>(c ^ 0x40);
+        f.seekp(64);
+        f.put(c);
+    }
+    std::vector<std::uint8_t> payload;
+    EXPECT_FALSE(tier.load(ArtifactKind::RunResult, key, payload));
+
+    // Truncate: length/checksum validation must catch it.
+    ASSERT_TRUE(tier.save(ArtifactKind::RunResult, key,
+                          encodeRunResult(denseResult()), "p"));
+    std::filesystem::resize_file(
+        path, std::filesystem::file_size(path) / 2);
+    EXPECT_FALSE(tier.load(ArtifactKind::RunResult, key, payload));
+
+    // Zero-length file.
+    ASSERT_TRUE(tier.save(ArtifactKind::RunResult, key,
+                          encodeRunResult(denseResult()), "p"));
+    std::filesystem::resize_file(path, 0);
+    EXPECT_FALSE(tier.load(ArtifactKind::RunResult, key, payload));
+
+    EXPECT_GE(stats->stats().diskRejects, 3u);
+}
+
+TEST_F(DiskTierTest, InactiveTierNeverTouchesTheFilesystem)
+{
+    DiskTier tier("", stats.get());
+    EXPECT_FALSE(tier.active());
+    std::vector<std::uint8_t> payload;
+    EXPECT_FALSE(
+        tier.load(ArtifactKind::RunResult, keyOf(105), payload));
+    EXPECT_FALSE(tier.save(ArtifactKind::RunResult, keyOf(105),
+                           {1, 2, 3}, "p"));
+}
+
+// ===================================================================
+// End-to-end: cache hit == recompute
+// ===================================================================
+
+sim::SimConfig
+miniConfig()
+{
+    sim::SimConfig cfg;
+    cfg.noiseSamples = 4;
+    cfg.profilingEpochs = 8;
+    return cfg;
+}
+
+class CacheDeterminism : public ::testing::Test
+{
+  protected:
+    void SetUp() override
+    {
+        dir = std::filesystem::path(::testing::TempDir()) /
+              "tg-cache-determinism";
+        std::filesystem::remove_all(dir);
+        store().clear();
+        store().setEnabled(true);
+    }
+    void TearDown() override
+    {
+        std::filesystem::remove_all(dir);
+        store().clear();
+        store().setEnabled(true);
+    }
+
+    std::filesystem::path dir;
+};
+
+TEST_F(CacheDeterminism, MemoHitEqualsRecomputeAcrossJobCounts)
+{
+    // The reference: caching fully disabled.
+    auto chip = floorplan::buildMiniChip(2);
+    store().setEnabled(false);
+    sim::SimConfig plain = miniConfig();
+    plain.memoizeResults = false;
+    sim::Simulation ref(chip, plain);
+    auto want = ref.run(workload::profileByName("fft"),
+                        core::PolicyKind::PracVT);
+    store().setEnabled(true);
+
+    // Cold memoizing run at jobs=1 populates memory + disk; warm runs
+    // at jobs=1 and jobs=4 must hit (jobs is excluded from the key)
+    // and return every bit of the reference.
+    sim::SimConfig memo = miniConfig();
+    memo.cacheDir = dir.string();
+    for (int jobs : {1, 4}) {
+        sim::SimConfig cfg = memo;
+        cfg.jobs = jobs;
+        sim::Simulation s(chip, cfg);
+        auto got = s.run(workload::profileByName("fft"),
+                         core::PolicyKind::PracVT);
+        expectFullyIdentical(want, got);
+    }
+    // The second loop iteration must have been served by the memo.
+    auto st = store().stats();
+    EXPECT_GT(st.kind[int(ArtifactKind::RunResult)].hits +
+                  st.diskHits,
+              0u);
+}
+
+TEST_F(CacheDeterminism, DiskTierSurvivesMemoryEviction)
+{
+    auto chip = floorplan::buildMiniChip(1);
+    sim::SimConfig cfg = miniConfig();
+    cfg.cacheDir = dir.string();
+
+    sim::Simulation cold(chip, cfg);
+    auto want = cold.run(workload::profileByName("rayt"),
+                         core::PolicyKind::OracVT);
+
+    // Drop the memory tier entirely: the rerun must reload the
+    // RunResult from disk, bit-identically.
+    store().clear();
+    const auto disk_hits_before = store().stats().diskHits;
+    sim::Simulation warm(chip, cfg);
+    auto got = warm.run(workload::profileByName("rayt"),
+                        core::PolicyKind::OracVT);
+    expectFullyIdentical(want, got);
+    EXPECT_GT(store().stats().diskHits, disk_hits_before);
+}
+
+TEST_F(CacheDeterminism, CorruptDiskArtifactFallsBackToRecompute)
+{
+    auto chip = floorplan::buildMiniChip(1);
+    sim::SimConfig cfg = miniConfig();
+    cfg.cacheDir = dir.string();
+
+    sim::Simulation cold(chip, cfg);
+    auto want = cold.run(workload::profileByName("fft"),
+                         core::PolicyKind::AllOn);
+
+    // Corrupt every cached file, drop the memory tier: the run must
+    // reject the files, recompute, and still match bit for bit.
+    for (const auto &e :
+         std::filesystem::directory_iterator(dir)) {
+        std::fstream f(e.path(), std::ios::in | std::ios::out |
+                                     std::ios::binary);
+        f.seekp(40);
+        f.put('\x7f');
+    }
+    store().clear();
+    const auto rejects_before = store().stats().diskRejects;
+    sim::Simulation retry(chip, cfg);
+    auto got = retry.run(workload::profileByName("fft"),
+                         core::PolicyKind::AllOn);
+    expectFullyIdentical(want, got);
+    EXPECT_GT(store().stats().diskRejects, rejects_before);
+}
+
+TEST_F(CacheDeterminism, MemoizationOffStillMatchesAndDoesNotWrite)
+{
+    // memoizeResults=false (or no cache dir) must keep the disk tier
+    // untouched while the prebuild caches stay bit-invisible.
+    auto chip = floorplan::buildMiniChip(1);
+    sim::SimConfig cfg = miniConfig();
+    cfg.cacheDir = dir.string();
+    cfg.memoizeResults = false;
+
+    sim::Simulation a(chip, cfg);
+    auto r1 = a.run(workload::profileByName("fft"),
+                    core::PolicyKind::PracVT);
+    EXPECT_FALSE(std::filesystem::exists(dir));
+
+    sim::Simulation b(chip, cfg); // prebuild caches hit here
+    auto r2 = b.run(workload::profileByName("fft"),
+                    core::PolicyKind::PracVT);
+    expectFullyIdentical(r1, r2);
+}
+
+} // namespace
+} // namespace cache
+} // namespace tg
