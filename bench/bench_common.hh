@@ -11,12 +11,14 @@
 #ifndef TG_BENCH_BENCH_COMMON_HH
 #define TG_BENCH_BENCH_COMMON_HH
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "common/exec.hh"
 #include "floorplan/power8.hh"
@@ -47,6 +49,23 @@ parseJobs(int argc, char **argv)
     return 0;
 }
 
+/**
+ * Parse `<flag> N` / `<flag>=N`; returns `fallback` when absent.
+ * (Shared by the sharded-sweep benches for --processes.)
+ */
+inline int
+parseIntFlag(int argc, char **argv, const char *flag, int fallback)
+{
+    const std::size_t len = std::strlen(flag);
+    for (int i = 1; i < argc; ++i) {
+        if (!std::strcmp(argv[i], flag) && i + 1 < argc)
+            return std::atoi(argv[i + 1]);
+        if (!std::strncmp(argv[i], flag, len) && argv[i][len] == '=')
+            return std::atoi(argv[i] + len + 1);
+    }
+    return fallback;
+}
+
 /** Print the standard bench banner. */
 inline void
 banner(const std::string &artefact, const std::string &what)
@@ -73,6 +92,71 @@ evaluationSim()
 {
     static sim::Simulation simulation(evaluationChip(), sim::SimConfig{});
     return simulation;
+}
+
+// --- bit-identity checks (determinism-contract assertions) -----------
+
+/** Exact comparison of two vectors of doubles. */
+inline bool
+sameSeries(const std::vector<double> &a, const std::vector<double> &b)
+{
+    return a.size() == b.size() &&
+           std::equal(a.begin(), a.end(), b.begin());
+}
+
+/** Bitwise comparison of every metric two runs report. */
+inline bool
+identicalRuns(const sim::RunResult &a, const sim::RunResult &b,
+              std::string &why)
+{
+    auto fail = [&](const char *field) {
+        why = field;
+        return false;
+    };
+    if (a.benchmark != b.benchmark) return fail("benchmark");
+    if (a.policy != b.policy) return fail("policy");
+    if (a.maxTmax != b.maxTmax) return fail("maxTmax");
+    if (a.hottestSpot != b.hottestSpot) return fail("hottestSpot");
+    if (a.maxGradient != b.maxGradient) return fail("maxGradient");
+    if (a.maxNoiseFrac != b.maxNoiseFrac) return fail("maxNoiseFrac");
+    if (a.emergencyFrac != b.emergencyFrac)
+        return fail("emergencyFrac");
+    if (a.avgRegulatorLoss != b.avgRegulatorLoss)
+        return fail("avgRegulatorLoss");
+    if (a.avgEta != b.avgEta) return fail("avgEta");
+    if (a.avgActiveVrs != b.avgActiveVrs) return fail("avgActiveVrs");
+    if (a.meanPower != b.meanPower) return fail("meanPower");
+    if (a.overrideCount != b.overrideCount)
+        return fail("overrideCount");
+    if (!sameSeries(a.vrActivity, b.vrActivity))
+        return fail("vrActivity");
+    if (!sameSeries(a.vrAging, b.vrAging)) return fail("vrAging");
+    if (a.agingImbalance != b.agingImbalance)
+        return fail("agingImbalance");
+    return true;
+}
+
+/** Bit-compare two grids cell by cell; returns the mismatch count. */
+inline int
+compareGrids(const sim::SweepResult &a, const sim::SweepResult &b,
+             const char *name_a, const char *name_b)
+{
+    int mismatches = 0;
+    for (const auto &bench_name : a.benchmarks) {
+        for (auto k : a.policies) {
+            std::string why;
+            if (!identicalRuns(a.at(bench_name, k),
+                               b.at(bench_name, k), why)) {
+                std::fprintf(stderr,
+                             "MISMATCH [%s / %s]: field %s differs "
+                             "between %s and %s\n",
+                             bench_name.c_str(), core::policyName(k),
+                             why.c_str(), name_a, name_b);
+                ++mismatches;
+            }
+        }
+    }
+    return mismatches;
 }
 
 } // namespace bench

@@ -23,7 +23,12 @@
  * second process run with --expect-warm asserts they are loaded
  * (nonzero disk hits) and bit-identical to a cache-off recompute.
  *
- *   ./microbench_sweep [--jobs N] [--quick] [--expect-warm]
+ *   ./microbench_sweep [--jobs N] [--processes N] [--quick]
+ *                      [--expect-warm]
+ *
+ * --processes N adds a sharded leg: the same grid through N worker
+ * processes (shard/coordinator.hh), asserted bit-identical to the
+ * in-process ablation leg.
  *
  * --quick shrinks the grid (4 benchmarks x 3 policies) for CI smoke
  * runs; the default is the paper's full 14-benchmark x 8-policy
@@ -39,50 +44,14 @@
 
 #include "bench_common.hh"
 #include "cache/store.hh"
+#include "shard/coordinator.hh"
+#include "shard/worker.hh"
 
 using namespace tg;
 
 namespace {
 
-/** Exact comparison of two vectors of doubles. */
-bool
-sameSeries(const std::vector<double> &a, const std::vector<double> &b)
-{
-    return a.size() == b.size() &&
-           std::equal(a.begin(), a.end(), b.begin());
-}
-
-/** Bitwise comparison of every metric two runs report. */
-bool
-identicalRuns(const sim::RunResult &a, const sim::RunResult &b,
-              std::string &why)
-{
-    auto fail = [&](const char *field) {
-        why = field;
-        return false;
-    };
-    if (a.benchmark != b.benchmark) return fail("benchmark");
-    if (a.policy != b.policy) return fail("policy");
-    if (a.maxTmax != b.maxTmax) return fail("maxTmax");
-    if (a.hottestSpot != b.hottestSpot) return fail("hottestSpot");
-    if (a.maxGradient != b.maxGradient) return fail("maxGradient");
-    if (a.maxNoiseFrac != b.maxNoiseFrac) return fail("maxNoiseFrac");
-    if (a.emergencyFrac != b.emergencyFrac)
-        return fail("emergencyFrac");
-    if (a.avgRegulatorLoss != b.avgRegulatorLoss)
-        return fail("avgRegulatorLoss");
-    if (a.avgEta != b.avgEta) return fail("avgEta");
-    if (a.avgActiveVrs != b.avgActiveVrs) return fail("avgActiveVrs");
-    if (a.meanPower != b.meanPower) return fail("meanPower");
-    if (a.overrideCount != b.overrideCount)
-        return fail("overrideCount");
-    if (!sameSeries(a.vrActivity, b.vrActivity))
-        return fail("vrActivity");
-    if (!sameSeries(a.vrAging, b.vrAging)) return fail("vrAging");
-    if (a.agingImbalance != b.agingImbalance)
-        return fail("agingImbalance");
-    return true;
-}
+using bench::compareGrids;
 
 double
 secondsSince(std::chrono::steady_clock::time_point t0)
@@ -121,29 +90,6 @@ runLeg(const std::vector<std::string> &benchmarks,
         sim::runSweep(simulation, benchmarks, policies, false, jobs);
     leg.totalS = secondsSince(t0);
     return leg;
-}
-
-/** Bit-compare two grids cell by cell; returns the mismatch count. */
-int
-compareGrids(const sim::SweepResult &a, const sim::SweepResult &b,
-             const char *name_a, const char *name_b)
-{
-    int mismatches = 0;
-    for (const auto &bench_name : a.benchmarks) {
-        for (auto k : a.policies) {
-            std::string why;
-            if (!identicalRuns(a.at(bench_name, k),
-                               b.at(bench_name, k), why)) {
-                std::fprintf(stderr,
-                             "MISMATCH [%s / %s]: field %s differs "
-                             "between %s and %s\n",
-                             bench_name.c_str(), core::policyName(k),
-                             why.c_str(), name_a, name_b);
-                ++mismatches;
-            }
-        }
-    }
-    return mismatches;
 }
 
 /**
@@ -199,6 +145,11 @@ expectWarm(const std::vector<std::string> &benchmarks,
 int
 main(int argc, char **argv)
 {
+    // Re-exec'ed by a sharded-sweep coordinator (possibly our own
+    // --processes leg below): become a worker instead of a bench.
+    if (shard::isWorkerInvocation(argc, argv))
+        return shard::workerMain(shard::basicSetupFactory());
+
     bool quick = false;
     bool expect_warm = false;
     for (int i = 1; i < argc; ++i) {
@@ -208,6 +159,7 @@ main(int argc, char **argv)
             expect_warm = true;
     }
     int jobs = exec::resolveJobs(bench::parseJobs(argc, argv));
+    int processes = bench::parseIntFlag(argc, argv, "--processes", 0);
 
     std::vector<std::string> benchmarks;
     std::vector<core::PolicyKind> policies;
@@ -275,6 +227,34 @@ main(int argc, char **argv)
         compareGrids(off.sweep, warm.sweep, "ablation", "warm");
     mismatches +=
         compareGrids(warm.sweep, par.sweep, "warm serial", "parallel");
+
+    // --- optional leg: sharded across worker processes -------------
+    // Workers re-exec this binary (--tg-worker guard in main) and
+    // share whatever TG_CACHE_DIR names; the merged grid must be
+    // bit-identical to the in-process ablation.
+    if (processes > 0) {
+        shard::ShardedSweepOptions sopt;
+        sopt.benchmarks = off.sweep.benchmarks;
+        sopt.policies = off.sweep.policies;
+        sopt.processes = processes;
+        sopt.jobsPerWorker = jobs;
+        sim::SimConfig scfg{};
+        scfg.memoizeResults = false;
+        sopt.setup = shard::encodeBasicSetup(shard::ChipKind::Power8,
+                                             0, scfg);
+        shard::ShardedSweepStats stats;
+        auto t0 = std::chrono::steady_clock::now();
+        sim::SweepResult sharded = shard::runShardedSweep(sopt, &stats);
+        double sharded_s = secondsSince(t0);
+        std::printf("sharded  (%d procs x %d jobs):  %8.2f s "
+                    "(%.2fx vs warm serial; %d shards, %d "
+                    "reassigned)\n",
+                    processes, jobs, sharded_s,
+                    warm.totalS / sharded_s, stats.shardsDispatched,
+                    stats.shardsReassigned);
+        mismatches +=
+            compareGrids(off.sweep, sharded, "ablation", "sharded");
+    }
 
     // --- legs 5/6: whole-RunResult memoisation ---------------------
     // TG_CACHE_DIR doubles as the CI pair's shared disk tier; without

@@ -2,9 +2,10 @@
 
 #include <atomic>
 #include <cstdio>
-#include <cstring>
 #include <filesystem>
 #include <fstream>
+
+#include "common/bytes.hh"
 
 #ifdef __unix__
 #include <unistd.h>
@@ -17,16 +18,6 @@ namespace {
 
 constexpr std::uint32_t kMagic = 0x31434754; // "TGC1" little-endian
 constexpr std::uint32_t kFormatVersion = 1;
-
-std::uint64_t fnv1a(const std::uint8_t *data, std::size_t size)
-{
-    std::uint64_t h = 1469598103934665603ull;
-    for (std::size_t i = 0; i < size; ++i) {
-        h ^= data[i];
-        h *= 1099511628211ull;
-    }
-    return h;
-}
 
 void appendU32(std::vector<std::uint8_t> &buf, std::uint32_t v)
 {
@@ -125,7 +116,7 @@ bool DiskTier::load(ArtifactKind kind, const Fingerprint &key,
     const std::size_t payloadAt = pos;
     pos += static_cast<std::size_t>(payLen);
     const std::uint64_t want = readU64(file.data() + pos);
-    if (fnv1a(file.data(), pos) != want) {
+    if (bytes::fnv1a(file.data(), pos) != want) {
         counters->noteDiskReject();
         return false;
     }
@@ -158,7 +149,7 @@ bool DiskTier::save(ArtifactKind kind, const Fingerprint &key,
     file.insert(file.end(), provenance.begin(), provenance.end());
     appendU64(file, payload.size());
     file.insert(file.end(), payload.begin(), payload.end());
-    appendU64(file, fnv1a(file.data(), file.size()));
+    appendU64(file, bytes::fnv1a(file.data(), file.size()));
 
     char token[32];
     std::snprintf(token, sizeof token, ".tmp-%016llx",

@@ -1,7 +1,5 @@
 #include "cache/serialize.hh"
 
-#include <cstring>
-
 #include "sim/result.hh"
 
 namespace tg {
@@ -12,137 +10,7 @@ namespace {
 /** Version tag leading every encoded RunResult payload. */
 constexpr std::uint32_t kRunResultMagic = 0x54475231; // "TGR1"
 
-/** Sanity cap on decoded vector lengths (largest real series is the
- *  per-frame data of a full run, well under a million entries). */
-constexpr std::uint64_t kMaxVecLen = 1ull << 28;
-
 } // namespace
-
-void ByteWriter::u32(std::uint32_t v)
-{
-    for (int i = 0; i < 4; ++i)
-        buf.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
-}
-
-void ByteWriter::u64(std::uint64_t v)
-{
-    for (int i = 0; i < 8; ++i)
-        buf.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
-}
-
-void ByteWriter::f64(double v)
-{
-    std::uint64_t bits = 0;
-    std::memcpy(&bits, &v, sizeof bits);
-    u64(bits);
-}
-
-void ByteWriter::str(const std::string &s)
-{
-    u64(s.size());
-    buf.insert(buf.end(), s.begin(), s.end());
-}
-
-void ByteWriter::f64vec(const std::vector<double> &v)
-{
-    u64(v.size());
-    for (double x : v)
-        f64(x);
-}
-
-void ByteWriter::i32vec(const std::vector<int> &v)
-{
-    u64(v.size());
-    for (int x : v)
-        i64(x);
-}
-
-bool ByteReader::take(std::size_t count, const std::uint8_t **out)
-{
-    if (failed || count > n - pos) {
-        failed = true;
-        return false;
-    }
-    *out = p + pos;
-    pos += count;
-    return true;
-}
-
-std::uint8_t ByteReader::u8()
-{
-    const std::uint8_t *q = nullptr;
-    return take(1, &q) ? *q : 0;
-}
-
-std::uint32_t ByteReader::u32()
-{
-    const std::uint8_t *q = nullptr;
-    if (!take(4, &q))
-        return 0;
-    std::uint32_t v = 0;
-    for (int i = 0; i < 4; ++i)
-        v |= static_cast<std::uint32_t>(q[i]) << (8 * i);
-    return v;
-}
-
-std::uint64_t ByteReader::u64()
-{
-    const std::uint8_t *q = nullptr;
-    if (!take(8, &q))
-        return 0;
-    std::uint64_t v = 0;
-    for (int i = 0; i < 8; ++i)
-        v |= static_cast<std::uint64_t>(q[i]) << (8 * i);
-    return v;
-}
-
-double ByteReader::f64()
-{
-    const std::uint64_t bits = u64();
-    double v = 0.0;
-    std::memcpy(&v, &bits, sizeof v);
-    return v;
-}
-
-std::string ByteReader::str()
-{
-    const std::uint64_t len = u64();
-    if (len > kMaxVecLen) {
-        failed = true;
-        return {};
-    }
-    const std::uint8_t *q = nullptr;
-    if (!take(static_cast<std::size_t>(len), &q))
-        return {};
-    return std::string(reinterpret_cast<const char *>(q),
-                       static_cast<std::size_t>(len));
-}
-
-bool ByteReader::f64vec(std::vector<double> &out)
-{
-    const std::uint64_t len = u64();
-    if (failed || len > kMaxVecLen || len * 8 > n - pos) {
-        failed = true;
-        return false;
-    }
-    out.resize(static_cast<std::size_t>(len));
-    for (double &x : out)
-        x = f64();
-    return ok();
-}
-
-bool ByteReader::i32vec(std::vector<int> &out)
-{
-    const std::uint64_t len = u64();
-    if (failed || len > kMaxVecLen || len * 8 > n - pos) {
-        failed = true;
-        return false;
-    }
-    out.resize(static_cast<std::size_t>(len));
-    for (int &x : out)
-        x = static_cast<int>(i64());
-    return ok();
-}
 
 std::vector<std::uint8_t> encodeRunResult(const sim::RunResult &r)
 {

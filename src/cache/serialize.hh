@@ -8,14 +8,19 @@
  * formatting. The encoding is little-endian, versioned via the
  * per-artifact magic tags, and host-independent for the fixed-width
  * types used.
+ *
+ * The codec primitives (ByteWriter/ByteReader) live in
+ * common/bytes.hh so the shard engine's wire protocol shares them;
+ * the aliases below keep existing cache-side users spelled the same.
  */
 
 #ifndef TG_CACHE_SERIALIZE_HH
 #define TG_CACHE_SERIALIZE_HH
 
 #include <cstdint>
-#include <string>
 #include <vector>
+
+#include "common/bytes.hh"
 
 namespace tg {
 
@@ -25,60 +30,8 @@ struct RunResult;
 
 namespace cache {
 
-/** Append-only little-endian byte sink. */
-class ByteWriter
-{
-  public:
-    void u8(std::uint8_t v) { buf.push_back(v); }
-    void u32(std::uint32_t v);
-    void u64(std::uint64_t v);
-    void i64(long long v) { u64(static_cast<std::uint64_t>(v)); }
-    void f64(double v);
-    void str(const std::string &s);
-    void f64vec(const std::vector<double> &v);
-    void i32vec(const std::vector<int> &v);
-
-    const std::vector<std::uint8_t> &bytes() const { return buf; }
-    std::vector<std::uint8_t> take() { return std::move(buf); }
-
-  private:
-    std::vector<std::uint8_t> buf;
-};
-
-/**
- * Bounds-checked reader over a byte span. Every accessor sets the
- * sticky failure flag instead of reading past the end, so a
- * truncated payload decodes to `ok() == false`, never to UB.
- */
-class ByteReader
-{
-  public:
-    ByteReader(const std::uint8_t *data, std::size_t size)
-        : p(data), n(size)
-    {
-    }
-
-    std::uint8_t u8();
-    std::uint32_t u32();
-    std::uint64_t u64();
-    long long i64() { return static_cast<long long>(u64()); }
-    double f64();
-    std::string str();
-    bool f64vec(std::vector<double> &out);
-    bool i32vec(std::vector<int> &out);
-
-    bool ok() const { return !failed; }
-    /** True when every byte was consumed (trailing garbage check). */
-    bool exhausted() const { return ok() && pos == n; }
-
-  private:
-    bool take(std::size_t count, const std::uint8_t **out);
-
-    const std::uint8_t *p;
-    std::size_t n;
-    std::size_t pos = 0;
-    bool failed = false;
-};
+using bytes::ByteReader;
+using bytes::ByteWriter;
 
 /** Serialize a RunResult (every field, series included). */
 std::vector<std::uint8_t> encodeRunResult(const sim::RunResult &r);

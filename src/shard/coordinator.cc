@@ -1,0 +1,438 @@
+#include "shard/coordinator.hh"
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstring>
+#include <deque>
+#include <map>
+#include <set>
+
+#ifdef __unix__
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/wait.h>
+#include <unistd.h>
+#endif
+
+#include <cstdio>
+#include <ctime>
+
+#include "cache/serialize.hh"
+#include "common/exec.hh"
+#include "common/logging.hh"
+#include "core/policy.hh"
+#include "shard/partition.hh"
+#include "shard/protocol.hh"
+#include "shard/worker.hh"
+#include "workload/profile.hh"
+
+namespace tg {
+namespace shard {
+
+#ifdef __unix__
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/** Coordinator-side view of one worker process. */
+struct Worker
+{
+    pid_t pid = -1;
+    int toFd = -1;   //!< coordinator -> worker requests
+    int fromFd = -1; //!< worker -> coordinator results
+    FrameParser parser;
+    Clock::time_point lastActivity;
+    bool alive = false;
+    bool busy = false;
+    /** In-flight shards: id -> cells not yet received. */
+    std::map<std::uint64_t, std::set<std::uint64_t>> outstanding;
+};
+
+std::string selfBinaryPath()
+{
+    char buf[4096];
+    ssize_t n = ::readlink("/proc/self/exe", buf, sizeof buf - 1);
+    TG_ASSERT(n > 0, "cannot resolve /proc/self/exe; pass "
+                     "ShardedSweepOptions::binaryPath explicitly");
+    buf[n] = '\0';
+    return std::string(buf);
+}
+
+/** Blocking full-frame write; false when the worker is gone. */
+bool writeFrame(int fd, FrameType type,
+                const std::vector<std::uint8_t> &payload)
+{
+    const std::vector<std::uint8_t> frame = encodeFrame(type, payload);
+    std::size_t off = 0;
+    while (off < frame.size()) {
+        ssize_t n = ::write(fd, frame.data() + off,
+                            frame.size() - off);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        off += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+} // namespace
+
+sim::SweepResult runShardedSweep(const ShardedSweepOptions &options,
+                                 ShardedSweepStats *stats_out)
+{
+    TG_ASSERT(options.opts.faultScenario == nullptr,
+              "fault scenarios cannot travel as a pointer; encode "
+              "the scenario in the worker setup blob instead");
+
+    // Writing to a worker that just died must surface as a failed
+    // write, not a process-killing SIGPIPE.
+    std::signal(SIGPIPE, SIG_IGN);
+
+    std::vector<std::string> benchmarks = options.benchmarks;
+    std::vector<core::PolicyKind> policies = options.policies;
+    if (benchmarks.empty())
+        for (const auto &p : workload::splashProfiles())
+            benchmarks.push_back(p.name);
+    if (policies.empty())
+        policies = core::allPolicyKinds();
+    // Fail on unknown names before any process is spawned.
+    for (const auto &name : benchmarks)
+        workload::profileByName(name);
+
+    sim::SweepResult sweep;
+    sweep.benchmarks = benchmarks;
+    sweep.policies = policies;
+    sweep.results.assign(benchmarks.size(),
+                         std::vector<sim::RunResult>(policies.size()));
+
+    const std::size_t n_cells = benchmarks.size() * policies.size();
+    const int processes = std::max(1, options.processes);
+
+    ShardedSweepStats stats;
+    stats.cellsTotal = n_cells;
+
+    std::deque<std::vector<std::uint64_t>> queue;
+    for (auto &shard :
+         partitionCells(n_cells, processes, options.minShardCells))
+        queue.push_back(std::move(shard));
+    stats.shardsPlanned = static_cast<int>(queue.size());
+
+    const std::string binary = options.binaryPath.empty()
+                                   ? selfBinaryPath()
+                                   : options.binaryPath;
+
+    SweepRequestMsg req;
+    req.jobs = static_cast<std::uint32_t>(
+        std::max(0, options.jobsPerWorker));
+    req.heartbeatMs = static_cast<std::uint32_t>(
+        std::max(1, options.heartbeatMs));
+    req.setup = options.setup;
+    req.benchmarks = benchmarks;
+    req.policies.reserve(policies.size());
+    for (auto pk : policies)
+        req.policies.push_back(static_cast<std::uint32_t>(pk));
+    req.timeSeries = options.opts.timeSeries ? 1 : 0;
+    req.heatmap = options.opts.heatmap ? 1 : 0;
+    req.noiseTrace = options.opts.noiseTrace ? 1 : 0;
+    req.trackVr = options.opts.trackVr;
+    req.noiseSamplesOverride = options.opts.noiseSamplesOverride;
+
+    std::vector<Worker> workers(
+        static_cast<std::size_t>(processes));
+    for (int i = 0; i < processes; ++i) {
+        int to_pipe[2] = {-1, -1};   // coordinator -> worker
+        int from_pipe[2] = {-1, -1}; // worker -> coordinator
+        TG_ASSERT(::pipe(to_pipe) == 0 && ::pipe(from_pipe) == 0,
+                  "pipe() failed spawning shard worker");
+        pid_t pid = ::fork();
+        TG_ASSERT(pid >= 0, "fork() failed spawning shard worker");
+        if (pid == 0) {
+            // Child: drop every sibling coordinator-side descriptor,
+            // park this worker's two protocol ends on fds >= 10 (the
+            // raw pipe fds may themselves be 3 or 4, so dup2-ing
+            // directly could clobber an end we still need), then
+            // move them to their fixed protocol fds.
+            for (const Worker &w : workers) {
+                if (w.toFd >= 0)
+                    ::close(w.toFd);
+                if (w.fromFd >= 0)
+                    ::close(w.fromFd);
+            }
+            int in_tmp = ::fcntl(to_pipe[0], F_DUPFD, 10);
+            int out_tmp = ::fcntl(from_pipe[1], F_DUPFD, 10);
+            ::close(to_pipe[0]);
+            ::close(to_pipe[1]);
+            ::close(from_pipe[0]);
+            ::close(from_pipe[1]);
+            if (in_tmp < 0 || out_tmp < 0 ||
+                ::dup2(in_tmp, kWorkerInFd) < 0 ||
+                ::dup2(out_tmp, kWorkerOutFd) < 0)
+                ::_exit(126);
+            ::close(in_tmp);
+            ::close(out_tmp);
+            char *argv[] = {const_cast<char *>(binary.c_str()),
+                            const_cast<char *>(kWorkerFlag), nullptr};
+            ::execv(binary.c_str(), argv);
+            std::fprintf(stderr, "shard worker: exec %s failed: %s\n",
+                         binary.c_str(), std::strerror(errno));
+            ::_exit(127);
+        }
+        ::close(to_pipe[0]);
+        ::close(from_pipe[1]);
+        Worker &w = workers[static_cast<std::size_t>(i)];
+        w.pid = pid;
+        w.toFd = to_pipe[1];
+        w.fromFd = from_pipe[0];
+        w.alive = true;
+        w.lastActivity = Clock::now();
+        ++stats.workersSpawned;
+    }
+
+    std::vector<bool> received(n_cells, false);
+    std::size_t receivedCount = 0;
+    std::uint64_t nextShardId = 0;
+    exec::ProgressSink sink(options.progress, n_cells);
+
+    auto reap = [](Worker &w) {
+        if (w.toFd >= 0)
+            ::close(w.toFd);
+        if (w.fromFd >= 0)
+            ::close(w.fromFd);
+        w.toFd = w.fromFd = -1;
+        if (w.pid > 0) {
+            ::kill(w.pid, SIGKILL);
+            ::waitpid(w.pid, nullptr, 0);
+            w.pid = -1;
+        }
+    };
+
+    // Death handling: reap the process and re-queue every cell it
+    // was assigned but never delivered. The remnants go to the front
+    // of the queue — they are the oldest work and likely block sweep
+    // completion.
+    auto onDeath = [&](Worker &w) {
+        if (!w.alive)
+            return;
+        w.alive = false;
+        ++stats.workerDeaths;
+        reap(w);
+        for (auto &entry : w.outstanding) {
+            std::vector<std::uint64_t> remnant(entry.second.begin(),
+                                               entry.second.end());
+            if (remnant.empty())
+                continue;
+            queue.push_front(std::move(remnant));
+            ++stats.shardsReassigned;
+        }
+        w.outstanding.clear();
+    };
+
+    auto dispatch = [&](Worker &w) {
+        if (!w.alive || w.busy || queue.empty())
+            return;
+        ShardAssignmentMsg assign;
+        assign.shard = nextShardId++;
+        assign.cells = std::move(queue.front());
+        queue.pop_front();
+        w.outstanding[assign.shard] = std::set<std::uint64_t>(
+            assign.cells.begin(), assign.cells.end());
+        if (!writeFrame(w.toFd, FrameType::ShardAssignment,
+                        encodeShardAssignment(assign))) {
+            onDeath(w);
+            return;
+        }
+        w.busy = true;
+        ++stats.shardsDispatched;
+    };
+
+    for (std::size_t i = 0; i < workers.size(); ++i) {
+        Worker &w = workers[i];
+        req.workerId = static_cast<std::uint32_t>(i);
+        if (!writeFrame(w.toFd, FrameType::SweepRequest,
+                        encodeSweepRequest(req)))
+            onDeath(w);
+    }
+
+    auto handleFrame = [&](Worker &w, const Frame &frame) -> bool {
+        w.lastActivity = Clock::now();
+        switch (frame.type) {
+        case FrameType::Hello: {
+            HelloMsg hello;
+            if (!decodeHello(frame.payload, hello) ||
+                hello.version != kProtocolVersion)
+                return false;
+            return true;
+        }
+        case FrameType::Heartbeat:
+            return true;
+        case FrameType::CellResult: {
+            CellResultMsg m;
+            if (!decodeCellResult(frame.payload, m) ||
+                m.cell >= n_cells)
+                return false;
+            sim::RunResult r;
+            if (!cache::decodeRunResult(m.result.data(),
+                                        m.result.size(), r))
+                return false;
+            const std::size_t b = m.cell / policies.size();
+            const std::size_t p = m.cell % policies.size();
+            // The payload must describe the cell it claims to be —
+            // a worker answering the wrong cell would silently skew
+            // the merge otherwise.
+            if (r.benchmark != benchmarks[b] ||
+                r.policy != policies[p])
+                return false;
+            auto shardIt = w.outstanding.find(m.shard);
+            if (shardIt != w.outstanding.end())
+                shardIt->second.erase(m.cell);
+            if (received[m.cell]) {
+                // A reassigned shard overlapped with results the
+                // dead worker managed to flush first: determinism
+                // makes both copies bit-identical, keep either.
+                ++stats.duplicateCells;
+            } else {
+                received[m.cell] = true;
+                ++receivedCount;
+                sink.completed(sim::progressLine(r));
+            }
+            sweep.results[b][p] = std::move(r);
+            return true;
+        }
+        case FrameType::ShardDone: {
+            ShardDoneMsg done;
+            if (!decodeShardDone(frame.payload, done))
+                return false;
+            auto it = w.outstanding.find(done.shard);
+            if (it == w.outstanding.end() || !it->second.empty())
+                return false; // done without delivering every cell
+            w.outstanding.erase(it);
+            w.busy = false;
+            return true;
+        }
+        default:
+            return false; // coordinator-bound streams carry nothing else
+        }
+    };
+
+    while (receivedCount < n_cells) {
+        bool anyAlive = false;
+        for (auto &w : workers) {
+            dispatch(w);
+            anyAlive = anyAlive || w.alive;
+        }
+        if (!anyAlive)
+            fatal("sharded sweep: every worker died with ",
+                  n_cells - receivedCount, " of ", n_cells,
+                  " cells outstanding");
+
+        std::vector<pollfd> fds;
+        std::vector<std::size_t> fdWorker;
+        for (std::size_t i = 0; i < workers.size(); ++i) {
+            if (!workers[i].alive)
+                continue;
+            fds.push_back({workers[i].fromFd, POLLIN, 0});
+            fdWorker.push_back(i);
+        }
+        int rv = ::poll(fds.data(),
+                        static_cast<nfds_t>(fds.size()), 100);
+        if (rv < 0 && errno != EINTR)
+            fatal("sharded sweep: poll() failed: ",
+                  std::strerror(errno));
+
+        for (std::size_t k = 0; k < fds.size(); ++k) {
+            Worker &w = workers[fdWorker[k]];
+            if (!w.alive ||
+                !(fds[k].revents & (POLLIN | POLLHUP | POLLERR)))
+                continue;
+            std::uint8_t chunk[1 << 16];
+            ssize_t n = ::read(w.fromFd, chunk, sizeof chunk);
+            if (n < 0) {
+                if (errno == EINTR || errno == EAGAIN)
+                    continue;
+                onDeath(w);
+                continue;
+            }
+            if (n == 0) {
+                onDeath(w);
+                continue;
+            }
+            w.parser.feed(chunk, static_cast<std::size_t>(n));
+            Frame frame;
+            FrameParser::Status st;
+            bool ok = true;
+            while (ok && (st = w.parser.next(frame)) ==
+                             FrameParser::Status::Frame)
+                ok = handleFrame(w, frame);
+            if (!ok || w.parser.corrupt()) {
+                warn("sharded sweep: worker ", fdWorker[k],
+                     " sent a malformed stream; reassigning its "
+                     "shards");
+                onDeath(w);
+            }
+        }
+
+        if (options.timeoutMs > 0) {
+            const auto now = Clock::now();
+            for (std::size_t i = 0; i < workers.size(); ++i) {
+                Worker &w = workers[i];
+                if (!w.alive || !w.busy)
+                    continue;
+                const auto silent =
+                    std::chrono::duration_cast<
+                        std::chrono::milliseconds>(
+                        now - w.lastActivity)
+                        .count();
+                if (silent > options.timeoutMs) {
+                    warn("sharded sweep: worker ", i, " silent for ",
+                         silent, " ms; killing and reassigning");
+                    onDeath(w);
+                }
+            }
+        }
+    }
+
+    // Clean shutdown: ask nicely, then reap. A worker ignoring the
+    // request is killed by reap()'s SIGKILL before waitpid.
+    for (auto &w : workers) {
+        if (!w.alive)
+            continue;
+        writeFrame(w.toFd, FrameType::Shutdown, {});
+        ::close(w.toFd);
+        w.toFd = -1;
+        // Give the worker a moment to exit on its own so the common
+        // path reaps a clean exit status rather than a SIGKILL.
+        for (int spin = 0; spin < 200; ++spin) {
+            pid_t got = ::waitpid(w.pid, nullptr, WNOHANG);
+            if (got == w.pid) {
+                w.pid = -1;
+                break;
+            }
+            struct timespec ts = {0, 5 * 1000 * 1000};
+            ::nanosleep(&ts, nullptr);
+        }
+        reap(w);
+        w.alive = false;
+    }
+
+    if (stats_out)
+        *stats_out = stats;
+    return sweep;
+}
+
+#else // !__unix__
+
+sim::SweepResult runShardedSweep(const ShardedSweepOptions &,
+                                 ShardedSweepStats *)
+{
+    fatal("the sharded sweep coordinator requires a POSIX host");
+}
+
+#endif // __unix__
+
+} // namespace shard
+} // namespace tg

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Coordinator of the sharded multi-process sweep.
+ *
+ * runShardedSweep() partitions the (benchmark x policy) grid into
+ * guided-size shards (shard/partition.hh), spawns N worker processes
+ * by re-execing the current binary in `--tg-worker` mode, dispatches
+ * shards dynamically to idle workers over the length-prefixed frame
+ * protocol (shard/protocol.hh), and merges the streamed per-cell
+ * results by their canonical grid key.
+ *
+ * Determinism contract (the process-level extension of the PR 1/3/6
+ * thread contract): every cell's RunResult is a deterministic
+ * function of (chip, config, benchmark, policy, opts) alone and the
+ * codec is bit-exact, so the merged SweepResult is bit-identical to
+ * a single-process runSweep() — regardless of worker count, shard
+ * sizing, arrival order, or which worker ran which shard.
+ *
+ * Fault handling: a worker that exits, closes its pipe, corrupts its
+ * stream, or goes silent past the heartbeat timeout is killed and
+ * its *unacknowledged* cells (assigned minus already received) are
+ * re-queued for the survivors. Per-cell idempotency is free — a cell
+ * computed twice yields the same bits, and the merge keys by cell,
+ * so reassignment can never skew the result. When the last worker
+ * dies with work outstanding the sweep fatals rather than returning
+ * a partial grid.
+ */
+
+#ifndef TG_SHARD_COORDINATOR_HH
+#define TG_SHARD_COORDINATOR_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/sweep.hh"
+
+namespace tg {
+namespace shard {
+
+/** Knobs of one sharded sweep. */
+struct ShardedSweepOptions
+{
+    /** Grid; empty defaults match runSweep (all 14 SPLASH-2x
+     *  profiles x the paper's full policy set). */
+    std::vector<std::string> benchmarks;
+    std::vector<core::PolicyKind> policies;
+
+    /** Opaque context blob for the worker's SetupFactory (see
+     *  worker.hh; encodeBasicSetup covers the canned chips). */
+    std::vector<std::uint8_t> setup;
+
+    /** Worker process count (clamped to >= 1). */
+    int processes = 2;
+
+    /** Threads inside each worker (runSweepCells jobs); 0 defers to
+     *  the worker-side TG_JOBS / hardware ladder. */
+    int jobsPerWorker = 1;
+
+    /** RecordOptions forwarded to every cell. Scalar fields travel
+     *  on the wire; a fault scenario must be encoded in `setup`
+     *  instead (faultScenario here must stay null). */
+    sim::RecordOptions opts;
+
+    /** Print one progress line per merged cell (same format as
+     *  runSweep's). */
+    bool progress = false;
+
+    /** Worker heartbeat period [ms]. */
+    int heartbeatMs = 200;
+
+    /** Kill a worker silent for this long [ms]; 0 disables the
+     *  timeout (exit/EOF detection still applies). */
+    int timeoutMs = 30000;
+
+    /** Partitioner shard-size floor (see partitionCells). */
+    std::size_t minShardCells = 1;
+
+    /** Worker binary; empty resolves /proc/self/exe. */
+    std::string binaryPath;
+};
+
+/** Observable outcomes of a sharded sweep (tests, logs). */
+struct ShardedSweepStats
+{
+    int workersSpawned = 0;
+    int workerDeaths = 0;    //!< exits, EOFs, corruption, timeouts
+    int shardsPlanned = 0;   //!< initial partition size
+    int shardsDispatched = 0;
+    int shardsReassigned = 0; //!< re-queued remnants of dead workers
+    std::size_t cellsTotal = 0;
+    std::size_t duplicateCells = 0; //!< re-received after reassignment
+};
+
+/**
+ * Run the grid across worker processes and merge. Blocks until every
+ * cell has been received (or fatals when no worker survives).
+ */
+sim::SweepResult runShardedSweep(const ShardedSweepOptions &options,
+                                 ShardedSweepStats *stats = nullptr);
+
+} // namespace shard
+} // namespace tg
+
+#endif // TG_SHARD_COORDINATOR_HH

@@ -1,0 +1,238 @@
+#include "shard/protocol.hh"
+
+#include <cstring>
+
+namespace tg {
+namespace shard {
+
+namespace {
+
+using bytes::ByteReader;
+using bytes::ByteWriter;
+
+constexpr std::size_t kHeaderBytes = 4 + 4 + 8;
+constexpr std::size_t kChecksumBytes = 8;
+
+/** Cap on string/vector element counts inside messages. */
+constexpr std::uint64_t kMaxListLen = 1ull << 24;
+
+std::uint64_t readU64At(const std::uint8_t *q)
+{
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+        v |= static_cast<std::uint64_t>(q[i]) << (8 * i);
+    return v;
+}
+
+std::uint32_t readU32At(const std::uint8_t *q)
+{
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+        v |= static_cast<std::uint32_t>(q[i]) << (8 * i);
+    return v;
+}
+
+} // namespace
+
+bool frameTypeValid(std::uint32_t t)
+{
+    return t >= static_cast<std::uint32_t>(FrameType::Hello) &&
+           t <= static_cast<std::uint32_t>(FrameType::Shutdown);
+}
+
+std::vector<std::uint8_t>
+encodeFrame(FrameType type, const std::vector<std::uint8_t> &payload)
+{
+    ByteWriter w;
+    w.u32(kFrameMagic);
+    w.u32(static_cast<std::uint32_t>(type));
+    w.u64(payload.size());
+    std::vector<std::uint8_t> out = w.take();
+    out.insert(out.end(), payload.begin(), payload.end());
+    const std::uint64_t sum = bytes::fnv1a(out.data(), out.size());
+    for (int i = 0; i < 8; ++i)
+        out.push_back(static_cast<std::uint8_t>(sum >> (8 * i)));
+    return out;
+}
+
+void FrameParser::feed(const std::uint8_t *data, std::size_t size)
+{
+    if (corruptFlag)
+        return;
+    buf.insert(buf.end(), data, data + size);
+}
+
+FrameParser::Status FrameParser::next(Frame &out)
+{
+    if (corruptFlag)
+        return Status::Corrupt;
+    const std::size_t avail = buf.size() - start;
+    if (avail < kHeaderBytes)
+        return Status::NeedMore;
+
+    const std::uint8_t *h = buf.data() + start;
+    const std::uint32_t magic = readU32At(h);
+    const std::uint32_t type = readU32At(h + 4);
+    const std::uint64_t len = readU64At(h + 8);
+    if (magic != kFrameMagic || !frameTypeValid(type) ||
+        len > kMaxFramePayload) {
+        corruptFlag = true;
+        return Status::Corrupt;
+    }
+    const std::size_t total =
+        kHeaderBytes + static_cast<std::size_t>(len) + kChecksumBytes;
+    if (avail < total)
+        return Status::NeedMore;
+
+    const std::uint64_t want =
+        readU64At(h + kHeaderBytes + static_cast<std::size_t>(len));
+    if (bytes::fnv1a(h, kHeaderBytes + static_cast<std::size_t>(len)) !=
+        want) {
+        corruptFlag = true;
+        return Status::Corrupt;
+    }
+
+    out.type = static_cast<FrameType>(type);
+    out.payload.assign(h + kHeaderBytes,
+                       h + kHeaderBytes + static_cast<std::size_t>(len));
+    start += total;
+    // Compact once the consumed prefix dominates, so a long stream
+    // does not grow the buffer without bound.
+    if (start > 4096 && start * 2 > buf.size()) {
+        buf.erase(buf.begin(),
+                  buf.begin() + static_cast<std::ptrdiff_t>(start));
+        start = 0;
+    }
+    return Status::Frame;
+}
+
+// --- message payloads -------------------------------------------------
+
+std::vector<std::uint8_t> encodeHello(const HelloMsg &m)
+{
+    ByteWriter w;
+    w.u32(m.version);
+    w.u64(m.pid);
+    return w.take();
+}
+
+bool decodeHello(const std::vector<std::uint8_t> &p, HelloMsg &out)
+{
+    ByteReader r(p.data(), p.size());
+    out.version = r.u32();
+    out.pid = r.u64();
+    return r.exhausted();
+}
+
+std::vector<std::uint8_t> encodeSweepRequest(const SweepRequestMsg &m)
+{
+    ByteWriter w;
+    w.u32(m.workerId);
+    w.u32(m.jobs);
+    w.u32(m.heartbeatMs);
+    w.blob(m.setup);
+    w.u64(m.benchmarks.size());
+    for (const auto &b : m.benchmarks)
+        w.str(b);
+    w.u64(m.policies.size());
+    for (auto pk : m.policies)
+        w.u32(pk);
+    w.u8(m.timeSeries);
+    w.u8(m.heatmap);
+    w.u8(m.noiseTrace);
+    w.i64(m.trackVr);
+    w.i64(m.noiseSamplesOverride);
+    return w.take();
+}
+
+bool decodeSweepRequest(const std::vector<std::uint8_t> &p,
+                        SweepRequestMsg &out)
+{
+    ByteReader r(p.data(), p.size());
+    out.workerId = r.u32();
+    out.jobs = r.u32();
+    out.heartbeatMs = r.u32();
+    if (!r.blob(out.setup))
+        return false;
+    const std::uint64_t nb = r.u64();
+    if (!r.ok() || nb > kMaxListLen)
+        return false;
+    out.benchmarks.resize(static_cast<std::size_t>(nb));
+    for (auto &b : out.benchmarks)
+        b = r.str();
+    const std::uint64_t np = r.u64();
+    if (!r.ok() || np > kMaxListLen)
+        return false;
+    out.policies.resize(static_cast<std::size_t>(np));
+    for (auto &pk : out.policies)
+        pk = r.u32();
+    out.timeSeries = r.u8();
+    out.heatmap = r.u8();
+    out.noiseTrace = r.u8();
+    out.trackVr = r.i64();
+    out.noiseSamplesOverride = r.i64();
+    return r.exhausted();
+}
+
+std::vector<std::uint8_t>
+encodeShardAssignment(const ShardAssignmentMsg &m)
+{
+    ByteWriter w;
+    w.u64(m.shard);
+    w.u64(m.cells.size());
+    for (auto c : m.cells)
+        w.u64(c);
+    return w.take();
+}
+
+bool decodeShardAssignment(const std::vector<std::uint8_t> &p,
+                           ShardAssignmentMsg &out)
+{
+    ByteReader r(p.data(), p.size());
+    out.shard = r.u64();
+    const std::uint64_t n = r.u64();
+    if (!r.ok() || n > kMaxListLen)
+        return false;
+    out.cells.resize(static_cast<std::size_t>(n));
+    for (auto &c : out.cells)
+        c = r.u64();
+    return r.exhausted();
+}
+
+std::vector<std::uint8_t> encodeCellResult(const CellResultMsg &m)
+{
+    ByteWriter w;
+    w.u64(m.shard);
+    w.u64(m.cell);
+    w.blob(m.result);
+    return w.take();
+}
+
+bool decodeCellResult(const std::vector<std::uint8_t> &p,
+                      CellResultMsg &out)
+{
+    ByteReader r(p.data(), p.size());
+    out.shard = r.u64();
+    out.cell = r.u64();
+    if (!r.blob(out.result))
+        return false;
+    return r.exhausted();
+}
+
+std::vector<std::uint8_t> encodeShardDone(const ShardDoneMsg &m)
+{
+    ByteWriter w;
+    w.u64(m.shard);
+    return w.take();
+}
+
+bool decodeShardDone(const std::vector<std::uint8_t> &p,
+                     ShardDoneMsg &out)
+{
+    ByteReader r(p.data(), p.size());
+    out.shard = r.u64();
+    return r.exhausted();
+}
+
+} // namespace shard
+} // namespace tg

@@ -1,0 +1,185 @@
+/**
+ * @file
+ * Wire protocol of the sharded multi-process sweep engine.
+ *
+ * The coordinator and its workers speak length-prefixed binary
+ * frames over pipes. Every frame is
+ *
+ *     u32 magic "TGS1" | u32 type | u64 payload length |
+ *     payload bytes    | u64 FNV-1a checksum over everything before
+ *
+ * little-endian throughout, built on the same codec primitives as
+ * the artifact cache's disk tier (common/bytes.hh). The format makes
+ * no shared-memory assumption — frames could travel over a socket to
+ * another host unchanged — and every decoder is bounds-checked,
+ * rejects trailing garbage, and is versioned via kProtocolVersion in
+ * the Hello handshake, mirroring the disk tier's corruption rules:
+ * a frame that fails its checksum or a message that fails its decode
+ * marks the peer corrupt rather than being half-trusted.
+ *
+ * Message flow:
+ *
+ *     worker -> coordinator : Hello (version handshake)
+ *     coordinator -> worker : SweepRequest (grid + setup blob)
+ *     coordinator -> worker : ShardAssignment (cell index list)*
+ *     worker -> coordinator : CellResult (streamed per finished cell)*
+ *     worker -> coordinator : ShardDone*
+ *     worker -> coordinator : Heartbeat (periodic, from a side thread)
+ *     coordinator -> worker : Shutdown
+ */
+
+#ifndef TG_SHARD_PROTOCOL_HH
+#define TG_SHARD_PROTOCOL_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/bytes.hh"
+
+namespace tg {
+namespace shard {
+
+/** Bump on any incompatible frame or message layout change. */
+constexpr std::uint32_t kProtocolVersion = 1;
+
+/** Leading tag of every frame ("TGS1" little-endian). */
+constexpr std::uint32_t kFrameMagic = 0x31534754;
+
+/** Upper bound on a frame payload (a full RunResult is ~100 KB). */
+constexpr std::uint64_t kMaxFramePayload = 1ull << 30;
+
+enum class FrameType : std::uint32_t
+{
+    Hello = 1,       //!< worker -> coordinator version handshake
+    SweepRequest,    //!< coordinator -> worker grid + setup
+    ShardAssignment, //!< coordinator -> worker cell list
+    CellResult,      //!< worker -> coordinator one finished cell
+    ShardDone,       //!< worker -> coordinator shard fully emitted
+    Heartbeat,       //!< worker -> coordinator liveness
+    Shutdown,        //!< coordinator -> worker clean exit request
+};
+
+/** True when `t` is one of the FrameType enumerators. */
+bool frameTypeValid(std::uint32_t t);
+
+/** One decoded frame. */
+struct Frame
+{
+    FrameType type{};
+    std::vector<std::uint8_t> payload;
+};
+
+/** Frame a payload: header + payload + trailing checksum. */
+std::vector<std::uint8_t> encodeFrame(FrameType type,
+                                      const std::vector<std::uint8_t> &payload);
+
+/**
+ * Incremental frame extractor over a byte stream. feed() appends
+ * received bytes; next() pops complete frames. Any malformed header
+ * (bad magic, unknown type, absurd length) or checksum mismatch
+ * makes the parser sticky-corrupt: the stream cannot be resynced, so
+ * the peer must be treated as dead.
+ */
+class FrameParser
+{
+  public:
+    enum class Status
+    {
+        Frame,    //!< one frame extracted into `out`
+        NeedMore, //!< no complete frame buffered yet
+        Corrupt,  //!< stream is malformed (sticky)
+    };
+
+    void feed(const std::uint8_t *data, std::size_t size);
+    Status next(Frame &out);
+
+    bool corrupt() const { return corruptFlag; }
+
+  private:
+    std::vector<std::uint8_t> buf;
+    std::size_t start = 0; //!< consumed prefix (compacted lazily)
+    bool corruptFlag = false;
+};
+
+// --- message payloads -------------------------------------------------
+
+/** Worker -> coordinator handshake. */
+struct HelloMsg
+{
+    std::uint32_t version = kProtocolVersion;
+    std::uint64_t pid = 0;
+};
+
+/**
+ * Coordinator -> worker: the sweep grid and how to reconstruct the
+ * simulation context. `setup` is an opaque blob interpreted by the
+ * worker binary's SetupFactory (see worker.hh) — the engine never
+ * looks inside, so any driver can ship whatever chip/config encoding
+ * it wants. The RecordOptions scalars ride explicitly; a fault
+ * scenario (a pointer on the native struct) must travel inside
+ * `setup` instead.
+ */
+struct SweepRequestMsg
+{
+    std::uint32_t workerId = 0; //!< index among spawned workers
+    std::uint32_t jobs = 1;     //!< intra-worker thread count
+    std::uint32_t heartbeatMs = 500;
+    std::vector<std::uint8_t> setup;
+    std::vector<std::string> benchmarks;
+    std::vector<std::uint32_t> policies;
+    // RecordOptions scalars (see sim/result.hh).
+    std::uint8_t timeSeries = 0;
+    std::uint8_t heatmap = 0;
+    std::uint8_t noiseTrace = 0;
+    std::int64_t trackVr = -1;
+    std::int64_t noiseSamplesOverride = -1;
+};
+
+/**
+ * Coordinator -> worker: run these cells. A cell index addresses the
+ * canonical (benchmark, policy) grid slot `b * policies.size() + p`
+ * of the SweepRequest's lists — the same key the merge uses, so a
+ * result is placement-independent by construction.
+ */
+struct ShardAssignmentMsg
+{
+    std::uint64_t shard = 0;
+    std::vector<std::uint64_t> cells;
+};
+
+/** Worker -> coordinator: one finished cell (encoded RunResult). */
+struct CellResultMsg
+{
+    std::uint64_t shard = 0;
+    std::uint64_t cell = 0;
+    std::vector<std::uint8_t> result; //!< cache::encodeRunResult bytes
+};
+
+/** Worker -> coordinator: every cell of `shard` has been emitted. */
+struct ShardDoneMsg
+{
+    std::uint64_t shard = 0;
+};
+
+std::vector<std::uint8_t> encodeHello(const HelloMsg &m);
+std::vector<std::uint8_t> encodeSweepRequest(const SweepRequestMsg &m);
+std::vector<std::uint8_t> encodeShardAssignment(const ShardAssignmentMsg &m);
+std::vector<std::uint8_t> encodeCellResult(const CellResultMsg &m);
+std::vector<std::uint8_t> encodeShardDone(const ShardDoneMsg &m);
+
+/** Decoders reject truncated, malformed and trailing-garbage input. */
+bool decodeHello(const std::vector<std::uint8_t> &p, HelloMsg &out);
+bool decodeSweepRequest(const std::vector<std::uint8_t> &p,
+                        SweepRequestMsg &out);
+bool decodeShardAssignment(const std::vector<std::uint8_t> &p,
+                           ShardAssignmentMsg &out);
+bool decodeCellResult(const std::vector<std::uint8_t> &p,
+                      CellResultMsg &out);
+bool decodeShardDone(const std::vector<std::uint8_t> &p,
+                     ShardDoneMsg &out);
+
+} // namespace shard
+} // namespace tg
+
+#endif // TG_SHARD_PROTOCOL_HH

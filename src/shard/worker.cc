@@ -1,0 +1,338 @@
+#include "shard/worker.hh"
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <csignal>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <thread>
+
+#ifdef __unix__
+#include <unistd.h>
+#endif
+
+#include "cache/serialize.hh"
+#include "common/logging.hh"
+#include "shard/protocol.hh"
+#include "sim/sweep.hh"
+
+namespace tg {
+namespace shard {
+
+namespace {
+
+/** Exit code of the TG_SHARD_TEST_DIE hook (distinguishable from
+ *  protocol-error exits in coordinator logs). */
+constexpr int kTestDieExit = 42;
+
+constexpr std::uint32_t kBasicSetupMagic = 0x31424754; // "TGB1"
+
+#ifdef __unix__
+
+/**
+ * Mutex-guarded frame writer: CellResults from concurrent sweep
+ * workers and Heartbeats from the side thread interleave only at
+ * frame granularity. write() loops over partial writes; a failed
+ * write means the coordinator is gone, so the worker exits.
+ */
+class WriteChannel
+{
+  public:
+    explicit WriteChannel(int fd) : fd(fd) {}
+
+    void send(FrameType type, const std::vector<std::uint8_t> &payload)
+    {
+        const std::vector<std::uint8_t> frame =
+            encodeFrame(type, payload);
+        std::lock_guard<std::mutex> lock(mu);
+        std::size_t off = 0;
+        while (off < frame.size()) {
+            ssize_t n = ::write(fd, frame.data() + off,
+                                frame.size() - off);
+            if (n < 0) {
+                if (errno == EINTR)
+                    continue;
+                // Coordinator died; nothing useful left to do.
+                ::_exit(1);
+            }
+            off += static_cast<std::size_t>(n);
+        }
+    }
+
+  private:
+    int fd;
+    std::mutex mu;
+};
+
+/** Periodic Heartbeat frames until stopped. */
+class HeartbeatThread
+{
+  public:
+    HeartbeatThread(WriteChannel &out, int period_ms)
+        : out(out), periodMs(period_ms > 0 ? period_ms : 500),
+          th([this] { loop(); })
+    {
+    }
+
+    ~HeartbeatThread()
+    {
+        {
+            std::lock_guard<std::mutex> lock(mu);
+            stopping = true;
+        }
+        cv.notify_all();
+        th.join();
+    }
+
+  private:
+    void loop()
+    {
+        std::unique_lock<std::mutex> lock(mu);
+        while (!stopping) {
+            cv.wait_for(lock, std::chrono::milliseconds(periodMs));
+            if (stopping)
+                return;
+            lock.unlock();
+            out.send(FrameType::Heartbeat, {});
+            lock.lock();
+        }
+    }
+
+    WriteChannel &out;
+    int periodMs;
+    std::mutex mu;
+    std::condition_variable cv;
+    bool stopping = false;
+    std::thread th;
+};
+
+/** Parsed TG_SHARD_TEST_DIE hook (see worker.hh). */
+struct DieHook
+{
+    bool armed = false;
+    std::uint32_t worker = 0;
+    long afterCells = 0;
+};
+
+DieHook parseDieHook()
+{
+    DieHook hook;
+    const char *env = std::getenv("TG_SHARD_TEST_DIE");
+    if (!env || !*env)
+        return hook;
+    unsigned worker = 0;
+    long after = 0;
+    if (std::sscanf(env, "%u:%ld", &worker, &after) == 2) {
+        hook.armed = true;
+        hook.worker = worker;
+        hook.afterCells = after;
+    } else {
+        warn("TG_SHARD_TEST_DIE value '", env,
+             "' is not '<worker>:<afterCells>'; ignoring");
+    }
+    return hook;
+}
+
+#endif // __unix__
+
+} // namespace
+
+bool isWorkerInvocation(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i)
+        if (!std::strcmp(argv[i], kWorkerFlag))
+            return true;
+    return false;
+}
+
+#ifdef __unix__
+
+int workerMain(const SetupFactory &factory)
+{
+    // The coordinator may die while we write a result; surface that
+    // as a failed write (handled in WriteChannel) rather than a
+    // process-killing SIGPIPE.
+    std::signal(SIGPIPE, SIG_IGN);
+
+    WriteChannel out(kWorkerOutFd);
+    {
+        HelloMsg hello;
+        hello.pid = static_cast<std::uint64_t>(::getpid());
+        out.send(FrameType::Hello, encodeHello(hello));
+    }
+
+    FrameParser parser;
+    SweepRequestMsg req;
+    bool haveRequest = false;
+    WorkerSetup setup;
+    std::unique_ptr<sim::Simulation> simulation;
+    sim::SweepContexts contexts;
+    std::unique_ptr<HeartbeatThread> heartbeat;
+    std::vector<core::PolicyKind> policies;
+    sim::RecordOptions opts;
+    DieHook die;
+    std::atomic<long> cellsSent{0};
+
+    std::uint8_t chunk[1 << 16];
+    for (;;) {
+        ssize_t n = ::read(kWorkerInFd, chunk, sizeof chunk);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return 1;
+        }
+        if (n == 0)
+            return 1; // coordinator EOF without Shutdown
+        parser.feed(chunk, static_cast<std::size_t>(n));
+
+        Frame frame;
+        FrameParser::Status st;
+        while ((st = parser.next(frame)) ==
+               FrameParser::Status::Frame) {
+            switch (frame.type) {
+            case FrameType::SweepRequest: {
+                if (!decodeSweepRequest(frame.payload, req))
+                    return 2;
+                setup = factory(req.setup);
+                policies.clear();
+                policies.reserve(req.policies.size());
+                for (auto pk : req.policies)
+                    policies.push_back(
+                        static_cast<core::PolicyKind>(pk));
+                opts = setup.opts;
+                opts.timeSeries = req.timeSeries != 0;
+                opts.heatmap = req.heatmap != 0;
+                opts.noiseTrace = req.noiseTrace != 0;
+                opts.trackVr = static_cast<int>(req.trackVr);
+                opts.noiseSamplesOverride =
+                    static_cast<int>(req.noiseSamplesOverride);
+                simulation = std::make_unique<sim::Simulation>(
+                    setup.chip, setup.cfg);
+                die = parseDieHook();
+                heartbeat = std::make_unique<HeartbeatThread>(
+                    out, static_cast<int>(req.heartbeatMs));
+                haveRequest = true;
+                break;
+            }
+            case FrameType::ShardAssignment: {
+                if (!haveRequest)
+                    return 2;
+                ShardAssignmentMsg assign;
+                if (!decodeShardAssignment(frame.payload, assign))
+                    return 2;
+                std::vector<std::size_t> cells(assign.cells.begin(),
+                                               assign.cells.end());
+                sim::runSweepCells(
+                    *simulation, req.benchmarks, policies, cells,
+                    static_cast<int>(req.jobs), opts,
+                    [&](std::size_t cell, sim::RunResult &&r) {
+                        const long sent = cellsSent.fetch_add(1);
+                        if (die.armed &&
+                            die.worker == req.workerId &&
+                            sent >= die.afterCells)
+                            ::_exit(kTestDieExit);
+                        CellResultMsg m;
+                        m.shard = assign.shard;
+                        m.cell = cell;
+                        m.result = cache::encodeRunResult(r);
+                        out.send(FrameType::CellResult,
+                                 encodeCellResult(m));
+                    },
+                    &contexts);
+                ShardDoneMsg done;
+                done.shard = assign.shard;
+                out.send(FrameType::ShardDone, encodeShardDone(done));
+                break;
+            }
+            case FrameType::Shutdown:
+                return 0;
+            default:
+                // Unexpected direction (e.g. a Hello echoed back):
+                // protocol violation.
+                return 2;
+            }
+        }
+        if (st == FrameParser::Status::Corrupt)
+            return 2;
+    }
+}
+
+#else // !__unix__
+
+int workerMain(const SetupFactory &)
+{
+    fatal("sharded sweep workers require a POSIX host");
+}
+
+#endif // __unix__
+
+std::vector<std::uint8_t> encodeBasicSetup(ChipKind kind, int chip_arg,
+                                           const sim::SimConfig &cfg)
+{
+    bytes::ByteWriter w;
+    w.u32(kBasicSetupMagic);
+    w.u32(static_cast<std::uint32_t>(kind));
+    w.i64(chip_arg);
+    w.u32(static_cast<std::uint32_t>(cfg.regulator));
+    w.f64(cfg.decisionInterval);
+    w.i64(cfg.noiseSamples);
+    w.i64(cfg.noiseCyclesTotal);
+    w.i64(cfg.noiseWarmupCycles);
+    w.i64(cfg.noiseBatchWidth);
+    w.u8(cfg.coalesceNoiseEpochs ? 1 : 0);
+    w.i64(cfg.profilingEpochs);
+    w.f64(cfg.practicalDemandMargin);
+    w.i64(cfg.practicalHeadroomVrs);
+    w.u64(cfg.seed);
+    w.str(cfg.cacheDir);
+    w.u8(cfg.memoizeResults ? 1 : 0);
+    return w.take();
+}
+
+SetupFactory basicSetupFactory()
+{
+    return [](const std::vector<std::uint8_t> &blob) -> WorkerSetup {
+        bytes::ByteReader r(blob.data(), blob.size());
+        TG_ASSERT(r.u32() == kBasicSetupMagic,
+                  "shard setup blob is not a basic setup");
+        const auto kind = static_cast<ChipKind>(r.u32());
+        const int chip_arg = static_cast<int>(r.i64());
+
+        WorkerSetup setup;
+        setup.cfg.regulator =
+            static_cast<sim::RegulatorChoice>(r.u32());
+        setup.cfg.decisionInterval = r.f64();
+        setup.cfg.noiseSamples = static_cast<int>(r.i64());
+        setup.cfg.noiseCyclesTotal = static_cast<int>(r.i64());
+        setup.cfg.noiseWarmupCycles = static_cast<int>(r.i64());
+        setup.cfg.noiseBatchWidth = static_cast<int>(r.i64());
+        setup.cfg.coalesceNoiseEpochs = r.u8() != 0;
+        setup.cfg.profilingEpochs = static_cast<int>(r.i64());
+        setup.cfg.practicalDemandMargin = r.f64();
+        setup.cfg.practicalHeadroomVrs = static_cast<int>(r.i64());
+        setup.cfg.seed = r.u64();
+        setup.cfg.cacheDir = r.str();
+        setup.cfg.memoizeResults = r.u8() != 0;
+        TG_ASSERT(r.exhausted(),
+                  "basic shard setup blob is malformed");
+
+        switch (kind) {
+        case ChipKind::Power8:
+            setup.chip = floorplan::buildPower8Chip();
+            break;
+        case ChipKind::Mini:
+            setup.chip = floorplan::buildMiniChip(chip_arg);
+            break;
+        default:
+            fatal("unknown chip kind ",
+                  static_cast<unsigned>(kind),
+                  " in shard setup blob");
+        }
+        return setup;
+    };
+}
+
+} // namespace shard
+} // namespace tg

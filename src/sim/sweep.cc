@@ -74,6 +74,109 @@ SweepResult::at(const std::string &benchmark,
     fatal("no sweep entry for benchmark ", benchmark);
 }
 
+std::string
+progressLine(const RunResult &r)
+{
+    std::ostringstream line;
+    char buf[96];
+    std::snprintf(buf, sizeof buf, "Tmax=%.1f grad=%.1f noise=%.1f%%",
+                  r.maxTmax, r.maxGradient, r.maxNoiseFrac * 100.0);
+    line << "[" << r.benchmark << " / " << core::policyName(r.policy)
+         << "] " << buf;
+    return line.str();
+}
+
+void
+runSweepCells(Simulation &simulation,
+              const std::vector<std::string> &benchmarks,
+              const std::vector<core::PolicyKind> &policies,
+              const std::vector<std::size_t> &cells, int jobs,
+              const RecordOptions &opts,
+              const std::function<void(std::size_t cell,
+                                       RunResult &&r)> &emit,
+              SweepContexts *reuse)
+{
+    const std::size_t n_tasks = cells.size();
+    std::size_t want = static_cast<std::size_t>(exec::resolveJobs(
+        jobs > 0 ? jobs : simulation.config().jobs));
+    const int n_jobs =
+        static_cast<int>(std::min(std::max<std::size_t>(n_tasks, 1),
+                                  want));
+
+    // Thermally-aware policies need the fitted theta predictor.
+    // Calibrate it once on the caller's context and hand the fit to
+    // every worker below, instead of paying the profiling pass once
+    // per worker (the pass is deterministic in the config, so this
+    // does not change any result). Only policies actually present in
+    // the requested cells count.
+    const bool want_predictor = std::any_of(
+        cells.begin(), cells.end(), [&](std::size_t c) {
+            return core::isThermallyAware(
+                policies[c % policies.size()]);
+        });
+    if (want_predictor)
+        simulation.thermalPredictor();
+
+    // Resolve every benchmark name once up front: profileByName is a
+    // linear scan, and the task lambda would otherwise repeat it for
+    // all |policies| cells of a row (and re-validate names mid-sweep
+    // instead of failing before any work is queued). Profiles are
+    // stable storage (splashProfiles' static vector), so the pointers
+    // stay valid across the whole fan-out.
+    std::vector<const workload::BenchmarkProfile *> row_profiles;
+    row_profiles.reserve(benchmarks.size());
+    for (const auto &name : benchmarks)
+        row_profiles.push_back(&workload::profileByName(name));
+
+    for (std::size_t c : cells)
+        TG_ASSERT(c < benchmarks.size() * policies.size(),
+                  "sweep cell index out of range");
+
+    auto run_one = [&](Simulation &ctx, std::size_t task) {
+        const std::size_t cell = cells[task];
+        std::size_t b = cell / policies.size();
+        std::size_t p = cell % policies.size();
+        RunResult r = ctx.run(*row_profiles[b], policies[p], opts);
+        emit(cell, std::move(r));
+    };
+
+    if (n_jobs <= 1) {
+        for (std::size_t task = 0; task < n_tasks; ++task)
+            run_one(simulation, task);
+        return;
+    }
+
+    // One Simulation per worker: run() is deterministic in (chip,
+    // config, profile, policy) but mutates per-instance solver state
+    // (PDN active-set factorisations, lazy predictor), so concurrent
+    // runs must not share an instance. Each worker builds its own
+    // context lazily on its first task — construction (thermal and
+    // PDN factorisations) then overlaps across workers. Results land
+    // in pre-assigned (benchmark, policy) slots, so the grid comes
+    // back in the same order as the serial path, bit-identical at
+    // any worker count. A caller-owned SweepContexts keeps the
+    // contexts (and their solver caches) alive across batches.
+    SweepContexts local;
+    SweepContexts &pool = reuse ? *reuse : local;
+    if (pool.sims.size() < static_cast<std::size_t>(n_jobs))
+        pool.sims.resize(static_cast<std::size_t>(n_jobs));
+    exec::parallelFor(n_tasks, n_jobs,
+                      [&](int worker, std::size_t task) {
+        auto &ctx = pool.sims[static_cast<std::size_t>(worker)];
+        if (!ctx) {
+            ctx = std::make_unique<Simulation>(simulation.chip(),
+                                               simulation.config());
+            if (want_predictor)
+                ctx->adoptPredictor(simulation.thermalPredictor(),
+                                    simulation.predictorRSquared());
+        } else if (want_predictor && !ctx->hasPredictor()) {
+            ctx->adoptPredictor(simulation.thermalPredictor(),
+                                simulation.predictorRSquared());
+        }
+        run_one(*ctx, task);
+    });
+}
+
 SweepResult
 runSweep(Simulation &simulation, std::vector<std::string> benchmarks,
          std::vector<core::PolicyKind> policies, bool progress,
@@ -92,78 +195,19 @@ runSweep(Simulation &simulation, std::vector<std::string> benchmarks,
                          std::vector<RunResult>(policies.size()));
 
     const std::size_t n_tasks = benchmarks.size() * policies.size();
-    std::size_t want = static_cast<std::size_t>(exec::resolveJobs(
-        jobs > 0 ? jobs : simulation.config().jobs));
-    const int n_jobs = static_cast<int>(std::min(want, n_tasks));
-
-    // Thermally-aware policies need the fitted theta predictor.
-    // Calibrate it once on the caller's context and hand the fit to
-    // every worker below, instead of paying the profiling pass once
-    // per worker (the pass is deterministic in the config, so this
-    // does not change any result).
-    const bool want_predictor =
-        std::any_of(policies.begin(), policies.end(),
-                    core::isThermallyAware);
-    if (want_predictor)
-        simulation.thermalPredictor();
-
-    // Resolve every benchmark name once up front: profileByName is a
-    // linear scan, and the task lambda would otherwise repeat it for
-    // all |policies| cells of a row (and re-validate names mid-sweep
-    // instead of failing before any work is queued). Profiles are
-    // stable storage (splashProfiles' static vector), so the pointers
-    // stay valid across the whole fan-out.
-    std::vector<const workload::BenchmarkProfile *> row_profiles;
-    row_profiles.reserve(benchmarks.size());
-    for (const auto &name : benchmarks)
-        row_profiles.push_back(&workload::profileByName(name));
+    std::vector<std::size_t> cells(n_tasks);
+    for (std::size_t c = 0; c < n_tasks; ++c)
+        cells[c] = c;
 
     exec::ProgressSink sink(progress, n_tasks);
-    auto run_one = [&](Simulation &ctx, std::size_t task) {
-        std::size_t b = task / policies.size();
-        std::size_t p = task % policies.size();
-        const auto &profile = *row_profiles[b];
-        RunResult r = ctx.run(profile, policies[p], opts);
-        std::ostringstream line;
-        char buf[96];
-        std::snprintf(buf, sizeof buf,
-                      "Tmax=%.1f grad=%.1f noise=%.1f%%", r.maxTmax,
-                      r.maxGradient, r.maxNoiseFrac * 100.0);
-        line << "[" << benchmarks[b] << " / "
-             << core::policyName(policies[p]) << "] " << buf;
-        sweep.results[b][p] = std::move(r);
-        sink.completed(line.str());
-    };
-
-    if (n_jobs <= 1) {
-        for (std::size_t task = 0; task < n_tasks; ++task)
-            run_one(simulation, task);
-        return sweep;
-    }
-
-    // One Simulation per worker: run() is deterministic in (chip,
-    // config, profile, policy) but mutates per-instance solver state
-    // (PDN active-set factorisations, lazy predictor), so concurrent
-    // runs must not share an instance. Each worker builds its own
-    // context lazily on its first task — construction (thermal and
-    // PDN factorisations) then overlaps across workers. Results land
-    // in pre-assigned (benchmark, policy) slots, so the grid comes
-    // back in the same order as the serial path, bit-identical at
-    // any worker count.
-    std::vector<std::unique_ptr<Simulation>> contexts(
-        static_cast<std::size_t>(n_jobs));
-    exec::parallelFor(n_tasks, n_jobs,
-                      [&](int worker, std::size_t task) {
-        auto &ctx = contexts[static_cast<std::size_t>(worker)];
-        if (!ctx) {
-            ctx = std::make_unique<Simulation>(simulation.chip(),
-                                               simulation.config());
-            if (want_predictor)
-                ctx->adoptPredictor(simulation.thermalPredictor(),
-                                    simulation.predictorRSquared());
-        }
-        run_one(*ctx, task);
-    });
+    runSweepCells(
+        simulation, benchmarks, policies, cells, jobs, opts,
+        [&](std::size_t cell, RunResult &&r) {
+            std::string line = progressLine(r);
+            sweep.results[cell / policies.size()]
+                         [cell % policies.size()] = std::move(r);
+            sink.completed(line);
+        });
     return sweep;
 }
 

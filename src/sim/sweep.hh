@@ -12,6 +12,7 @@
 #define TG_SIM_SWEEP_HH
 
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -46,6 +47,49 @@ struct SweepResult
     const RunResult &at(const std::string &benchmark,
                         core::PolicyKind policy) const;
 };
+
+/**
+ * Reusable per-worker Simulation contexts of runSweepCells(). A
+ * caller that issues many cell batches against the same grid (the
+ * shard engine's worker loop) passes one instance across calls so
+ * per-context construction (thermal/PDN factorisations, predictor
+ * adoption) is paid once, not per batch. Contexts are only valid for
+ * the (chip, config) of the Simulation they were built from.
+ */
+struct SweepContexts
+{
+    std::vector<std::unique_ptr<Simulation>> sims;
+};
+
+/** The progress line runSweep prints for one finished run; shared
+ *  with the shard coordinator so multi-process progress output is
+ *  indistinguishable from the single-process sweep's. */
+std::string progressLine(const RunResult &r);
+
+/**
+ * Run an arbitrary subset of the benchmark x policy grid. Cell index
+ * `c` addresses benchmark `c / policies.size()` under policy
+ * `c % policies.size()` — the canonical grid key every layer of the
+ * sweep engine (thread fan-out, shard protocol, merge) shares.
+ *
+ * emit(cell, result) is called exactly once per requested cell; with
+ * more than one job it may be called concurrently from different
+ * workers (always for distinct cells), so the callback must be
+ * thread-safe. Results are bit-identical at any worker count: each
+ * cell is a deterministic function of (chip, config, benchmark,
+ * policy, opts) alone.
+ *
+ * @param reuse optional cross-call context pool (see SweepContexts);
+ *              nullptr builds fresh per-worker contexts per call.
+ */
+void runSweepCells(Simulation &simulation,
+                   const std::vector<std::string> &benchmarks,
+                   const std::vector<core::PolicyKind> &policies,
+                   const std::vector<std::size_t> &cells, int jobs,
+                   const RecordOptions &opts,
+                   const std::function<void(std::size_t cell,
+                                            RunResult &&r)> &emit,
+                   SweepContexts *reuse = nullptr);
 
 /**
  * Run every (benchmark, policy) combination. Benchmarks default to

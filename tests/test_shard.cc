@@ -1,0 +1,336 @@
+/**
+ * @file
+ * Pure unit tests of the sharded sweep's building blocks: the
+ * deterministic partitioner and the length-prefixed frame protocol.
+ * No processes are spawned here — the end-to-end coordinator/worker
+ * determinism and crash-reassignment tests live in
+ * test_shard_run.cc (which needs a custom main for worker mode).
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/bytes.hh"
+#include "shard/partition.hh"
+#include "shard/protocol.hh"
+
+using namespace tg;
+using shard::Frame;
+using shard::FrameParser;
+using shard::FrameType;
+
+// --- partitioner -----------------------------------------------------
+
+TEST(ShardPartition, EveryCellExactlyOnce)
+{
+    for (std::size_t n : {std::size_t(0), std::size_t(1),
+                          std::size_t(2), std::size_t(3),
+                          std::size_t(7), std::size_t(12),
+                          std::size_t(16), std::size_t(100),
+                          std::size_t(112), std::size_t(1000)}) {
+        for (int workers : {1, 2, 3, 4, 8, 16}) {
+            auto shards = shard::partitionCells(n, workers);
+            std::vector<int> seen(n, 0);
+            for (const auto &s : shards) {
+                EXPECT_FALSE(s.empty());
+                for (auto c : s) {
+                    ASSERT_LT(c, n);
+                    ++seen[c];
+                }
+            }
+            for (std::size_t c = 0; c < n; ++c)
+                EXPECT_EQ(seen[c], 1)
+                    << "cell " << c << " at n=" << n
+                    << " workers=" << workers;
+        }
+    }
+}
+
+TEST(ShardPartition, ContiguousAndOrdered)
+{
+    auto shards = shard::partitionCells(100, 4);
+    std::uint64_t next = 0;
+    for (const auto &s : shards)
+        for (auto c : s)
+            EXPECT_EQ(c, next++);
+    EXPECT_EQ(next, 100u);
+}
+
+TEST(ShardPartition, GuidedSizesNonIncreasing)
+{
+    auto shards = shard::partitionCells(112, 4);
+    ASSERT_FALSE(shards.empty());
+    // First shard: ceil(112 / (2*4)) = 14 cells.
+    EXPECT_EQ(shards.front().size(), 14u);
+    for (std::size_t i = 1; i < shards.size(); ++i)
+        EXPECT_LE(shards[i].size(), shards[i - 1].size());
+    // Tail decays: the guided schedule ends in single-cell shards.
+    EXPECT_EQ(shards.back().size(), 1u);
+}
+
+TEST(ShardPartition, MinCellsFloor)
+{
+    auto shards = shard::partitionCells(100, 8, 5);
+    for (std::size_t i = 0; i + 1 < shards.size(); ++i)
+        EXPECT_GE(shards[i].size(), 5u);
+    // Only the final remnant may dip below the floor.
+    EXPECT_GE(shards.back().size(), 1u);
+}
+
+TEST(ShardPartition, Deterministic)
+{
+    EXPECT_EQ(shard::partitionCells(250, 3),
+              shard::partitionCells(250, 3));
+    EXPECT_EQ(shard::partitionCells(250, 3, 4),
+              shard::partitionCells(250, 3, 4));
+}
+
+TEST(ShardPartition, DegenerateInputsClamp)
+{
+    EXPECT_TRUE(shard::partitionCells(0, 4).empty());
+    // workers and min_cells clamp to >= 1.
+    auto shards = shard::partitionCells(5, 0, 0);
+    std::size_t total = 0;
+    for (const auto &s : shards)
+        total += s.size();
+    EXPECT_EQ(total, 5u);
+    // One worker, one cell: exactly one singleton shard.
+    auto one = shard::partitionCells(1, 1);
+    ASSERT_EQ(one.size(), 1u);
+    EXPECT_EQ(one[0], std::vector<std::uint64_t>{0});
+}
+
+// --- frame layer -----------------------------------------------------
+
+namespace {
+
+/** Feed a byte buffer into a parser in one go. */
+FrameParser::Status
+feedAll(FrameParser &p, const std::vector<std::uint8_t> &bytes,
+        Frame &out)
+{
+    p.feed(bytes.data(), bytes.size());
+    return p.next(out);
+}
+
+} // namespace
+
+TEST(ShardProtocol, FrameRoundTrip)
+{
+    const std::vector<std::uint8_t> payload = {1, 2, 3, 4, 5};
+    auto bytes = shard::encodeFrame(FrameType::CellResult, payload);
+
+    FrameParser parser;
+    Frame frame;
+    ASSERT_EQ(feedAll(parser, bytes, frame),
+              FrameParser::Status::Frame);
+    EXPECT_EQ(frame.type, FrameType::CellResult);
+    EXPECT_EQ(frame.payload, payload);
+    EXPECT_EQ(parser.next(frame), FrameParser::Status::NeedMore);
+}
+
+TEST(ShardProtocol, EmptyPayloadFrame)
+{
+    auto bytes = shard::encodeFrame(FrameType::Heartbeat, {});
+    FrameParser parser;
+    Frame frame;
+    ASSERT_EQ(feedAll(parser, bytes, frame),
+              FrameParser::Status::Frame);
+    EXPECT_EQ(frame.type, FrameType::Heartbeat);
+    EXPECT_TRUE(frame.payload.empty());
+}
+
+TEST(ShardProtocol, ByteAtATimeReassembly)
+{
+    const std::vector<std::uint8_t> payload(300, 0xAB);
+    auto bytes = shard::encodeFrame(FrameType::ShardDone, payload);
+
+    FrameParser parser;
+    Frame frame;
+    for (std::size_t i = 0; i + 1 < bytes.size(); ++i) {
+        parser.feed(&bytes[i], 1);
+        ASSERT_EQ(parser.next(frame), FrameParser::Status::NeedMore)
+            << "frame completed early at byte " << i;
+    }
+    parser.feed(&bytes.back(), 1);
+    ASSERT_EQ(parser.next(frame), FrameParser::Status::Frame);
+    EXPECT_EQ(frame.payload, payload);
+}
+
+TEST(ShardProtocol, BackToBackFrames)
+{
+    auto a = shard::encodeFrame(FrameType::Heartbeat, {});
+    auto b = shard::encodeFrame(FrameType::ShardDone, {9, 9});
+    std::vector<std::uint8_t> stream = a;
+    stream.insert(stream.end(), b.begin(), b.end());
+
+    FrameParser parser;
+    Frame frame;
+    ASSERT_EQ(feedAll(parser, stream, frame),
+              FrameParser::Status::Frame);
+    EXPECT_EQ(frame.type, FrameType::Heartbeat);
+    ASSERT_EQ(parser.next(frame), FrameParser::Status::Frame);
+    EXPECT_EQ(frame.type, FrameType::ShardDone);
+    EXPECT_EQ(parser.next(frame), FrameParser::Status::NeedMore);
+}
+
+TEST(ShardProtocol, BadMagicIsStickyCorrupt)
+{
+    auto bytes = shard::encodeFrame(FrameType::Heartbeat, {});
+    bytes[0] ^= 0xFF;
+
+    FrameParser parser;
+    Frame frame;
+    EXPECT_EQ(feedAll(parser, bytes, frame),
+              FrameParser::Status::Corrupt);
+    EXPECT_TRUE(parser.corrupt());
+
+    // A later good frame cannot resurrect the stream.
+    auto good = shard::encodeFrame(FrameType::Heartbeat, {});
+    EXPECT_EQ(feedAll(parser, good, frame),
+              FrameParser::Status::Corrupt);
+}
+
+TEST(ShardProtocol, ChecksumMismatchIsCorrupt)
+{
+    auto bytes = shard::encodeFrame(FrameType::CellResult,
+                                    {10, 20, 30, 40});
+    bytes[bytes.size() - 9] ^= 0x01; // last payload byte
+
+    FrameParser parser;
+    Frame frame;
+    EXPECT_EQ(feedAll(parser, bytes, frame),
+              FrameParser::Status::Corrupt);
+}
+
+TEST(ShardProtocol, UnknownFrameTypeIsCorrupt)
+{
+    bytes::ByteWriter w;
+    w.u32(shard::kFrameMagic);
+    w.u32(0xDEAD); // not a FrameType
+    w.u64(0);
+    auto header = w.take();
+
+    FrameParser parser;
+    Frame frame;
+    EXPECT_EQ(feedAll(parser, header, frame),
+              FrameParser::Status::Corrupt);
+    EXPECT_FALSE(shard::frameTypeValid(0));
+    EXPECT_FALSE(shard::frameTypeValid(0xDEAD));
+    EXPECT_TRUE(shard::frameTypeValid(
+        static_cast<std::uint32_t>(FrameType::Hello)));
+}
+
+TEST(ShardProtocol, AbsurdPayloadLengthIsCorrupt)
+{
+    bytes::ByteWriter w;
+    w.u32(shard::kFrameMagic);
+    w.u32(static_cast<std::uint32_t>(FrameType::CellResult));
+    w.u64(shard::kMaxFramePayload + 1);
+    auto header = w.take();
+
+    FrameParser parser;
+    Frame frame;
+    EXPECT_EQ(feedAll(parser, header, frame),
+              FrameParser::Status::Corrupt);
+}
+
+// --- message payloads ------------------------------------------------
+
+TEST(ShardProtocol, HelloRoundTrip)
+{
+    shard::HelloMsg in;
+    in.version = shard::kProtocolVersion;
+    in.pid = 424242;
+    shard::HelloMsg out;
+    ASSERT_TRUE(decodeHello(shard::encodeHello(in), out));
+    EXPECT_EQ(out.version, in.version);
+    EXPECT_EQ(out.pid, in.pid);
+}
+
+TEST(ShardProtocol, SweepRequestRoundTrip)
+{
+    shard::SweepRequestMsg in;
+    in.workerId = 3;
+    in.jobs = 4;
+    in.heartbeatMs = 250;
+    in.setup = {0xDE, 0xAD, 0xBE, 0xEF};
+    in.benchmarks = {"barnes", "fft", "water_s"};
+    in.policies = {0, 2, 7};
+    in.timeSeries = 1;
+    in.heatmap = 0;
+    in.noiseTrace = 1;
+    in.trackVr = 12;
+    in.noiseSamplesOverride = -1;
+
+    shard::SweepRequestMsg out;
+    ASSERT_TRUE(decodeSweepRequest(shard::encodeSweepRequest(in), out));
+    EXPECT_EQ(out.workerId, in.workerId);
+    EXPECT_EQ(out.jobs, in.jobs);
+    EXPECT_EQ(out.heartbeatMs, in.heartbeatMs);
+    EXPECT_EQ(out.setup, in.setup);
+    EXPECT_EQ(out.benchmarks, in.benchmarks);
+    EXPECT_EQ(out.policies, in.policies);
+    EXPECT_EQ(out.timeSeries, in.timeSeries);
+    EXPECT_EQ(out.heatmap, in.heatmap);
+    EXPECT_EQ(out.noiseTrace, in.noiseTrace);
+    EXPECT_EQ(out.trackVr, in.trackVr);
+    EXPECT_EQ(out.noiseSamplesOverride, in.noiseSamplesOverride);
+}
+
+TEST(ShardProtocol, ShardAssignmentRoundTrip)
+{
+    shard::ShardAssignmentMsg in;
+    in.shard = 7;
+    in.cells = {0, 5, 11, 95};
+    shard::ShardAssignmentMsg out;
+    ASSERT_TRUE(
+        decodeShardAssignment(shard::encodeShardAssignment(in), out));
+    EXPECT_EQ(out.shard, in.shard);
+    EXPECT_EQ(out.cells, in.cells);
+}
+
+TEST(ShardProtocol, CellResultRoundTrip)
+{
+    shard::CellResultMsg in;
+    in.shard = 2;
+    in.cell = 17;
+    in.result.assign(1000, 0x5A);
+    shard::CellResultMsg out;
+    ASSERT_TRUE(decodeCellResult(shard::encodeCellResult(in), out));
+    EXPECT_EQ(out.shard, in.shard);
+    EXPECT_EQ(out.cell, in.cell);
+    EXPECT_EQ(out.result, in.result);
+}
+
+TEST(ShardProtocol, DecodersRejectTruncation)
+{
+    shard::SweepRequestMsg req;
+    req.benchmarks = {"barnes"};
+    req.policies = {1};
+    auto p = shard::encodeSweepRequest(req);
+    for (std::size_t keep = 0; keep < p.size(); ++keep) {
+        std::vector<std::uint8_t> cut(p.begin(), p.begin() + keep);
+        shard::SweepRequestMsg out;
+        EXPECT_FALSE(decodeSweepRequest(cut, out))
+            << "truncated payload of " << keep
+            << " bytes decoded successfully";
+    }
+}
+
+TEST(ShardProtocol, DecodersRejectTrailingGarbage)
+{
+    shard::ShardDoneMsg done;
+    done.shard = 1;
+    auto p = shard::encodeShardDone(done);
+    p.push_back(0x00);
+    shard::ShardDoneMsg out;
+    EXPECT_FALSE(decodeShardDone(p, out));
+
+    shard::HelloMsg hello;
+    auto h = shard::encodeHello(hello);
+    h.push_back(0xFF);
+    shard::HelloMsg hout;
+    EXPECT_FALSE(decodeHello(h, hout));
+}
