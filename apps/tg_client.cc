@@ -1,0 +1,227 @@
+/**
+ * @file
+ * CLI client of the persistent sweep daemon.
+ *
+ *     tg_client [--socket PATH] ping
+ *     tg_client [--socket PATH] stats
+ *     tg_client [--socket PATH] shutdown
+ *     tg_client [--socket PATH] sweep [--quick] [--jobs N] [--verify]
+ *
+ * `sweep` submits the benchmark x policy grid (the full POWER8
+ * evaluation grid, or a small mini-chip grid with --quick) and prints
+ * one line per returned cell. --verify recomputes the same grid
+ * in-process and asserts the served results are bit-identical —
+ * byte-for-byte over cache::encodeRunResult — exiting non-zero on
+ * any mismatch; the CI smoke leg runs exactly that.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "cache/serialize.hh"
+#include "serve/client.hh"
+#include "shard/worker.hh"
+#include "sim/sweep.hh"
+#include "workload/profile.hh"
+
+namespace {
+
+using namespace tg;
+
+int usage(const char *argv0)
+{
+    std::fprintf(stderr,
+                 "usage: %s [--socket PATH] "
+                 "<ping|stats|shutdown|sweep> "
+                 "[--quick] [--jobs N] [--verify]\n",
+                 argv0);
+    return 2;
+}
+
+void printStats(const serve::StatsReplyMsg &s)
+{
+    std::printf("uptime          %.1f s\n",
+                static_cast<double>(s.uptimeMicros) / 1e6);
+    std::printf("requests        run=%llu sweep=%llu ping=%llu "
+                "stats=%llu rejected=%llu\n",
+                static_cast<unsigned long long>(s.requestsRun),
+                static_cast<unsigned long long>(s.requestsSweep),
+                static_cast<unsigned long long>(s.requestsPing),
+                static_cast<unsigned long long>(s.requestsStats),
+                static_cast<unsigned long long>(s.requestsRejected));
+    std::printf("cells served    %llu (queue depth %llu)\n",
+                static_cast<unsigned long long>(s.cellsServed),
+                static_cast<unsigned long long>(s.queueDepth));
+    std::printf("exec time       run=%.1f ms sweep=%.1f ms\n",
+                static_cast<double>(s.runMicros) / 1e3,
+                static_cast<double>(s.sweepMicros) / 1e3);
+    std::printf("contexts        built=%llu reused=%llu\n",
+                static_cast<unsigned long long>(s.contextsBuilt),
+                static_cast<unsigned long long>(s.contextsReused));
+    std::printf("%s\n", s.store.describe().c_str());
+    for (int k = 0; k < cache::kArtifactKinds; ++k) {
+        const auto &pk = s.store.kind[static_cast<std::size_t>(k)];
+        std::printf(
+            "  %-11s hits=%llu misses=%llu inserts=%llu "
+            "bytes=%llu evictions=%llu\n",
+            cache::artifactKindName(static_cast<cache::ArtifactKind>(k)),
+            static_cast<unsigned long long>(pk.hits),
+            static_cast<unsigned long long>(pk.misses),
+            static_cast<unsigned long long>(pk.inserts),
+            static_cast<unsigned long long>(pk.bytes),
+            static_cast<unsigned long long>(pk.evictions));
+    }
+}
+
+/** The sweep the CLI submits: grid, setup blob and local replica. */
+struct SweepPlan
+{
+    serve::SweepMsg request;
+    shard::ChipKind kind = shard::ChipKind::Power8;
+    int chipArg = 0;
+    sim::SimConfig cfg;
+};
+
+SweepPlan makePlan(bool quick, int jobs)
+{
+    SweepPlan plan;
+    if (quick) {
+        plan.kind = shard::ChipKind::Mini;
+        plan.chipArg = 1;
+        plan.cfg.noiseSamples = 4;
+        plan.cfg.profilingEpochs = 8;
+        plan.request.benchmarks = {"rayt", "fft"};
+        plan.request.policies = {
+            static_cast<std::uint32_t>(core::PolicyKind::AllOn),
+            static_cast<std::uint32_t>(core::PolicyKind::OracT)};
+    } else {
+        for (const auto &p : workload::splashProfiles())
+            plan.request.benchmarks.push_back(p.name);
+        for (auto pk : core::allPolicyKinds())
+            plan.request.policies.push_back(
+                static_cast<std::uint32_t>(pk));
+    }
+    plan.request.setup =
+        shard::encodeBasicSetup(plan.kind, plan.chipArg, plan.cfg);
+    plan.request.jobs = static_cast<std::uint32_t>(
+        jobs > 0 ? jobs : 1);
+    return plan;
+}
+
+/** Byte-compare every served cell against a local recompute. */
+int verifySweep(const SweepPlan &plan, const sim::SweepResult &served)
+{
+    floorplan::Chip chip =
+        plan.kind == shard::ChipKind::Power8
+            ? floorplan::buildPower8Chip()
+            : floorplan::buildMiniChip(plan.chipArg);
+    sim::Simulation simulation(chip, plan.cfg);
+    sim::SweepResult local = sim::runSweep(
+        simulation, served.benchmarks, served.policies, false,
+        static_cast<int>(plan.request.jobs));
+    std::size_t mismatches = 0;
+    for (std::size_t b = 0; b < served.benchmarks.size(); ++b) {
+        for (std::size_t p = 0; p < served.policies.size(); ++p) {
+            if (cache::encodeRunResult(served.results[b][p]) !=
+                cache::encodeRunResult(local.results[b][p])) {
+                std::fprintf(stderr,
+                             "verify: MISMATCH at [%s / %s]\n",
+                             served.benchmarks[b].c_str(),
+                             core::policyName(served.policies[p]));
+                ++mismatches;
+            }
+        }
+    }
+    if (mismatches) {
+        std::fprintf(stderr,
+                     "verify: %zu cells differ from the local "
+                     "recompute\n",
+                     mismatches);
+        return 1;
+    }
+    std::printf("verify: served grid is bit-identical to the local "
+                "recompute\n");
+    return 0;
+}
+
+} // namespace
+
+int main(int argc, char **argv)
+{
+    std::string socketArg;
+    std::string command;
+    bool quick = false;
+    bool verify = false;
+    int jobs = 1;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--socket" && i + 1 < argc)
+            socketArg = argv[++i];
+        else if (arg == "--quick")
+            quick = true;
+        else if (arg == "--verify")
+            verify = true;
+        else if (arg == "--jobs" && i + 1 < argc)
+            jobs = std::atoi(argv[++i]);
+        else if (command.empty() && arg[0] != '-')
+            command = arg;
+        else
+            return usage(argv[0]);
+    }
+    if (command.empty())
+        return usage(argv[0]);
+
+    const std::string path = serve::resolveSocketPath(socketArg);
+    serve::Client client;
+    std::string err;
+    if (!client.connect(path, &err)) {
+        std::fprintf(stderr, "tg_client: %s\n", err.c_str());
+        return 1;
+    }
+
+    if (command == "ping") {
+        if (!client.ping(&err)) {
+            std::fprintf(stderr, "tg_client: %s\n", err.c_str());
+            return 1;
+        }
+        std::printf("pong (%s)\n", path.c_str());
+        return 0;
+    }
+    if (command == "stats") {
+        serve::StatsReplyMsg stats;
+        if (!client.stats(stats, &err)) {
+            std::fprintf(stderr, "tg_client: %s\n", err.c_str());
+            return 1;
+        }
+        printStats(stats);
+        return 0;
+    }
+    if (command == "shutdown") {
+        if (!client.shutdownServer(&err)) {
+            std::fprintf(stderr, "tg_client: %s\n", err.c_str());
+            return 1;
+        }
+        std::printf("server draining\n");
+        return 0;
+    }
+    if (command == "sweep") {
+        const SweepPlan plan = makePlan(quick, jobs);
+        sim::SweepResult served;
+        if (!client.sweep(plan.request, served, &err)) {
+            std::fprintf(stderr, "tg_client: %s\n", err.c_str());
+            return 1;
+        }
+        for (const auto &bench : served.benchmarks)
+            for (auto pk : served.policies)
+                std::printf("%s\n",
+                            sim::progressLine(served.at(bench, pk))
+                                .c_str());
+        if (verify)
+            return verifySweep(plan, served);
+        return 0;
+    }
+    return usage(argv[0]);
+}

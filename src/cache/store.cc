@@ -125,6 +125,7 @@ void ArtifactStore::evictLocked(Shard &s, std::size_t shard_budget)
         const Entry &victim = s.lru.back();
         KindCounters &kc = counters[static_cast<int>(victim.key.kind)];
         kc.bytes.fetch_sub(victim.bytes, std::memory_order_relaxed);
+        kc.evictions.fetch_add(1, std::memory_order_relaxed);
         s.bytes -= victim.bytes;
         s.map.erase(victim.key);
         s.lru.pop_back();
@@ -162,7 +163,8 @@ StoreStats ArtifactStore::stats() const
             counters[static_cast<std::size_t>(i)].hits.load(),
             counters[static_cast<std::size_t>(i)].misses.load(),
             counters[static_cast<std::size_t>(i)].inserts.load(),
-            counters[static_cast<std::size_t>(i)].bytes.load()};
+            counters[static_cast<std::size_t>(i)].bytes.load(),
+            counters[static_cast<std::size_t>(i)].evictions.load()};
     }
     out.evictions = evictionCount.load();
     out.diskHits = diskHitCount.load();
@@ -178,6 +180,7 @@ void ArtifactStore::resetStats()
         kc.hits.store(0);
         kc.misses.store(0);
         kc.inserts.store(0);
+        kc.evictions.store(0);
         // bytes tracks residency, not a rate — leave it.
     }
     evictionCount.store(0);

@@ -63,9 +63,10 @@ struct StoreStats
         std::uint64_t misses = 0;
         std::uint64_t inserts = 0;
         std::uint64_t bytes = 0; //!< currently resident payload bytes
+        std::uint64_t evictions = 0;
     };
     std::array<PerKind, kArtifactKinds> kind{};
-    std::uint64_t evictions = 0;
+    std::uint64_t evictions = 0; //!< sum over kinds (kept for display)
 
     // Disk-tier counters (recorded by DiskTier via the store so one
     // snapshot covers both tiers).
@@ -222,6 +223,7 @@ class ArtifactStore
         std::atomic<std::uint64_t> misses{0};
         std::atomic<std::uint64_t> inserts{0};
         std::atomic<std::uint64_t> bytes{0};
+        std::atomic<std::uint64_t> evictions{0};
     };
     std::array<KindCounters, kArtifactKinds> counters;
     std::atomic<std::uint64_t> evictionCount{0};

@@ -7,9 +7,8 @@ namespace bytes {
 
 namespace {
 
-/** Sanity cap on decoded vector lengths (largest real series is the
- *  per-frame data of a full run, well under a million entries). */
-constexpr std::uint64_t kMaxVecLen = 1ull << 28;
+/** Local alias of the public cap (see bytes.hh). */
+constexpr std::uint64_t kMaxVecLen = kMaxDecodedLen;
 
 } // namespace
 

@@ -22,6 +22,15 @@
 namespace tg {
 namespace bytes {
 
+/**
+ * Sanity cap on decoded string/vector lengths (the largest real
+ * series is the per-frame data of a full run, well under a million
+ * entries). A length field above this decodes to failure even when
+ * the buffer could, in principle, satisfy it — a 2^60-element vector
+ * in a header is corruption, not data.
+ */
+constexpr std::uint64_t kMaxDecodedLen = 1ull << 28;
+
 /** FNV-1a 64-bit hash (checksums of framed/persisted payloads). */
 std::uint64_t fnv1a(const std::uint8_t *data, std::size_t size);
 

@@ -1,0 +1,146 @@
+#include "common/io.hh"
+
+#ifdef __unix__
+#include <cerrno>
+#include <cstring>
+#include <fcntl.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+#endif
+
+namespace tg {
+namespace io {
+
+#ifdef __unix__
+
+bool writeAll(int fd, const std::uint8_t *data, std::size_t size)
+{
+    std::size_t off = 0;
+    while (off < size) {
+        ssize_t n = ::write(fd, data + off, size - off);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        off += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+bool setNonBlocking(int fd, bool on)
+{
+    int flags = ::fcntl(fd, F_GETFL, 0);
+    if (flags < 0)
+        return false;
+    if (on)
+        flags |= O_NONBLOCK;
+    else
+        flags &= ~O_NONBLOCK;
+    return ::fcntl(fd, F_SETFL, flags) == 0;
+}
+
+namespace {
+
+/** Fill a sockaddr_un; false when `path` overflows sun_path. */
+bool unixAddress(const std::string &path, sockaddr_un &addr)
+{
+    if (path.empty() || path.size() >= sizeof addr.sun_path)
+        return false;
+    std::memset(&addr, 0, sizeof addr);
+    addr.sun_family = AF_UNIX;
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+    return true;
+}
+
+} // namespace
+
+int listenUnix(const std::string &path, int backlog, std::string *err)
+{
+    auto fail = [&](const std::string &why) {
+        if (err)
+            *err = why;
+        return -1;
+    };
+
+    sockaddr_un addr;
+    if (!unixAddress(path, addr))
+        return fail("socket path '" + path +
+                    "' is empty or too long for sun_path");
+
+    int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd < 0)
+        return fail(std::string("socket(): ") + std::strerror(errno));
+
+    if (::bind(fd, reinterpret_cast<sockaddr *>(&addr),
+               sizeof addr) != 0) {
+        if (errno != EADDRINUSE) {
+            ::close(fd);
+            return fail(std::string("bind(") + path +
+                        "): " + std::strerror(errno));
+        }
+        // The path exists. A live server accepts connections on it; a
+        // stale file from a crashed server refuses them and is safe
+        // to reclaim.
+        int probe = connectUnix(path);
+        if (probe >= 0) {
+            ::close(probe);
+            ::close(fd);
+            return fail("a server is already listening on " + path);
+        }
+        if (::unlink(path.c_str()) != 0 ||
+            ::bind(fd, reinterpret_cast<sockaddr *>(&addr),
+                   sizeof addr) != 0) {
+            ::close(fd);
+            return fail("cannot reclaim stale socket " + path + ": " +
+                        std::strerror(errno));
+        }
+    }
+
+    if (::listen(fd, backlog > 0 ? backlog : 16) != 0) {
+        ::close(fd);
+        return fail(std::string("listen(") + path +
+                    "): " + std::strerror(errno));
+    }
+    return fd;
+}
+
+int connectUnix(const std::string &path)
+{
+    sockaddr_un addr;
+    if (!unixAddress(path, addr))
+        return -1;
+    int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd < 0)
+        return -1;
+    int rv;
+    do {
+        rv = ::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                       sizeof addr);
+    } while (rv != 0 && errno == EINTR);
+    if (rv != 0) {
+        ::close(fd);
+        return -1;
+    }
+    return fd;
+}
+
+#else // !__unix__
+
+bool writeAll(int, const std::uint8_t *, std::size_t) { return false; }
+bool setNonBlocking(int, bool) { return false; }
+
+int listenUnix(const std::string &, int, std::string *err)
+{
+    if (err)
+        *err = "Unix-domain sockets require a POSIX host";
+    return -1;
+}
+
+int connectUnix(const std::string &) { return -1; }
+
+#endif // __unix__
+
+} // namespace io
+} // namespace tg

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Low-level POSIX descriptor helpers shared by every process- and
+ * socket-speaking layer (the shard engine's pipes, the sweep server's
+ * Unix-domain sockets).
+ *
+ * Everything here is a thin, EINTR-hardened wrapper: policy (framing,
+ * corruption handling, event-loop structure) stays with the callers.
+ * On non-POSIX hosts the functions exist but fail, mirroring the
+ * shard engine's platform gating.
+ */
+
+#ifndef TG_COMMON_IO_HH
+#define TG_COMMON_IO_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace tg {
+namespace io {
+
+/**
+ * Write the whole buffer, looping over partial writes and EINTR.
+ * Returns false when the peer is gone (EPIPE/ECONNRESET/...); callers
+ * treat that as a dead connection, never as a partial frame.
+ */
+bool writeAll(int fd, const std::uint8_t *data, std::size_t size);
+
+/** Toggle O_NONBLOCK; returns false when fcntl fails. */
+bool setNonBlocking(int fd, bool on);
+
+/**
+ * Create, bind and listen on a Unix-domain stream socket at `path`.
+ * A stale socket file (left by a crashed server: nothing accepts
+ * connections on it) is unlinked and the bind retried; a *live*
+ * server on the path is an error. Returns the listening fd, or -1
+ * with a human-readable reason in `err`.
+ */
+int listenUnix(const std::string &path, int backlog, std::string *err);
+
+/**
+ * Connect to a Unix-domain stream socket. Returns the connected fd or
+ * -1 (no server, refused, path too long).
+ */
+int connectUnix(const std::string &path);
+
+} // namespace io
+} // namespace tg
+
+#endif // TG_COMMON_IO_HH

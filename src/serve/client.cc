@@ -1,0 +1,251 @@
+#include "serve/client.hh"
+
+#include <algorithm>
+
+#ifdef __unix__
+#include <unistd.h>
+#endif
+
+#include "cache/serialize.hh"
+#include "common/io.hh"
+
+namespace tg {
+namespace serve {
+
+using shard::Frame;
+using shard::FrameParser;
+using shard::FrameType;
+using shard::PumpStatus;
+
+namespace {
+
+void setErr(std::string *err, const char *what)
+{
+    if (err)
+        *err = what;
+}
+
+} // namespace
+
+Client::~Client()
+{
+    close();
+}
+
+void Client::close()
+{
+#ifdef __unix__
+    if (fd >= 0)
+        ::close(fd);
+#endif
+    fd = -1;
+    parser = FrameParser();
+    pending.clear();
+}
+
+bool Client::connect(const std::string &socketPath, std::string *err)
+{
+    close();
+    fd = io::connectUnix(socketPath);
+    if (fd < 0) {
+        if (err)
+            *err = "cannot connect to " + socketPath;
+        return false;
+    }
+    return true;
+}
+
+bool Client::send(FrameType type,
+                  const std::vector<std::uint8_t> &payload,
+                  std::string *err)
+{
+    if (fd < 0) {
+        setErr(err, "not connected");
+        return false;
+    }
+    if (!shard::writeFrameToFd(fd, type, payload)) {
+        setErr(err, "server connection lost mid-send");
+        return false;
+    }
+    return true;
+}
+
+bool Client::recv(Frame &out, std::string *err)
+{
+    if (fd < 0) {
+        setErr(err, "not connected");
+        return false;
+    }
+    while (pending.empty()) {
+        // Blocking socket: pumpFrames parks in read() until data.
+        switch (shard::pumpFrames(fd, parser,
+                                  [&](const Frame &frame) {
+                                      pending.push_back(frame);
+                                      return true;
+                                  })) {
+        case PumpStatus::Ok:
+            break;
+        case PumpStatus::Eof:
+            setErr(err, "server closed the connection");
+            return false;
+        case PumpStatus::Corrupt:
+            setErr(err, "corrupt frame stream from server");
+            return false;
+        case PumpStatus::Rejected:
+        case PumpStatus::Error:
+            setErr(err, "read from server failed");
+            return false;
+        }
+    }
+    out = std::move(pending.front());
+    pending.erase(pending.begin());
+    return true;
+}
+
+bool Client::ping(std::string *err)
+{
+    if (!send(FrameType::Ping, {}, err))
+        return false;
+    Frame frame;
+    if (!recv(frame, err))
+        return false;
+    if (frame.type != FrameType::Pong) {
+        setErr(err, "unexpected reply to Ping");
+        return false;
+    }
+    return true;
+}
+
+bool Client::stats(StatsReplyMsg &out, std::string *err)
+{
+    if (!send(FrameType::ServeStats, {}, err))
+        return false;
+    Frame frame;
+    if (!recv(frame, err))
+        return false;
+    if (frame.type != FrameType::ServeStatsReply ||
+        !decodeStatsReply(frame.payload, out)) {
+        setErr(err, "malformed stats reply");
+        return false;
+    }
+    return true;
+}
+
+bool Client::shutdownServer(std::string *err)
+{
+    if (!send(FrameType::Shutdown, {}, err))
+        return false;
+    Frame frame;
+    if (!recv(frame, err))
+        return false;
+    DoneMsg done;
+    if (frame.type != FrameType::ServeDone ||
+        !decodeDone(frame.payload, done) || !done.ok) {
+        setErr(err, "server refused the shutdown request");
+        return false;
+    }
+    return true;
+}
+
+bool Client::run(const RunMsg &request, sim::RunResult &out,
+                 std::string *err)
+{
+    if (!send(FrameType::ServeRun, encodeRun(request), err))
+        return false;
+    bool haveCell = false;
+    for (;;) {
+        Frame frame;
+        if (!recv(frame, err))
+            return false;
+        if (frame.type == FrameType::ServeCell) {
+            CellMsg cell;
+            if (!decodeCell(frame.payload, cell) ||
+                !cache::decodeRunResult(cell.result.data(),
+                                        cell.result.size(), out)) {
+                setErr(err, "malformed cell result");
+                return false;
+            }
+            haveCell = true;
+            continue;
+        }
+        if (frame.type == FrameType::ServeDone) {
+            DoneMsg done;
+            if (!decodeDone(frame.payload, done)) {
+                setErr(err, "malformed completion frame");
+                return false;
+            }
+            if (!done.ok) {
+                if (err)
+                    *err = "server rejected the run: " + done.error;
+                return false;
+            }
+            if (!haveCell) {
+                setErr(err, "completion without a result cell");
+                return false;
+            }
+            return true;
+        }
+        setErr(err, "unexpected frame during run");
+        return false;
+    }
+}
+
+bool Client::sweep(const SweepMsg &request, sim::SweepResult &out,
+                   std::string *err)
+{
+    if (!send(FrameType::ServeSweep, encodeSweep(request), err))
+        return false;
+
+    out = sim::SweepResult{};
+    out.benchmarks = request.benchmarks;
+    out.policies.reserve(request.policies.size());
+    for (auto pk : request.policies)
+        out.policies.push_back(static_cast<core::PolicyKind>(pk));
+    out.results.assign(
+        request.benchmarks.size(),
+        std::vector<sim::RunResult>(request.policies.size()));
+    const std::uint64_t n_cells =
+        static_cast<std::uint64_t>(request.benchmarks.size()) *
+        request.policies.size();
+
+    for (;;) {
+        Frame frame;
+        if (!recv(frame, err))
+            return false;
+        if (frame.type == FrameType::ServeCell) {
+            CellMsg cell;
+            sim::RunResult r;
+            if (!decodeCell(frame.payload, cell) ||
+                cell.cell >= n_cells ||
+                !cache::decodeRunResult(cell.result.data(),
+                                        cell.result.size(), r)) {
+                setErr(err, "malformed cell result");
+                return false;
+            }
+            const std::size_t b = static_cast<std::size_t>(
+                cell.cell / request.policies.size());
+            const std::size_t p = static_cast<std::size_t>(
+                cell.cell % request.policies.size());
+            out.results[b][p] = std::move(r);
+            continue;
+        }
+        if (frame.type == FrameType::ServeDone) {
+            DoneMsg done;
+            if (!decodeDone(frame.payload, done)) {
+                setErr(err, "malformed completion frame");
+                return false;
+            }
+            if (!done.ok) {
+                if (err)
+                    *err = "server rejected the sweep: " + done.error;
+                return false;
+            }
+            return true;
+        }
+        setErr(err, "unexpected frame during sweep");
+        return false;
+    }
+}
+
+} // namespace serve
+} // namespace tg

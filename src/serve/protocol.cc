@@ -1,0 +1,230 @@
+#include "serve/protocol.hh"
+
+#include <cstdio>
+#include <cstdlib>
+
+#ifdef __unix__
+#include <unistd.h>
+#endif
+
+namespace tg {
+namespace serve {
+
+namespace {
+
+using bytes::ByteReader;
+using bytes::ByteWriter;
+
+/** Cap on list element counts inside serve messages. */
+constexpr std::uint64_t kMaxListLen = 1ull << 24;
+
+void writeOpts(ByteWriter &w, std::uint8_t timeSeries,
+               std::uint8_t heatmap, std::uint8_t noiseTrace,
+               std::int64_t trackVr, std::int64_t noiseSamplesOverride)
+{
+    w.u8(timeSeries);
+    w.u8(heatmap);
+    w.u8(noiseTrace);
+    w.i64(trackVr);
+    w.i64(noiseSamplesOverride);
+}
+
+} // namespace
+
+std::vector<std::uint8_t> encodeRun(const RunMsg &m)
+{
+    ByteWriter w;
+    w.blob(m.setup);
+    w.str(m.benchmark);
+    w.u32(m.policy);
+    writeOpts(w, m.timeSeries, m.heatmap, m.noiseTrace, m.trackVr,
+              m.noiseSamplesOverride);
+    return w.take();
+}
+
+bool decodeRun(const std::vector<std::uint8_t> &p, RunMsg &out)
+{
+    ByteReader r(p.data(), p.size());
+    if (!r.blob(out.setup))
+        return false;
+    out.benchmark = r.str();
+    out.policy = r.u32();
+    out.timeSeries = r.u8();
+    out.heatmap = r.u8();
+    out.noiseTrace = r.u8();
+    out.trackVr = r.i64();
+    out.noiseSamplesOverride = r.i64();
+    return r.exhausted();
+}
+
+std::vector<std::uint8_t> encodeSweep(const SweepMsg &m)
+{
+    ByteWriter w;
+    w.blob(m.setup);
+    w.u64(m.benchmarks.size());
+    for (const auto &b : m.benchmarks)
+        w.str(b);
+    w.u64(m.policies.size());
+    for (auto pk : m.policies)
+        w.u32(pk);
+    w.u64(m.cells.size());
+    for (auto c : m.cells)
+        w.u64(c);
+    w.u32(m.jobs);
+    writeOpts(w, m.timeSeries, m.heatmap, m.noiseTrace, m.trackVr,
+              m.noiseSamplesOverride);
+    return w.take();
+}
+
+bool decodeSweep(const std::vector<std::uint8_t> &p, SweepMsg &out)
+{
+    ByteReader r(p.data(), p.size());
+    if (!r.blob(out.setup))
+        return false;
+    const std::uint64_t nb = r.u64();
+    if (!r.ok() || nb > kMaxListLen)
+        return false;
+    out.benchmarks.resize(static_cast<std::size_t>(nb));
+    for (auto &b : out.benchmarks)
+        b = r.str();
+    const std::uint64_t np = r.u64();
+    if (!r.ok() || np > kMaxListLen)
+        return false;
+    out.policies.resize(static_cast<std::size_t>(np));
+    for (auto &pk : out.policies)
+        pk = r.u32();
+    const std::uint64_t nc = r.u64();
+    if (!r.ok() || nc > kMaxListLen)
+        return false;
+    out.cells.resize(static_cast<std::size_t>(nc));
+    for (auto &c : out.cells)
+        c = r.u64();
+    out.jobs = r.u32();
+    out.timeSeries = r.u8();
+    out.heatmap = r.u8();
+    out.noiseTrace = r.u8();
+    out.trackVr = r.i64();
+    out.noiseSamplesOverride = r.i64();
+    return r.exhausted();
+}
+
+std::vector<std::uint8_t> encodeCell(const CellMsg &m)
+{
+    ByteWriter w;
+    w.u64(m.cell);
+    w.blob(m.result);
+    return w.take();
+}
+
+bool decodeCell(const std::vector<std::uint8_t> &p, CellMsg &out)
+{
+    ByteReader r(p.data(), p.size());
+    out.cell = r.u64();
+    if (!r.blob(out.result))
+        return false;
+    return r.exhausted();
+}
+
+std::vector<std::uint8_t> encodeDone(const DoneMsg &m)
+{
+    ByteWriter w;
+    w.u8(m.ok);
+    w.u64(m.cells);
+    w.str(m.error);
+    return w.take();
+}
+
+bool decodeDone(const std::vector<std::uint8_t> &p, DoneMsg &out)
+{
+    ByteReader r(p.data(), p.size());
+    out.ok = r.u8();
+    out.cells = r.u64();
+    out.error = r.str();
+    return r.exhausted();
+}
+
+std::vector<std::uint8_t> encodeStatsReply(const StatsReplyMsg &m)
+{
+    ByteWriter w;
+    w.u64(m.uptimeMicros);
+    w.u64(m.requestsRun);
+    w.u64(m.requestsSweep);
+    w.u64(m.requestsPing);
+    w.u64(m.requestsStats);
+    w.u64(m.requestsRejected);
+    w.u64(m.cellsServed);
+    w.u64(m.contextsBuilt);
+    w.u64(m.contextsReused);
+    w.u64(m.queueDepth);
+    w.u64(m.runMicros);
+    w.u64(m.sweepMicros);
+    // ArtifactStore snapshot: kind count first so a reader can reject
+    // a build with a different kind set instead of misparsing it.
+    w.u64(cache::kArtifactKinds);
+    for (const auto &k : m.store.kind) {
+        w.u64(k.hits);
+        w.u64(k.misses);
+        w.u64(k.inserts);
+        w.u64(k.bytes);
+        w.u64(k.evictions);
+    }
+    w.u64(m.store.evictions);
+    w.u64(m.store.diskHits);
+    w.u64(m.store.diskMisses);
+    w.u64(m.store.diskWrites);
+    w.u64(m.store.diskRejects);
+    return w.take();
+}
+
+bool decodeStatsReply(const std::vector<std::uint8_t> &p,
+                      StatsReplyMsg &out)
+{
+    ByteReader r(p.data(), p.size());
+    out.uptimeMicros = r.u64();
+    out.requestsRun = r.u64();
+    out.requestsSweep = r.u64();
+    out.requestsPing = r.u64();
+    out.requestsStats = r.u64();
+    out.requestsRejected = r.u64();
+    out.cellsServed = r.u64();
+    out.contextsBuilt = r.u64();
+    out.contextsReused = r.u64();
+    out.queueDepth = r.u64();
+    out.runMicros = r.u64();
+    out.sweepMicros = r.u64();
+    if (r.u64() != cache::kArtifactKinds || !r.ok())
+        return false;
+    for (auto &k : out.store.kind) {
+        k.hits = r.u64();
+        k.misses = r.u64();
+        k.inserts = r.u64();
+        k.bytes = r.u64();
+        k.evictions = r.u64();
+    }
+    out.store.evictions = r.u64();
+    out.store.diskHits = r.u64();
+    out.store.diskMisses = r.u64();
+    out.store.diskWrites = r.u64();
+    out.store.diskRejects = r.u64();
+    return r.exhausted();
+}
+
+std::string resolveSocketPath(const std::string &cliValue)
+{
+    if (!cliValue.empty())
+        return cliValue;
+    if (const char *env = std::getenv("TG_SERVE_SOCKET"))
+        if (*env)
+            return env;
+    char buf[64];
+#ifdef __unix__
+    std::snprintf(buf, sizeof buf, "/tmp/tg_serve.%lu.sock",
+                  static_cast<unsigned long>(::getuid()));
+#else
+    std::snprintf(buf, sizeof buf, "/tmp/tg_serve.sock");
+#endif
+    return std::string(buf);
+}
+
+} // namespace serve
+} // namespace tg

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Payload codecs of the persistent sweep server.
+ *
+ * The server speaks the shard layer's TGS1 frame protocol over a
+ * Unix-domain socket (shard/protocol.hh owns the frame layer and the
+ * FrameType registry; this header owns the serve-side payloads). A
+ * session is request/response:
+ *
+ *     client -> server : ServeRun | ServeSweep | ServeStats | Ping
+ *                        | Shutdown
+ *     server -> client : ServeCell*  (streamed as cells finish)
+ *     server -> client : ServeDone   (ok or an error string)
+ *     server -> client : ServeStatsReply / Pong
+ *
+ * Every decoder is bounds-checked and rejects trailing garbage, same
+ * rules as the shard messages. Results travel as
+ * cache::encodeRunResult bytes, so a served cell is byte-comparable
+ * against a locally computed one — the bit-identity contract the
+ * serve tests assert.
+ */
+
+#ifndef TG_SERVE_PROTOCOL_HH
+#define TG_SERVE_PROTOCOL_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cache/store.hh"
+#include "shard/protocol.hh"
+
+namespace tg {
+namespace serve {
+
+/**
+ * Client -> server: one simulation run. `setup` is a
+ * shard::encodeBasicSetup blob (chip kind + SimConfig scalars); the
+ * RecordOptions scalars ride explicitly, like the shard protocol's
+ * SweepRequest.
+ */
+struct RunMsg
+{
+    std::vector<std::uint8_t> setup;
+    std::string benchmark;
+    std::uint32_t policy = 0;
+    // RecordOptions scalars (see sim/result.hh).
+    std::uint8_t timeSeries = 0;
+    std::uint8_t heatmap = 0;
+    std::uint8_t noiseTrace = 0;
+    std::int64_t trackVr = -1;
+    std::int64_t noiseSamplesOverride = -1;
+};
+
+/**
+ * Client -> server: a benchmark x policy sweep (the full grid, or an
+ * arbitrary cell subset in the canonical `b * policies.size() + p`
+ * indexing). `jobs` requests intra-request parallelism; the server
+ * clamps it to its own pool width. Results are bit-identical at any
+ * jobs value, so the clamp cannot change a byte.
+ */
+struct SweepMsg
+{
+    std::vector<std::uint8_t> setup;
+    std::vector<std::string> benchmarks;
+    std::vector<std::uint32_t> policies;
+    std::vector<std::uint64_t> cells; //!< empty = every grid cell
+    std::uint32_t jobs = 1;
+    std::uint8_t timeSeries = 0;
+    std::uint8_t heatmap = 0;
+    std::uint8_t noiseTrace = 0;
+    std::int64_t trackVr = -1;
+    std::int64_t noiseSamplesOverride = -1;
+};
+
+/** Server -> client: one finished cell (cache::encodeRunResult). */
+struct CellMsg
+{
+    std::uint64_t cell = 0;
+    std::vector<std::uint8_t> result;
+};
+
+/** Server -> client: request complete (after the last CellMsg). */
+struct DoneMsg
+{
+    std::uint8_t ok = 0;
+    std::uint64_t cells = 0; //!< cells streamed for this request
+    std::string error;       //!< empty when ok
+};
+
+/**
+ * Server -> client: counters snapshot. Request-side counters come
+ * from the scheduler; the embedded cache::StoreStats is the shared
+ * warm ArtifactStore the daemon exists to keep alive.
+ */
+struct StatsReplyMsg
+{
+    std::uint64_t uptimeMicros = 0;
+    std::uint64_t requestsRun = 0;
+    std::uint64_t requestsSweep = 0;
+    std::uint64_t requestsPing = 0;
+    std::uint64_t requestsStats = 0;
+    std::uint64_t requestsRejected = 0; //!< malformed/invalid requests
+    std::uint64_t cellsServed = 0;
+    std::uint64_t contextsBuilt = 0;  //!< warm-context cache misses
+    std::uint64_t contextsReused = 0; //!< warm-context cache hits
+    std::uint64_t queueDepth = 0;     //!< requests waiting at snapshot
+    std::uint64_t runMicros = 0;   //!< cumulative Run execution time
+    std::uint64_t sweepMicros = 0; //!< cumulative Sweep execution time
+    cache::StoreStats store;
+};
+
+std::vector<std::uint8_t> encodeRun(const RunMsg &m);
+std::vector<std::uint8_t> encodeSweep(const SweepMsg &m);
+std::vector<std::uint8_t> encodeCell(const CellMsg &m);
+std::vector<std::uint8_t> encodeDone(const DoneMsg &m);
+std::vector<std::uint8_t> encodeStatsReply(const StatsReplyMsg &m);
+
+/** Decoders reject truncated, malformed and trailing-garbage input. */
+bool decodeRun(const std::vector<std::uint8_t> &p, RunMsg &out);
+bool decodeSweep(const std::vector<std::uint8_t> &p, SweepMsg &out);
+bool decodeCell(const std::vector<std::uint8_t> &p, CellMsg &out);
+bool decodeDone(const std::vector<std::uint8_t> &p, DoneMsg &out);
+bool decodeStatsReply(const std::vector<std::uint8_t> &p,
+                      StatsReplyMsg &out);
+
+/**
+ * Socket-path ladder shared by tg_serve and tg_client: a non-empty
+ * `cliValue` wins, else $TG_SERVE_SOCKET, else a per-user default
+ * (/tmp/tg_serve.<uid>.sock).
+ */
+std::string resolveSocketPath(const std::string &cliValue);
+
+} // namespace serve
+} // namespace tg
+
+#endif // TG_SERVE_PROTOCOL_HH

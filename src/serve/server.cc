@@ -1,0 +1,765 @@
+#include "serve/server.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <csignal>
+#include <cstring>
+#include <deque>
+#include <list>
+#include <map>
+#include <mutex>
+
+#ifdef __unix__
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+#endif
+
+#include "cache/serialize.hh"
+#include "common/exec.hh"
+#include "common/io.hh"
+#include "common/logging.hh"
+#include "core/policy.hh"
+#include "shard/worker.hh"
+#include "sim/sweep.hh"
+#include "workload/profile.hh"
+
+namespace tg {
+namespace serve {
+
+#ifdef __unix__
+
+namespace {
+
+using shard::Frame;
+using shard::FrameParser;
+using shard::FrameType;
+using shard::PumpStatus;
+
+using Clock = std::chrono::steady_clock;
+
+std::uint64_t microsSince(Clock::time_point t0)
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            Clock::now() - t0)
+            .count());
+}
+
+bool benchmarkExists(const std::string &name)
+{
+    for (const auto &p : workload::splashProfiles())
+        if (p.name == name)
+            return true;
+    return false;
+}
+
+bool policyExists(std::uint32_t v)
+{
+    for (auto pk : core::allPolicyKinds())
+        if (static_cast<std::uint32_t>(pk) == v)
+            return true;
+    return false;
+}
+
+/** One accepted client connection (poll-thread state). */
+struct Conn
+{
+    int fd = -1;
+    std::uint64_t id = 0;
+    FrameParser parser;
+    std::vector<std::uint8_t> out; //!< unsent outbound bytes
+    std::size_t outOff = 0;
+    bool closing = false; //!< close once `out` drains
+};
+
+/** A Run/Sweep waiting for the executor. */
+struct PendingRequest
+{
+    std::uint64_t connId = 0;
+    bool isRun = false;
+    RunMsg run;
+    SweepMsg sweep;
+};
+
+/** Executor-posted bytes bound for one connection. */
+struct Completion
+{
+    std::uint64_t connId = 0;
+    std::vector<std::uint8_t> bytes;
+};
+
+/** Warm simulation context: everything rebuilt on a cold start. */
+struct Ctx
+{
+    std::uint64_t key = 0; //!< fnv1a over the setup blob
+    floorplan::Chip chip;  //!< owned: Simulation keeps a reference
+    sim::SimConfig cfg;
+    std::unique_ptr<sim::Simulation> sim;
+    sim::SweepContexts contexts; //!< per-pool-worker Simulations
+};
+
+} // namespace
+
+struct Server::Impl
+{
+    explicit Impl(const ServerOptions &o)
+        : options(o), pool(exec::resolveJobs(o.jobs))
+    {
+    }
+
+    ServerOptions options;
+
+    int listenFd = -1;
+    int wakeRead = -1;
+    int wakeWrite = -1;
+    bool running = false;
+
+    std::thread pollThread;
+    std::thread execThread;
+
+    std::atomic<bool> stopping{false};
+    std::atomic<bool> execFinished{false};
+
+    // Request queue (poll thread -> executor).
+    std::mutex reqMu;
+    std::condition_variable reqCv;
+    std::deque<PendingRequest> queue;
+
+    // Completion queue (executor -> poll thread).
+    std::mutex compMu;
+    std::vector<Completion> completions;
+
+    // Process-lifetime sweep pool; requests with jobs > 1 fan out on
+    // it so no request pays thread creation.
+    exec::ThreadPool pool;
+
+    // Warm-context LRU, touched only by the executor thread. std::list
+    // because a Ctx must never relocate: its Simulation holds a
+    // reference to its sibling chip member.
+    std::list<Ctx> ctxCache;
+
+    Clock::time_point startTime = Clock::now();
+
+    // Counters (relaxed: snapshots are advisory, like StoreStats).
+    std::atomic<std::uint64_t> requestsRun{0};
+    std::atomic<std::uint64_t> requestsSweep{0};
+    std::atomic<std::uint64_t> requestsPing{0};
+    std::atomic<std::uint64_t> requestsStats{0};
+    std::atomic<std::uint64_t> requestsRejected{0};
+    std::atomic<std::uint64_t> cellsServed{0};
+    std::atomic<std::uint64_t> contextsBuilt{0};
+    std::atomic<std::uint64_t> contextsReused{0};
+    std::atomic<std::uint64_t> queueDepth{0};
+    std::atomic<std::uint64_t> runMicros{0};
+    std::atomic<std::uint64_t> sweepMicros{0};
+
+    // --- shared plumbing ---------------------------------------------
+
+    void wake()
+    {
+        const std::uint8_t b = 0;
+        // Best-effort: a full pipe already guarantees a pending wake.
+        (void)!::write(wakeWrite, &b, 1);
+    }
+
+    void post(std::uint64_t connId, FrameType type,
+              const std::vector<std::uint8_t> &payload)
+    {
+        Completion c;
+        c.connId = connId;
+        c.bytes = shard::encodeFrame(type, payload);
+        {
+            std::lock_guard<std::mutex> lock(compMu);
+            completions.push_back(std::move(c));
+        }
+        wake();
+    }
+
+    void postDone(std::uint64_t connId, bool ok, std::uint64_t cells,
+                  const std::string &error)
+    {
+        DoneMsg m;
+        m.ok = ok ? 1 : 0;
+        m.cells = cells;
+        m.error = error;
+        post(connId, FrameType::ServeDone, encodeDone(m));
+    }
+
+    StatsReplyMsg snapshot() const
+    {
+        StatsReplyMsg s;
+        s.uptimeMicros = microsSince(startTime);
+        s.requestsRun = requestsRun.load();
+        s.requestsSweep = requestsSweep.load();
+        s.requestsPing = requestsPing.load();
+        s.requestsStats = requestsStats.load();
+        s.requestsRejected = requestsRejected.load();
+        s.cellsServed = cellsServed.load();
+        s.contextsBuilt = contextsBuilt.load();
+        s.contextsReused = contextsReused.load();
+        s.queueDepth = queueDepth.load();
+        s.runMicros = runMicros.load();
+        s.sweepMicros = sweepMicros.load();
+        s.store = cache::store().stats();
+        return s;
+    }
+
+    // --- executor thread ---------------------------------------------
+
+    /** Resolve the warm context for a setup blob; null + error when
+     *  the blob is invalid. */
+    Ctx *contextFor(const std::vector<std::uint8_t> &setup,
+                    std::string *err)
+    {
+        const std::uint64_t key =
+            bytes::fnv1a(setup.data(), setup.size());
+        for (auto it = ctxCache.begin(); it != ctxCache.end(); ++it) {
+            if (it->key != key)
+                continue;
+            ctxCache.splice(ctxCache.begin(), ctxCache, it);
+            contextsReused.fetch_add(1, std::memory_order_relaxed);
+            return &ctxCache.front();
+        }
+        shard::ChipKind kind{};
+        int chip_arg = 0;
+        sim::SimConfig cfg;
+        if (!shard::decodeBasicSetup(setup, kind, chip_arg, cfg)) {
+            *err = "invalid setup blob";
+            return nullptr;
+        }
+        if (kind == shard::ChipKind::Mini &&
+            (chip_arg < 1 || chip_arg > 64)) {
+            *err = "mini chip core count out of range";
+            return nullptr;
+        }
+        ctxCache.emplace_front();
+        Ctx &ctx = ctxCache.front();
+        ctx.key = key;
+        ctx.cfg = cfg;
+        ctx.chip = kind == shard::ChipKind::Power8
+                       ? floorplan::buildPower8Chip()
+                       : floorplan::buildMiniChip(chip_arg);
+        ctx.sim = std::make_unique<sim::Simulation>(ctx.chip, ctx.cfg);
+        contextsBuilt.fetch_add(1, std::memory_order_relaxed);
+        const std::size_t cap = static_cast<std::size_t>(
+            std::max(1, options.contextCacheSize));
+        while (ctxCache.size() > cap)
+            ctxCache.pop_back();
+        return &ctx;
+    }
+
+    static sim::RecordOptions decodeOpts(std::uint8_t timeSeries,
+                                         std::uint8_t heatmap,
+                                         std::uint8_t noiseTrace,
+                                         std::int64_t trackVr,
+                                         std::int64_t samples)
+    {
+        sim::RecordOptions opts;
+        opts.timeSeries = timeSeries != 0;
+        opts.heatmap = heatmap != 0;
+        opts.noiseTrace = noiseTrace != 0;
+        opts.trackVr = static_cast<int>(trackVr);
+        opts.noiseSamplesOverride = static_cast<int>(samples);
+        return opts;
+    }
+
+    void executeRun(const PendingRequest &req)
+    {
+        const Clock::time_point t0 = Clock::now();
+        const RunMsg &m = req.run;
+        std::string err;
+        if (!benchmarkExists(m.benchmark)) {
+            err = "unknown benchmark '" + m.benchmark + "'";
+        } else if (!policyExists(m.policy)) {
+            err = "unknown policy kind";
+        }
+        Ctx *ctx = err.empty() ? contextFor(m.setup, &err) : nullptr;
+        if (!ctx) {
+            requestsRejected.fetch_add(1, std::memory_order_relaxed);
+            postDone(req.connId, false, 0, err);
+            return;
+        }
+        sim::RunResult r = ctx->sim->run(
+            workload::profileByName(m.benchmark),
+            static_cast<core::PolicyKind>(m.policy),
+            decodeOpts(m.timeSeries, m.heatmap, m.noiseTrace,
+                       m.trackVr, m.noiseSamplesOverride));
+        CellMsg cell;
+        cell.cell = 0;
+        cell.result = cache::encodeRunResult(r);
+        post(req.connId, FrameType::ServeCell, encodeCell(cell));
+        postDone(req.connId, true, 1, {});
+        requestsRun.fetch_add(1, std::memory_order_relaxed);
+        cellsServed.fetch_add(1, std::memory_order_relaxed);
+        runMicros.fetch_add(microsSince(t0),
+                            std::memory_order_relaxed);
+    }
+
+    void executeSweep(const PendingRequest &req)
+    {
+        const Clock::time_point t0 = Clock::now();
+        const SweepMsg &m = req.sweep;
+        std::string err;
+        if (m.benchmarks.empty() || m.policies.empty()) {
+            err = "empty benchmark or policy list";
+        } else {
+            for (const auto &b : m.benchmarks)
+                if (!benchmarkExists(b)) {
+                    err = "unknown benchmark '" + b + "'";
+                    break;
+                }
+            for (auto pk : m.policies)
+                if (err.empty() && !policyExists(pk))
+                    err = "unknown policy kind";
+        }
+        const std::uint64_t n_cells =
+            static_cast<std::uint64_t>(m.benchmarks.size()) *
+            m.policies.size();
+        if (err.empty())
+            for (auto c : m.cells)
+                if (c >= n_cells) {
+                    err = "sweep cell index out of range";
+                    break;
+                }
+        Ctx *ctx = err.empty() ? contextFor(m.setup, &err) : nullptr;
+        if (!ctx) {
+            requestsRejected.fetch_add(1, std::memory_order_relaxed);
+            postDone(req.connId, false, 0, err);
+            return;
+        }
+
+        std::vector<core::PolicyKind> policies;
+        policies.reserve(m.policies.size());
+        for (auto pk : m.policies)
+            policies.push_back(static_cast<core::PolicyKind>(pk));
+        std::vector<std::size_t> cells;
+        if (m.cells.empty()) {
+            cells.resize(static_cast<std::size_t>(n_cells));
+            for (std::size_t c = 0; c < cells.size(); ++c)
+                cells[c] = c;
+        } else {
+            cells.assign(m.cells.begin(), m.cells.end());
+        }
+
+        const int jobs = static_cast<int>(
+            std::min<std::uint32_t>(m.jobs, 4096));
+        std::atomic<std::uint64_t> streamed{0};
+        sim::runSweepCells(
+            *ctx->sim, m.benchmarks, policies, cells, jobs,
+            decodeOpts(m.timeSeries, m.heatmap, m.noiseTrace,
+                       m.trackVr, m.noiseSamplesOverride),
+            [&](std::size_t cell, sim::RunResult &&r) {
+                CellMsg out;
+                out.cell = cell;
+                out.result = cache::encodeRunResult(r);
+                post(req.connId, FrameType::ServeCell,
+                     encodeCell(out));
+                streamed.fetch_add(1, std::memory_order_relaxed);
+            },
+            &ctx->contexts, jobs > 1 ? &pool : nullptr);
+        postDone(req.connId, true, streamed.load(), {});
+        requestsSweep.fetch_add(1, std::memory_order_relaxed);
+        cellsServed.fetch_add(streamed.load(),
+                              std::memory_order_relaxed);
+        sweepMicros.fetch_add(microsSince(t0),
+                              std::memory_order_relaxed);
+    }
+
+    void execLoop()
+    {
+        for (;;) {
+            PendingRequest req;
+            {
+                std::unique_lock<std::mutex> lock(reqMu);
+                reqCv.wait(lock, [&] {
+                    return !queue.empty() || stopping.load();
+                });
+                if (queue.empty())
+                    break; // stopping, and nothing left to drain
+                req = std::move(queue.front());
+                queue.pop_front();
+                queueDepth.store(queue.size(),
+                                 std::memory_order_relaxed);
+            }
+            if (req.isRun)
+                executeRun(req);
+            else
+                executeSweep(req);
+        }
+        execFinished.store(true);
+        wake();
+    }
+
+    // --- poll thread -------------------------------------------------
+
+    void appendOut(Conn &c, FrameType type,
+                   const std::vector<std::uint8_t> &payload)
+    {
+        const std::vector<std::uint8_t> frame =
+            shard::encodeFrame(type, payload);
+        c.out.insert(c.out.end(), frame.begin(), frame.end());
+    }
+
+    /** Non-blocking outbound flush; false when the peer is gone. */
+    bool flushOut(Conn &c)
+    {
+        while (c.outOff < c.out.size()) {
+            const ssize_t n =
+                ::write(c.fd, c.out.data() + c.outOff,
+                        c.out.size() - c.outOff);
+            if (n < 0) {
+                if (errno == EINTR)
+                    continue;
+                if (errno == EAGAIN || errno == EWOULDBLOCK)
+                    return true;
+                return false;
+            }
+            c.outOff += static_cast<std::size_t>(n);
+        }
+        c.out.clear();
+        c.outOff = 0;
+        return true;
+    }
+
+    void enqueueRequest(PendingRequest &&req)
+    {
+        {
+            std::lock_guard<std::mutex> lock(reqMu);
+            queue.push_back(std::move(req));
+            queueDepth.store(queue.size(), std::memory_order_relaxed);
+        }
+        reqCv.notify_one();
+    }
+
+    /** Poll-thread frame dispatch; false drops the connection. */
+    bool handleFrame(Conn &c, const Frame &frame)
+    {
+        switch (frame.type) {
+        case FrameType::Ping:
+            requestsPing.fetch_add(1, std::memory_order_relaxed);
+            appendOut(c, FrameType::Pong, {});
+            return true;
+        case FrameType::ServeStats:
+            requestsStats.fetch_add(1, std::memory_order_relaxed);
+            appendOut(c, FrameType::ServeStatsReply,
+                      encodeStatsReply(snapshot()));
+            return true;
+        case FrameType::Shutdown: {
+            // Ack before draining so the client's blocking wait ends
+            // as soon as the drain is scheduled.
+            DoneMsg m;
+            m.ok = 1;
+            appendOut(c, FrameType::ServeDone, encodeDone(m));
+            c.closing = true;
+            stopping.store(true);
+            return true;
+        }
+        case FrameType::ServeRun: {
+            PendingRequest req;
+            req.connId = c.id;
+            req.isRun = true;
+            if (!decodeRun(frame.payload, req.run)) {
+                requestsRejected.fetch_add(1,
+                                           std::memory_order_relaxed);
+                DoneMsg m;
+                m.error = "malformed ServeRun payload";
+                appendOut(c, FrameType::ServeDone, encodeDone(m));
+                return true;
+            }
+            enqueueRequest(std::move(req));
+            return true;
+        }
+        case FrameType::ServeSweep: {
+            PendingRequest req;
+            req.connId = c.id;
+            if (!decodeSweep(frame.payload, req.sweep)) {
+                requestsRejected.fetch_add(1,
+                                           std::memory_order_relaxed);
+                DoneMsg m;
+                m.error = "malformed ServeSweep payload";
+                appendOut(c, FrameType::ServeDone, encodeDone(m));
+                return true;
+            }
+            enqueueRequest(std::move(req));
+            return true;
+        }
+        default:
+            // Server-bound streams carry nothing else; a client that
+            // speaks another message is broken.
+            return false;
+        }
+    }
+
+    void pollLoop()
+    {
+        std::map<std::uint64_t, Conn> conns;
+        std::uint64_t nextId = 1;
+        // Grace period for flushing replies once the drain finishes:
+        // a client that stopped reading must not wedge shutdown.
+        Clock::time_point drainDeadline{};
+
+        auto dropConn = [&](std::uint64_t id) {
+            auto it = conns.find(id);
+            if (it == conns.end())
+                return;
+            ::close(it->second.fd);
+            conns.erase(it);
+        };
+
+        for (;;) {
+            const bool draining = stopping.load();
+            if (draining) {
+                // The executor may be parked waiting for work; make
+                // sure it observes the stop and drains out.
+                reqCv.notify_all();
+            }
+
+            std::vector<pollfd> fds;
+            std::vector<std::uint64_t> fdConn;
+            fds.push_back({wakeRead, POLLIN, 0});
+            fdConn.push_back(0);
+            if (!draining) {
+                fds.push_back({listenFd, POLLIN, 0});
+                fdConn.push_back(0);
+            }
+            for (auto &entry : conns) {
+                short events = POLLIN;
+                if (entry.second.outOff < entry.second.out.size())
+                    events |= POLLOUT;
+                fds.push_back({entry.second.fd, events, 0});
+                fdConn.push_back(entry.first);
+            }
+
+            const int rv = ::poll(
+                fds.data(), static_cast<nfds_t>(fds.size()), 100);
+            if (rv < 0 && errno != EINTR) {
+                warn("tg_serve: poll() failed: ",
+                     std::strerror(errno));
+                break;
+            }
+
+            // Drain the wake pipe (level-triggered; contents are
+            // meaningless, the wake itself is the message).
+            if (fds[0].revents & POLLIN) {
+                std::uint8_t buf[256];
+                while (::read(wakeRead, buf, sizeof buf) > 0) {
+                }
+            }
+
+            // Move executor completions into connection buffers.
+            {
+                std::vector<Completion> batch;
+                {
+                    std::lock_guard<std::mutex> lock(compMu);
+                    batch.swap(completions);
+                }
+                for (auto &comp : batch) {
+                    auto it = conns.find(comp.connId);
+                    if (it == conns.end())
+                        continue; // client left mid-request
+                    it->second.out.insert(it->second.out.end(),
+                                          comp.bytes.begin(),
+                                          comp.bytes.end());
+                }
+            }
+
+            // Accept new clients.
+            if (!draining)
+                for (;;) {
+                    const int cfd = ::accept(listenFd, nullptr,
+                                             nullptr);
+                    if (cfd < 0)
+                        break;
+                    io::setNonBlocking(cfd, true);
+                    const std::uint64_t id = nextId++;
+                    Conn c;
+                    c.fd = cfd;
+                    c.id = id;
+                    conns.emplace(id, std::move(c));
+                    if (options.verbose)
+                        inform("tg_serve: client ", id,
+                               " connected");
+                }
+
+            // Service ready connections.
+            const std::size_t firstConn = draining ? 1 : 2;
+            for (std::size_t k = firstConn; k < fds.size(); ++k) {
+                auto it = conns.find(fdConn[k]);
+                if (it == conns.end())
+                    continue;
+                Conn &c = it->second;
+                if (fds[k].revents & POLLOUT) {
+                    if (!flushOut(c)) {
+                        dropConn(c.id);
+                        continue;
+                    }
+                }
+                if (fds[k].revents & (POLLIN | POLLHUP | POLLERR)) {
+                    const PumpStatus st = shard::pumpFrames(
+                        c.fd, c.parser, [&](const Frame &frame) {
+                            return handleFrame(c, frame);
+                        });
+                    if (st != PumpStatus::Ok) {
+                        // Flush whatever is buffered (e.g. the error
+                        // reply preceding a rejection) best-effort,
+                        // then drop.
+                        flushOut(c);
+                        dropConn(c.id);
+                        continue;
+                    }
+                }
+                // Opportunistic flush: most replies fit the socket
+                // buffer, so this usually completes inline and the
+                // next poll() round needs no POLLOUT at all.
+                if (!flushOut(c)) {
+                    dropConn(c.id);
+                    continue;
+                }
+                if (c.closing && c.out.empty())
+                    dropConn(c.id);
+            }
+
+            if (draining && execFinished.load()) {
+                if (drainDeadline == Clock::time_point{})
+                    drainDeadline =
+                        Clock::now() + std::chrono::seconds(5);
+                bool pendingOut = false;
+                {
+                    std::lock_guard<std::mutex> lock(compMu);
+                    pendingOut = !completions.empty();
+                }
+                for (auto &entry : conns)
+                    pendingOut =
+                        pendingOut || !entry.second.out.empty();
+                if (!pendingOut || Clock::now() > drainDeadline)
+                    break;
+            }
+        }
+
+        for (auto &entry : conns)
+            ::close(entry.second.fd);
+    }
+};
+
+Server::Server(const ServerOptions &options)
+    : impl(std::make_unique<Impl>(options))
+{
+}
+
+Server::~Server()
+{
+    requestStop();
+    wait();
+    if (impl->listenFd >= 0)
+        ::close(impl->listenFd);
+    if (impl->wakeRead >= 0)
+        ::close(impl->wakeRead);
+    if (impl->wakeWrite >= 0)
+        ::close(impl->wakeWrite);
+}
+
+bool Server::start(std::string *err)
+{
+    // A client vanishing mid-reply must surface as a failed write,
+    // not a process-killing SIGPIPE.
+    std::signal(SIGPIPE, SIG_IGN);
+
+    impl->listenFd = io::listenUnix(impl->options.socketPath, 16, err);
+    if (impl->listenFd < 0)
+        return false;
+    io::setNonBlocking(impl->listenFd, true);
+
+    int pipefd[2] = {-1, -1};
+    if (::pipe(pipefd) != 0) {
+        if (err)
+            *err = "pipe() failed";
+        ::close(impl->listenFd);
+        impl->listenFd = -1;
+        return false;
+    }
+    impl->wakeRead = pipefd[0];
+    impl->wakeWrite = pipefd[1];
+    io::setNonBlocking(impl->wakeRead, true);
+    io::setNonBlocking(impl->wakeWrite, true);
+
+    impl->startTime = Clock::now();
+    impl->pollThread = std::thread([this] { impl->pollLoop(); });
+    impl->execThread = std::thread([this] { impl->execLoop(); });
+    impl->running = true;
+    if (impl->options.verbose)
+        inform("tg_serve: listening on ", impl->options.socketPath,
+               " (pool width ", impl->pool.threadCount(), ")");
+    return true;
+}
+
+void Server::requestStop()
+{
+    impl->stopping.store(true);
+    if (impl->wakeWrite >= 0)
+        impl->wake();
+}
+
+void Server::wait()
+{
+    if (!impl->running)
+        return;
+    if (impl->pollThread.joinable())
+        impl->pollThread.join();
+    if (impl->execThread.joinable())
+        impl->execThread.join();
+    impl->running = false;
+    ::unlink(impl->options.socketPath.c_str());
+}
+
+const std::string &Server::socketPath() const
+{
+    return impl->options.socketPath;
+}
+
+StatsReplyMsg Server::statsSnapshot() const
+{
+    return impl->snapshot();
+}
+
+#else // !__unix__
+
+struct Server::Impl
+{
+    explicit Impl(const ServerOptions &o) : options(o) {}
+    ServerOptions options;
+};
+
+Server::Server(const ServerOptions &options)
+    : impl(std::make_unique<Impl>(options))
+{
+}
+
+Server::~Server() = default;
+
+bool Server::start(std::string *err)
+{
+    if (err)
+        *err = "the sweep server requires a POSIX host";
+    return false;
+}
+
+void Server::requestStop() {}
+void Server::wait() {}
+
+const std::string &Server::socketPath() const
+{
+    return impl->options.socketPath;
+}
+
+StatsReplyMsg Server::statsSnapshot() const
+{
+    return StatsReplyMsg{};
+}
+
+#endif // __unix__
+
+} // namespace serve
+} // namespace tg

@@ -61,25 +61,6 @@ std::string selfBinaryPath()
     return std::string(buf);
 }
 
-/** Blocking full-frame write; false when the worker is gone. */
-bool writeFrame(int fd, FrameType type,
-                const std::vector<std::uint8_t> &payload)
-{
-    const std::vector<std::uint8_t> frame = encodeFrame(type, payload);
-    std::size_t off = 0;
-    while (off < frame.size()) {
-        ssize_t n = ::write(fd, frame.data() + off,
-                            frame.size() - off);
-        if (n < 0) {
-            if (errno == EINTR)
-                continue;
-            return false;
-        }
-        off += static_cast<std::size_t>(n);
-    }
-    return true;
-}
-
 } // namespace
 
 sim::SweepResult runShardedSweep(const ShardedSweepOptions &options,
@@ -241,7 +222,7 @@ sim::SweepResult runShardedSweep(const ShardedSweepOptions &options,
         queue.pop_front();
         w.outstanding[assign.shard] = std::set<std::uint64_t>(
             assign.cells.begin(), assign.cells.end());
-        if (!writeFrame(w.toFd, FrameType::ShardAssignment,
+        if (!writeFrameToFd(w.toFd, FrameType::ShardAssignment,
                         encodeShardAssignment(assign))) {
             onDeath(w);
             return;
@@ -253,7 +234,7 @@ sim::SweepResult runShardedSweep(const ShardedSweepOptions &options,
     for (std::size_t i = 0; i < workers.size(); ++i) {
         Worker &w = workers[i];
         req.workerId = static_cast<std::uint32_t>(i);
-        if (!writeFrame(w.toFd, FrameType::SweepRequest,
+        if (!writeFrameToFd(w.toFd, FrameType::SweepRequest,
                         encodeSweepRequest(req)))
             onDeath(w);
     }
@@ -349,30 +330,23 @@ sim::SweepResult runShardedSweep(const ShardedSweepOptions &options,
             if (!w.alive ||
                 !(fds[k].revents & (POLLIN | POLLHUP | POLLERR)))
                 continue;
-            std::uint8_t chunk[1 << 16];
-            ssize_t n = ::read(w.fromFd, chunk, sizeof chunk);
-            if (n < 0) {
-                if (errno == EINTR || errno == EAGAIN)
-                    continue;
+            switch (pumpFrames(w.fromFd, w.parser,
+                               [&](const Frame &frame) {
+                                   return handleFrame(w, frame);
+                               })) {
+            case PumpStatus::Ok:
+                break;
+            case PumpStatus::Eof:
+            case PumpStatus::Error:
                 onDeath(w);
-                continue;
-            }
-            if (n == 0) {
-                onDeath(w);
-                continue;
-            }
-            w.parser.feed(chunk, static_cast<std::size_t>(n));
-            Frame frame;
-            FrameParser::Status st;
-            bool ok = true;
-            while (ok && (st = w.parser.next(frame)) ==
-                             FrameParser::Status::Frame)
-                ok = handleFrame(w, frame);
-            if (!ok || w.parser.corrupt()) {
+                break;
+            case PumpStatus::Corrupt:
+            case PumpStatus::Rejected:
                 warn("sharded sweep: worker ", fdWorker[k],
                      " sent a malformed stream; reassigning its "
                      "shards");
                 onDeath(w);
+                break;
             }
         }
 
@@ -401,7 +375,7 @@ sim::SweepResult runShardedSweep(const ShardedSweepOptions &options,
     for (auto &w : workers) {
         if (!w.alive)
             continue;
-        writeFrame(w.toFd, FrameType::Shutdown, {});
+        writeFrameToFd(w.toFd, FrameType::Shutdown, {});
         ::close(w.toFd);
         w.toFd = -1;
         // Give the worker a moment to exit on its own so the common

@@ -1,6 +1,13 @@
 #include "shard/protocol.hh"
 
+#include <cerrno>
 #include <cstring>
+
+#ifdef __unix__
+#include <unistd.h>
+#endif
+
+#include "common/io.hh"
 
 namespace tg {
 namespace shard {
@@ -37,7 +44,7 @@ std::uint32_t readU32At(const std::uint8_t *q)
 bool frameTypeValid(std::uint32_t t)
 {
     return t >= static_cast<std::uint32_t>(FrameType::Hello) &&
-           t <= static_cast<std::uint32_t>(FrameType::Shutdown);
+           t <= static_cast<std::uint32_t>(FrameType::Pong);
 }
 
 std::vector<std::uint8_t>
@@ -105,6 +112,52 @@ FrameParser::Status FrameParser::next(Frame &out)
     }
     return Status::Frame;
 }
+
+// --- connection plumbing ----------------------------------------------
+
+bool writeFrameToFd(int fd, FrameType type,
+                    const std::vector<std::uint8_t> &payload)
+{
+    const std::vector<std::uint8_t> frame = encodeFrame(type, payload);
+    return io::writeAll(fd, frame.data(), frame.size());
+}
+
+#ifdef __unix__
+
+PumpStatus pumpFrames(int fd, FrameParser &parser,
+                      const std::function<bool(const Frame &)> &handle)
+{
+    std::uint8_t chunk[1 << 16];
+    const ssize_t n = ::read(fd, chunk, sizeof chunk);
+    if (n < 0) {
+        if (errno == EINTR || errno == EAGAIN ||
+            errno == EWOULDBLOCK)
+            return PumpStatus::Ok;
+        return PumpStatus::Error;
+    }
+    if (n == 0)
+        return PumpStatus::Eof;
+    parser.feed(chunk, static_cast<std::size_t>(n));
+
+    Frame frame;
+    FrameParser::Status st;
+    while ((st = parser.next(frame)) == FrameParser::Status::Frame)
+        if (!handle(frame))
+            return PumpStatus::Rejected;
+    if (st == FrameParser::Status::Corrupt)
+        return PumpStatus::Corrupt;
+    return PumpStatus::Ok;
+}
+
+#else // !__unix__
+
+PumpStatus pumpFrames(int, FrameParser &,
+                      const std::function<bool(const Frame &)> &)
+{
+    return PumpStatus::Error;
+}
+
+#endif // __unix__
 
 // --- message payloads -------------------------------------------------
 

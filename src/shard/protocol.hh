@@ -32,6 +32,7 @@
 #define TG_SHARD_PROTOCOL_HH
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -40,8 +41,10 @@
 namespace tg {
 namespace shard {
 
-/** Bump on any incompatible frame or message layout change. */
-constexpr std::uint32_t kProtocolVersion = 1;
+/** Bump on any incompatible frame or message layout change.
+ *  v2: serve-layer frame types appended (range extension only —
+ *  every v1 message layout is unchanged). */
+constexpr std::uint32_t kProtocolVersion = 2;
 
 /** Leading tag of every frame ("TGS1" little-endian). */
 constexpr std::uint32_t kFrameMagic = 0x31534754;
@@ -57,7 +60,18 @@ enum class FrameType : std::uint32_t
     CellResult,      //!< worker -> coordinator one finished cell
     ShardDone,       //!< worker -> coordinator shard fully emitted
     Heartbeat,       //!< worker -> coordinator liveness
-    Shutdown,        //!< coordinator -> worker clean exit request
+    Shutdown,        //!< coordinator/client clean exit request
+
+    // Sweep-server extension (payload codecs in serve/protocol.hh;
+    // the frame layer treats payloads as opaque bytes either way).
+    ServeRun,        //!< client -> server single-run request
+    ServeSweep,      //!< client -> server sweep request
+    ServeCell,       //!< server -> client one finished cell
+    ServeDone,       //!< server -> client request complete (ok/error)
+    ServeStats,      //!< client -> server stats request (empty)
+    ServeStatsReply, //!< server -> client counters snapshot
+    Ping,            //!< client -> server liveness probe
+    Pong,            //!< server -> client liveness echo
 };
 
 /** True when `t` is one of the FrameType enumerators. */
@@ -101,6 +115,38 @@ class FrameParser
     std::size_t start = 0; //!< consumed prefix (compacted lazily)
     bool corruptFlag = false;
 };
+
+// --- connection plumbing ----------------------------------------------
+//
+// The read/feed/drain loop around a framed descriptor is identical
+// for every peer in the tree (shard coordinator, shard worker, sweep
+// server, serve client), so it lives here once. Writes go through
+// io::writeAll so a frame is either fully sent or the peer is dead.
+
+/** Blocking full-frame write; false when the peer is gone. */
+bool writeFrameToFd(int fd, FrameType type,
+                    const std::vector<std::uint8_t> &payload);
+
+/** Outcome of one pumpFrames() round. */
+enum class PumpStatus
+{
+    Ok,       //!< progress (or EAGAIN/EINTR); connection healthy
+    Eof,      //!< peer closed the descriptor
+    Corrupt,  //!< stream malformed (parser is sticky-corrupt)
+    Rejected, //!< `handle` refused a frame (protocol violation)
+    Error,    //!< read() failed
+};
+
+/**
+ * One pump round: read() once from `fd`, feed `parser`, and hand
+ * every completed frame to `handle`. Returns after the buffered
+ * frames drain — with a level-triggered poll() loop, remaining bytes
+ * re-trigger readability, so one read per round is enough; blocking
+ * callers (the shard worker) just call it in a loop. `handle`
+ * returning false stops the drain and reports Rejected.
+ */
+PumpStatus pumpFrames(int fd, FrameParser &parser,
+                      const std::function<bool(const Frame &)> &handle);
 
 // --- message payloads -------------------------------------------------
 

@@ -44,21 +44,9 @@ class WriteChannel
 
     void send(FrameType type, const std::vector<std::uint8_t> &payload)
     {
-        const std::vector<std::uint8_t> frame =
-            encodeFrame(type, payload);
         std::lock_guard<std::mutex> lock(mu);
-        std::size_t off = 0;
-        while (off < frame.size()) {
-            ssize_t n = ::write(fd, frame.data() + off,
-                                frame.size() - off);
-            if (n < 0) {
-                if (errno == EINTR)
-                    continue;
-                // Coordinator died; nothing useful left to do.
-                ::_exit(1);
-            }
-            off += static_cast<std::size_t>(n);
-        }
+        if (!writeFrameToFd(fd, type, payload))
+            ::_exit(1); // coordinator died; nothing useful left to do
     }
 
   private:
@@ -175,87 +163,94 @@ int workerMain(const SetupFactory &factory)
     DieHook die;
     std::atomic<long> cellsSent{0};
 
-    std::uint8_t chunk[1 << 16];
-    for (;;) {
-        ssize_t n = ::read(kWorkerInFd, chunk, sizeof chunk);
-        if (n < 0) {
-            if (errno == EINTR)
-                continue;
-            return 1;
+    // Exit code chosen by the frame handler when it stops the pump
+    // (0 on a clean Shutdown, 2 on a protocol violation).
+    int rc = 2;
+    auto handleFrame = [&](const Frame &frame) -> bool {
+        switch (frame.type) {
+        case FrameType::SweepRequest: {
+            if (!decodeSweepRequest(frame.payload, req)) {
+                rc = 2;
+                return false;
+            }
+            setup = factory(req.setup);
+            policies.clear();
+            policies.reserve(req.policies.size());
+            for (auto pk : req.policies)
+                policies.push_back(
+                    static_cast<core::PolicyKind>(pk));
+            opts = setup.opts;
+            opts.timeSeries = req.timeSeries != 0;
+            opts.heatmap = req.heatmap != 0;
+            opts.noiseTrace = req.noiseTrace != 0;
+            opts.trackVr = static_cast<int>(req.trackVr);
+            opts.noiseSamplesOverride =
+                static_cast<int>(req.noiseSamplesOverride);
+            simulation = std::make_unique<sim::Simulation>(
+                setup.chip, setup.cfg);
+            die = parseDieHook();
+            heartbeat = std::make_unique<HeartbeatThread>(
+                out, static_cast<int>(req.heartbeatMs));
+            haveRequest = true;
+            return true;
         }
-        if (n == 0)
-            return 1; // coordinator EOF without Shutdown
-        parser.feed(chunk, static_cast<std::size_t>(n));
+        case FrameType::ShardAssignment: {
+            if (!haveRequest) {
+                rc = 2;
+                return false;
+            }
+            ShardAssignmentMsg assign;
+            if (!decodeShardAssignment(frame.payload, assign)) {
+                rc = 2;
+                return false;
+            }
+            std::vector<std::size_t> cells(assign.cells.begin(),
+                                           assign.cells.end());
+            sim::runSweepCells(
+                *simulation, req.benchmarks, policies, cells,
+                static_cast<int>(req.jobs), opts,
+                [&](std::size_t cell, sim::RunResult &&r) {
+                    const long sent = cellsSent.fetch_add(1);
+                    if (die.armed &&
+                        die.worker == req.workerId &&
+                        sent >= die.afterCells)
+                        ::_exit(kTestDieExit);
+                    CellResultMsg m;
+                    m.shard = assign.shard;
+                    m.cell = cell;
+                    m.result = cache::encodeRunResult(r);
+                    out.send(FrameType::CellResult,
+                             encodeCellResult(m));
+                },
+                &contexts);
+            ShardDoneMsg done;
+            done.shard = assign.shard;
+            out.send(FrameType::ShardDone, encodeShardDone(done));
+            return true;
+        }
+        case FrameType::Shutdown:
+            rc = 0;
+            return false;
+        default:
+            // Unexpected direction (e.g. a Hello echoed back):
+            // protocol violation.
+            rc = 2;
+            return false;
+        }
+    };
 
-        Frame frame;
-        FrameParser::Status st;
-        while ((st = parser.next(frame)) ==
-               FrameParser::Status::Frame) {
-            switch (frame.type) {
-            case FrameType::SweepRequest: {
-                if (!decodeSweepRequest(frame.payload, req))
-                    return 2;
-                setup = factory(req.setup);
-                policies.clear();
-                policies.reserve(req.policies.size());
-                for (auto pk : req.policies)
-                    policies.push_back(
-                        static_cast<core::PolicyKind>(pk));
-                opts = setup.opts;
-                opts.timeSeries = req.timeSeries != 0;
-                opts.heatmap = req.heatmap != 0;
-                opts.noiseTrace = req.noiseTrace != 0;
-                opts.trackVr = static_cast<int>(req.trackVr);
-                opts.noiseSamplesOverride =
-                    static_cast<int>(req.noiseSamplesOverride);
-                simulation = std::make_unique<sim::Simulation>(
-                    setup.chip, setup.cfg);
-                die = parseDieHook();
-                heartbeat = std::make_unique<HeartbeatThread>(
-                    out, static_cast<int>(req.heartbeatMs));
-                haveRequest = true;
-                break;
-            }
-            case FrameType::ShardAssignment: {
-                if (!haveRequest)
-                    return 2;
-                ShardAssignmentMsg assign;
-                if (!decodeShardAssignment(frame.payload, assign))
-                    return 2;
-                std::vector<std::size_t> cells(assign.cells.begin(),
-                                               assign.cells.end());
-                sim::runSweepCells(
-                    *simulation, req.benchmarks, policies, cells,
-                    static_cast<int>(req.jobs), opts,
-                    [&](std::size_t cell, sim::RunResult &&r) {
-                        const long sent = cellsSent.fetch_add(1);
-                        if (die.armed &&
-                            die.worker == req.workerId &&
-                            sent >= die.afterCells)
-                            ::_exit(kTestDieExit);
-                        CellResultMsg m;
-                        m.shard = assign.shard;
-                        m.cell = cell;
-                        m.result = cache::encodeRunResult(r);
-                        out.send(FrameType::CellResult,
-                                 encodeCellResult(m));
-                    },
-                    &contexts);
-                ShardDoneMsg done;
-                done.shard = assign.shard;
-                out.send(FrameType::ShardDone, encodeShardDone(done));
-                break;
-            }
-            case FrameType::Shutdown:
-                return 0;
-            default:
-                // Unexpected direction (e.g. a Hello echoed back):
-                // protocol violation.
-                return 2;
-            }
-        }
-        if (st == FrameParser::Status::Corrupt)
+    for (;;) {
+        switch (pumpFrames(kWorkerInFd, parser, handleFrame)) {
+        case PumpStatus::Ok:
+            break;
+        case PumpStatus::Eof:
+        case PumpStatus::Error:
+            return 1; // coordinator gone without Shutdown
+        case PumpStatus::Corrupt:
             return 2;
+        case PumpStatus::Rejected:
+            return rc;
+        }
     }
 }
 
@@ -291,33 +286,42 @@ std::vector<std::uint8_t> encodeBasicSetup(ChipKind kind, int chip_arg,
     return w.take();
 }
 
+bool decodeBasicSetup(const std::vector<std::uint8_t> &blob,
+                      ChipKind &kind, int &chip_arg,
+                      sim::SimConfig &cfg)
+{
+    bytes::ByteReader r(blob.data(), blob.size());
+    if (r.u32() != kBasicSetupMagic)
+        return false;
+    kind = static_cast<ChipKind>(r.u32());
+    chip_arg = static_cast<int>(r.i64());
+    cfg = sim::SimConfig{};
+    cfg.regulator = static_cast<sim::RegulatorChoice>(r.u32());
+    cfg.decisionInterval = r.f64();
+    cfg.noiseSamples = static_cast<int>(r.i64());
+    cfg.noiseCyclesTotal = static_cast<int>(r.i64());
+    cfg.noiseWarmupCycles = static_cast<int>(r.i64());
+    cfg.noiseBatchWidth = static_cast<int>(r.i64());
+    cfg.coalesceNoiseEpochs = r.u8() != 0;
+    cfg.profilingEpochs = static_cast<int>(r.i64());
+    cfg.practicalDemandMargin = r.f64();
+    cfg.practicalHeadroomVrs = static_cast<int>(r.i64());
+    cfg.seed = r.u64();
+    cfg.cacheDir = r.str();
+    cfg.memoizeResults = r.u8() != 0;
+    if (!r.exhausted())
+        return false;
+    return kind == ChipKind::Power8 || kind == ChipKind::Mini;
+}
+
 SetupFactory basicSetupFactory()
 {
     return [](const std::vector<std::uint8_t> &blob) -> WorkerSetup {
-        bytes::ByteReader r(blob.data(), blob.size());
-        TG_ASSERT(r.u32() == kBasicSetupMagic,
-                  "shard setup blob is not a basic setup");
-        const auto kind = static_cast<ChipKind>(r.u32());
-        const int chip_arg = static_cast<int>(r.i64());
-
+        ChipKind kind{};
+        int chip_arg = 0;
         WorkerSetup setup;
-        setup.cfg.regulator =
-            static_cast<sim::RegulatorChoice>(r.u32());
-        setup.cfg.decisionInterval = r.f64();
-        setup.cfg.noiseSamples = static_cast<int>(r.i64());
-        setup.cfg.noiseCyclesTotal = static_cast<int>(r.i64());
-        setup.cfg.noiseWarmupCycles = static_cast<int>(r.i64());
-        setup.cfg.noiseBatchWidth = static_cast<int>(r.i64());
-        setup.cfg.coalesceNoiseEpochs = r.u8() != 0;
-        setup.cfg.profilingEpochs = static_cast<int>(r.i64());
-        setup.cfg.practicalDemandMargin = r.f64();
-        setup.cfg.practicalHeadroomVrs = static_cast<int>(r.i64());
-        setup.cfg.seed = r.u64();
-        setup.cfg.cacheDir = r.str();
-        setup.cfg.memoizeResults = r.u8() != 0;
-        TG_ASSERT(r.exhausted(),
-                  "basic shard setup blob is malformed");
-
+        TG_ASSERT(decodeBasicSetup(blob, kind, chip_arg, setup.cfg),
+                  "shard setup blob is not a well-formed basic setup");
         switch (kind) {
         case ChipKind::Power8:
             setup.chip = floorplan::buildPower8Chip();
@@ -325,10 +329,6 @@ SetupFactory basicSetupFactory()
         case ChipKind::Mini:
             setup.chip = floorplan::buildMiniChip(chip_arg);
             break;
-        default:
-            fatal("unknown chip kind ",
-                  static_cast<unsigned>(kind),
-                  " in shard setup blob");
         }
         return setup;
     };

@@ -98,7 +98,19 @@ enum class ChipKind : std::uint32_t
 std::vector<std::uint8_t> encodeBasicSetup(ChipKind kind, int chip_arg,
                                            const sim::SimConfig &cfg);
 
-/** The factory decoding encodeBasicSetup() blobs. */
+/**
+ * Non-fatal decoder of encodeBasicSetup() blobs. Returns false on a
+ * malformed blob or unknown chip kind instead of dying — the sweep
+ * server uses this to turn a bad client request into an error reply
+ * rather than a daemon abort.
+ */
+bool decodeBasicSetup(const std::vector<std::uint8_t> &blob,
+                      ChipKind &kind, int &chip_arg,
+                      sim::SimConfig &cfg);
+
+/** The factory decoding encodeBasicSetup() blobs (fatal on a blob it
+ *  does not understand — coordinator and worker are one binary, so a
+ *  mismatch is a bug, not an input error). */
 SetupFactory basicSetupFactory();
 
 } // namespace shard

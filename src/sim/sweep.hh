@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "common/exec.hh"
 #include "sim/simulation.hh"
 
 namespace tg {
@@ -81,6 +82,13 @@ std::string progressLine(const RunResult &r);
  *
  * @param reuse optional cross-call context pool (see SweepContexts);
  *              nullptr builds fresh per-worker contexts per call.
+ * @param pool  optional long-lived thread pool to fan out on instead
+ *              of spawning threads per call (the sweep server keeps
+ *              one for its process lifetime). Worker ids — and hence
+ *              `reuse` slots — are then the pool's stable worker
+ *              indices, so pass a `reuse` sized to the same pool.
+ *              Ignored when the resolved job count is 1. Must not be
+ *              called from one of `pool`'s own workers.
  */
 void runSweepCells(Simulation &simulation,
                    const std::vector<std::string> &benchmarks,
@@ -89,7 +97,8 @@ void runSweepCells(Simulation &simulation,
                    const RecordOptions &opts,
                    const std::function<void(std::size_t cell,
                                             RunResult &&r)> &emit,
-                   SweepContexts *reuse = nullptr);
+                   SweepContexts *reuse = nullptr,
+                   exec::ThreadPool *pool = nullptr);
 
 /**
  * Run every (benchmark, policy) combination. Benchmarks default to

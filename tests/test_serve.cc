@@ -1,0 +1,227 @@
+/**
+ * @file
+ * Pure tests of the sweep-server payload codecs and the shared
+ * connection plumbing: round trips, truncation/garbage rejection,
+ * and the socket-path resolution ladder. End-to-end server behaviour
+ * lives in test_serve_run.cc.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "serve/protocol.hh"
+
+namespace tg {
+namespace serve {
+namespace {
+
+RunMsg sampleRun()
+{
+    RunMsg m;
+    m.setup = {1, 2, 3, 4, 5};
+    m.benchmark = "rayt";
+    m.policy = 3;
+    m.timeSeries = 1;
+    m.heatmap = 0;
+    m.noiseTrace = 1;
+    m.trackVr = 17;
+    m.noiseSamplesOverride = 9;
+    return m;
+}
+
+SweepMsg sampleSweep()
+{
+    SweepMsg m;
+    m.setup = {9, 8, 7};
+    m.benchmarks = {"rayt", "fft", "lu_ncb"};
+    m.policies = {0, 2, 5};
+    m.cells = {0, 4, 8};
+    m.jobs = 4;
+    m.heatmap = 1;
+    m.trackVr = -1;
+    m.noiseSamplesOverride = -1;
+    return m;
+}
+
+TEST(ServeProtocol, RunRoundTrip)
+{
+    const RunMsg in = sampleRun();
+    RunMsg out;
+    ASSERT_TRUE(decodeRun(encodeRun(in), out));
+    EXPECT_EQ(out.setup, in.setup);
+    EXPECT_EQ(out.benchmark, in.benchmark);
+    EXPECT_EQ(out.policy, in.policy);
+    EXPECT_EQ(out.timeSeries, in.timeSeries);
+    EXPECT_EQ(out.heatmap, in.heatmap);
+    EXPECT_EQ(out.noiseTrace, in.noiseTrace);
+    EXPECT_EQ(out.trackVr, in.trackVr);
+    EXPECT_EQ(out.noiseSamplesOverride, in.noiseSamplesOverride);
+}
+
+TEST(ServeProtocol, SweepRoundTrip)
+{
+    const SweepMsg in = sampleSweep();
+    SweepMsg out;
+    ASSERT_TRUE(decodeSweep(encodeSweep(in), out));
+    EXPECT_EQ(out.setup, in.setup);
+    EXPECT_EQ(out.benchmarks, in.benchmarks);
+    EXPECT_EQ(out.policies, in.policies);
+    EXPECT_EQ(out.cells, in.cells);
+    EXPECT_EQ(out.jobs, in.jobs);
+    EXPECT_EQ(out.heatmap, in.heatmap);
+    EXPECT_EQ(out.trackVr, in.trackVr);
+}
+
+TEST(ServeProtocol, CellAndDoneRoundTrip)
+{
+    CellMsg cell;
+    cell.cell = 42;
+    cell.result = {0xDE, 0xAD, 0xBE, 0xEF};
+    CellMsg cellOut;
+    ASSERT_TRUE(decodeCell(encodeCell(cell), cellOut));
+    EXPECT_EQ(cellOut.cell, cell.cell);
+    EXPECT_EQ(cellOut.result, cell.result);
+
+    DoneMsg done;
+    done.ok = 0;
+    done.cells = 7;
+    done.error = "unknown benchmark 'nope'";
+    DoneMsg doneOut;
+    ASSERT_TRUE(decodeDone(encodeDone(done), doneOut));
+    EXPECT_EQ(doneOut.ok, done.ok);
+    EXPECT_EQ(doneOut.cells, done.cells);
+    EXPECT_EQ(doneOut.error, done.error);
+}
+
+TEST(ServeProtocol, StatsReplyRoundTripIncludesStoreSnapshot)
+{
+    StatsReplyMsg in;
+    in.uptimeMicros = 1234567;
+    in.requestsRun = 1;
+    in.requestsSweep = 2;
+    in.requestsPing = 3;
+    in.requestsStats = 4;
+    in.requestsRejected = 5;
+    in.cellsServed = 6;
+    in.contextsBuilt = 7;
+    in.contextsReused = 8;
+    in.queueDepth = 9;
+    in.runMicros = 10;
+    in.sweepMicros = 11;
+    for (std::size_t k = 0; k < in.store.kind.size(); ++k) {
+        in.store.kind[k].hits = 100 + k;
+        in.store.kind[k].misses = 200 + k;
+        in.store.kind[k].inserts = 300 + k;
+        in.store.kind[k].bytes = 400 + k;
+        in.store.kind[k].evictions = 500 + k;
+    }
+    in.store.evictions = 2020;
+    in.store.diskHits = 1;
+    in.store.diskMisses = 2;
+    in.store.diskWrites = 3;
+    in.store.diskRejects = 4;
+
+    StatsReplyMsg out;
+    ASSERT_TRUE(decodeStatsReply(encodeStatsReply(in), out));
+    EXPECT_EQ(out.uptimeMicros, in.uptimeMicros);
+    EXPECT_EQ(out.requestsRejected, in.requestsRejected);
+    EXPECT_EQ(out.contextsBuilt, in.contextsBuilt);
+    EXPECT_EQ(out.contextsReused, in.contextsReused);
+    EXPECT_EQ(out.queueDepth, in.queueDepth);
+    EXPECT_EQ(out.sweepMicros, in.sweepMicros);
+    for (std::size_t k = 0; k < in.store.kind.size(); ++k) {
+        EXPECT_EQ(out.store.kind[k].hits, in.store.kind[k].hits);
+        EXPECT_EQ(out.store.kind[k].bytes, in.store.kind[k].bytes);
+        EXPECT_EQ(out.store.kind[k].evictions,
+                  in.store.kind[k].evictions);
+    }
+    EXPECT_EQ(out.store.evictions, in.store.evictions);
+    EXPECT_EQ(out.store.diskRejects, in.store.diskRejects);
+}
+
+TEST(ServeProtocol, TruncationIsRejectedAtEveryPrefix)
+{
+    const std::vector<std::uint8_t> runBytes =
+        encodeRun(sampleRun());
+    for (std::size_t cut = 0; cut < runBytes.size(); ++cut) {
+        RunMsg out;
+        const std::vector<std::uint8_t> prefix(
+            runBytes.begin(),
+            runBytes.begin() + static_cast<std::ptrdiff_t>(cut));
+        EXPECT_FALSE(decodeRun(prefix, out)) << "cut=" << cut;
+    }
+    const std::vector<std::uint8_t> sweepBytes =
+        encodeSweep(sampleSweep());
+    for (std::size_t cut = 0; cut < sweepBytes.size(); ++cut) {
+        SweepMsg out;
+        const std::vector<std::uint8_t> prefix(
+            sweepBytes.begin(),
+            sweepBytes.begin() + static_cast<std::ptrdiff_t>(cut));
+        EXPECT_FALSE(decodeSweep(prefix, out)) << "cut=" << cut;
+    }
+}
+
+TEST(ServeProtocol, TrailingGarbageIsRejected)
+{
+    std::vector<std::uint8_t> bytes = encodeSweep(sampleSweep());
+    bytes.push_back(0x00);
+    SweepMsg out;
+    EXPECT_FALSE(decodeSweep(bytes, out));
+
+    std::vector<std::uint8_t> statsBytes =
+        encodeStatsReply(StatsReplyMsg{});
+    statsBytes.push_back(0xFF);
+    StatsReplyMsg statsOut;
+    EXPECT_FALSE(decodeStatsReply(statsBytes, statsOut));
+}
+
+TEST(ServeProtocol, AbsurdListLengthIsRejected)
+{
+    // Hand-craft a sweep whose benchmark count claims 2^32 entries.
+    bytes::ByteWriter w;
+    w.blob({1, 2, 3});
+    w.u64(1ull << 32);
+    const std::vector<std::uint8_t> p = w.take();
+    SweepMsg out;
+    EXPECT_FALSE(decodeSweep(p, out));
+}
+
+TEST(ServeProtocol, SocketPathLadder)
+{
+    // CLI value wins outright.
+    EXPECT_EQ(resolveSocketPath("/tmp/explicit.sock"),
+              "/tmp/explicit.sock");
+
+    // Then the environment.
+    ::setenv("TG_SERVE_SOCKET", "/tmp/from_env.sock", 1);
+    EXPECT_EQ(resolveSocketPath(""), "/tmp/from_env.sock");
+    ::unsetenv("TG_SERVE_SOCKET");
+
+    // Then the per-user default.
+    const std::string fallback = resolveSocketPath("");
+    EXPECT_EQ(fallback.rfind("/tmp/tg_serve.", 0), 0u);
+    EXPECT_NE(fallback.find(".sock"), std::string::npos);
+}
+
+TEST(ServeProtocol, ServeFrameTypesAreValidFrameTypes)
+{
+    // The serve extension registered its enumerators in the shard
+    // frame registry; the parser must accept them all...
+    for (auto t : {shard::FrameType::ServeRun,
+                   shard::FrameType::ServeSweep,
+                   shard::FrameType::ServeCell,
+                   shard::FrameType::ServeDone,
+                   shard::FrameType::ServeStats,
+                   shard::FrameType::ServeStatsReply,
+                   shard::FrameType::Ping, shard::FrameType::Pong})
+        EXPECT_TRUE(shard::frameTypeValid(
+            static_cast<std::uint32_t>(t)));
+    // ...and still reject the first id past the extension.
+    EXPECT_FALSE(shard::frameTypeValid(
+        static_cast<std::uint32_t>(shard::FrameType::Pong) + 1));
+}
+
+} // namespace
+} // namespace serve
+} // namespace tg
