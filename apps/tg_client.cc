@@ -2,10 +2,11 @@
  * @file
  * CLI client of the persistent sweep daemon.
  *
- *     tg_client [--socket PATH] ping
- *     tg_client [--socket PATH] stats
- *     tg_client [--socket PATH] shutdown
- *     tg_client [--socket PATH] sweep [--quick] [--jobs N] [--verify]
+ *     tg_client [--socket PATH] [--wait MS] ping
+ *     tg_client [--socket PATH] [--wait MS] stats
+ *     tg_client [--socket PATH] [--wait MS] shutdown
+ *     tg_client [--socket PATH] [--wait MS] sweep [--quick] [--jobs N]
+ *               [--verify] [--deadline MS]
  *
  * `sweep` submits the benchmark x policy grid (the full POWER8
  * evaluation grid, or a small mini-chip grid with --quick) and prints
@@ -13,6 +14,15 @@
  * in-process and asserts the served results are bit-identical —
  * byte-for-byte over cache::encodeRunResult — exiting non-zero on
  * any mismatch; the CI smoke leg runs exactly that.
+ *
+ * --wait MS retries the connection with backoff until the daemon
+ * answers a ping (riding out a booting server); --deadline MS asks
+ * the server to abandon the request once the budget elapses.
+ *
+ * Exit codes distinguish failure classes for scripting:
+ *   0 success        3 server busy (retry later)
+ *   1 request error  4 cannot connect
+ *   2 usage          5 cancelled / deadline expired
  */
 
 #include <cstdio>
@@ -31,14 +41,36 @@ namespace {
 
 using namespace tg;
 
+// Exit codes (see the file header).
+constexpr int kExitOk = 0;
+constexpr int kExitError = 1;
+constexpr int kExitUsage = 2;
+constexpr int kExitBusy = 3;
+constexpr int kExitConnect = 4;
+constexpr int kExitCancelled = 5;
+
 int usage(const char *argv0)
 {
     std::fprintf(stderr,
-                 "usage: %s [--socket PATH] "
+                 "usage: %s [--socket PATH] [--wait MS] "
                  "<ping|stats|shutdown|sweep> "
-                 "[--quick] [--jobs N] [--verify]\n",
+                 "[--quick] [--jobs N] [--verify] [--deadline MS]\n",
                  argv0);
-    return 2;
+    return kExitUsage;
+}
+
+/** Map a failed request's DoneMsg to the scripting exit code. */
+int exitCodeFor(const serve::DoneMsg &done)
+{
+    switch (static_cast<serve::DoneStatus>(done.status)) {
+    case serve::DoneStatus::Busy:
+        return kExitBusy;
+    case serve::DoneStatus::Cancelled:
+    case serve::DoneStatus::DeadlineExpired:
+        return kExitCancelled;
+    default:
+        return kExitError;
+    }
 }
 
 void printStats(const serve::StatsReplyMsg &s)
@@ -52,6 +84,12 @@ void printStats(const serve::StatsReplyMsg &s)
                 static_cast<unsigned long long>(s.requestsPing),
                 static_cast<unsigned long long>(s.requestsStats),
                 static_cast<unsigned long long>(s.requestsRejected));
+    std::printf("admission       busy=%llu cancelled=%llu "
+                "deadline=%llu active=%llu\n",
+                static_cast<unsigned long long>(s.requestsBusy),
+                static_cast<unsigned long long>(s.requestsCancelled),
+                static_cast<unsigned long long>(s.requestsDeadline),
+                static_cast<unsigned long long>(s.activeRequests));
     std::printf("cells served    %llu (queue depth %llu)\n",
                 static_cast<unsigned long long>(s.cellsServed),
                 static_cast<unsigned long long>(s.queueDepth));
@@ -156,6 +194,8 @@ int main(int argc, char **argv)
     bool quick = false;
     bool verify = false;
     int jobs = 1;
+    long waitMs = 0;
+    long deadlineMs = 0;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg == "--socket" && i + 1 < argc)
@@ -166,53 +206,65 @@ int main(int argc, char **argv)
             verify = true;
         else if (arg == "--jobs" && i + 1 < argc)
             jobs = std::atoi(argv[++i]);
+        else if (arg == "--wait" && i + 1 < argc)
+            waitMs = std::atol(argv[++i]);
+        else if (arg == "--deadline" && i + 1 < argc)
+            deadlineMs = std::atol(argv[++i]);
         else if (command.empty() && arg[0] != '-')
             command = arg;
         else
             return usage(argv[0]);
     }
-    if (command.empty())
+    if (command.empty() || waitMs < 0 || deadlineMs < 0)
         return usage(argv[0]);
 
     const std::string path = serve::resolveSocketPath(socketArg);
     serve::Client client;
     std::string err;
-    if (!client.connect(path, &err)) {
+    const bool up =
+        waitMs > 0
+            ? client.connectWithRetry(
+                  path, static_cast<std::uint64_t>(waitMs), &err)
+            : client.connect(path, &err);
+    if (!up) {
         std::fprintf(stderr, "tg_client: %s\n", err.c_str());
-        return 1;
+        return kExitConnect;
     }
 
     if (command == "ping") {
         if (!client.ping(&err)) {
             std::fprintf(stderr, "tg_client: %s\n", err.c_str());
-            return 1;
+            return kExitError;
         }
         std::printf("pong (%s)\n", path.c_str());
-        return 0;
+        return kExitOk;
     }
     if (command == "stats") {
         serve::StatsReplyMsg stats;
         if (!client.stats(stats, &err)) {
             std::fprintf(stderr, "tg_client: %s\n", err.c_str());
-            return 1;
+            return kExitError;
         }
         printStats(stats);
-        return 0;
+        return kExitOk;
     }
     if (command == "shutdown") {
         if (!client.shutdownServer(&err)) {
             std::fprintf(stderr, "tg_client: %s\n", err.c_str());
-            return 1;
+            return kExitError;
         }
         std::printf("server draining\n");
-        return 0;
+        return kExitOk;
     }
     if (command == "sweep") {
-        const SweepPlan plan = makePlan(quick, jobs);
+        SweepPlan plan = makePlan(quick, jobs);
+        plan.request.deadlineMs =
+            static_cast<std::uint64_t>(deadlineMs);
         sim::SweepResult served;
-        if (!client.sweep(plan.request, served, &err)) {
+        serve::DoneMsg done;
+        if (!client.sweep(plan.request, served, &err, &done)) {
             std::fprintf(stderr, "tg_client: %s\n", err.c_str());
-            return 1;
+            return exitCodeFor(done);
         }
         for (const auto &bench : served.benchmarks)
             for (auto pk : served.policies)
@@ -221,7 +273,7 @@ int main(int argc, char **argv)
                                 .c_str());
         if (verify)
             return verifySweep(plan, served);
-        return 0;
+        return kExitOk;
     }
     return usage(argv[0]);
 }

@@ -2,12 +2,17 @@
  * @file
  * The persistent sweep daemon.
  *
- *     tg_serve [--socket PATH] [--jobs N] [--contexts N] [--verbose]
+ *     tg_serve [--socket PATH] [--jobs N] [--contexts N]
+ *              [--queue-depth N] [--busy-retry MS] [--verbose]
  *
  * Listens on a Unix-domain socket (--socket, else $TG_SERVE_SOCKET,
  * else /tmp/tg_serve.<uid>.sock) and answers tg_client requests until
  * a client sends Shutdown or the process receives SIGINT/SIGTERM —
  * both drain queued requests and flush replies before exiting.
+ *
+ * --queue-depth bounds the admission queue: requests beyond it get
+ * an immediate busy reply carrying the --busy-retry hint instead of
+ * waiting in an unbounded line.
  *
  * The daemon's value is what stays warm between requests: thermal and
  * PDN factorisations, the calibrated predictor, per-worker Simulation
@@ -38,7 +43,8 @@ int usage(const char *argv0)
 {
     std::fprintf(stderr,
                  "usage: %s [--socket PATH] [--jobs N] "
-                 "[--contexts N] [--verbose]\n",
+                 "[--contexts N] [--queue-depth N] "
+                 "[--busy-retry MS] [--verbose]\n",
                  argv0);
     return 2;
 }
@@ -57,6 +63,11 @@ int main(int argc, char **argv)
             options.jobs = std::atoi(argv[++i]);
         } else if (arg == "--contexts" && i + 1 < argc) {
             options.contextCacheSize = std::atoi(argv[++i]);
+        } else if (arg == "--queue-depth" && i + 1 < argc) {
+            options.maxQueueDepth = std::atoi(argv[++i]);
+        } else if (arg == "--busy-retry" && i + 1 < argc) {
+            options.busyRetryMs = static_cast<std::uint64_t>(
+                std::atol(argv[++i]));
         } else if (arg == "--verbose") {
             options.verbose = true;
         } else {

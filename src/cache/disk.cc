@@ -4,8 +4,11 @@
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <mutex>
+#include <set>
 
 #include "common/bytes.hh"
+#include "common/io.hh"
 
 #ifdef __unix__
 #include <unistd.h>
@@ -63,6 +66,54 @@ std::uint64_t tempToken()
 DiskTier::DiskTier(std::string dir, ArtifactStore *stats)
     : root(std::move(dir)), counters(stats ? stats : &store())
 {
+    if (!active())
+        return;
+    // Crash hygiene, once per (process, directory): sweep aged
+    // orphans left by writers that died between temp write and
+    // rename. Once is enough — new orphans can only come from crashes
+    // after this point, which the *next* process cleans up.
+    static std::mutex mu;
+    static std::set<std::string> swept;
+    bool first;
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        first = swept.insert(root).second;
+    }
+    if (first)
+        sweepOrphans(kOrphanMinAge);
+}
+
+std::size_t DiskTier::sweepOrphans(std::chrono::seconds minAge) const
+{
+    if (!active())
+        return 0;
+    namespace fs = std::filesystem;
+    std::error_code ec;
+    const auto now = fs::file_time_type::clock::now();
+    std::size_t removed = 0;
+    for (const auto &entry : fs::directory_iterator(root, ec)) {
+        if (!entry.is_regular_file(ec))
+            continue;
+        const std::string name = entry.path().filename().string();
+        // Temp names are "<final>.tmp-<16 hex>"; anything else in the
+        // directory is either a published artifact or not ours.
+        const std::size_t at = name.rfind(".tmp-");
+        if (at == std::string::npos || name.size() != at + 5 + 16)
+            continue;
+        const auto mtime = entry.last_write_time(ec);
+        if (ec) {
+            ec.clear();
+            continue;
+        }
+        if (now - mtime < minAge)
+            continue; // possibly a live concurrent writer's
+        if (fs::remove(entry.path(), ec) && !ec)
+            ++removed;
+        ec.clear();
+    }
+    if (removed)
+        counters->noteDiskTmpSwept(removed);
+    return removed;
 }
 
 std::string DiskTier::pathFor(ArtifactKind kind,
@@ -131,6 +182,10 @@ bool DiskTier::save(ArtifactKind kind, const Fingerprint &key,
                     const std::string &provenance) const
 {
     if (!active())
+        return false;
+    // Chaos gate: a simulated ENOSPC fails the save exactly like a
+    // full disk — callers fall back to uncached operation.
+    if (!io::chaosDiskWriteAllowed())
         return false;
 
     std::error_code ec;

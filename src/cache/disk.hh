@@ -21,11 +21,18 @@
  * with std::rename, which POSIX makes atomic: concurrent writers of
  * the same key race benignly (identical contents) and readers never
  * observe a half-written file.
+ *
+ * Crash hygiene: a process killed between the temp write and the
+ * rename leaves a `.tmp-*` orphan behind. The first DiskTier built
+ * for a directory in a process sweeps orphans older than a safety
+ * margin (a *young* temp file may belong to a concurrent live
+ * writer), so a cache directory never accumulates crash debris.
  */
 
 #ifndef TG_CACHE_DISK_HH
 #define TG_CACHE_DISK_HH
 
+#include <chrono>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -66,6 +73,18 @@ class DiskTier
 
     /** Final path of an artifact ("<dir>/<kind>-<keyhex>.tgc"). */
     std::string pathFor(ArtifactKind kind, const Fingerprint &key) const;
+
+    /**
+     * Remove `.tmp-*` orphans under the root older than `minAge`
+     * (never the fresh temp files of concurrent writers). Returns the
+     * number removed and counts them in StoreStats::diskTmpSwept.
+     * Runs automatically — age-gated by kOrphanMinAge — the first
+     * time a process opens a given directory.
+     */
+    std::size_t sweepOrphans(std::chrono::seconds minAge) const;
+
+    /** Auto-sweep age gate: generous against concurrent writers. */
+    static constexpr std::chrono::seconds kOrphanMinAge{15 * 60};
 
   private:
     std::string root;

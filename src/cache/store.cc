@@ -53,7 +53,7 @@ std::string StoreStats::describe() const
         "cache: hits=%llu misses=%llu resident=%.1fMiB evictions=%llu "
         "[trace %llu/%llu, predictor %llu/%llu, pdn-base %llu/%llu, "
         "run-result %llu/%llu] disk hits=%llu misses=%llu writes=%llu "
-        "rejects=%llu",
+        "rejects=%llu tmp-swept=%llu",
         static_cast<unsigned long long>(hitsTotal()),
         static_cast<unsigned long long>(missesTotal()),
         static_cast<double>(bytesTotal()) / (1024.0 * 1024.0),
@@ -69,7 +69,8 @@ std::string StoreStats::describe() const
         static_cast<unsigned long long>(diskHits),
         static_cast<unsigned long long>(diskMisses),
         static_cast<unsigned long long>(diskWrites),
-        static_cast<unsigned long long>(diskRejects));
+        static_cast<unsigned long long>(diskRejects),
+        static_cast<unsigned long long>(diskTmpSwept));
     return std::string(line);
 }
 
@@ -171,6 +172,7 @@ StoreStats ArtifactStore::stats() const
     out.diskMisses = diskMissCount.load();
     out.diskWrites = diskWriteCount.load();
     out.diskRejects = diskRejectCount.load();
+    out.diskTmpSwept = diskTmpSweptCount.load();
     return out;
 }
 
@@ -188,6 +190,7 @@ void ArtifactStore::resetStats()
     diskMissCount.store(0);
     diskWriteCount.store(0);
     diskRejectCount.store(0);
+    diskTmpSweptCount.store(0);
 }
 
 ArtifactStore &store()

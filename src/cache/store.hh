@@ -74,6 +74,7 @@ struct StoreStats
     std::uint64_t diskMisses = 0;
     std::uint64_t diskWrites = 0;
     std::uint64_t diskRejects = 0; //!< corrupt/truncated files refused
+    std::uint64_t diskTmpSwept = 0; //!< orphaned .tmp-* files removed
 
     std::uint64_t hitsTotal() const;
     std::uint64_t missesTotal() const;
@@ -164,6 +165,7 @@ class ArtifactStore
     void noteDiskMiss() { ++diskMissCount; }
     void noteDiskWrite() { ++diskWriteCount; }
     void noteDiskReject() { ++diskRejectCount; }
+    void noteDiskTmpSwept(std::uint64_t n) { diskTmpSweptCount += n; }
 
   private:
     static constexpr int kShards = 16;
@@ -231,6 +233,7 @@ class ArtifactStore
     std::atomic<std::uint64_t> diskMissCount{0};
     std::atomic<std::uint64_t> diskWriteCount{0};
     std::atomic<std::uint64_t> diskRejectCount{0};
+    std::atomic<std::uint64_t> diskTmpSweptCount{0};
 };
 
 /**

@@ -29,6 +29,8 @@
 #ifndef TG_COMMON_EXEC_HH
 #define TG_COMMON_EXEC_HH
 
+#include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
@@ -36,6 +38,7 @@
 #include <exception>
 #include <functional>
 #include <mutex>
+#include <stdexcept>
 #include <string>
 #include <thread>
 #include <vector>
@@ -60,6 +63,101 @@ int resolveJobs(int requested);
  * identity so forked streams are independent of scheduling order.
  */
 std::uint64_t taskSeed(std::uint64_t base, std::uint64_t task);
+
+/**
+ * Thrown by cancellation points when their CancelToken has tripped.
+ * what() distinguishes an explicit cancel ("cancelled") from a missed
+ * deadline ("deadline exceeded") so callers can report the class.
+ */
+class CancelledError : public std::runtime_error
+{
+  public:
+    explicit CancelledError(bool deadline)
+        : std::runtime_error(deadline ? "deadline exceeded"
+                                      : "cancelled"),
+          deadlineFlag(deadline)
+    {
+    }
+
+    /** True when the trip came from a deadline, not an explicit
+     *  cancel(). */
+    bool deadlineExpired() const { return deadlineFlag; }
+
+  private:
+    bool deadlineFlag;
+};
+
+/**
+ * Cooperative cancellation with an optional deadline.
+ *
+ * A token is shared between a controller (who calls cancel() or arms
+ * a deadline) and workers (who poll cancelled() / throwIfCancelled()
+ * at their natural checkpoints — the sweep engine checks per cell and
+ * Simulation::run per epoch). Both sides may live on different
+ * threads: the flag is atomic and cancel() is async-signal-safe.
+ *
+ * Cancellation is sticky — once tripped (explicitly or by the
+ * deadline passing) the token stays cancelled. deadlineExpired()
+ * records *why* it tripped; an explicit cancel() wins over a deadline
+ * that passes later, because the first observation latches.
+ */
+class CancelToken
+{
+  public:
+    using Clock = std::chrono::steady_clock;
+
+    /** Trip the token (sticky, thread-safe, async-signal-safe). */
+    void cancel() { flag.store(true, std::memory_order_relaxed); }
+
+    /** Arm an absolute deadline; tokens without one never expire. */
+    void setDeadline(Clock::time_point when)
+    {
+        deadlineNs.store(
+            when.time_since_epoch().count(),
+            std::memory_order_relaxed);
+    }
+
+    /** Arm a deadline `ms` milliseconds from now. */
+    void setDeadlineIn(std::uint64_t ms)
+    {
+        setDeadline(Clock::now() + std::chrono::milliseconds(ms));
+    }
+
+    /** Whether the token has tripped (checks the deadline too). */
+    bool cancelled() const
+    {
+        if (flag.load(std::memory_order_relaxed))
+            return true;
+        const auto armed = deadlineNs.load(std::memory_order_relaxed);
+        if (armed != 0 &&
+            Clock::now().time_since_epoch().count() >= armed) {
+            deadlineHit.store(true, std::memory_order_relaxed);
+            flag.store(true, std::memory_order_relaxed);
+            return true;
+        }
+        return false;
+    }
+
+    /** Whether the trip came from the deadline (false until
+     *  cancelled() first observes it). */
+    bool deadlineExpired() const
+    {
+        return deadlineHit.load(std::memory_order_relaxed);
+    }
+
+    /** Cancellation point: throws CancelledError once tripped. */
+    void throwIfCancelled() const
+    {
+        if (cancelled())
+            throw CancelledError(deadlineExpired());
+    }
+
+  private:
+    mutable std::atomic<bool> flag{false};
+    mutable std::atomic<bool> deadlineHit{false};
+    /** Deadline as steady-clock ticks since epoch; 0 = none. */
+    std::atomic<Clock::rep> deadlineNs{0};
+};
 
 /**
  * Fixed-size worker pool fed from a bounded FIFO task queue.

@@ -1,7 +1,13 @@
 #include "common/io.hh"
 
-#ifdef __unix__
+#include <atomic>
 #include <cerrno>
+#include <cstdlib>
+#include <mutex>
+
+#include "common/bytes.hh"
+
+#ifdef __unix__
 #include <cstring>
 #include <fcntl.h>
 #include <sys/socket.h>
@@ -12,13 +18,304 @@
 namespace tg {
 namespace io {
 
+// --- deterministic I/O chaos ------------------------------------------
+
+namespace {
+
+/** 0 = uninitialised, 1 = disabled, 2 = enabled. The fast path is a
+ *  single relaxed load of this word. */
+std::atomic<int> g_chaosState{0};
+std::mutex g_chaosMu;
+ChaosConfig g_chaosCfg;
+
+std::atomic<std::uint64_t> g_chaosOp{0};
+std::atomic<std::uint64_t> g_chaosShortReads{0};
+std::atomic<std::uint64_t> g_chaosShortWrites{0};
+std::atomic<std::uint64_t> g_chaosEintrs{0};
+std::atomic<std::uint64_t> g_chaosResets{0};
+std::atomic<std::uint64_t> g_chaosEnospcs{0};
+
+/** Which fault (if any) operation index `op` draws. */
+enum class ChaosDraw
+{
+    None,
+    Eintr,
+    Reset,
+    Short,
+    Enospc, // only consulted by the disk gate
+};
+
+/** The uniform [0, 1) variate of operation `op` under `seed`. */
+double chaosUnit(std::uint64_t seed, std::uint64_t op)
+{
+    std::uint8_t key[16];
+    for (int i = 0; i < 8; ++i) {
+        key[i] = static_cast<std::uint8_t>(seed >> (8 * i));
+        key[8 + i] = static_cast<std::uint8_t>(op >> (8 * i));
+    }
+    const std::uint64_t h = bytes::fnv1a(key, sizeof key);
+    // 53 bits of the hash -> [0, 1) exactly representable.
+    return static_cast<double>(h >> 11) /
+           static_cast<double>(1ull << 53);
+}
+
+/** Draw for a read/write op: cumulative rate comparison, EINTR
+ *  first, then reset, then short transfer. */
+ChaosDraw drawFor(const ChaosConfig &cfg, std::uint64_t op,
+                  bool isRead)
+{
+    const double u = chaosUnit(cfg.seed, op);
+    double edge = cfg.eintr;
+    if (u < edge)
+        return ChaosDraw::Eintr;
+    edge += cfg.reset;
+    if (u < edge)
+        return ChaosDraw::Reset;
+    edge += isRead ? cfg.shortRead : cfg.shortWrite;
+    if (u < edge)
+        return ChaosDraw::Short;
+    return ChaosDraw::None;
+}
+
+void chaosInitFromEnv()
+{
+    std::lock_guard<std::mutex> lock(g_chaosMu);
+    if (g_chaosState.load(std::memory_order_relaxed) != 0)
+        return;
+    ChaosConfig cfg;
+    if (const char *env = std::getenv("TG_IO_FAULTS")) {
+        std::string err;
+        if (!chaosParse(env, cfg, &err)) {
+            // A malformed spec disables injection instead of
+            // changing runtime behaviour on a typo; the parse error
+            // is surfaced by tools that validate specs up front.
+            cfg = ChaosConfig{};
+        }
+    }
+    g_chaosCfg = cfg;
+    g_chaosState.store(cfg.enabled ? 2 : 1,
+                       std::memory_order_release);
+}
+
+/** Truncated length of a short transfer: 1..16 bytes, keyed off the
+ *  same op so replays agree. */
+std::size_t shortLen(const ChaosConfig &cfg, std::uint64_t op,
+                     std::size_t want)
+{
+    const std::uint64_t h =
+        bytes::fnv1a(reinterpret_cast<const std::uint8_t *>(&op),
+                     sizeof op) ^
+        cfg.seed;
+    const std::size_t cap = 1 + static_cast<std::size_t>(h % 16);
+    return want < cap ? want : cap;
+}
+
+} // namespace
+
+bool chaosParse(const std::string &spec, ChaosConfig &out,
+                std::string *err)
+{
+    auto fail = [&](const std::string &why) {
+        if (err)
+            *err = why;
+        return false;
+    };
+    ChaosConfig cfg;
+    std::size_t pos = 0;
+    while (pos < spec.size()) {
+        std::size_t end = spec.find(',', pos);
+        if (end == std::string::npos)
+            end = spec.size();
+        const std::string item = spec.substr(pos, end - pos);
+        pos = end + 1;
+        if (item.empty())
+            continue;
+        const std::size_t eq = item.find('=');
+        if (eq == std::string::npos)
+            return fail("chaos spec item '" + item +
+                        "' is not key=value");
+        const std::string key = item.substr(0, eq);
+        const std::string val = item.substr(eq + 1);
+        char *parse_end = nullptr;
+        if (key == "seed") {
+            const unsigned long long v =
+                std::strtoull(val.c_str(), &parse_end, 10);
+            if (parse_end == val.c_str() || *parse_end != '\0')
+                return fail("chaos seed '" + val +
+                            "' is not a number");
+            cfg.seed = v;
+            continue;
+        }
+        const double p = std::strtod(val.c_str(), &parse_end);
+        if (parse_end == val.c_str() || *parse_end != '\0')
+            return fail("chaos rate '" + val + "' for '" + key +
+                        "' is not a number");
+        if (p < 0.0 || p > 1.0)
+            return fail("chaos rate for '" + key +
+                        "' must be in [0, 1]");
+        if (key == "short-read")
+            cfg.shortRead = p;
+        else if (key == "short-write")
+            cfg.shortWrite = p;
+        else if (key == "eintr")
+            cfg.eintr = p;
+        else if (key == "reset")
+            cfg.reset = p;
+        else if (key == "enospc")
+            cfg.enospc = p;
+        else
+            return fail("unknown chaos key '" + key + "'");
+    }
+    cfg.enabled = cfg.shortRead > 0.0 || cfg.shortWrite > 0.0 ||
+                  cfg.eintr > 0.0 || cfg.reset > 0.0 ||
+                  cfg.enospc > 0.0;
+    out = cfg;
+    return true;
+}
+
+void chaosConfigure(const ChaosConfig &cfg)
+{
+    std::lock_guard<std::mutex> lock(g_chaosMu);
+    g_chaosCfg = cfg;
+    g_chaosOp.store(0, std::memory_order_relaxed);
+    g_chaosState.store(cfg.enabled ? 2 : 1,
+                       std::memory_order_release);
+}
+
+ChaosConfig chaosConfig()
+{
+    if (g_chaosState.load(std::memory_order_acquire) == 0)
+        chaosInitFromEnv();
+    std::lock_guard<std::mutex> lock(g_chaosMu);
+    return g_chaosCfg;
+}
+
+bool chaosEnabled()
+{
+    int st = g_chaosState.load(std::memory_order_acquire);
+    if (st == 0) {
+        chaosInitFromEnv();
+        st = g_chaosState.load(std::memory_order_acquire);
+    }
+    return st == 2;
+}
+
+ChaosCounters chaosCounters()
+{
+    ChaosCounters c;
+    c.ops = g_chaosOp.load(std::memory_order_relaxed);
+    c.shortReads = g_chaosShortReads.load(std::memory_order_relaxed);
+    c.shortWrites = g_chaosShortWrites.load(std::memory_order_relaxed);
+    c.eintrs = g_chaosEintrs.load(std::memory_order_relaxed);
+    c.resets = g_chaosResets.load(std::memory_order_relaxed);
+    c.enospcs = g_chaosEnospcs.load(std::memory_order_relaxed);
+    return c;
+}
+
+void chaosResetCounters()
+{
+    g_chaosOp.store(0, std::memory_order_relaxed);
+    g_chaosShortReads.store(0, std::memory_order_relaxed);
+    g_chaosShortWrites.store(0, std::memory_order_relaxed);
+    g_chaosEintrs.store(0, std::memory_order_relaxed);
+    g_chaosResets.store(0, std::memory_order_relaxed);
+    g_chaosEnospcs.store(0, std::memory_order_relaxed);
+}
+
+#ifdef __unix__
+
+long chaosRead(int fd, void *buf, std::size_t count)
+{
+    if (chaosEnabled() && count > 0) {
+        const ChaosConfig cfg = chaosConfig();
+        const std::uint64_t op =
+            g_chaosOp.fetch_add(1, std::memory_order_relaxed);
+        switch (drawFor(cfg, op, /*isRead=*/true)) {
+        case ChaosDraw::Eintr:
+            g_chaosEintrs.fetch_add(1, std::memory_order_relaxed);
+            errno = EINTR;
+            return -1;
+        case ChaosDraw::Reset:
+            g_chaosResets.fetch_add(1, std::memory_order_relaxed);
+            errno = ECONNRESET;
+            return -1;
+        case ChaosDraw::Short:
+            g_chaosShortReads.fetch_add(1,
+                                        std::memory_order_relaxed);
+            count = shortLen(cfg, op, count);
+            break;
+        default:
+            break;
+        }
+    }
+    return static_cast<long>(::read(fd, buf, count));
+}
+
+long chaosWrite(int fd, const void *buf, std::size_t count)
+{
+    if (chaosEnabled() && count > 0) {
+        const ChaosConfig cfg = chaosConfig();
+        const std::uint64_t op =
+            g_chaosOp.fetch_add(1, std::memory_order_relaxed);
+        switch (drawFor(cfg, op, /*isRead=*/false)) {
+        case ChaosDraw::Eintr:
+            g_chaosEintrs.fetch_add(1, std::memory_order_relaxed);
+            errno = EINTR;
+            return -1;
+        case ChaosDraw::Reset:
+            g_chaosResets.fetch_add(1, std::memory_order_relaxed);
+            errno = ECONNRESET;
+            return -1;
+        case ChaosDraw::Short:
+            g_chaosShortWrites.fetch_add(1,
+                                         std::memory_order_relaxed);
+            count = shortLen(cfg, op, count);
+            break;
+        default:
+            break;
+        }
+    }
+    return static_cast<long>(::write(fd, buf, count));
+}
+
+#else // !__unix__
+
+long chaosRead(int, void *, std::size_t)
+{
+    return -1;
+}
+
+long chaosWrite(int, const void *, std::size_t)
+{
+    return -1;
+}
+
+#endif // __unix__
+
+bool chaosDiskWriteAllowed()
+{
+    if (!chaosEnabled())
+        return true;
+    const ChaosConfig cfg = chaosConfig();
+    if (cfg.enospc <= 0.0)
+        return true;
+    const std::uint64_t op =
+        g_chaosOp.fetch_add(1, std::memory_order_relaxed);
+    if (chaosUnit(cfg.seed, op) < cfg.enospc) {
+        g_chaosEnospcs.fetch_add(1, std::memory_order_relaxed);
+        errno = ENOSPC;
+        return false;
+    }
+    return true;
+}
+
 #ifdef __unix__
 
 bool writeAll(int fd, const std::uint8_t *data, std::size_t size)
 {
     std::size_t off = 0;
     while (off < size) {
-        ssize_t n = ::write(fd, data + off, size - off);
+        const long n = chaosWrite(fd, data + off, size - off);
         if (n < 0) {
             if (errno == EINTR)
                 continue;

@@ -8,6 +8,14 @@
  * corruption handling, event-loop structure) stays with the callers.
  * On non-POSIX hosts the functions exist but fail, mirroring the
  * shard engine's platform gating.
+ *
+ * Chaos harness: every read/write in the service stack routes through
+ * chaosRead()/chaosWrite(), a deterministic fault shim that injects
+ * short transfers, EINTR, ECONNRESET and ENOSPC according to the
+ * TG_IO_FAULTS spec (or a programmatic ChaosConfig). Decisions are a
+ * pure function of (seed, per-process operation index), so a failing
+ * sequence replays exactly; when no spec is configured the shim is a
+ * single relaxed atomic load on top of the raw syscall.
  */
 
 #ifndef TG_COMMON_IO_HH
@@ -44,6 +52,93 @@ int listenUnix(const std::string &path, int backlog, std::string *err);
  * -1 (no server, refused, path too long).
  */
 int connectUnix(const std::string &path);
+
+// --- deterministic I/O chaos ------------------------------------------
+//
+// TG_IO_FAULTS grammar (comma-separated key=value, no spaces):
+//
+//     seed=N           base of the per-operation decision hash
+//     short-read=P     probability a read is truncated to <=16 bytes
+//     short-write=P    probability a write transfers <=16 bytes
+//     eintr=P          probability an op fails with EINTR (no data)
+//     reset=P          probability an op fails with ECONNRESET
+//     enospc=P         probability a disk-tier save fails with ENOSPC
+//
+// Probabilities are decimals in [0, 1]. Each chaos-wrapped operation
+// consumes one index of a process-global counter; the decision for
+// index i is fnv1a(seed, i) mapped to [0, 1) and compared against the
+// cumulative rates — deterministic for a fixed seed and op sequence.
+// Short transfers and EINTR are recoverable by the retry loops they
+// exercise; reset kills the connection (drop-and-recover paths);
+// enospc makes DiskTier::save fail (reject-and-recompute path).
+
+/** Chaos fault rates; a default-constructed config is disabled. */
+struct ChaosConfig
+{
+    bool enabled = false;
+    std::uint64_t seed = 0;
+    double shortRead = 0.0;
+    double shortWrite = 0.0;
+    double eintr = 0.0;
+    double reset = 0.0;
+    double enospc = 0.0;
+};
+
+/** Injection counters (relaxed; advisory like StoreStats). */
+struct ChaosCounters
+{
+    std::uint64_t ops = 0;        //!< chaos-wrapped operations seen
+    std::uint64_t shortReads = 0;
+    std::uint64_t shortWrites = 0;
+    std::uint64_t eintrs = 0;
+    std::uint64_t resets = 0;
+    std::uint64_t enospcs = 0;
+};
+
+/**
+ * Parse a TG_IO_FAULTS spec. False (with a reason in *err) on an
+ * unknown key, a malformed number or a rate outside [0, 1]; `out` is
+ * then untouched. The empty string parses as "disabled".
+ */
+bool chaosParse(const std::string &spec, ChaosConfig &out,
+                std::string *err);
+
+/**
+ * Install a config programmatically (tests), replacing TG_IO_FAULTS.
+ * Resets the operation counter so a fixed seed replays the same
+ * decision sequence. Not safe against concurrent in-flight chaos I/O:
+ * configure before the threads that perform it start (or after they
+ * stop).
+ */
+void chaosConfigure(const ChaosConfig &cfg);
+
+/** The active config (env-parsed on first use, else programmatic). */
+ChaosConfig chaosConfig();
+
+/** Whether any fault injection is active. */
+bool chaosEnabled();
+
+ChaosCounters chaosCounters();
+
+/** Reset counters and the op index (deterministic test replays). */
+void chaosResetCounters();
+
+/**
+ * read(2)/write(2) with fault injection. With chaos disabled these
+ * are the raw syscalls; enabled, they may instead fail with EINTR or
+ * ECONNRESET, or truncate the transfer (never to zero bytes, so
+ * retry loops always make progress). Returns the transfer count or
+ * -1 with errno set, exactly like the syscalls.
+ */
+long chaosRead(int fd, void *buf, std::size_t count);
+long chaosWrite(int fd, const void *buf, std::size_t count);
+
+/**
+ * Disk-tier write gate: false simulates ENOSPC (errno is set). The
+ * cache's save path checks this once per artifact and converts a
+ * false into its ordinary "write failed" fallback.
+ */
+bool chaosDiskWriteAllowed();
 
 } // namespace io
 } // namespace tg

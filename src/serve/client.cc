@@ -1,12 +1,15 @@
 #include "serve/client.hh"
 
 #include <algorithm>
+#include <chrono>
+#include <thread>
 
 #ifdef __unix__
 #include <unistd.h>
 #endif
 
 #include "cache/serialize.hh"
+#include "common/bytes.hh"
 #include "common/io.hh"
 
 namespace tg {
@@ -53,6 +56,45 @@ bool Client::connect(const std::string &socketPath, std::string *err)
         return false;
     }
     return true;
+}
+
+bool Client::connectWithRetry(const std::string &socketPath,
+                              std::uint64_t waitMs, std::string *err)
+{
+    using Clock = std::chrono::steady_clock;
+    const Clock::time_point give_up =
+        Clock::now() + std::chrono::milliseconds(waitMs);
+    std::uint64_t pid = 0;
+#ifdef __unix__
+    pid = static_cast<std::uint64_t>(::getpid());
+#endif
+    std::uint64_t delayMs = 10;
+    for (unsigned attempt = 0;; ++attempt) {
+        // An accepted connection is not enough: the listening socket
+        // may outlive a dying server, or the daemon may not be
+        // serving yet. Only a Pong proves the loop is live.
+        if (connect(socketPath, err) && ping(err))
+            return true;
+        close();
+        if (Clock::now() >= give_up) {
+            if (err)
+                *err = "server at " + socketPath + " not ready after " +
+                       std::to_string(waitMs) + " ms (" + *err + ")";
+            return false;
+        }
+        // Deterministic per-process jitter (up to +25%) so a fleet
+        // of clients retrying in lockstep spreads out.
+        std::uint8_t jkey[16];
+        for (int i = 0; i < 8; ++i) {
+            jkey[i] = static_cast<std::uint8_t>(pid >> (8 * i));
+            jkey[8 + i] = static_cast<std::uint8_t>(attempt >> (8 * i));
+        }
+        const std::uint64_t jitter =
+            bytes::fnv1a(jkey, sizeof jkey) % (delayMs / 4 + 1);
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(delayMs + jitter));
+        delayMs = std::min<std::uint64_t>(delayMs * 2, 500);
+    }
 }
 
 bool Client::send(FrameType type,
@@ -147,8 +189,13 @@ bool Client::shutdownServer(std::string *err)
     return true;
 }
 
+bool Client::cancel(std::string *err)
+{
+    return send(FrameType::ServeCancel, {}, err);
+}
+
 bool Client::run(const RunMsg &request, sim::RunResult &out,
-                 std::string *err)
+                 std::string *err, DoneMsg *doneOut)
 {
     if (!send(FrameType::ServeRun, encodeRun(request), err))
         return false;
@@ -174,9 +221,14 @@ bool Client::run(const RunMsg &request, sim::RunResult &out,
                 setErr(err, "malformed completion frame");
                 return false;
             }
+            if (doneOut)
+                *doneOut = done;
             if (!done.ok) {
                 if (err)
-                    *err = "server rejected the run: " + done.error;
+                    *err = std::string("run ") +
+                           doneStatusName(static_cast<DoneStatus>(
+                               done.status)) +
+                           ": " + done.error;
                 return false;
             }
             if (!haveCell) {
@@ -191,7 +243,7 @@ bool Client::run(const RunMsg &request, sim::RunResult &out,
 }
 
 bool Client::sweep(const SweepMsg &request, sim::SweepResult &out,
-                   std::string *err)
+                   std::string *err, DoneMsg *doneOut)
 {
     if (!send(FrameType::ServeSweep, encodeSweep(request), err))
         return false;
@@ -235,9 +287,14 @@ bool Client::sweep(const SweepMsg &request, sim::SweepResult &out,
                 setErr(err, "malformed completion frame");
                 return false;
             }
+            if (doneOut)
+                *doneOut = done;
             if (!done.ok) {
                 if (err)
-                    *err = "server rejected the sweep: " + done.error;
+                    *err = std::string("sweep ") +
+                           doneStatusName(static_cast<DoneStatus>(
+                               done.status)) +
+                           ": " + done.error;
                 return false;
             }
             return true;

@@ -12,6 +12,13 @@
  * Every method returns false on failure with a human-readable reason
  * in *err (when non-null); the connection should then be considered
  * dead (frame streams cannot be resynced).
+ *
+ * Resilience: connectWithRetry() rides out a server that is still
+ * booting (or briefly restarting) with bounded exponential backoff —
+ * each attempt must also answer a Ping before the connection counts,
+ * so a half-up listener never passes for ready. run()/sweep() can
+ * surface the final DoneMsg so callers distinguish Busy (retry
+ * later) from request errors and cancellation.
  */
 
 #ifndef TG_SERVE_CLIENT_HH
@@ -38,6 +45,15 @@ class Client
     /** Connect to a server socket. */
     bool connect(const std::string &socketPath, std::string *err);
 
+    /**
+     * Connect with bounded exponential backoff (10 ms doubling to a
+     * 500 ms ceiling, pid-keyed jitter so a fleet of clients spreads
+     * out), pinging after each connect so only a *serving* daemon
+     * counts as ready. Gives up once `waitMs` elapses.
+     */
+    bool connectWithRetry(const std::string &socketPath,
+                          std::uint64_t waitMs, std::string *err);
+
     bool connected() const { return fd >= 0; }
     void close();
 
@@ -50,18 +66,32 @@ class Client
     /** Ask the server to drain and exit; returns once acknowledged. */
     bool shutdownServer(std::string *err);
 
-    /** Execute one run on the server. */
+    /**
+     * Ask the server to cancel this connection's queued or in-flight
+     * request. Fire-and-forget at the frame level: the outcome
+     * arrives as the original request's DoneMsg (Cancelled), which
+     * the in-progress run()/sweep() call observes.
+     */
+    bool cancel(std::string *err);
+
+    /**
+     * Execute one run on the server. A non-null `doneOut` receives
+     * the final DoneMsg even on failure, so callers can tell Busy
+     * (retry after doneOut->retryAfterMs) from a request error or a
+     * cancellation/deadline abort.
+     */
     bool run(const RunMsg &request, sim::RunResult &out,
-             std::string *err);
+             std::string *err, DoneMsg *doneOut = nullptr);
 
     /**
      * Execute a sweep on the server. `out` gets the request's
      * benchmark/policy grid with every streamed cell decoded into
      * its canonical slot; with a cell subset the untouched slots stay
      * default-constructed, exactly like a local partial sweep.
+     * `doneOut` as in run().
      */
     bool sweep(const SweepMsg &request, sim::SweepResult &out,
-               std::string *err);
+               std::string *err, DoneMsg *doneOut = nullptr);
 
   private:
     /** Send one frame; false when the server is gone. */

@@ -31,6 +31,28 @@ void writeOpts(ByteWriter &w, std::uint8_t timeSeries,
 
 } // namespace
 
+bool doneStatusValid(std::uint8_t s)
+{
+    return s <= static_cast<std::uint8_t>(DoneStatus::DeadlineExpired);
+}
+
+const char *doneStatusName(DoneStatus s)
+{
+    switch (s) {
+    case DoneStatus::Ok:
+        return "ok";
+    case DoneStatus::Error:
+        return "error";
+    case DoneStatus::Busy:
+        return "busy";
+    case DoneStatus::Cancelled:
+        return "cancelled";
+    case DoneStatus::DeadlineExpired:
+        return "deadline-expired";
+    }
+    return "unknown";
+}
+
 std::vector<std::uint8_t> encodeRun(const RunMsg &m)
 {
     ByteWriter w;
@@ -39,6 +61,7 @@ std::vector<std::uint8_t> encodeRun(const RunMsg &m)
     w.u32(m.policy);
     writeOpts(w, m.timeSeries, m.heatmap, m.noiseTrace, m.trackVr,
               m.noiseSamplesOverride);
+    w.u64(m.deadlineMs);
     return w.take();
 }
 
@@ -54,6 +77,7 @@ bool decodeRun(const std::vector<std::uint8_t> &p, RunMsg &out)
     out.noiseTrace = r.u8();
     out.trackVr = r.i64();
     out.noiseSamplesOverride = r.i64();
+    out.deadlineMs = r.u64();
     return r.exhausted();
 }
 
@@ -73,6 +97,7 @@ std::vector<std::uint8_t> encodeSweep(const SweepMsg &m)
     w.u32(m.jobs);
     writeOpts(w, m.timeSeries, m.heatmap, m.noiseTrace, m.trackVr,
               m.noiseSamplesOverride);
+    w.u64(m.deadlineMs);
     return w.take();
 }
 
@@ -105,6 +130,7 @@ bool decodeSweep(const std::vector<std::uint8_t> &p, SweepMsg &out)
     out.noiseTrace = r.u8();
     out.trackVr = r.i64();
     out.noiseSamplesOverride = r.i64();
+    out.deadlineMs = r.u64();
     return r.exhausted();
 }
 
@@ -129,8 +155,10 @@ std::vector<std::uint8_t> encodeDone(const DoneMsg &m)
 {
     ByteWriter w;
     w.u8(m.ok);
+    w.u8(m.status);
     w.u64(m.cells);
     w.str(m.error);
+    w.u64(m.retryAfterMs);
     return w.take();
 }
 
@@ -138,9 +166,19 @@ bool decodeDone(const std::vector<std::uint8_t> &p, DoneMsg &out)
 {
     ByteReader r(p.data(), p.size());
     out.ok = r.u8();
+    out.status = r.u8();
     out.cells = r.u64();
     out.error = r.str();
-    return r.exhausted();
+    out.retryAfterMs = r.u64();
+    if (!r.exhausted())
+        return false;
+    // An unknown status (a newer server?) or an ok/status mismatch is
+    // a malformed reply, not something to half-trust.
+    if (!doneStatusValid(out.status))
+        return false;
+    const bool statusOk =
+        out.status == static_cast<std::uint8_t>(DoneStatus::Ok);
+    return (out.ok != 0) == statusOk;
 }
 
 std::vector<std::uint8_t> encodeStatsReply(const StatsReplyMsg &m)
@@ -158,6 +196,10 @@ std::vector<std::uint8_t> encodeStatsReply(const StatsReplyMsg &m)
     w.u64(m.queueDepth);
     w.u64(m.runMicros);
     w.u64(m.sweepMicros);
+    w.u64(m.requestsBusy);
+    w.u64(m.requestsCancelled);
+    w.u64(m.requestsDeadline);
+    w.u64(m.activeRequests);
     // ArtifactStore snapshot: kind count first so a reader can reject
     // a build with a different kind set instead of misparsing it.
     w.u64(cache::kArtifactKinds);
@@ -173,6 +215,7 @@ std::vector<std::uint8_t> encodeStatsReply(const StatsReplyMsg &m)
     w.u64(m.store.diskMisses);
     w.u64(m.store.diskWrites);
     w.u64(m.store.diskRejects);
+    w.u64(m.store.diskTmpSwept);
     return w.take();
 }
 
@@ -192,6 +235,10 @@ bool decodeStatsReply(const std::vector<std::uint8_t> &p,
     out.queueDepth = r.u64();
     out.runMicros = r.u64();
     out.sweepMicros = r.u64();
+    out.requestsBusy = r.u64();
+    out.requestsCancelled = r.u64();
+    out.requestsDeadline = r.u64();
+    out.activeRequests = r.u64();
     if (r.u64() != cache::kArtifactKinds || !r.ok())
         return false;
     for (auto &k : out.store.kind) {
@@ -206,6 +253,7 @@ bool decodeStatsReply(const std::vector<std::uint8_t> &p,
     out.store.diskMisses = r.u64();
     out.store.diskWrites = r.u64();
     out.store.diskRejects = r.u64();
+    out.store.diskTmpSwept = r.u64();
     return r.exhausted();
 }
 

@@ -8,10 +8,17 @@
  * session is request/response:
  *
  *     client -> server : ServeRun | ServeSweep | ServeStats | Ping
- *                        | Shutdown
+ *                        | ServeCancel | Shutdown
  *     server -> client : ServeCell*  (streamed as cells finish)
- *     server -> client : ServeDone   (ok or an error string)
+ *     server -> client : ServeDone   (status + optional error string)
  *     server -> client : ServeStatsReply / Pong
+ *
+ * Robustness semantics (v3): Run/Sweep carry an optional deadlineMs
+ * the server enforces mid-execution; ServeCancel (empty payload)
+ * aborts the connection's queued or in-flight request; ServeDone
+ * reports a DoneStatus so a client can tell apart success, request
+ * errors, admission-control rejection (Busy, with a retry hint) and
+ * cancellation/deadline abort.
  *
  * Every decoder is bounds-checked and rejects trailing garbage, same
  * rules as the shard messages. Results travel as
@@ -50,6 +57,10 @@ struct RunMsg
     std::uint8_t noiseTrace = 0;
     std::int64_t trackVr = -1;
     std::int64_t noiseSamplesOverride = -1;
+    /** Wall-clock budget in ms; 0 = none. The server arms it when the
+     *  request is accepted (queue wait counts against it) and aborts
+     *  the execution mid-sweep once it passes. */
+    std::uint64_t deadlineMs = 0;
 };
 
 /**
@@ -71,6 +82,7 @@ struct SweepMsg
     std::uint8_t noiseTrace = 0;
     std::int64_t trackVr = -1;
     std::int64_t noiseSamplesOverride = -1;
+    std::uint64_t deadlineMs = 0; //!< see RunMsg::deadlineMs
 };
 
 /** Server -> client: one finished cell (cache::encodeRunResult). */
@@ -80,12 +92,33 @@ struct CellMsg
     std::vector<std::uint8_t> result;
 };
 
+/** How a request ended (DoneMsg::status). */
+enum class DoneStatus : std::uint8_t
+{
+    Ok = 0,        //!< executed; every requested cell streamed
+    Error,         //!< invalid request or execution failure
+    Busy,          //!< rejected at admission (queue full); retry later
+    Cancelled,     //!< aborted by ServeCancel or client disconnect
+    DeadlineExpired, //!< aborted because deadlineMs elapsed
+};
+
+/** True when `s` names a DoneStatus enumerator. */
+bool doneStatusValid(std::uint8_t s);
+
+/** Human-readable status tag ("ok", "busy", ...). */
+const char *doneStatusName(DoneStatus s);
+
 /** Server -> client: request complete (after the last CellMsg). */
 struct DoneMsg
 {
-    std::uint8_t ok = 0;
+    std::uint8_t ok = 0; //!< 1 iff status == Ok (kept for callers
+                         //!< that only care about success)
+    std::uint8_t status =
+        static_cast<std::uint8_t>(DoneStatus::Error);
     std::uint64_t cells = 0; //!< cells streamed for this request
     std::string error;       //!< empty when ok
+    /** With status == Busy: the server's suggested retry delay. */
+    std::uint64_t retryAfterMs = 0;
 };
 
 /**
@@ -107,6 +140,10 @@ struct StatsReplyMsg
     std::uint64_t queueDepth = 0;     //!< requests waiting at snapshot
     std::uint64_t runMicros = 0;   //!< cumulative Run execution time
     std::uint64_t sweepMicros = 0; //!< cumulative Sweep execution time
+    std::uint64_t requestsBusy = 0;      //!< admission rejections
+    std::uint64_t requestsCancelled = 0; //!< cancel/disconnect aborts
+    std::uint64_t requestsDeadline = 0;  //!< deadline-expiry aborts
+    std::uint64_t activeRequests = 0;    //!< executing at snapshot
     cache::StoreStats store;
 };
 

@@ -82,6 +82,10 @@ struct PendingRequest
     bool isRun = false;
     RunMsg run;
     SweepMsg sweep;
+    /** Trips on client disconnect, ServeCancel, or deadline expiry
+     *  (armed at admission). shared_ptr: the poll thread must reach
+     *  the token of the request the executor currently owns. */
+    std::shared_ptr<exec::CancelToken> cancel;
 };
 
 /** Executor-posted bytes bound for one connection. */
@@ -123,10 +127,14 @@ struct Server::Impl
     std::atomic<bool> stopping{false};
     std::atomic<bool> execFinished{false};
 
-    // Request queue (poll thread -> executor).
+    // Request queue (poll thread -> executor). activeConnId/token
+    // describe the request the executor currently runs, so the poll
+    // thread can cancel it on disconnect or ServeCancel.
     std::mutex reqMu;
     std::condition_variable reqCv;
     std::deque<PendingRequest> queue;
+    std::uint64_t activeConnId = 0; //!< 0 = executor idle
+    std::shared_ptr<exec::CancelToken> activeToken;
 
     // Completion queue (executor -> poll thread).
     std::mutex compMu;
@@ -155,6 +163,10 @@ struct Server::Impl
     std::atomic<std::uint64_t> queueDepth{0};
     std::atomic<std::uint64_t> runMicros{0};
     std::atomic<std::uint64_t> sweepMicros{0};
+    std::atomic<std::uint64_t> requestsBusy{0};
+    std::atomic<std::uint64_t> requestsCancelled{0};
+    std::atomic<std::uint64_t> requestsDeadline{0};
+    std::atomic<std::uint64_t> activeRequests{0};
 
     // --- shared plumbing ---------------------------------------------
 
@@ -178,14 +190,24 @@ struct Server::Impl
         wake();
     }
 
-    void postDone(std::uint64_t connId, bool ok, std::uint64_t cells,
-                  const std::string &error)
+    static DoneMsg makeDone(DoneStatus status, std::uint64_t cells,
+                            const std::string &error,
+                            std::uint64_t retryAfterMs = 0)
     {
         DoneMsg m;
-        m.ok = ok ? 1 : 0;
+        m.ok = status == DoneStatus::Ok ? 1 : 0;
+        m.status = static_cast<std::uint8_t>(status);
         m.cells = cells;
         m.error = error;
-        post(connId, FrameType::ServeDone, encodeDone(m));
+        m.retryAfterMs = retryAfterMs;
+        return m;
+    }
+
+    void postDone(std::uint64_t connId, DoneStatus status,
+                  std::uint64_t cells, const std::string &error)
+    {
+        post(connId, FrameType::ServeDone,
+             encodeDone(makeDone(status, cells, error)));
     }
 
     StatsReplyMsg snapshot() const
@@ -203,6 +225,10 @@ struct Server::Impl
         s.queueDepth = queueDepth.load();
         s.runMicros = runMicros.load();
         s.sweepMicros = sweepMicros.load();
+        s.requestsBusy = requestsBusy.load();
+        s.requestsCancelled = requestsCancelled.load();
+        s.requestsDeadline = requestsDeadline.load();
+        s.activeRequests = activeRequests.load();
         s.store = cache::store().stats();
         return s;
     }
@@ -279,19 +305,21 @@ struct Server::Impl
         Ctx *ctx = err.empty() ? contextFor(m.setup, &err) : nullptr;
         if (!ctx) {
             requestsRejected.fetch_add(1, std::memory_order_relaxed);
-            postDone(req.connId, false, 0, err);
+            postDone(req.connId, DoneStatus::Error, 0, err);
             return;
         }
+        sim::RecordOptions opts =
+            decodeOpts(m.timeSeries, m.heatmap, m.noiseTrace,
+                       m.trackVr, m.noiseSamplesOverride);
+        opts.cancel = req.cancel.get();
         sim::RunResult r = ctx->sim->run(
             workload::profileByName(m.benchmark),
-            static_cast<core::PolicyKind>(m.policy),
-            decodeOpts(m.timeSeries, m.heatmap, m.noiseTrace,
-                       m.trackVr, m.noiseSamplesOverride));
+            static_cast<core::PolicyKind>(m.policy), opts);
         CellMsg cell;
         cell.cell = 0;
         cell.result = cache::encodeRunResult(r);
         post(req.connId, FrameType::ServeCell, encodeCell(cell));
-        postDone(req.connId, true, 1, {});
+        postDone(req.connId, DoneStatus::Ok, 1, {});
         requestsRun.fetch_add(1, std::memory_order_relaxed);
         cellsServed.fetch_add(1, std::memory_order_relaxed);
         runMicros.fetch_add(microsSince(t0),
@@ -327,7 +355,7 @@ struct Server::Impl
         Ctx *ctx = err.empty() ? contextFor(m.setup, &err) : nullptr;
         if (!ctx) {
             requestsRejected.fetch_add(1, std::memory_order_relaxed);
-            postDone(req.connId, false, 0, err);
+            postDone(req.connId, DoneStatus::Error, 0, err);
             return;
         }
 
@@ -346,21 +374,34 @@ struct Server::Impl
 
         const int jobs = static_cast<int>(
             std::min<std::uint32_t>(m.jobs, 4096));
-        std::atomic<std::uint64_t> streamed{0};
-        sim::runSweepCells(
-            *ctx->sim, m.benchmarks, policies, cells, jobs,
+        sim::RecordOptions opts =
             decodeOpts(m.timeSeries, m.heatmap, m.noiseTrace,
-                       m.trackVr, m.noiseSamplesOverride),
-            [&](std::size_t cell, sim::RunResult &&r) {
-                CellMsg out;
-                out.cell = cell;
-                out.result = cache::encodeRunResult(r);
-                post(req.connId, FrameType::ServeCell,
-                     encodeCell(out));
-                streamed.fetch_add(1, std::memory_order_relaxed);
-            },
-            &ctx->contexts, jobs > 1 ? &pool : nullptr);
-        postDone(req.connId, true, streamed.load(), {});
+                       m.trackVr, m.noiseSamplesOverride);
+        opts.cancel = req.cancel.get();
+        std::atomic<std::uint64_t> streamed{0};
+        // On cancellation runSweepCells throws after the completed
+        // cells were emitted; the catch in execLoop posts the final
+        // status. Cells streamed before the trip still count.
+        try {
+            sim::runSweepCells(
+                *ctx->sim, m.benchmarks, policies, cells, jobs, opts,
+                [&](std::size_t cell, sim::RunResult &&r) {
+                    CellMsg out;
+                    out.cell = cell;
+                    out.result = cache::encodeRunResult(r);
+                    post(req.connId, FrameType::ServeCell,
+                         encodeCell(out));
+                    streamed.fetch_add(1, std::memory_order_relaxed);
+                },
+                &ctx->contexts, jobs > 1 ? &pool : nullptr);
+        } catch (...) {
+            cellsServed.fetch_add(streamed.load(),
+                                  std::memory_order_relaxed);
+            sweepMicros.fetch_add(microsSince(t0),
+                                  std::memory_order_relaxed);
+            throw;
+        }
+        postDone(req.connId, DoneStatus::Ok, streamed.load(), {});
         requestsSweep.fetch_add(1, std::memory_order_relaxed);
         cellsServed.fetch_add(streamed.load(),
                               std::memory_order_relaxed);
@@ -383,11 +424,40 @@ struct Server::Impl
                 queue.pop_front();
                 queueDepth.store(queue.size(),
                                  std::memory_order_relaxed);
+                activeConnId = req.connId;
+                activeToken = req.cancel;
             }
-            if (req.isRun)
-                executeRun(req);
-            else
-                executeSweep(req);
+            activeRequests.store(1, std::memory_order_relaxed);
+            try {
+                if (req.isRun)
+                    executeRun(req);
+                else
+                    executeSweep(req);
+            } catch (const exec::CancelledError &e) {
+                // The sweep unwound at a cell/epoch boundary; the
+                // contexts in the LRU are intact (each run resets
+                // its scratch on entry), so the daemon keeps
+                // serving. Tell the client — if it is still there —
+                // why its stream ended early.
+                const bool deadline = e.deadlineExpired();
+                (deadline ? requestsDeadline : requestsCancelled)
+                    .fetch_add(1, std::memory_order_relaxed);
+                postDone(req.connId,
+                         deadline ? DoneStatus::DeadlineExpired
+                                  : DoneStatus::Cancelled,
+                         0, e.what());
+            } catch (const std::exception &e) {
+                // A request must never take the daemon down.
+                requestsRejected.fetch_add(1,
+                                           std::memory_order_relaxed);
+                postDone(req.connId, DoneStatus::Error, 0, e.what());
+            }
+            activeRequests.store(0, std::memory_order_relaxed);
+            {
+                std::lock_guard<std::mutex> lock(reqMu);
+                activeConnId = 0;
+                activeToken.reset();
+            }
         }
         execFinished.store(true);
         wake();
@@ -407,9 +477,9 @@ struct Server::Impl
     bool flushOut(Conn &c)
     {
         while (c.outOff < c.out.size()) {
-            const ssize_t n =
-                ::write(c.fd, c.out.data() + c.outOff,
-                        c.out.size() - c.outOff);
+            const long n =
+                io::chaosWrite(c.fd, c.out.data() + c.outOff,
+                               c.out.size() - c.outOff);
             if (n < 0) {
                 if (errno == EINTR)
                     continue;
@@ -424,14 +494,71 @@ struct Server::Impl
         return true;
     }
 
-    void enqueueRequest(PendingRequest &&req)
+    /** Unsent outbound bytes beyond the cap = a reader that stopped
+     *  reading mid-stream; the connection is pathological. */
+    bool overOutboundCap(const Conn &c) const
     {
+        return c.out.size() - c.outOff > options.maxOutboundBytes;
+    }
+
+    /**
+     * Admission control: accept the request (arming its deadline so
+     * queue wait counts against it), or reject when the queue is at
+     * maxQueueDepth. The reject happens here on the poll thread —
+     * overload answers in microseconds, it never waits in line.
+     */
+    bool enqueueRequest(PendingRequest &&req, std::uint64_t deadlineMs)
+    {
+        req.cancel = std::make_shared<exec::CancelToken>();
+        if (deadlineMs > 0)
+            req.cancel->setDeadlineIn(deadlineMs);
         {
             std::lock_guard<std::mutex> lock(reqMu);
+            if (queue.size() >=
+                static_cast<std::size_t>(
+                    std::max(0, options.maxQueueDepth))) {
+                requestsBusy.fetch_add(1, std::memory_order_relaxed);
+                return false;
+            }
             queue.push_back(std::move(req));
             queueDepth.store(queue.size(), std::memory_order_relaxed);
         }
         reqCv.notify_one();
+        return true;
+    }
+
+    /**
+     * Trip every request of one connection: queued ones are removed
+     * here (count returned), an in-flight one has its token
+     * cancelled and unwinds through the executor. Poll thread only.
+     */
+    std::size_t cancelRequestsFor(std::uint64_t connId,
+                                  bool *activeTripped)
+    {
+        std::size_t removed = 0;
+        bool tripped = false;
+        {
+            std::lock_guard<std::mutex> lock(reqMu);
+            for (auto it = queue.begin(); it != queue.end();) {
+                if (it->connId == connId) {
+                    it->cancel->cancel();
+                    it = queue.erase(it);
+                    ++removed;
+                } else {
+                    ++it;
+                }
+            }
+            queueDepth.store(queue.size(), std::memory_order_relaxed);
+            if (activeConnId == connId && activeToken) {
+                activeToken->cancel();
+                tripped = true;
+            }
+        }
+        requestsCancelled.fetch_add(removed,
+                                    std::memory_order_relaxed);
+        if (activeTripped)
+            *activeTripped = tripped;
+        return removed;
     }
 
     /** Poll-thread frame dispatch; false drops the connection. */
@@ -450,11 +577,27 @@ struct Server::Impl
         case FrameType::Shutdown: {
             // Ack before draining so the client's blocking wait ends
             // as soon as the drain is scheduled.
-            DoneMsg m;
-            m.ok = 1;
-            appendOut(c, FrameType::ServeDone, encodeDone(m));
+            appendOut(c, FrameType::ServeDone,
+                      encodeDone(makeDone(DoneStatus::Ok, 0, {})));
             c.closing = true;
             stopping.store(true);
+            return true;
+        }
+        case FrameType::ServeCancel: {
+            bool activeTripped = false;
+            const std::size_t removed =
+                cancelRequestsFor(c.id, &activeTripped);
+            // A removed queued request never reaches the executor, so
+            // its Done comes from here; an in-flight one unwinds and
+            // the executor posts its own. Nothing to cancel is a
+            // silent no-op — the request may just have finished, and
+            // its real Done is already on the wire; an extra reply
+            // would desync the client's request/response pairing.
+            (void)activeTripped;
+            for (std::size_t i = 0; i < removed; ++i)
+                appendOut(c, FrameType::ServeDone,
+                          encodeDone(makeDone(DoneStatus::Cancelled,
+                                              0, "cancelled")));
             return true;
         }
         case FrameType::ServeRun: {
@@ -464,12 +607,18 @@ struct Server::Impl
             if (!decodeRun(frame.payload, req.run)) {
                 requestsRejected.fetch_add(1,
                                            std::memory_order_relaxed);
-                DoneMsg m;
-                m.error = "malformed ServeRun payload";
-                appendOut(c, FrameType::ServeDone, encodeDone(m));
+                appendOut(c, FrameType::ServeDone,
+                          encodeDone(makeDone(
+                              DoneStatus::Error, 0,
+                              "malformed ServeRun payload")));
                 return true;
             }
-            enqueueRequest(std::move(req));
+            const std::uint64_t deadlineMs = req.run.deadlineMs;
+            if (!enqueueRequest(std::move(req), deadlineMs))
+                appendOut(c, FrameType::ServeDone,
+                          encodeDone(makeDone(
+                              DoneStatus::Busy, 0, "queue full",
+                              options.busyRetryMs)));
             return true;
         }
         case FrameType::ServeSweep: {
@@ -478,12 +627,18 @@ struct Server::Impl
             if (!decodeSweep(frame.payload, req.sweep)) {
                 requestsRejected.fetch_add(1,
                                            std::memory_order_relaxed);
-                DoneMsg m;
-                m.error = "malformed ServeSweep payload";
-                appendOut(c, FrameType::ServeDone, encodeDone(m));
+                appendOut(c, FrameType::ServeDone,
+                          encodeDone(makeDone(
+                              DoneStatus::Error, 0,
+                              "malformed ServeSweep payload")));
                 return true;
             }
-            enqueueRequest(std::move(req));
+            const std::uint64_t deadlineMs = req.sweep.deadlineMs;
+            if (!enqueueRequest(std::move(req), deadlineMs))
+                appendOut(c, FrameType::ServeDone,
+                          encodeDone(makeDone(
+                              DoneStatus::Busy, 0, "queue full",
+                              options.busyRetryMs)));
             return true;
         }
         default:
@@ -505,8 +660,15 @@ struct Server::Impl
             auto it = conns.find(id);
             if (it == conns.end())
                 return;
+            // A vanished client must not keep burning executor time:
+            // trip its queued and in-flight requests. The executor's
+            // Done for the tripped one lands in the completion drain
+            // and is discarded there (connection gone).
+            cancelRequestsFor(id, nullptr);
             ::close(it->second.fd);
             conns.erase(it);
+            if (options.verbose)
+                inform("tg_serve: client ", id, " dropped");
         };
 
         for (;;) {
@@ -564,6 +726,16 @@ struct Server::Impl
                                           comp.bytes.begin(),
                                           comp.bytes.end());
                 }
+                // Backpressure of last resort: a connection that
+                // stopped reading while a sweep streams at it grows
+                // without bound — drop it (which also cancels its
+                // request) instead of buffering forever.
+                std::vector<std::uint64_t> overCap;
+                for (auto &entry : conns)
+                    if (overOutboundCap(entry.second))
+                        overCap.push_back(entry.first);
+                for (std::uint64_t id : overCap)
+                    dropConn(id);
             }
 
             // Accept new clients.

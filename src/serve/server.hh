@@ -37,6 +37,20 @@
  * A malformed or invalid request gets an error DoneMsg (or, for a
  * corrupt frame stream, a dropped connection) — never a daemon
  * abort: all client input is handled by non-fatal decoders.
+ *
+ * Robustness: every accepted Run/Sweep carries a CancelToken. The
+ * token trips when the client disconnects, sends ServeCancel, or the
+ * request's deadlineMs (armed at admission, so queue wait counts)
+ * expires; the executing sweep observes it at the next cell/epoch
+ * boundary, unwinds via exec::CancelledError, and the worker
+ * contexts return to the LRU intact — the daemon then serves the
+ * next request bit-identically. Admission control bounds the queue
+ * (maxQueueDepth): an over-limit request is answered immediately
+ * with DoneStatus::Busy plus a retry hint, from the poll thread, so
+ * overload degrades to fast rejections instead of unbounded memory.
+ * A connection whose outbound buffer exceeds maxOutboundBytes (a
+ * reader that stopped reading mid-stream) is dropped and its request
+ * cancelled.
  */
 
 #ifndef TG_SERVE_SERVER_HH
@@ -62,6 +76,14 @@ struct ServerOptions
     /** Warm simulation contexts kept (LRU); each holds a chip's
      *  factorisations, predictor fit and per-worker Simulations. */
     int contextCacheSize = 4;
+    /** Admission bound: Run/Sweep requests waiting for the executor
+     *  beyond this get an immediate DoneStatus::Busy. */
+    int maxQueueDepth = 64;
+    /** Drop a connection whose unsent outbound bytes exceed this (a
+     *  client that stopped reading mid-stream). */
+    std::size_t maxOutboundBytes = std::size_t(256) << 20;
+    /** Retry hint carried in Busy replies. */
+    std::uint64_t busyRetryMs = 200;
     bool verbose = false;
 };
 

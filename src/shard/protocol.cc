@@ -44,7 +44,7 @@ std::uint32_t readU32At(const std::uint8_t *q)
 bool frameTypeValid(std::uint32_t t)
 {
     return t >= static_cast<std::uint32_t>(FrameType::Hello) &&
-           t <= static_cast<std::uint32_t>(FrameType::Pong);
+           t <= static_cast<std::uint32_t>(FrameType::ServeCancel);
 }
 
 std::vector<std::uint8_t>
@@ -128,7 +128,7 @@ PumpStatus pumpFrames(int fd, FrameParser &parser,
                       const std::function<bool(const Frame &)> &handle)
 {
     std::uint8_t chunk[1 << 16];
-    const ssize_t n = ::read(fd, chunk, sizeof chunk);
+    const long n = io::chaosRead(fd, chunk, sizeof chunk);
     if (n < 0) {
         if (errno == EINTR || errno == EAGAIN ||
             errno == EWOULDBLOCK)

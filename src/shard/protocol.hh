@@ -43,8 +43,11 @@ namespace shard {
 
 /** Bump on any incompatible frame or message layout change.
  *  v2: serve-layer frame types appended (range extension only —
- *  every v1 message layout is unchanged). */
-constexpr std::uint32_t kProtocolVersion = 2;
+ *  every v1 message layout is unchanged).
+ *  v3: ServeCancel appended; serve Run/Sweep messages gained
+ *  deadlineMs, ServeDone a status/retryAfterMs pair, and the stats
+ *  reply admission/cancellation counters. */
+constexpr std::uint32_t kProtocolVersion = 3;
 
 /** Leading tag of every frame ("TGS1" little-endian). */
 constexpr std::uint32_t kFrameMagic = 0x31534754;
@@ -72,6 +75,7 @@ enum class FrameType : std::uint32_t
     ServeStatsReply, //!< server -> client counters snapshot
     Ping,            //!< client -> server liveness probe
     Pong,            //!< server -> client liveness echo
+    ServeCancel,     //!< client -> server cancel an in-flight request
 };
 
 /** True when `t` is one of the FrameType enumerators. */

@@ -18,6 +18,10 @@ namespace fault {
 class FaultScenario;
 }
 
+namespace exec {
+class CancelToken;
+}
+
 namespace sim {
 
 /** What extra data a run should record beyond the scalar metrics. */
@@ -38,6 +42,16 @@ struct RecordOptions
      *  clean path is bit-identical to a run without this option).
      *  The scenario must outlive the run. */
     const fault::FaultScenario *faultScenario = nullptr;
+    /**
+     * Cooperative cancellation: when set, the run polls the token at
+     * every decision epoch (and the sweep engine before every cell)
+     * and aborts by throwing exec::CancelledError. Execution control
+     * only — it never changes a completed run's bytes, so it is
+     * excluded from the memoization fingerprint, and a cancelled run
+     * publishes no partial artifacts (results are only stored after
+     * the final epoch). The token must outlive the run.
+     */
+    const exec::CancelToken *cancel = nullptr;
 };
 
 /** Resilience accounting of a (possibly) fault-injected run. */

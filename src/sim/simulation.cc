@@ -757,6 +757,13 @@ Simulation::runMixed(
     // frame, noise windows at the scheduled sample frames.
     // =====================================================================
     for (long e = 0; e < n_epochs; ++e) {
+        // Cancellation point: one check per decision epoch. Aborting
+        // here publishes nothing — the memo store/disk save only run
+        // after the loop completes — so a cancelled run leaves no
+        // partial artifact, and the next run() on this instance
+        // resets every scratch buffer it could have dirtied.
+        if (opts.cancel)
+            opts.cancel->throwIfCancelled();
         std::size_t f0 = static_cast<std::size_t>(e) *
                          static_cast<std::size_t>(fpe);
         std::size_t f1 =

@@ -133,6 +133,14 @@ runSweepCells(Simulation &simulation,
                   "sweep cell index out of range");
 
     auto run_one = [&](Simulation &ctx, std::size_t task) {
+        // Cancellation point: once per cell, before any work. Each
+        // in-flight cell also checks per epoch (via opts.cancel), so
+        // a cancel lands within one epoch on every worker; the first
+        // CancelledError aborts the fan-out and is rethrown to the
+        // caller. Cells already emitted are complete — a cancelled
+        // sweep streams whole cells or nothing, never a torn one.
+        if (opts.cancel)
+            opts.cancel->throwIfCancelled();
         const std::size_t cell = cells[task];
         std::size_t b = cell / policies.size();
         std::size_t p = cell % policies.size();

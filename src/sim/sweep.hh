@@ -80,6 +80,13 @@ std::string progressLine(const RunResult &r);
  * cell is a deterministic function of (chip, config, benchmark,
  * policy, opts) alone.
  *
+ * Cancellation: with opts.cancel set, the engine checks the token
+ * before every cell (and each run checks per epoch) and aborts by
+ * throwing exec::CancelledError. emit() is then called only for the
+ * cells that completed before the trip — always whole cells; the
+ * exactly-once contract holds for them and the rest are never
+ * started.
+ *
  * @param reuse optional cross-call context pool (see SweepContexts);
  *              nullptr builds fresh per-worker contexts per call.
  * @param pool  optional long-lived thread pool to fan out on instead

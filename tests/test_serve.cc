@@ -27,6 +27,7 @@ RunMsg sampleRun()
     m.noiseTrace = 1;
     m.trackVr = 17;
     m.noiseSamplesOverride = 9;
+    m.deadlineMs = 2500;
     return m;
 }
 
@@ -41,6 +42,7 @@ SweepMsg sampleSweep()
     m.heatmap = 1;
     m.trackVr = -1;
     m.noiseSamplesOverride = -1;
+    m.deadlineMs = 60000;
     return m;
 }
 
@@ -57,6 +59,7 @@ TEST(ServeProtocol, RunRoundTrip)
     EXPECT_EQ(out.noiseTrace, in.noiseTrace);
     EXPECT_EQ(out.trackVr, in.trackVr);
     EXPECT_EQ(out.noiseSamplesOverride, in.noiseSamplesOverride);
+    EXPECT_EQ(out.deadlineMs, in.deadlineMs);
 }
 
 TEST(ServeProtocol, SweepRoundTrip)
@@ -71,6 +74,7 @@ TEST(ServeProtocol, SweepRoundTrip)
     EXPECT_EQ(out.jobs, in.jobs);
     EXPECT_EQ(out.heatmap, in.heatmap);
     EXPECT_EQ(out.trackVr, in.trackVr);
+    EXPECT_EQ(out.deadlineMs, in.deadlineMs);
 }
 
 TEST(ServeProtocol, CellAndDoneRoundTrip)
@@ -85,13 +89,38 @@ TEST(ServeProtocol, CellAndDoneRoundTrip)
 
     DoneMsg done;
     done.ok = 0;
+    done.status = static_cast<std::uint8_t>(DoneStatus::Busy);
     done.cells = 7;
     done.error = "unknown benchmark 'nope'";
+    done.retryAfterMs = 125;
     DoneMsg doneOut;
     ASSERT_TRUE(decodeDone(encodeDone(done), doneOut));
     EXPECT_EQ(doneOut.ok, done.ok);
+    EXPECT_EQ(doneOut.status, done.status);
     EXPECT_EQ(doneOut.cells, done.cells);
     EXPECT_EQ(doneOut.error, done.error);
+    EXPECT_EQ(doneOut.retryAfterMs, done.retryAfterMs);
+}
+
+TEST(ServeProtocol, DoneStatusConsistencyIsEnforced)
+{
+    // ok=1 must mean status==Ok: any disagreement (or an unknown
+    // status id) is a malformed reply, not something to half-trust.
+    DoneMsg lying;
+    lying.ok = 1;
+    lying.status = static_cast<std::uint8_t>(DoneStatus::Busy);
+    DoneMsg out;
+    EXPECT_FALSE(decodeDone(encodeDone(lying), out));
+
+    DoneMsg unknown;
+    unknown.ok = 0;
+    unknown.status = 250;
+    EXPECT_FALSE(decodeDone(encodeDone(unknown), out));
+
+    DoneMsg honest;
+    honest.ok = 1;
+    honest.status = static_cast<std::uint8_t>(DoneStatus::Ok);
+    EXPECT_TRUE(decodeDone(encodeDone(honest), out));
 }
 
 TEST(ServeProtocol, StatsReplyRoundTripIncludesStoreSnapshot)
@@ -116,11 +145,16 @@ TEST(ServeProtocol, StatsReplyRoundTripIncludesStoreSnapshot)
         in.store.kind[k].bytes = 400 + k;
         in.store.kind[k].evictions = 500 + k;
     }
+    in.requestsBusy = 12;
+    in.requestsCancelled = 13;
+    in.requestsDeadline = 14;
+    in.activeRequests = 1;
     in.store.evictions = 2020;
     in.store.diskHits = 1;
     in.store.diskMisses = 2;
     in.store.diskWrites = 3;
     in.store.diskRejects = 4;
+    in.store.diskTmpSwept = 5;
 
     StatsReplyMsg out;
     ASSERT_TRUE(decodeStatsReply(encodeStatsReply(in), out));
@@ -136,8 +170,13 @@ TEST(ServeProtocol, StatsReplyRoundTripIncludesStoreSnapshot)
         EXPECT_EQ(out.store.kind[k].evictions,
                   in.store.kind[k].evictions);
     }
+    EXPECT_EQ(out.requestsBusy, in.requestsBusy);
+    EXPECT_EQ(out.requestsCancelled, in.requestsCancelled);
+    EXPECT_EQ(out.requestsDeadline, in.requestsDeadline);
+    EXPECT_EQ(out.activeRequests, in.activeRequests);
     EXPECT_EQ(out.store.evictions, in.store.evictions);
     EXPECT_EQ(out.store.diskRejects, in.store.diskRejects);
+    EXPECT_EQ(out.store.diskTmpSwept, in.store.diskTmpSwept);
 }
 
 TEST(ServeProtocol, TruncationIsRejectedAtEveryPrefix)
@@ -214,12 +253,14 @@ TEST(ServeProtocol, ServeFrameTypesAreValidFrameTypes)
                    shard::FrameType::ServeDone,
                    shard::FrameType::ServeStats,
                    shard::FrameType::ServeStatsReply,
-                   shard::FrameType::Ping, shard::FrameType::Pong})
+                   shard::FrameType::Ping, shard::FrameType::Pong,
+                   shard::FrameType::ServeCancel})
         EXPECT_TRUE(shard::frameTypeValid(
             static_cast<std::uint32_t>(t)));
     // ...and still reject the first id past the extension.
     EXPECT_FALSE(shard::frameTypeValid(
-        static_cast<std::uint32_t>(shard::FrameType::Pong) + 1));
+        static_cast<std::uint32_t>(shard::FrameType::ServeCancel) +
+        1));
 }
 
 } // namespace
